@@ -1,0 +1,61 @@
+//! Identifier newtypes for the machine model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a trap (an ion chain / interaction zone) on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TrapId(pub u32);
+
+impl TrapId {
+    /// The raw index as a `usize`, convenient for indexing vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TrapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a physical slot: one unit of space inside a trap that can
+/// hold exactly one ion (or be empty — a *space node* in the paper's
+/// formulation). Slots are numbered globally and contiguously per trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// The raw index as a `usize`, convenient for indexing vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TrapId(3).to_string(), "T3");
+        assert_eq!(SlotId(12).to_string(), "s12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TrapId(1) < TrapId(2));
+        assert!(SlotId(0) < SlotId(10));
+        assert_eq!(TrapId(4).index(), 4);
+        assert_eq!(SlotId(9).index(), 9);
+    }
+}

@@ -1,0 +1,131 @@
+//! A single trap: a bounded linear ion chain.
+
+use crate::ids::{SlotId, TrapId};
+use serde::{Deserialize, Serialize};
+
+/// One trap of a QCCD device: a linear chain of `capacity` slots. Ions can
+/// only be split off (for shuttling) from the two chain ends, which is why
+/// shuttles are so often accompanied by SWAP gates (Observation 2 of the
+/// paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Trap {
+    id: TrapId,
+    first_slot: SlotId,
+    capacity: usize,
+}
+
+impl Trap {
+    /// Creates a trap whose slots are `first_slot .. first_slot + capacity`.
+    pub(crate) fn new(id: TrapId, first_slot: SlotId, capacity: usize) -> Self {
+        Trap { id, first_slot, capacity }
+    }
+
+    /// The trap's identifier.
+    #[inline]
+    pub fn id(&self) -> TrapId {
+        self.id
+    }
+
+    /// Number of slots (maximum ions) in this trap.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The globally-numbered slots of this trap, in chain order.
+    pub fn slots(&self) -> Vec<SlotId> {
+        (0..self.capacity as u32).map(|i| SlotId(self.first_slot.0 + i)).collect()
+    }
+
+    /// The first slot (left chain end).
+    #[inline]
+    pub fn left_end(&self) -> SlotId {
+        self.first_slot
+    }
+
+    /// The last slot (right chain end).
+    #[inline]
+    pub fn right_end(&self) -> SlotId {
+        SlotId(self.first_slot.0 + self.capacity as u32 - 1)
+    }
+
+    /// `true` if `slot` belongs to this trap.
+    pub fn contains(&self, slot: SlotId) -> bool {
+        slot.0 >= self.first_slot.0 && slot.0 < self.first_slot.0 + self.capacity as u32
+    }
+
+    /// Position of `slot` within the chain (0-based from the left end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not in this trap.
+    pub fn position_of(&self, slot: SlotId) -> usize {
+        assert!(self.contains(slot), "slot {slot} is not in trap {}", self.id);
+        (slot.0 - self.first_slot.0) as usize
+    }
+
+    /// The slot at chain position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= capacity`.
+    pub fn slot_at(&self, pos: usize) -> SlotId {
+        assert!(pos < self.capacity, "position {pos} out of range for capacity {}", self.capacity);
+        SlotId(self.first_slot.0 + pos as u32)
+    }
+
+    /// Distance (in chain positions) from `slot` to the nearest chain end.
+    pub fn distance_to_nearest_end(&self, slot: SlotId) -> usize {
+        let pos = self.position_of(slot);
+        pos.min(self.capacity - 1 - pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trap() -> Trap {
+        Trap::new(TrapId(1), SlotId(10), 5)
+    }
+
+    #[test]
+    fn slots_are_contiguous() {
+        let t = trap();
+        assert_eq!(t.slots(), vec![SlotId(10), SlotId(11), SlotId(12), SlotId(13), SlotId(14)]);
+        assert_eq!(t.left_end(), SlotId(10));
+        assert_eq!(t.right_end(), SlotId(14));
+        assert_eq!(t.capacity(), 5);
+    }
+
+    #[test]
+    fn contains_and_position() {
+        let t = trap();
+        assert!(t.contains(SlotId(12)));
+        assert!(!t.contains(SlotId(15)));
+        assert!(!t.contains(SlotId(9)));
+        assert_eq!(t.position_of(SlotId(12)), 2);
+        assert_eq!(t.slot_at(4), SlotId(14));
+    }
+
+    #[test]
+    fn distance_to_nearest_end() {
+        let t = trap();
+        assert_eq!(t.distance_to_nearest_end(SlotId(10)), 0);
+        assert_eq!(t.distance_to_nearest_end(SlotId(12)), 2);
+        assert_eq!(t.distance_to_nearest_end(SlotId(14)), 0);
+        assert_eq!(t.distance_to_nearest_end(SlotId(13)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in trap")]
+    fn position_of_foreign_slot_panics() {
+        trap().position_of(SlotId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_at_out_of_range_panics() {
+        trap().slot_at(5);
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benchmark behind Fig. 15: compilation time of S-SYNC and the
+//! two baselines as the application grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssync_arch::QccdTopology;
+use ssync_bench::{run_compiler, scaled_app, AppKind, CompilerKind};
+use ssync_core::CompilerConfig;
+
+fn bench_compile_time(c: &mut Criterion) {
+    let topo = QccdTopology::grid(2, 2, 10);
+    let config = CompilerConfig::default();
+    let mut group = c.benchmark_group("compile_time_qft");
+    group.sample_size(10);
+    for qubits in [12usize, 20, 28] {
+        let circuit = scaled_app(AppKind::Qft, qubits);
+        for compiler in CompilerKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(compiler.label(), qubits),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        run_compiler(compiler, circuit, &topo, &config)
+                            .expect("compilation succeeds")
+                            .counts()
+                            .shuttles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compile_apps(c: &mut Criterion) {
+    let topo = QccdTopology::grid(2, 2, 10);
+    let config = CompilerConfig::default();
+    let mut group = c.benchmark_group("compile_time_apps");
+    group.sample_size(10);
+    for app in [AppKind::Adder, AppKind::Qaoa, AppKind::Alt, AppKind::Bv] {
+        let circuit = scaled_app(app, 24);
+        group.bench_function(BenchmarkId::new("ssync", app.label()), |b| {
+            b.iter(|| {
+                run_compiler(CompilerKind::SSync, &circuit, &topo, &config)
+                    .expect("compilation succeeds")
+                    .counts()
+                    .shuttles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_time, bench_compile_apps);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion smoke benchmarks of the end-to-end figure pipelines at reduced
+//! problem sizes (one representative cell per figure family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssync_arch::QccdTopology;
+use ssync_bench::{run_compiler, scaled_app, AppKind, CompilerKind};
+use ssync_core::{CompilerConfig, IdealizationMode, InitialMapping, SSyncCompiler};
+use ssync_sim::{ExecutionTracer, GateImplementation};
+
+fn bench_comparison_cell(c: &mut Criterion) {
+    // One Fig. 8/9/10 cell: QFT_16 on G-2x2 under all three compilers.
+    let circuit = scaled_app(AppKind::Qft, 16);
+    let topo = QccdTopology::grid(2, 2, 6);
+    let config = CompilerConfig::default();
+    let mut group = c.benchmark_group("figure_comparison_cell");
+    group.sample_size(10);
+    for compiler in CompilerKind::ALL {
+        group.bench_function(compiler.label(), |b| {
+            b.iter(|| {
+                let outcome = run_compiler(compiler, &circuit, &topo, &config).unwrap();
+                (outcome.counts().shuttles, outcome.counts().swap_gates)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapping_cell(c: &mut Criterion) {
+    // One Fig. 12 cell: Adder at a reduced size under the three mappings.
+    let circuit = scaled_app(AppKind::Adder, 20);
+    let topo = QccdTopology::grid(2, 3, 6);
+    let mut group = c.benchmark_group("figure_mapping_cell");
+    group.sample_size(10);
+    for mapping in InitialMapping::ALL {
+        let config = CompilerConfig::default().with_initial_mapping(mapping);
+        group.bench_function(mapping.label(), |b| {
+            b.iter(|| {
+                SSyncCompiler::new(config).compile(&circuit, &topo).unwrap().counts().shuttles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_impl_and_idealization(c: &mut Criterion) {
+    // Fig. 13 / Fig. 16 evaluation stages reuse one compiled program.
+    let circuit = scaled_app(AppKind::Qaoa, 16);
+    let topo = QccdTopology::grid(2, 2, 6);
+    let compiler = SSyncCompiler::default();
+    let outcome = compiler.compile(&circuit, &topo).unwrap();
+    let mut group = c.benchmark_group("figure_reevaluation");
+    group.bench_function("four_gate_implementations", |b| {
+        b.iter(|| {
+            GateImplementation::ALL
+                .iter()
+                .map(|&g| {
+                    ExecutionTracer { gate_impl: g, ..compiler.tracer() }
+                        .evaluate(outcome.program())
+                        .success_rate
+                })
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("four_idealization_modes", |b| {
+        let tracer = compiler.tracer();
+        b.iter(|| {
+            IdealizationMode::ALL
+                .iter()
+                .map(|&m| outcome.evaluate_with(&tracer, m).success_rate)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_comparison_cell,
+    bench_mapping_cell,
+    bench_gate_impl_and_idealization
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the compiler's building blocks: DAG
+//! construction, initial mapping, trap routing and the execution tracer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssync_arch::{QccdTopology, SlotGraph, TrapRouter, WeightConfig};
+use ssync_circuit::generators::{qft, random_two_qubit_circuit};
+use ssync_circuit::DependencyDag;
+use ssync_core::{initial, CompilerConfig, SSyncCompiler};
+use ssync_sim::ExecutionTracer;
+
+fn bench_dag_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_construction");
+    for n in [16usize, 32, 64] {
+        let circuit = qft(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| DependencyDag::from_circuit(circuit).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_initial_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("initial_mapping");
+    let circuit = qft(48);
+    let topo = QccdTopology::grid(2, 3, 10);
+    for mapping in ssync_core::InitialMapping::ALL {
+        let config = CompilerConfig::default().with_initial_mapping(mapping);
+        let graph = SlotGraph::new(topo.clone(), config.weights);
+        group.bench_function(mapping.label(), |b| {
+            b.iter(|| initial::build_placement(&circuit, &graph, &config).num_placed())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tracer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execution_tracer");
+    group.sample_size(20);
+    let circuit = random_two_qubit_circuit(24, 400, 7);
+    let topo = QccdTopology::grid(2, 2, 8);
+    let outcome = SSyncCompiler::default().compile(&circuit, &topo).expect("compiles");
+    let tracer = ExecutionTracer::default();
+    group.bench_function("trace_compiled_program", |b| {
+        b.iter(|| tracer.evaluate(outcome.program()).success_rate)
+    });
+    group.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trap_router");
+    for name in ["L-6", "G-3x3", "S-4"] {
+        let topo = QccdTopology::named(name).expect("known topology");
+        group.bench_function(name, |b| {
+            b.iter(|| TrapRouter::new(&topo, WeightConfig::default()).is_connected())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dag_construction,
+    bench_initial_mapping,
+    bench_tracer,
+    bench_router
+);
+criterion_main!(benches);

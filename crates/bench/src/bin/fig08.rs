@@ -1,0 +1,43 @@
+//! Regenerates Fig. 8: shuttle counts of Murali et al., Dai et al. and
+//! S-SYNC across the benchmark × topology grid (lower is better).
+
+use ssync_bench::comparison::geometric_mean_ratio;
+use ssync_bench::{comparison_rows, BenchScale, CompilerKind, Table};
+use ssync_core::CompilerConfig;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let rows = comparison_rows(scale, &CompilerConfig::default(), |what| {
+        eprintln!("[fig08] compiling {what}");
+    });
+    let mut table = Table::new(["Application", "Topology", "Murali et al.", "Dai et al.", "This Work"]);
+    let mut seen = std::collections::BTreeSet::new();
+    for row in &rows {
+        let key = (row.app.clone(), row.topology.clone());
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let get = |kind: CompilerKind| {
+            rows.iter()
+                .find(|r| r.compiler == kind && r.app == key.0 && r.topology == key.1)
+                .map(|r| r.shuttles.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        table.push_row([
+            key.0.clone(),
+            key.1.clone(),
+            get(CompilerKind::Murali),
+            get(CompilerKind::Dai),
+            get(CompilerKind::SSync),
+        ]);
+    }
+    println!("Fig. 8 — number of shuttles (lower is better)\n");
+    println!("{table}");
+    let vs_murali =
+        geometric_mean_ratio(&rows, CompilerKind::Murali, CompilerKind::SSync, |r| r.shuttles as f64);
+    let vs_dai =
+        geometric_mean_ratio(&rows, CompilerKind::Dai, CompilerKind::SSync, |r| r.shuttles as f64);
+    println!("Geometric-mean shuttle reduction vs Murali et al.: {vs_murali:.2}x");
+    println!("Geometric-mean shuttle reduction vs Dai et al.:    {vs_dai:.2}x");
+    println!("(paper reports a 3.69x average reduction)");
+}

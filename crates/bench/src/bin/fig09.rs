@@ -1,0 +1,45 @@
+//! Regenerates Fig. 9: inserted SWAP gate counts of Murali et al., Dai et
+//! al. and S-SYNC across the benchmark × topology grid (lower is better).
+
+use ssync_bench::comparison::geometric_mean_ratio;
+use ssync_bench::{comparison_rows, BenchScale, CompilerKind, Table};
+use ssync_core::CompilerConfig;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let rows = comparison_rows(scale, &CompilerConfig::default(), |what| {
+        eprintln!("[fig09] compiling {what}");
+    });
+    let mut table = Table::new(["Application", "Topology", "Murali et al.", "Dai et al.", "This Work"]);
+    let mut seen = std::collections::BTreeSet::new();
+    for row in &rows {
+        let key = (row.app.clone(), row.topology.clone());
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let get = |kind: CompilerKind| {
+            rows.iter()
+                .find(|r| r.compiler == kind && r.app == key.0 && r.topology == key.1)
+                .map(|r| r.swaps.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        table.push_row([
+            key.0.clone(),
+            key.1.clone(),
+            get(CompilerKind::Murali),
+            get(CompilerKind::Dai),
+            get(CompilerKind::SSync),
+        ]);
+    }
+    println!("Fig. 9 — number of inserted SWAP gates (lower is better)\n");
+    println!("{table}");
+    let vs_murali = geometric_mean_ratio(&rows, CompilerKind::SSync, CompilerKind::Murali, |r| {
+        (r.swaps as f64).max(0.5)
+    });
+    let vs_dai = geometric_mean_ratio(&rows, CompilerKind::SSync, CompilerKind::Dai, |r| {
+        (r.swaps as f64).max(0.5)
+    });
+    println!("Geometric-mean SWAP ratio vs Murali et al.: {:.1}% of baseline", vs_murali * 100.0);
+    println!("Geometric-mean SWAP ratio vs Dai et al.:    {:.1}% of baseline", vs_dai * 100.0);
+    println!("(paper reports 68.5% / 54.9% average reductions)");
+}

@@ -1,0 +1,88 @@
+//! Regenerates Fig. 11: how communication topology and trap capacity affect
+//! success rate and execution time, across seven QCCD topologies.
+
+use ssync_bench::table::{fmt_rate, fmt_us};
+use ssync_bench::{scaled_app, AppKind, BenchScale, Table};
+use ssync_core::{CompilerConfig, SSyncCompiler};
+
+/// The seven topology families of Fig. 11 with a capacity chosen so the
+/// total device capacity is close to the requested target.
+fn topology(name: &str, total_capacity: usize) -> Option<ssync_arch::QccdTopology> {
+    use ssync_arch::QccdTopology;
+    let traps = match name {
+        "L-4" | "S-4" | "G-2x2" => 4,
+        "L-6" | "G-2x3" | "S-6" => 6,
+        "G-3x3" => 9,
+        _ => return None,
+    };
+    let capacity = (total_capacity + traps - 1) / traps;
+    let t = match name {
+        "L-4" => QccdTopology::linear(4, capacity),
+        "L-6" => QccdTopology::linear(6, capacity),
+        "S-4" => QccdTopology::fully_connected(4, capacity),
+        "S-6" => QccdTopology::fully_connected(6, capacity),
+        "G-2x2" => QccdTopology::grid(2, 2, capacity),
+        "G-2x3" => QccdTopology::grid(2, 3, capacity),
+        "G-3x3" => QccdTopology::grid(3, 3, capacity),
+        _ => return None,
+    };
+    Some(t)
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let apps: Vec<(AppKind, usize)> = match scale {
+        BenchScale::Paper => vec![
+            (AppKind::Qft, 64),
+            (AppKind::Bv, 65),
+            (AppKind::Adder, 66),
+            (AppKind::Heisenberg, 48),
+        ],
+        BenchScale::Small => vec![(AppKind::Qft, 16), (AppKind::Bv, 16)],
+    };
+    let capacities: Vec<usize> = match scale {
+        BenchScale::Paper => vec![96, 120, 144, 160],
+        BenchScale::Small => vec![24, 36],
+    };
+    let topologies = ["L-6", "G-2x3", "S-6", "L-4", "G-2x2", "S-4", "G-3x3"];
+    let config = CompilerConfig::default();
+    let compiler = SSyncCompiler::new(config);
+
+    let mut table = Table::new([
+        "Application",
+        "Topology",
+        "Total capacity",
+        "Shuttles",
+        "Success rate",
+        "Execution time",
+    ]);
+    for (app, qubits) in apps {
+        let circuit = scaled_app(app, qubits);
+        let label = format!("{}_{}", app.label(), circuit.num_qubits());
+        for topo_name in topologies {
+            for &cap in &capacities {
+                let Some(topo) = topology(topo_name, cap) else { continue };
+                if topo.total_capacity() <= circuit.num_qubits() {
+                    continue;
+                }
+                eprintln!(
+                    "[fig11] {label} on {topo_name} (total capacity {})",
+                    topo.total_capacity()
+                );
+                let outcome = compiler.compile(&circuit, &topo).expect("compilation succeeds");
+                table.push_row([
+                    label.clone(),
+                    topo_name.to_string(),
+                    topo.total_capacity().to_string(),
+                    outcome.counts().shuttles.to_string(),
+                    fmt_rate(outcome.report().success_rate),
+                    fmt_us(outcome.report().total_time_us),
+                ]);
+            }
+        }
+    }
+    println!("Fig. 11 — topology and trap-capacity sweep (S-SYNC, FM gates)\n");
+    println!("{table}");
+    println!("Expected shape: grid topologies (G-2x3, G-3x3) give the best execution");
+    println!("time / success rate; peak success occurs around 10-15 ions per trap.");
+}

@@ -1,0 +1,52 @@
+//! Regenerates Fig. 13: success rate of the large benchmarks under the
+//! four two-qubit gate implementations (FM, AM1, AM2, PM) on a G-2x3
+//! device with trap capacity 16.
+
+use ssync_bench::table::fmt_rate;
+use ssync_bench::{scaled_app, AppKind, BenchScale, Table};
+use ssync_core::{CompilerConfig, SSyncCompiler};
+use ssync_sim::{ExecutionTracer, GateImplementation};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let apps: Vec<(AppKind, usize)> = match scale {
+        BenchScale::Paper => vec![
+            (AppKind::Adder, 66),
+            (AppKind::Qft, 64),
+            (AppKind::Bv, 65),
+            (AppKind::Qaoa, 64),
+            (AppKind::Alt, 64),
+        ],
+        BenchScale::Small => vec![(AppKind::Qft, 16), (AppKind::Qaoa, 16)],
+    };
+    let topo = ssync_arch::QccdTopology::grid(2, 3, 16);
+    let config = CompilerConfig::default();
+    let compiler = SSyncCompiler::new(config);
+
+    let mut table =
+        Table::new(["Application", "FM", "AM1", "AM2", "PM"]);
+    for (app, qubits) in apps {
+        let circuit = scaled_app(app, qubits);
+        let label = format!("{}_{}", app.label(), circuit.num_qubits());
+        eprintln!("[fig13] compiling {label}");
+        // The schedule is gate-implementation independent: compile once and
+        // re-evaluate the timing/fidelity under each implementation.
+        let outcome = compiler.compile(&circuit, &topo).expect("compilation succeeds");
+        let rate_for = |gate_impl: GateImplementation| {
+            let tracer = ExecutionTracer { gate_impl, ..compiler.tracer() };
+            fmt_rate(tracer.evaluate(outcome.program()).success_rate)
+        };
+        table.push_row([
+            label,
+            rate_for(GateImplementation::Fm),
+            rate_for(GateImplementation::Am1),
+            rate_for(GateImplementation::Am2),
+            rate_for(GateImplementation::Pm),
+        ]);
+    }
+    println!("Fig. 13 — success rate per gate implementation (G-2x3, capacity 16)\n");
+    println!("{table}");
+    println!("Expected shape: AM2 wins for short-range apps (QAOA, ALT); FM/PM are");
+    println!("better suited to long-range apps (QFT) because their duration depends");
+    println!("only weakly on ion separation.");
+}

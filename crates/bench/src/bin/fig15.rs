@@ -1,0 +1,60 @@
+//! Regenerates Fig. 15: compilation time vs application size — S-SYNC
+//! against the Murali et al. baseline on QFT (left panel) and across all
+//! benchmarks for S-SYNC (right panel), on a G-2x2 device of capacity 20.
+
+use ssync_bench::{run_compiler, scaled_app, AppKind, BenchScale, CompilerKind, Table};
+use ssync_core::CompilerConfig;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let sizes: Vec<usize> = match scale {
+        BenchScale::Paper => vec![48, 56, 64, 72],
+        BenchScale::Small => vec![12, 16],
+    };
+    let topo = ssync_arch::QccdTopology::grid(2, 2, 20);
+    let config = CompilerConfig::default();
+
+    // Left panel: QFT, S-SYNC vs Murali.
+    let mut left = Table::new(["QFT size", "Murali et al. (s)", "This Work (s)"]);
+    for &size in &sizes {
+        let circuit = scaled_app(AppKind::Qft, size);
+        if circuit.num_qubits() + 1 > topo.total_capacity() {
+            continue;
+        }
+        eprintln!("[fig15] QFT_{size} under both compilers");
+        let murali = run_compiler(CompilerKind::Murali, &circuit, &topo, &config).unwrap();
+        let ssync = run_compiler(CompilerKind::SSync, &circuit, &topo, &config).unwrap();
+        left.push_row([
+            size.to_string(),
+            format!("{:.3}", murali.compile_time().as_secs_f64()),
+            format!("{:.3}", ssync.compile_time().as_secs_f64()),
+        ]);
+    }
+
+    // Right panel: every benchmark under S-SYNC.
+    let apps = [AppKind::Qft, AppKind::Adder, AppKind::Bv, AppKind::Qaoa, AppKind::Alt];
+    let mut right = Table::new(["Application", "Size", "Compile time (s)"]);
+    for app in apps {
+        for &size in &sizes {
+            let circuit = scaled_app(app, size);
+            if circuit.num_qubits() + 1 > topo.total_capacity() {
+                continue;
+            }
+            eprintln!("[fig15] {}_{} under S-SYNC", app.label(), size);
+            let outcome = run_compiler(CompilerKind::SSync, &circuit, &topo, &config).unwrap();
+            right.push_row([
+                app.label().to_string(),
+                circuit.num_qubits().to_string(),
+                format!("{:.3}", outcome.compile_time().as_secs_f64()),
+            ]);
+        }
+    }
+
+    println!("Fig. 15 (left) — compilation time, QFT, S-SYNC vs Murali et al. (G-2x2, cap 20)\n");
+    println!("{left}");
+    println!("Fig. 15 (right) — S-SYNC compilation time across benchmarks\n");
+    println!("{right}");
+    println!("Expected shape: S-SYNC's compilation time does not grow strictly with");
+    println!("application size — as devices fill up there are fewer space nodes and");
+    println!("therefore fewer candidate paths to score.");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 1: execution times of the QCCD transport primitives.
+
+use ssync_bench::Table;
+use ssync_sim::OperationTimes;
+
+fn main() {
+    let t = OperationTimes::default();
+    let mut table = Table::new(["Operation", "Time"]);
+    table.push_row(["Move (per segment)".to_string(), format!("{} us", t.move_us)]);
+    table.push_row(["Split".to_string(), format!("{} us", t.split_us)]);
+    table.push_row(["Merge".to_string(), format!("{} us", t.merge_us)]);
+    table.push_row([
+        "Cross n-path junction".to_string(),
+        format!("{} + {} x n us", t.junction_base_us, t.junction_per_path_us),
+    ]);
+    table.push_row([
+        "  e.g. 3-path junction".to_string(),
+        format!("{} us", t.junction_crossing_us(3)),
+    ]);
+    println!("Table 1 — transport operation times\n");
+    println!("{table}");
+}

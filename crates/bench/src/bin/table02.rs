@@ -1,0 +1,22 @@
+//! Regenerates Table 2: the benchmark suite (qubits, two-qubit gates,
+//! communication pattern).
+
+use ssync_bench::Table;
+use ssync_circuit::generators::table2_suite;
+use ssync_circuit::InteractionGraph;
+
+fn main() {
+    let mut table = Table::new(["Application", "#Qubits", "#2Q Gates", "Communication"]);
+    for entry in table2_suite() {
+        let stats = entry.circuit.stats();
+        let avg = InteractionGraph::from_circuit(&entry.circuit).average_interaction_distance();
+        table.push_row([
+            entry.label.to_string(),
+            stats.num_qubits.to_string(),
+            stats.two_qubit_gates.to_string(),
+            format!("{} (avg index distance {:.1})", entry.communication, avg),
+        ]);
+    }
+    println!("Table 2 — benchmark suite\n");
+    println!("{table}");
+}

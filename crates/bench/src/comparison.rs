@@ -1,0 +1,173 @@
+//! The shared Figs. 8–10 comparison sweep: benchmark × topology × compiler.
+
+use crate::apps::{scaled_app, AppKind};
+use crate::harness::{run_compiler, BenchScale, CompilerKind};
+use ssync_arch::QccdTopology;
+use ssync_core::CompilerConfig;
+
+/// One (application, topology, compiler) measurement.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Application label as used in the paper (e.g. `"QFT_24"`).
+    pub app: String,
+    /// Topology name (e.g. `"G-2x3"`).
+    pub topology: String,
+    /// Which compiler produced the row.
+    pub compiler: CompilerKind,
+    /// Number of shuttles (Fig. 8).
+    pub shuttles: usize,
+    /// Number of inserted SWAP gates (Fig. 9).
+    pub swaps: usize,
+    /// End-to-end success rate (Fig. 10).
+    pub success_rate: f64,
+    /// Estimated execution time in µs.
+    pub execution_time_us: f64,
+    /// Compilation wall-clock time in seconds.
+    pub compile_time_s: f64,
+}
+
+/// The application/topology pairs evaluated in Figs. 8–10 of the paper.
+/// Each entry is `(app, qubits, topology names)`.
+pub fn comparison_targets(scale: BenchScale) -> Vec<(AppKind, usize, Vec<&'static str>)> {
+    let paper: Vec<(AppKind, usize, Vec<&'static str>)> = vec![
+        (AppKind::Qft, 24, vec!["S-4", "L-6", "G-2x2", "G-2x3", "G-3x3"]),
+        (AppKind::Adder, 66, vec!["S-4", "L-4", "G-2x2", "G-2x3", "G-3x3"]),
+        (AppKind::Qaoa, 64, vec!["S-4", "L-4", "L-6", "G-2x2", "G-2x3", "G-3x3"]),
+        (AppKind::Alt, 64, vec!["S-4", "G-2x2", "G-2x3", "G-3x3"]),
+        (AppKind::Qft, 64, vec!["S-4", "G-2x2", "G-3x3"]),
+        (AppKind::Bv, 65, vec!["S-4", "L-6", "G-2x3", "G-3x3"]),
+    ];
+    match scale {
+        BenchScale::Paper => paper,
+        BenchScale::Small => paper
+            .into_iter()
+            .map(|(app, q, topos)| (app, scale.qubits(q), topos.into_iter().take(1).collect()))
+            .collect(),
+    }
+}
+
+/// Runs the full comparison sweep and returns one row per
+/// (application, topology, compiler) triple. `progress` is called before
+/// each compilation with a short description.
+pub fn comparison_rows(
+    scale: BenchScale,
+    config: &CompilerConfig,
+    mut progress: impl FnMut(&str),
+) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    for (app, qubits, topologies) in comparison_targets(scale) {
+        let circuit = scaled_app(app, qubits);
+        let app_label = format!("{}_{}", app.label(), qubits);
+        for topo_name in topologies {
+            let topo = QccdTopology::named(topo_name).expect("known topology name");
+            if topo.total_capacity() <= circuit.num_qubits() {
+                continue;
+            }
+            for compiler in CompilerKind::ALL {
+                progress(&format!("{app_label} on {topo_name} with {}", compiler.label()));
+                let outcome = run_compiler(compiler, &circuit, &topo, config)
+                    .expect("paper configurations must compile");
+                let counts = outcome.counts();
+                rows.push(ComparisonRow {
+                    app: app_label.clone(),
+                    topology: topo_name.to_string(),
+                    compiler,
+                    shuttles: counts.shuttles,
+                    swaps: counts.swap_gates,
+                    success_rate: outcome.report().success_rate,
+                    execution_time_us: outcome.report().total_time_us,
+                    compile_time_s: outcome.compile_time().as_secs_f64(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Geometric-mean ratio of a metric between two compilers over matching
+/// (app, topology) pairs — the "3.69× fewer shuttles on average" style of
+/// summary quoted in the paper.
+pub fn geometric_mean_ratio(
+    rows: &[ComparisonRow],
+    numerator: CompilerKind,
+    denominator: CompilerKind,
+    metric: impl Fn(&ComparisonRow) -> f64,
+) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut count = 0usize;
+    for row in rows.iter().filter(|r| r.compiler == numerator) {
+        if let Some(other) = rows
+            .iter()
+            .find(|r| r.compiler == denominator && r.app == row.app && r.topology == row.topology)
+        {
+            let (a, b) = (metric(row), metric(other));
+            if a > 0.0 && b > 0.0 {
+                log_sum += (a / b).ln();
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        (log_sum / count as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_targets_cover_six_panels() {
+        let targets = comparison_targets(BenchScale::Paper);
+        assert_eq!(targets.len(), 6);
+        // Every referenced topology name must be resolvable.
+        for (_, _, topos) in &targets {
+            for t in topos {
+                assert!(QccdTopology::named(t).is_some(), "{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_scale_produces_rows_quickly() {
+        let rows = comparison_rows(BenchScale::Small, &CompilerConfig::default(), |_| {});
+        assert!(!rows.is_empty());
+        // Three compilers per (app, topology) pair.
+        assert_eq!(rows.len() % 3, 0);
+        for r in &rows {
+            assert!(r.success_rate >= 0.0 && r.success_rate <= 1.0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_ratio_is_one_for_identical_sets() {
+        let rows = vec![
+            ComparisonRow {
+                app: "A".into(),
+                topology: "T".into(),
+                compiler: CompilerKind::SSync,
+                shuttles: 10,
+                swaps: 5,
+                success_rate: 0.5,
+                execution_time_us: 1.0,
+                compile_time_s: 0.1,
+            },
+            ComparisonRow {
+                app: "A".into(),
+                topology: "T".into(),
+                compiler: CompilerKind::Murali,
+                shuttles: 20,
+                swaps: 5,
+                success_rate: 0.25,
+                execution_time_us: 1.0,
+                compile_time_s: 0.1,
+            },
+        ];
+        let ratio = geometric_mean_ratio(&rows, CompilerKind::Murali, CompilerKind::SSync, |r| {
+            r.shuttles as f64
+        });
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared harness plumbing: compiler selection and benchmark scale.
+
+use ssync_arch::QccdTopology;
+use ssync_baselines::{DaiCompiler, MuraliCompiler};
+use ssync_circuit::Circuit;
+use ssync_core::{CompileError, CompileOutcome, CompilerConfig, SSyncCompiler};
+
+/// Which compiler to run for a comparison row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilerKind {
+    /// Murali et al. (ISCA 2020) greedy baseline.
+    Murali,
+    /// Dai et al. (TQE 2024) parallel-shuttle baseline.
+    Dai,
+    /// This work (S-SYNC).
+    SSync,
+}
+
+impl CompilerKind {
+    /// The three compilers in the order plotted in Figs. 8–10.
+    pub const ALL: [CompilerKind; 3] = [CompilerKind::Murali, CompilerKind::Dai, CompilerKind::SSync];
+
+    /// Legend label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompilerKind::Murali => "Murali et al.",
+            CompilerKind::Dai => "Dai et al.",
+            CompilerKind::SSync => "This Work",
+        }
+    }
+}
+
+/// Compiles `circuit` for `topology` with the selected compiler and a
+/// shared evaluation configuration.
+///
+/// # Errors
+///
+/// Propagates the underlying compiler's [`CompileError`].
+pub fn run_compiler(
+    kind: CompilerKind,
+    circuit: &Circuit,
+    topology: &QccdTopology,
+    config: &CompilerConfig,
+) -> Result<CompileOutcome, CompileError> {
+    match kind {
+        CompilerKind::Murali => MuraliCompiler::new(*config).compile(circuit, topology),
+        CompilerKind::Dai => DaiCompiler::new(*config).compile(circuit, topology),
+        CompilerKind::SSync => SSyncCompiler::new(*config).compile(circuit, topology),
+    }
+}
+
+/// Problem-size scaling of the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Paper-scale configurations (default).
+    Paper,
+    /// Reduced sizes for smoke testing / CI.
+    Small,
+}
+
+impl BenchScale {
+    /// Reads the scale from the `SSYNC_BENCH_SCALE` environment variable
+    /// (`"small"` selects the reduced configuration).
+    pub fn from_env() -> Self {
+        match std::env::var("SSYNC_BENCH_SCALE").ok().as_deref() {
+            Some("small") | Some("SMALL") => BenchScale::Small,
+            _ => BenchScale::Paper,
+        }
+    }
+
+    /// Scales a qubit count: paper scale passes through, small scale caps
+    /// the size at 16 qubits.
+    pub fn qubits(self, paper: usize) -> usize {
+        match self {
+            BenchScale::Paper => paper,
+            BenchScale::Small => paper.min(16),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_circuit::generators::qft;
+
+    #[test]
+    fn all_three_compilers_run_through_the_harness() {
+        let circuit = qft(12);
+        let topo = QccdTopology::grid(2, 2, 5);
+        let config = CompilerConfig::default();
+        for kind in CompilerKind::ALL {
+            let outcome = run_compiler(kind, &circuit, &topo, &config).unwrap();
+            assert_eq!(outcome.counts().two_qubit_gates, 132, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(CompilerKind::SSync.label(), "This Work");
+        assert_eq!(CompilerKind::Murali.label(), "Murali et al.");
+        assert_eq!(CompilerKind::Dai.label(), "Dai et al.");
+    }
+
+    #[test]
+    fn small_scale_caps_sizes() {
+        assert_eq!(BenchScale::Small.qubits(64), 16);
+        assert_eq!(BenchScale::Paper.qubits(64), 64);
+        assert_eq!(BenchScale::Small.qubits(12), 12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal plain-text table rendering for the figure/table binaries.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must have the same arity as the headers).
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity must match headers");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:width$} ", cell, width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        write_row(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(&mut out, "|{:-<width$}", "", width = w + 2);
+            if i + 1 == widths.len() {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a success rate compactly: fixed-point when large, scientific
+/// when tiny (matching the paper's log-scale plots).
+pub fn fmt_rate(rate: f64) -> String {
+    if rate >= 0.001 {
+        format!("{rate:.4}")
+    } else {
+        format!("{rate:.2e}")
+    }
+}
+
+/// Formats a microsecond duration with thousands grouping into a compact
+/// human-readable string.
+pub fn fmt_us(us: f64) -> String {
+    if us >= 1.0e6 {
+        format!("{:.2}s", us / 1.0e6)
+    } else if us >= 1.0e3 {
+        format!("{:.1}ms", us / 1.0e3)
+    } else {
+        format!("{us:.0}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(["app", "shuttles"]);
+        t.push_row(["QFT_24", "120"]);
+        t.push_row(["Adder_32", "35"]);
+        let s = t.render();
+        assert!(s.contains("| app      | shuttles |"));
+        assert!(s.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn rate_formatting_switches_to_scientific() {
+        assert_eq!(fmt_rate(0.5), "0.5000");
+        assert!(fmt_rate(1e-7).contains('e'));
+    }
+
+    #[test]
+    fn time_formatting_picks_sensible_units() {
+        assert_eq!(fmt_us(500.0), "500us");
+        assert_eq!(fmt_us(2_500.0), "2.5ms");
+        assert_eq!(fmt_us(3_000_000.0), "3.00s");
+    }
+}

@@ -1,0 +1,432 @@
+//! The [`Circuit`] container: an ordered list of gates over a qubit register.
+
+use crate::error::CircuitError;
+use crate::gate::{Gate, Qubit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A quantum circuit: a fixed-width qubit register plus a time-ordered list
+/// of gates.
+///
+/// The builder-style methods (`h`, `cx`, `ms`, ...) panic on out-of-range
+/// qubits; use [`Circuit::try_push`] when the operands are not statically
+/// known to be valid.
+///
+/// ```
+/// use ssync_circuit::{Circuit, Qubit};
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.cx(Qubit(0), Qubit(1));
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.two_qubit_gate_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+    name: String,
+}
+
+/// Aggregate statistics of a circuit, as reported in Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Number of qubits in the register.
+    pub num_qubits: usize,
+    /// Total number of gates.
+    pub total_gates: usize,
+    /// Number of single-qubit gates.
+    pub single_qubit_gates: usize,
+    /// Number of two-qubit gates (including SWAPs).
+    pub two_qubit_gates: usize,
+    /// Circuit depth counting only two-qubit gates.
+    pub two_qubit_depth: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit { num_qubits, gates: Vec::new(), name: String::new() }
+    }
+
+    /// Creates an empty circuit with a human-readable name (used in reports).
+    pub fn with_name(num_qubits: usize, name: impl Into<String>) -> Self {
+        Circuit { num_qubits, gates: Vec::new(), name: name.into() }
+    }
+
+    /// The circuit's name ("" if unnamed).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the circuit's name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of qubits in the register.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of gates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` if the circuit contains no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in program order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Appends a gate after validating its operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if a qubit index is not in
+    /// `0..num_qubits`, or [`CircuitError::DuplicateOperand`] if a two-qubit
+    /// gate names the same qubit twice.
+    pub fn try_push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        for q in gate.qubits() {
+            if q.index() >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q.0,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        if let Some((a, b)) = gate.two_qubit_pair() {
+            if a == b {
+                return Err(CircuitError::DuplicateOperand { qubit: a.0 });
+            }
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate's operands are invalid (see [`Circuit::try_push`]).
+    pub fn push(&mut self, gate: Gate) {
+        self.try_push(gate).expect("invalid gate operands");
+    }
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: Qubit) {
+        self.push(Gate::H(q));
+    }
+
+    /// Appends a Pauli-X gate.
+    pub fn x(&mut self, q: Qubit) {
+        self.push(Gate::X(q));
+    }
+
+    /// Appends an X rotation.
+    pub fn rx(&mut self, q: Qubit, theta: f64) {
+        self.push(Gate::Rx(q, theta));
+    }
+
+    /// Appends a Y rotation.
+    pub fn ry(&mut self, q: Qubit, theta: f64) {
+        self.push(Gate::Ry(q, theta));
+    }
+
+    /// Appends a Z rotation.
+    pub fn rz(&mut self, q: Qubit, theta: f64) {
+        self.push(Gate::Rz(q, theta));
+    }
+
+    /// Appends a CNOT gate.
+    pub fn cx(&mut self, control: Qubit, target: Qubit) {
+        self.push(Gate::Cx(control, target));
+    }
+
+    /// Appends a CZ gate.
+    pub fn cz(&mut self, a: Qubit, b: Qubit) {
+        self.push(Gate::Cz(a, b));
+    }
+
+    /// Appends a controlled-phase gate.
+    pub fn cp(&mut self, a: Qubit, b: Qubit, theta: f64) {
+        self.push(Gate::Cp(a, b, theta));
+    }
+
+    /// Appends a Mølmer–Sørensen gate.
+    pub fn ms(&mut self, a: Qubit, b: Qubit) {
+        self.push(Gate::Ms(a, b));
+    }
+
+    /// Appends a ZZ interaction.
+    pub fn rzz(&mut self, a: Qubit, b: Qubit, theta: f64) {
+        self.push(Gate::Rzz(a, b, theta));
+    }
+
+    /// Appends an XX interaction.
+    pub fn rxx(&mut self, a: Qubit, b: Qubit, theta: f64) {
+        self.push(Gate::Rxx(a, b, theta));
+    }
+
+    /// Appends a YY interaction.
+    pub fn ryy(&mut self, a: Qubit, b: Qubit, theta: f64) {
+        self.push(Gate::Ryy(a, b, theta));
+    }
+
+    /// Appends a SWAP gate.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) {
+        self.push(Gate::Swap(a, b));
+    }
+
+    /// Appends all gates of `other` (which must fit in this register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than this circuit.
+    pub fn append(&mut self, other: &Circuit) {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appended circuit uses more qubits than the receiver"
+        );
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// Number of two-qubit gates (including SWAPs).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Number of single-qubit gates.
+    pub fn single_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| !g.is_two_qubit()).count()
+    }
+
+    /// Only the two-qubit gates, in program order.
+    pub fn two_qubit_gates(&self) -> Vec<Gate> {
+        self.gates.iter().copied().filter(Gate::is_two_qubit).collect()
+    }
+
+    /// Circuit depth counting every gate (greedy ASAP layering).
+    pub fn depth(&self) -> usize {
+        self.depth_filtered(|_| true)
+    }
+
+    /// Circuit depth counting only two-qubit gates.
+    pub fn two_qubit_depth(&self) -> usize {
+        self.depth_filtered(Gate::is_two_qubit)
+    }
+
+    fn depth_filtered(&self, keep: impl Fn(&Gate) -> bool) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut max = 0usize;
+        for g in &self.gates {
+            if !keep(g) {
+                continue;
+            }
+            let qs = g.qubits();
+            let l = qs.iter().map(|q| level[q.index()]).max().unwrap_or(0) + 1;
+            for q in &qs {
+                level[q.index()] = l;
+            }
+            max = max.max(l);
+        }
+        max
+    }
+
+    /// Aggregate circuit statistics (the figures reported in Table 2).
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            num_qubits: self.num_qubits,
+            total_gates: self.len(),
+            single_qubit_gates: self.single_qubit_gate_count(),
+            two_qubit_gates: self.two_qubit_gate_count(),
+            two_qubit_depth: self.two_qubit_depth(),
+        }
+    }
+
+    /// Keeps only the first `n` two-qubit gates (and all single-qubit gates
+    /// that precede them). Used by the application-size sweeps (Fig. 12, 15).
+    pub fn truncate_two_qubit_gates(&self, n: usize) -> Circuit {
+        let mut out = Circuit::with_name(self.num_qubits, self.name.clone());
+        let mut seen = 0usize;
+        for g in &self.gates {
+            if g.is_two_qubit() {
+                if seen >= n {
+                    break;
+                }
+                seen += 1;
+            }
+            out.gates.push(*g);
+        }
+        out
+    }
+
+    /// Restricts the circuit to the first `n` qubits, dropping every gate
+    /// that touches a higher-indexed qubit. Used by application-size sweeps.
+    pub fn restrict_to_qubits(&self, n: usize) -> Circuit {
+        let mut out = Circuit::with_name(n.min(self.num_qubits), self.name.clone());
+        for g in &self.gates {
+            if g.qubits().iter().all(|q| q.index() < n) {
+                out.gates.push(*g);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// {} qubits, {} gates", self.num_qubits, self.gates.len())?;
+        for g in &self.gates {
+            writeln!(f, "{g};")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+impl CircuitStats {
+    /// Classifies the gate-count-weighted average interaction distance as a
+    /// coarse "communication pattern" label, mirroring Table 2's wording.
+    pub fn communication_label(avg_distance: f64) -> &'static str {
+        if avg_distance <= 1.5 {
+            "nearest-neighbor gates"
+        } else if avg_distance <= 6.0 {
+            "short-distance gates"
+        } else {
+            "long-distance gates"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_and_counts() {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        c.ms(Qubit(2), Qubit(3));
+        c.rz(Qubit(1), 0.3);
+        c.swap(Qubit(1), Qubit(2));
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.two_qubit_gate_count(), 3);
+        assert_eq!(c.single_qubit_gate_count(), 2);
+        assert_eq!(c.stats().two_qubit_gates, 3);
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        let err = c.try_push(Gate::Cx(Qubit(0), Qubit(5))).unwrap_err();
+        assert_eq!(err, CircuitError::QubitOutOfRange { qubit: 5, num_qubits: 2 });
+    }
+
+    #[test]
+    fn try_push_rejects_duplicate_operand() {
+        let mut c = Circuit::new(2);
+        let err = c.try_push(Gate::Cx(Qubit(1), Qubit(1))).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateOperand { qubit: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gate operands")]
+    fn push_panics_on_invalid() {
+        let mut c = Circuit::new(1);
+        c.cx(Qubit(0), Qubit(1));
+    }
+
+    #[test]
+    fn depth_is_asap_layering() {
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(1), Qubit(2));
+        c.cx(Qubit(0), Qubit(1));
+        assert_eq!(c.two_qubit_depth(), 3);
+        let mut parallel = Circuit::new(4);
+        parallel.cx(Qubit(0), Qubit(1));
+        parallel.cx(Qubit(2), Qubit(3));
+        assert_eq!(parallel.two_qubit_depth(), 1);
+    }
+
+    #[test]
+    fn truncate_keeps_first_n_two_qubit_gates() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(1), Qubit(2));
+        c.cx(Qubit(0), Qubit(2));
+        let t = c.truncate_two_qubit_gates(2);
+        assert_eq!(t.two_qubit_gate_count(), 2);
+        assert_eq!(t.single_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    fn restrict_drops_gates_on_high_qubits() {
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(2), Qubit(3));
+        let r = c.restrict_to_qubits(2);
+        assert_eq!(r.num_qubits(), 2);
+        assert_eq!(r.two_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    fn append_and_extend() {
+        let mut a = Circuit::new(3);
+        a.h(Qubit(0));
+        let mut b = Circuit::new(2);
+        b.cx(Qubit(0), Qubit(1));
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+        a.extend([Gate::X(Qubit(2))]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn display_emits_one_gate_per_line() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        let s = c.to_string();
+        assert!(s.contains("h q0;"));
+        assert!(s.contains("cx q0, q1;"));
+    }
+
+    #[test]
+    fn communication_label_thresholds() {
+        assert_eq!(CircuitStats::communication_label(1.0), "nearest-neighbor gates");
+        assert_eq!(CircuitStats::communication_label(4.0), "short-distance gates");
+        assert_eq!(CircuitStats::communication_label(20.0), "long-distance gates");
+    }
+}

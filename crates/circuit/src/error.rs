@@ -1,0 +1,70 @@
+//! Error type for circuit construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate referenced a qubit index outside the circuit's register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// A two-qubit gate was applied to the same qubit twice.
+    DuplicateOperand {
+        /// The repeated qubit index.
+        qubit: u32,
+    },
+    /// A generator was asked for a circuit that is too small to be
+    /// meaningful (e.g. a 0-qubit QFT or a 1-bit adder).
+    InvalidSize {
+        /// Human-readable description of what was requested.
+        what: &'static str,
+        /// The requested size.
+        requested: usize,
+        /// The minimum supported size.
+        minimum: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit q{qubit} is out of range for a {num_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateOperand { qubit } => {
+                write!(f, "two-qubit gate applied twice to the same qubit q{qubit}")
+            }
+            CircuitError::InvalidSize { what, requested, minimum } => {
+                write!(f, "{what} requires at least {minimum} qubits, got {requested}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange { qubit: 9, num_qubits: 4 };
+        assert_eq!(e.to_string(), "qubit q9 is out of range for a 4-qubit circuit");
+        let e = CircuitError::DuplicateOperand { qubit: 2 };
+        assert!(e.to_string().contains("q2"));
+        let e = CircuitError::InvalidSize { what: "qft", requested: 0, minimum: 1 };
+        assert!(e.to_string().contains("qft"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

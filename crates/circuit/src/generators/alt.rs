@@ -1,0 +1,78 @@
+//! Alternating layered ansatz (ALT) generator — a common QML ansatz.
+
+use crate::circuit::Circuit;
+use crate::gate::Qubit;
+
+/// Builds an alternating layered ansatz over `n` qubits with `blocks`
+/// repetitions of an (even layer, odd layer) pair of entangling brick
+/// layers.
+///
+/// Each brick is a two-qubit block consisting of single-qubit RY rotations
+/// followed by two CX gates. A full (even, odd) pair therefore contributes
+/// `2 · (n - 1)` two-qubit gates, so `alt_ansatz(64, 10)` has 1260
+/// two-qubit gates, matching `ALT_64` in Table 2.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `blocks == 0`.
+pub fn alt_ansatz(n: usize, blocks: usize) -> Circuit {
+    assert!(n >= 2, "alt_ansatz requires at least two qubits");
+    assert!(blocks > 0, "alt_ansatz requires at least one block");
+    let mut c = Circuit::with_name(n, format!("ALT_{n}"));
+    for b in 0..blocks {
+        let theta = 0.1 + 0.03 * b as f64;
+        // Even brick layer: pairs (0,1), (2,3), ...
+        for start in (0..n - 1).step_by(2) {
+            brick(&mut c, Qubit(start as u32), Qubit((start + 1) as u32), theta);
+        }
+        // Odd brick layer: pairs (1,2), (3,4), ...
+        for start in (1..n - 1).step_by(2) {
+            brick(&mut c, Qubit(start as u32), Qubit((start + 1) as u32), theta);
+        }
+    }
+    c
+}
+
+/// One two-qubit ansatz brick: RY rotations then a CX ladder (2 CX gates).
+fn brick(c: &mut Circuit, a: Qubit, b: Qubit, theta: f64) {
+    c.ry(a, theta);
+    c.ry(b, theta * 1.5);
+    c.cx(a, b);
+    c.cx(b, a);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alt_64_matches_table2() {
+        let c = alt_ansatz(64, 10);
+        assert_eq!(c.num_qubits(), 64);
+        assert_eq!(c.two_qubit_gate_count(), 1260);
+    }
+
+    #[test]
+    fn alt_gate_count_formula() {
+        for (n, blocks) in [(8usize, 2usize), (17, 3), (6, 1)] {
+            let c = alt_ansatz(n, blocks);
+            assert_eq!(c.two_qubit_gate_count(), 2 * (n - 1) * blocks);
+        }
+    }
+
+    #[test]
+    fn alt_is_nearest_neighbor() {
+        let c = alt_ansatz(12, 2);
+        for g in c.iter() {
+            if let Some((a, b)) = g.two_qubit_pair() {
+                assert_eq!((a.0 as i64 - b.0 as i64).abs(), 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        alt_ansatz(4, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Bernstein–Vazirani generator.
+
+use crate::circuit::Circuit;
+use crate::gate::Qubit;
+
+/// Builds a Bernstein–Vazirani circuit over `n` data qubits with the
+/// all-ones secret string (worst case for communication: every data qubit
+/// must interact with the single ancilla).
+///
+/// Uses `n + 1` qubits and exactly `n` two-qubit gates, matching `BV_64`
+/// from Table 2 (65 qubits, 64 two-qubit gates).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn bernstein_vazirani(n: usize) -> Circuit {
+    bernstein_vazirani_with_secret(&vec![true; n])
+}
+
+/// Builds a Bernstein–Vazirani circuit for an arbitrary secret string.
+/// The ancilla is the last qubit; a CX from data qubit `i` to the ancilla
+/// is emitted for every set bit of the secret.
+///
+/// # Panics
+///
+/// Panics if the secret is empty.
+pub fn bernstein_vazirani_with_secret(secret: &[bool]) -> Circuit {
+    assert!(!secret.is_empty(), "bernstein_vazirani requires a non-empty secret");
+    let n = secret.len();
+    let mut c = Circuit::with_name(n + 1, format!("BV_{n}"));
+    let ancilla = Qubit(n as u32);
+    // Prepare |-> on the ancilla and |+> on the data register.
+    c.x(ancilla);
+    c.h(ancilla);
+    for i in 0..n {
+        c.h(Qubit(i as u32));
+    }
+    // Oracle: CX from each secret-bit qubit into the ancilla.
+    for (i, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.cx(Qubit(i as u32), ancilla);
+        }
+    }
+    // Un-compute the Hadamards on the data register.
+    for i in 0..n {
+        c.h(Qubit(i as u32));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bv_64_matches_table2() {
+        let c = bernstein_vazirani(64);
+        assert_eq!(c.num_qubits(), 65);
+        assert_eq!(c.two_qubit_gate_count(), 64);
+    }
+
+    #[test]
+    fn sparse_secret_reduces_two_qubit_gates() {
+        let secret = [true, false, true, false, false];
+        let c = bernstein_vazirani_with_secret(&secret);
+        assert_eq!(c.num_qubits(), 6);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn all_two_qubit_gates_target_the_ancilla() {
+        let c = bernstein_vazirani(10);
+        let ancilla = Qubit(10);
+        for g in c.iter() {
+            if let Some((_, b)) = g.two_qubit_pair() {
+                assert_eq!(b, ancilla);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty secret")]
+    fn empty_secret_panics() {
+        bernstein_vazirani_with_secret(&[]);
+    }
+}

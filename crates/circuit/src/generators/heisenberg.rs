@@ -1,0 +1,85 @@
+//! First-order Trotterised Heisenberg-chain Hamiltonian simulation.
+
+use crate::circuit::Circuit;
+use crate::gate::Qubit;
+
+/// Builds a first-order Trotter circuit for the 1-D Heisenberg XXX chain
+/// over `n` qubits with `steps` Trotter steps.
+///
+/// Each step applies XX, YY and ZZ interactions on every bond `(i, i+1)`;
+/// each interaction is decomposed into two CX gates plus a single-qubit
+/// rotation, giving `6 (n-1)` two-qubit gates per step. With `n = 48` and
+/// `steps = 48` this yields 13 536 two-qubit gates, matching
+/// `Heisenberg_48` in Table 2.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `steps == 0`.
+pub fn heisenberg_chain(n: usize, steps: usize) -> Circuit {
+    assert!(n >= 2, "heisenberg_chain requires at least two qubits");
+    assert!(steps > 0, "heisenberg_chain requires at least one step");
+    let mut c = Circuit::with_name(n, format!("Heisenberg_{n}"));
+    let dt = 0.05f64;
+    for _ in 0..steps {
+        for i in 0..n - 1 {
+            let (a, b) = (Qubit(i as u32), Qubit((i + 1) as u32));
+            // exp(-i dt X⊗X): basis change to Z⊗Z via Hadamards.
+            c.h(a);
+            c.h(b);
+            zz(&mut c, a, b, dt);
+            c.h(a);
+            c.h(b);
+            // exp(-i dt Y⊗Y): basis change via RX(±π/2).
+            c.rx(a, std::f64::consts::FRAC_PI_2);
+            c.rx(b, std::f64::consts::FRAC_PI_2);
+            zz(&mut c, a, b, dt);
+            c.rx(a, -std::f64::consts::FRAC_PI_2);
+            c.rx(b, -std::f64::consts::FRAC_PI_2);
+            // exp(-i dt Z⊗Z).
+            zz(&mut c, a, b, dt);
+        }
+    }
+    c
+}
+
+fn zz(c: &mut Circuit, a: Qubit, b: Qubit, theta: f64) {
+    c.cx(a, b);
+    c.rz(b, 2.0 * theta);
+    c.cx(a, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heisenberg_48_matches_table2() {
+        let c = heisenberg_chain(48, 48);
+        assert_eq!(c.num_qubits(), 48);
+        assert_eq!(c.two_qubit_gate_count(), 13_536);
+    }
+
+    #[test]
+    fn heisenberg_gate_count_formula() {
+        for (n, steps) in [(4usize, 2usize), (10, 3)] {
+            let c = heisenberg_chain(n, steps);
+            assert_eq!(c.two_qubit_gate_count(), 6 * (n - 1) * steps);
+        }
+    }
+
+    #[test]
+    fn heisenberg_is_nearest_neighbor() {
+        let c = heisenberg_chain(8, 1);
+        for g in c.iter() {
+            if let Some((a, b)) = g.two_qubit_pair() {
+                assert_eq!((a.0 as i64 - b.0 as i64).abs(), 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        heisenberg_chain(4, 0);
+    }
+}

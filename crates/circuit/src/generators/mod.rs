@@ -1,0 +1,33 @@
+//! Benchmark circuit generators (Table 2 of the paper).
+//!
+//! Every generator returns a plain [`Circuit`]. Two-qubit interactions are
+//! decomposed down to CX/MS-level two-qubit gates so the counts match the
+//! granularity at which a QCCD compiler has to route:
+//!
+//! | App | Qubits | Two-qubit gates | Generator |
+//! |---|---|---|---|
+//! | `Adder_32` | 66 | ≈545 | [`cuccaro_adder`]`(32)` |
+//! | `QAOA_64` | 64 | 1260 | [`qaoa_nearest_neighbor`]`(64, 10)` |
+//! | `ALT_64` | 64 | 1260 | [`alt_ansatz`]`(64, 10)` |
+//! | `BV_64` | 65 | 64 | [`bernstein_vazirani`]`(64)` |
+//! | `QFT_24` | 24 | 552 | [`qft`]`(24)` |
+//! | `QFT_64` | 64 | 4032 | [`qft`]`(64)` |
+//! | `Heisenberg_48` | 48 | 13536 | [`heisenberg_chain`]`(48, 48)` |
+
+mod adder;
+mod alt;
+mod bv;
+mod heisenberg;
+mod qaoa;
+mod qft;
+mod random;
+mod suite;
+
+pub use adder::cuccaro_adder;
+pub use alt::alt_ansatz;
+pub use bv::{bernstein_vazirani, bernstein_vazirani_with_secret};
+pub use heisenberg::heisenberg_chain;
+pub use qaoa::{qaoa_nearest_neighbor, qaoa_random_graph};
+pub use qft::qft;
+pub use random::random_two_qubit_circuit;
+pub use suite::{table2_suite, NamedCircuit};

@@ -1,0 +1,127 @@
+//! QAOA generators (nearest-neighbour ring and random-graph MaxCut).
+
+use crate::circuit::Circuit;
+use crate::gate::Qubit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a QAOA ansatz on a nearest-neighbour path graph over `n` qubits
+/// with `rounds` cost/mixer rounds.
+///
+/// Each cost edge `(i, i+1)` becomes an RZZ interaction decomposed into two
+/// CX gates and one RZ, so each round contributes `2 (n-1)` two-qubit
+/// gates. With `n = 64` and `rounds = 10` this yields 1260 two-qubit gates,
+/// matching `QAOA_64` in Table 2.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `rounds == 0`.
+pub fn qaoa_nearest_neighbor(n: usize, rounds: usize) -> Circuit {
+    assert!(n >= 2, "qaoa requires at least two qubits");
+    assert!(rounds > 0, "qaoa requires at least one round");
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    qaoa_from_edges(n, rounds, &edges, format!("QAOA_{n}"))
+}
+
+/// Builds a QAOA ansatz for MaxCut on a random `density`-dense graph over
+/// `n` qubits (deterministic for a given `seed`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `rounds == 0` or `density` is not in `(0, 1]`.
+pub fn qaoa_random_graph(n: usize, rounds: usize, density: f64, seed: u64) -> Circuit {
+    assert!(n >= 2, "qaoa requires at least two qubits");
+    assert!(rounds > 0, "qaoa requires at least one round");
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < density {
+                edges.push((i, j));
+            }
+        }
+    }
+    if edges.is_empty() {
+        // Guarantee a connected, non-trivial instance even at tiny densities.
+        edges.extend((0..n - 1).map(|i| (i, i + 1)));
+    }
+    qaoa_from_edges(n, rounds, &edges, format!("QAOA_rand_{n}"))
+}
+
+fn qaoa_from_edges(n: usize, rounds: usize, edges: &[(usize, usize)], name: String) -> Circuit {
+    let mut c = Circuit::with_name(n, name);
+    for i in 0..n {
+        c.h(Qubit(i as u32));
+    }
+    for r in 0..rounds {
+        let gamma = 0.3 + 0.05 * r as f64;
+        let beta = 0.7 - 0.04 * r as f64;
+        for &(i, j) in edges {
+            rzz_decomposed(&mut c, Qubit(i as u32), Qubit(j as u32), gamma);
+        }
+        for i in 0..n {
+            c.rx(Qubit(i as u32), 2.0 * beta);
+        }
+    }
+    c
+}
+
+/// RZZ(θ) decomposed into CX · RZ(θ) · CX.
+fn rzz_decomposed(c: &mut Circuit, a: Qubit, b: Qubit, theta: f64) {
+    c.cx(a, b);
+    c.rz(b, theta);
+    c.cx(a, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qaoa_64_matches_table2() {
+        let c = qaoa_nearest_neighbor(64, 10);
+        assert_eq!(c.num_qubits(), 64);
+        assert_eq!(c.two_qubit_gate_count(), 1260);
+    }
+
+    #[test]
+    fn qaoa_gate_count_formula() {
+        for (n, rounds) in [(8usize, 3usize), (16, 5), (10, 1)] {
+            let c = qaoa_nearest_neighbor(n, rounds);
+            assert_eq!(c.two_qubit_gate_count(), 2 * (n - 1) * rounds);
+        }
+    }
+
+    #[test]
+    fn qaoa_is_nearest_neighbor() {
+        let c = qaoa_nearest_neighbor(16, 2);
+        for g in c.iter() {
+            if let Some((a, b)) = g.two_qubit_pair() {
+                assert_eq!((a.0 as i64 - b.0 as i64).abs(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_per_seed() {
+        let a = qaoa_random_graph(12, 2, 0.3, 7);
+        let b = qaoa_random_graph(12, 2, 0.3, 7);
+        assert_eq!(a, b);
+        let c = qaoa_random_graph(12, 2, 0.3, 8);
+        assert_ne!(a.two_qubit_gates(), c.two_qubit_gates());
+    }
+
+    #[test]
+    fn random_graph_density_scales_gate_count() {
+        let sparse = qaoa_random_graph(20, 1, 0.1, 1).two_qubit_gate_count();
+        let dense = qaoa_random_graph(20, 1, 0.9, 1).two_qubit_gate_count();
+        assert!(dense > sparse);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two qubits")]
+    fn qaoa_one_qubit_panics() {
+        qaoa_nearest_neighbor(1, 1);
+    }
+}

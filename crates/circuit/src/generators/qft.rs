@@ -1,0 +1,85 @@
+//! Quantum Fourier Transform generator.
+
+use crate::circuit::Circuit;
+use crate::gate::Qubit;
+use std::f64::consts::PI;
+
+/// Builds an `n`-qubit Quantum Fourier Transform.
+///
+/// Each controlled-phase is decomposed into two CX gates plus single-qubit
+/// Z rotations, so the two-qubit gate count is `2 · n(n-1)/2 = n(n-1)`,
+/// matching Table 2 of the paper (552 for n = 24, 4032 for n = 64). The
+/// final qubit-reversal SWAP network is omitted, as in the paper's
+/// benchmark suite (it would be absorbed into the output relabeling).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// ```
+/// let c = ssync_circuit::generators::qft(24);
+/// assert_eq!(c.num_qubits(), 24);
+/// assert_eq!(c.two_qubit_gate_count(), 552);
+/// ```
+pub fn qft(n: usize) -> Circuit {
+    assert!(n > 0, "qft requires at least one qubit");
+    let mut c = Circuit::with_name(n, format!("QFT_{n}"));
+    for i in 0..n {
+        c.h(Qubit(i as u32));
+        for j in (i + 1)..n {
+            let theta = PI / f64::from(1u32 << ((j - i).min(30) as u32));
+            controlled_phase(&mut c, Qubit(j as u32), Qubit(i as u32), theta);
+        }
+    }
+    c
+}
+
+/// Standard decomposition of a controlled-phase gate into 2 CX + 3 RZ.
+fn controlled_phase(c: &mut Circuit, control: Qubit, target: Qubit, theta: f64) {
+    c.rz(control, theta / 2.0);
+    c.cx(control, target);
+    c.rz(target, -theta / 2.0);
+    c.cx(control, target);
+    c.rz(target, theta / 2.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_24_matches_table2() {
+        let c = qft(24);
+        assert_eq!(c.num_qubits(), 24);
+        assert_eq!(c.two_qubit_gate_count(), 552);
+        assert_eq!(c.name(), "QFT_24");
+    }
+
+    #[test]
+    fn qft_64_matches_table2() {
+        let c = qft(64);
+        assert_eq!(c.num_qubits(), 64);
+        assert_eq!(c.two_qubit_gate_count(), 4032);
+    }
+
+    #[test]
+    fn qft_two_qubit_count_is_n_times_n_minus_1() {
+        for n in [2usize, 5, 10, 17] {
+            assert_eq!(qft(n).two_qubit_gate_count(), n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn qft_has_one_hadamard_per_qubit() {
+        let c = qft(8);
+        let h_count =
+            c.iter().filter(|g| matches!(g, crate::gate::Gate::H(_))).count();
+        assert_eq!(h_count, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn qft_zero_panics() {
+        qft(0);
+    }
+}

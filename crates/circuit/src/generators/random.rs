@@ -1,0 +1,61 @@
+//! Random circuit generation (testing and property-based fuzzing).
+
+use crate::circuit::Circuit;
+use crate::gate::Qubit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random circuit of `gates` two-qubit gates over `n` qubits,
+/// deterministic for a given `seed`. Used throughout the test suites to
+/// fuzz the compiler with irregular interaction patterns.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn random_two_qubit_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "random circuit requires at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("Random_{n}_{gates}"));
+    for _ in 0..gates {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        while b == a {
+            b = rng.gen_range(0..n);
+        }
+        if rng.gen_bool(0.5) {
+            c.cx(Qubit(a as u32), Qubit(b as u32));
+        } else {
+            c.ms(Qubit(a as u32), Qubit(b as u32));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_circuit_has_requested_gate_count() {
+        let c = random_two_qubit_circuit(10, 57, 3);
+        assert_eq!(c.two_qubit_gate_count(), 57);
+        assert_eq!(c.num_qubits(), 10);
+    }
+
+    #[test]
+    fn random_circuit_is_deterministic_per_seed() {
+        assert_eq!(
+            random_two_qubit_circuit(8, 20, 42),
+            random_two_qubit_circuit(8, 20, 42)
+        );
+    }
+
+    #[test]
+    fn random_circuit_never_repeats_operand() {
+        let c = random_two_qubit_circuit(2, 50, 11);
+        for g in c.iter() {
+            let (a, b) = g.two_qubit_pair().unwrap();
+            assert_ne!(a, b);
+        }
+    }
+}

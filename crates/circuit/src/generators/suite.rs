@@ -1,0 +1,98 @@
+//! The Table 2 benchmark suite as a ready-made collection.
+
+use super::{
+    alt_ansatz, bernstein_vazirani, cuccaro_adder, heisenberg_chain, qaoa_nearest_neighbor, qft,
+};
+use crate::circuit::Circuit;
+
+/// A benchmark circuit together with the label used in the paper's figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedCircuit {
+    /// The label used in the paper (e.g. `"QFT_24"`).
+    pub label: &'static str,
+    /// The paper's communication-pattern description from Table 2.
+    pub communication: &'static str,
+    /// The circuit itself.
+    pub circuit: Circuit,
+}
+
+/// Builds every benchmark from Table 2 of the paper, in table order.
+///
+/// ```
+/// let suite = ssync_circuit::generators::table2_suite();
+/// assert_eq!(suite.len(), 7);
+/// assert_eq!(suite[0].label, "Adder_32");
+/// ```
+pub fn table2_suite() -> Vec<NamedCircuit> {
+    vec![
+        NamedCircuit {
+            label: "Adder_32",
+            communication: "Short-distance gates",
+            circuit: cuccaro_adder(32),
+        },
+        NamedCircuit {
+            label: "QAOA_64",
+            communication: "Nearest-neighbor gates",
+            circuit: qaoa_nearest_neighbor(64, 10),
+        },
+        NamedCircuit {
+            label: "ALT_64",
+            communication: "Nearest-neighbor gates",
+            circuit: alt_ansatz(64, 10),
+        },
+        NamedCircuit {
+            label: "BV_64",
+            communication: "Long-distance gates",
+            circuit: bernstein_vazirani(64),
+        },
+        NamedCircuit { label: "QFT_24", communication: "Long-distance gates", circuit: qft(24) },
+        NamedCircuit { label: "QFT_64", communication: "Long-distance gates", circuit: qft(64) },
+        NamedCircuit {
+            label: "Heisenberg_48",
+            communication: "Long-distance gates",
+            circuit: heisenberg_chain(48, 48),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seven_entries_in_table_order() {
+        let suite = table2_suite();
+        let labels: Vec<&str> = suite.iter().map(|n| n.label).collect();
+        assert_eq!(
+            labels,
+            vec!["Adder_32", "QAOA_64", "ALT_64", "BV_64", "QFT_24", "QFT_64", "Heisenberg_48"]
+        );
+    }
+
+    #[test]
+    fn suite_qubit_counts_match_table2() {
+        let suite = table2_suite();
+        let expected = [66usize, 64, 64, 65, 24, 64, 48];
+        for (entry, want) in suite.iter().zip(expected) {
+            assert_eq!(entry.circuit.num_qubits(), want, "{}", entry.label);
+        }
+    }
+
+    #[test]
+    fn suite_two_qubit_counts_match_table2_where_exact() {
+        let suite = table2_suite();
+        // Exact values for the formula-driven generators.
+        let exact: &[(&str, usize)] = &[
+            ("QAOA_64", 1260),
+            ("ALT_64", 1260),
+            ("BV_64", 64),
+            ("QFT_24", 552),
+            ("QFT_64", 4032),
+            ("Heisenberg_48", 13_536),
+        ];
+        for (label, want) in exact {
+            let entry = suite.iter().find(|n| n.label == *label).unwrap();
+            assert_eq!(entry.circuit.two_qubit_gate_count(), *want, "{label}");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The top-level S-SYNC compiler pipeline (Fig. 1).
+
+use crate::config::CompilerConfig;
+use crate::error::CompileError;
+use crate::idealized::IdealizationMode;
+use crate::initial;
+use crate::scheduler::{Scheduler, SchedulerStats};
+use ssync_arch::{Placement, QccdTopology, SlotGraph, TrapRouter};
+use ssync_circuit::Circuit;
+use ssync_sim::{CompiledProgram, ExecutionReport, ExecutionTracer, OpCounts};
+use std::time::{Duration, Instant};
+
+/// The result of compiling (and evaluating) a circuit for a QCCD device.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    program: CompiledProgram,
+    report: ExecutionReport,
+    final_placement: Placement,
+    scheduler_stats: SchedulerStats,
+    compile_time: Duration,
+}
+
+impl CompileOutcome {
+    /// Assembles an outcome from its parts. Intended for alternative
+    /// compiler front-ends (e.g. the baseline compilers) that produce the
+    /// same artefacts through a different scheduling algorithm.
+    pub fn from_parts(
+        program: CompiledProgram,
+        report: ExecutionReport,
+        final_placement: Placement,
+        compile_time: Duration,
+    ) -> Self {
+        CompileOutcome {
+            program,
+            report,
+            final_placement,
+            scheduler_stats: SchedulerStats::default(),
+            compile_time,
+        }
+    }
+
+    /// The hardware-compatible operation stream.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// Operation counts (shuttle / SWAP numbers of Figs. 8–9).
+    pub fn counts(&self) -> OpCounts {
+        self.program.counts()
+    }
+
+    /// Timing and success-rate evaluation (Figs. 10–12 quantities).
+    pub fn report(&self) -> ExecutionReport {
+        self.report
+    }
+
+    /// Where every program qubit ended up after execution.
+    pub fn final_placement(&self) -> &Placement {
+        &self.final_placement
+    }
+
+    /// Search statistics of the generic-swap scheduler.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler_stats
+    }
+
+    /// Wall-clock compilation time (the Fig. 15 quantity).
+    pub fn compile_time(&self) -> Duration {
+        self.compile_time
+    }
+
+    /// Re-evaluates the same compiled program under an idealisation mode
+    /// (Fig. 16) and/or a different tracer, without recompiling.
+    pub fn evaluate_with(
+        &self,
+        tracer: &ExecutionTracer,
+        mode: IdealizationMode,
+    ) -> ExecutionReport {
+        tracer.evaluate(&mode.apply(&self.program))
+    }
+}
+
+/// The S-SYNC compiler.
+///
+/// ```
+/// use ssync_core::{SSyncCompiler, CompilerConfig};
+/// use ssync_circuit::generators::bernstein_vazirani;
+/// use ssync_arch::QccdTopology;
+///
+/// let compiler = SSyncCompiler::new(CompilerConfig::default());
+/// let outcome = compiler
+///     .compile(&bernstein_vazirani(16), &QccdTopology::grid(2, 2, 6))
+///     .unwrap();
+/// assert_eq!(outcome.counts().two_qubit_gates, 16);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SSyncCompiler {
+    config: CompilerConfig,
+}
+
+impl SSyncCompiler {
+    /// Creates a compiler with the given configuration.
+    pub fn new(config: CompilerConfig) -> Self {
+        SSyncCompiler { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// The execution tracer matching this configuration's gate
+    /// implementation, operation times and noise model.
+    pub fn tracer(&self) -> ExecutionTracer {
+        ExecutionTracer {
+            gate_impl: self.config.gate_impl,
+            op_times: self.config.op_times,
+            noise: self.config.noise,
+        }
+    }
+
+    /// Validates that `circuit` can run on `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::DeviceTooSmall`] if the device cannot hold
+    /// every qubit plus one free space, and
+    /// [`CompileError::DisconnectedTopology`] if some traps are unreachable.
+    pub fn validate(&self, circuit: &Circuit, topology: &QccdTopology) -> Result<(), CompileError> {
+        let slots = topology.total_capacity();
+        if slots < circuit.num_qubits() + 1 {
+            return Err(CompileError::DeviceTooSmall { qubits: circuit.num_qubits(), slots });
+        }
+        let router = TrapRouter::new(topology, self.config.weights);
+        if !router.is_connected() {
+            return Err(CompileError::DisconnectedTopology);
+        }
+        Ok(())
+    }
+
+    /// Compiles `circuit` for `topology` and evaluates the result with the
+    /// configured timing / noise models.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the device is too small, disconnected, or the
+    /// scheduler exhausts its iteration budget (an internal failure).
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        topology: &QccdTopology,
+    ) -> Result<CompileOutcome, CompileError> {
+        self.validate(circuit, topology)?;
+        let start = Instant::now();
+        let graph = SlotGraph::new(topology.clone(), self.config.weights);
+        let router = TrapRouter::new(topology, self.config.weights);
+        let placement = initial::build_placement(circuit, &graph, &self.config);
+        let mut scheduler = Scheduler::new(&graph, &router, &self.config);
+        let (program, final_placement) = scheduler.run(circuit, placement)?;
+        let compile_time = start.elapsed();
+        let report = self.tracer().evaluate(&program);
+        Ok(CompileOutcome {
+            program,
+            report,
+            final_placement,
+            scheduler_stats: scheduler.stats(),
+            compile_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InitialMapping;
+    use ssync_circuit::generators::{bernstein_vazirani, qaoa_nearest_neighbor, qft};
+    use ssync_circuit::Qubit;
+    use ssync_sim::GateImplementation;
+
+    #[test]
+    fn compile_preserves_gate_counts() {
+        let circuit = qft(16);
+        let topo = QccdTopology::grid(2, 2, 6);
+        let outcome = SSyncCompiler::default().compile(&circuit, &topo).unwrap();
+        let counts = outcome.counts();
+        assert_eq!(counts.two_qubit_gates, circuit.two_qubit_gate_count());
+        assert_eq!(counts.single_qubit_gates, circuit.single_qubit_gate_count());
+        assert!(outcome.report().success_rate > 0.0);
+        assert!(outcome.compile_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn device_too_small_is_rejected() {
+        let circuit = qft(16);
+        let topo = QccdTopology::linear(2, 8); // exactly 16 slots: no spare space
+        let err = SSyncCompiler::default().compile(&circuit, &topo).unwrap_err();
+        assert!(matches!(err, CompileError::DeviceTooSmall { .. }));
+    }
+
+    #[test]
+    fn bv_needs_few_shuttles_under_gathering() {
+        // BV's 2-qubit gates all target one ancilla; with the gathering
+        // mapping most of them are already co-located.
+        let circuit = bernstein_vazirani(20);
+        let topo = QccdTopology::grid(2, 2, 8);
+        let outcome = SSyncCompiler::default().compile(&circuit, &topo).unwrap();
+        assert!(outcome.counts().shuttles <= 2 * circuit.two_qubit_gate_count());
+        assert!(outcome.report().success_rate > 0.5);
+    }
+
+    #[test]
+    fn idealized_modes_are_upper_bounds() {
+        let circuit = qft(14);
+        let topo = QccdTopology::grid(2, 2, 5);
+        let compiler = SSyncCompiler::default();
+        let outcome = compiler.compile(&circuit, &topo).unwrap();
+        let tracer = compiler.tracer();
+        let base = outcome.report().success_rate;
+        let perfect_swap = outcome.evaluate_with(&tracer, IdealizationMode::PerfectSwap);
+        let perfect_shuttle = outcome.evaluate_with(&tracer, IdealizationMode::PerfectShuttle);
+        let ideal = outcome.evaluate_with(&tracer, IdealizationMode::Ideal);
+        assert!(perfect_swap.success_rate >= base);
+        assert!(perfect_shuttle.success_rate >= base);
+        assert!(ideal.success_rate >= perfect_swap.success_rate.min(perfect_shuttle.success_rate));
+    }
+
+    #[test]
+    fn different_gate_impls_change_execution_time() {
+        let circuit = qaoa_nearest_neighbor(16, 2);
+        let topo = QccdTopology::grid(2, 2, 6);
+        let fm = SSyncCompiler::new(CompilerConfig::default())
+            .compile(&circuit, &topo)
+            .unwrap();
+        let am2 = SSyncCompiler::new(
+            CompilerConfig::default().with_gate_impl(GateImplementation::Am2),
+        )
+        .compile(&circuit, &topo)
+        .unwrap();
+        assert_ne!(fm.report().total_time_us, am2.report().total_time_us);
+    }
+
+    #[test]
+    fn initial_mapping_changes_shuttle_profile() {
+        let circuit = qft(20);
+        let topo = QccdTopology::grid(2, 3, 8);
+        let gathering = SSyncCompiler::new(
+            CompilerConfig::default().with_initial_mapping(InitialMapping::Gathering),
+        )
+        .compile(&circuit, &topo)
+        .unwrap();
+        let even = SSyncCompiler::new(
+            CompilerConfig::default().with_initial_mapping(InitialMapping::EvenDivided),
+        )
+        .compile(&circuit, &topo)
+        .unwrap();
+        // Gathering co-locates qubits, so it should not need more shuttles
+        // than the even-divided start.
+        assert!(gathering.counts().shuttles <= even.counts().shuttles);
+    }
+
+    #[test]
+    fn final_placement_is_consistent() {
+        let mut c = Circuit::new(6);
+        for i in 0..5u32 {
+            c.cx(Qubit(i), Qubit(i + 1));
+        }
+        let topo = QccdTopology::linear(3, 4);
+        let outcome = SSyncCompiler::default().compile(&c, &topo).unwrap();
+        outcome.final_placement().validate().unwrap();
+        assert!(outcome.final_placement().is_complete());
+    }
+}

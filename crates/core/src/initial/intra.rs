@@ -1,0 +1,146 @@
+//! Second-level initial mapping: intra-trap "mountain" ordering (Eq. 3).
+
+use crate::config::CompilerConfig;
+use ssync_arch::{SlotId, Trap};
+use ssync_circuit::{Circuit, Layers, Qubit};
+use std::collections::HashSet;
+
+/// The per-qubit location score of Eq. (3): `l(q) = −α·E(q) + β·I(q)`,
+/// where over the first `k` DAG layers `I(q)` counts two-qubit gates
+/// pairing `q` with a qubit of the *same* trap and `E(q)` counts gates
+/// pairing it with a qubit of *another* trap. Lower scores mean the qubit
+/// is likely to leave the trap soon and should sit near a chain end.
+pub fn location_score(
+    circuit: &Circuit,
+    trap_members: &HashSet<Qubit>,
+    qubit: Qubit,
+    config: &CompilerConfig,
+) -> f64 {
+    let layers = Layers::from_circuit(circuit);
+    let window = layers.first_k(config.lookahead_layers);
+    let mut internal = 0usize;
+    let mut external = 0usize;
+    for gate in window {
+        if let Some((a, b)) = gate.two_qubit_pair() {
+            let partner = if a == qubit {
+                Some(b)
+            } else if b == qubit {
+                Some(a)
+            } else {
+                None
+            };
+            if let Some(p) = partner {
+                if trap_members.contains(&p) {
+                    internal += 1;
+                } else {
+                    external += 1;
+                }
+            }
+        }
+    }
+    -config.alpha * external as f64 + config.beta * internal as f64
+}
+
+/// Orders the qubits of one trap into the "mountain" shape of Sec. 3.4:
+/// the lowest-scoring qubits (those most likely to shuttle away) go to the
+/// chain ends, the highest-scoring ones to the centre.
+pub fn mountain_order(circuit: &Circuit, members: &[Qubit], config: &CompilerConfig) -> Vec<Qubit> {
+    let member_set: HashSet<Qubit> = members.iter().copied().collect();
+    let mut scored: Vec<(f64, Qubit)> = members
+        .iter()
+        .map(|&q| (location_score(circuit, &member_set, q, config), q))
+        .collect();
+    // Ascending score: the first elements are the most "outgoing" qubits.
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let n = scored.len();
+    let mut ordered: Vec<Option<Qubit>> = vec![None; n];
+    let mut left = 0usize;
+    let mut right = n;
+    for (i, (_, q)) in scored.into_iter().enumerate() {
+        if i % 2 == 0 {
+            ordered[left] = Some(q);
+            left += 1;
+        } else {
+            right -= 1;
+            ordered[right] = Some(q);
+        }
+    }
+    ordered.into_iter().map(|q| q.expect("every position filled")).collect()
+}
+
+/// Chooses which slots of `trap` the ordered qubits occupy: the qubits sit
+/// contiguously with the free slots split between the two chain ends, so
+/// both ports stay available for incoming ions.
+pub fn slot_layout(trap: &Trap, count: usize) -> Vec<SlotId> {
+    assert!(count <= trap.capacity(), "trap cannot hold {count} qubits");
+    let free = trap.capacity() - count;
+    let left_pad = free / 2;
+    (0..count).map(|i| trap.slot_at(left_pad + i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_arch::{QccdTopology, TrapId};
+
+    #[test]
+    fn location_score_rewards_internal_partners() {
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(1)); // internal pair
+        c.cx(Qubit(2), Qubit(3)); // q2's partner is external to the trap
+        let members: HashSet<Qubit> = [Qubit(0), Qubit(1), Qubit(2)].into_iter().collect();
+        let config = CompilerConfig::default();
+        let s_internal = location_score(&c, &members, Qubit(0), &config);
+        let s_external = location_score(&c, &members, Qubit(2), &config);
+        assert!(s_internal > s_external);
+    }
+
+    #[test]
+    fn mountain_order_puts_low_scores_at_the_edges() {
+        let mut c = Circuit::new(6);
+        // Qubit 5 interacts with an external qubit -> lowest score.
+        c.cx(Qubit(5), Qubit(0));
+        // Qubits 2 and 3 interact internally -> highest scores.
+        c.cx(Qubit(2), Qubit(3));
+        let members = [Qubit(1), Qubit(2), Qubit(3), Qubit(4), Qubit(5)];
+        let config = CompilerConfig::default();
+        let order = mountain_order(&c, &members, &config);
+        assert_eq!(order.len(), 5);
+        // The most external qubit must be at one of the two chain ends.
+        assert!(order[0] == Qubit(5) || order[4] == Qubit(5));
+        // The internal pair must not be at the extreme ends.
+        let centre: Vec<Qubit> = order[1..4].to_vec();
+        assert!(centre.contains(&Qubit(2)) || centre.contains(&Qubit(3)));
+    }
+
+    #[test]
+    fn mountain_order_is_a_permutation() {
+        let c = Circuit::new(8);
+        let members: Vec<Qubit> = (0..8u32).map(Qubit).collect();
+        let order = mountain_order(&c, &members, &CompilerConfig::default());
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(sorted, members);
+    }
+
+    #[test]
+    fn slot_layout_centres_qubits_between_free_ends() {
+        let topo = QccdTopology::linear(1, 6);
+        let trap = topo.trap(TrapId(0));
+        let slots = slot_layout(trap, 4);
+        assert_eq!(slots.len(), 4);
+        // One free slot on the left, one on the right.
+        assert_eq!(slots[0], trap.slot_at(1));
+        assert_eq!(slots[3], trap.slot_at(4));
+        // Full trap uses every slot.
+        assert_eq!(slot_layout(trap, 6).len(), 6);
+        assert_eq!(slot_layout(trap, 6)[0], trap.slot_at(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn slot_layout_rejects_overfill() {
+        let topo = QccdTopology::linear(1, 3);
+        slot_layout(topo.trap(TrapId(0)), 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Initial qubit mapping (Sec. 3.4): a two-level scheme.
+//!
+//! * **First level** ([`first_level`]) assigns program qubits to traps:
+//!   even-divided, gathering, or STA (spatio-temporal-aware).
+//! * **Second level** ([`intra`]) orders the qubits inside each trap into a
+//!   "mountain" shape driven by the look-ahead score `l(q) = −αE(q) + βI(q)`
+//!   (Eq. 3): qubits likely to leave the trap soon sit near the chain ends,
+//!   qubits that mostly interact locally sit in the middle.
+
+pub mod first_level;
+pub mod intra;
+
+use crate::config::CompilerConfig;
+use ssync_arch::{Placement, SlotGraph};
+use ssync_circuit::Circuit;
+
+/// Builds the complete initial placement for `circuit` on the device
+/// described by `graph`, using the strategy selected in `config`.
+///
+/// # Panics
+///
+/// Panics if the device has fewer slots than the circuit has qubits (the
+/// compiler front-end validates this before calling).
+pub fn build_placement(circuit: &Circuit, graph: &SlotGraph, config: &CompilerConfig) -> Placement {
+    let topology = graph.topology();
+    assert!(
+        topology.num_slots() >= circuit.num_qubits(),
+        "device has {} slots but the circuit needs {}",
+        topology.num_slots(),
+        circuit.num_qubits()
+    );
+    let groups = first_level::assign_traps(circuit, topology, config);
+    let mut placement = Placement::new(topology, circuit.num_qubits());
+    for (trap_idx, qubits) in groups.iter().enumerate() {
+        let trap = topology.traps()[trap_idx].id();
+        let ordered = intra::mountain_order(circuit, qubits, config);
+        let slots = intra::slot_layout(topology.trap(trap), ordered.len());
+        for (qubit, slot) in ordered.into_iter().zip(slots) {
+            placement.place(qubit, slot);
+        }
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InitialMapping;
+    use ssync_arch::{QccdTopology, WeightConfig};
+    use ssync_circuit::generators::qft;
+
+    fn graph(topo: QccdTopology) -> SlotGraph {
+        SlotGraph::new(topo, WeightConfig::default())
+    }
+
+    #[test]
+    fn every_strategy_places_every_qubit() {
+        let circuit = qft(20);
+        let topo = QccdTopology::grid(2, 3, 8);
+        for mapping in InitialMapping::ALL {
+            let config = CompilerConfig::default().with_initial_mapping(mapping);
+            let placement = build_placement(&circuit, &graph(topo.clone()), &config);
+            assert!(placement.is_complete(), "{mapping:?}");
+            placement.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn gathering_uses_fewer_traps_than_even_divided() {
+        let circuit = qft(12);
+        let topo = QccdTopology::linear(4, 16);
+        let g = graph(topo.clone());
+        let gathering = build_placement(
+            &circuit,
+            &g,
+            &CompilerConfig::default().with_initial_mapping(InitialMapping::Gathering),
+        );
+        let even = build_placement(
+            &circuit,
+            &g,
+            &CompilerConfig::default().with_initial_mapping(InitialMapping::EvenDivided),
+        );
+        let used = |p: &Placement| {
+            topo.traps().iter().filter(|t| p.trap_occupancy(t.id()) > 0).count()
+        };
+        assert!(used(&gathering) < used(&even));
+    }
+
+    #[test]
+    fn no_trap_is_overfilled_and_a_space_remains_where_possible() {
+        let circuit = qft(30);
+        let topo = QccdTopology::grid(2, 2, 16);
+        for mapping in InitialMapping::ALL {
+            let config = CompilerConfig::default().with_initial_mapping(mapping);
+            let p = build_placement(&circuit, &graph(topo.clone()), &config);
+            for trap in topo.traps() {
+                assert!(p.trap_occupancy(trap.id()) <= trap.capacity());
+            }
+            // The device has 64 slots for 30 qubits: at least one trap must
+            // keep room for incoming ions.
+            assert!(p.full_trap_count() < topo.num_traps());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "device has")]
+    fn too_small_device_panics() {
+        let circuit = qft(30);
+        let topo = QccdTopology::linear(2, 8);
+        build_placement(&circuit, &graph(topo), &CompilerConfig::default());
+    }
+}

@@ -1,0 +1,448 @@
+//! The generic-swap based shuttling scheduler (Algorithm 1 of the paper).
+
+use crate::config::CompilerConfig;
+use crate::error::CompileError;
+use crate::generic_swap::{GenericSwap, GenericSwapKind};
+use crate::heuristic::{DecayTracker, HeuristicScorer};
+use crate::mechanics::Mechanics;
+use ssync_arch::{Placement, SlotGraph, SlotId, TrapId, TrapRouter};
+use ssync_circuit::{Circuit, DependencyDag, Gate};
+use ssync_sim::{CompiledProgram, ScheduledOp};
+use std::collections::{HashSet, VecDeque};
+
+/// Statistics the scheduler collects about its own search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Scheduler iterations (candidate-selection rounds).
+    pub iterations: usize,
+    /// Generic swaps applied through the heuristic search.
+    pub heuristic_swaps: usize,
+    /// Gates routed by the deterministic fallback (should stay near zero).
+    pub fallback_routed_gates: usize,
+}
+
+/// The generic-swap scheduler: executes every two-qubit gate of a circuit
+/// on a QCCD device, inserting SWAP gates, reorders and shuttles chosen by
+/// the heuristic of Eqs. (1)–(2).
+#[derive(Debug)]
+pub struct Scheduler<'a> {
+    graph: &'a SlotGraph,
+    router: &'a TrapRouter,
+    config: &'a CompilerConfig,
+    stats: SchedulerStats,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Creates a scheduler over a prepared device graph and router.
+    pub fn new(graph: &'a SlotGraph, router: &'a TrapRouter, config: &'a CompilerConfig) -> Self {
+        Scheduler { graph, router, config, stats: SchedulerStats::default() }
+    }
+
+    /// Search statistics of the last [`Scheduler::run`] call.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Runs Algorithm 1: schedules every two-qubit gate of `circuit`
+    /// starting from `placement` (which must already place every program
+    /// qubit), appending the generated hardware operations to a fresh
+    /// [`CompiledProgram`].
+    ///
+    /// Single-qubit gates are emitted up-front: they never constrain
+    /// routing and only contribute (near-unity) fidelity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::SchedulingStalled`] if the iteration budget
+    /// is exhausted, which indicates an internal error rather than an
+    /// expected user-facing failure.
+    pub fn run(
+        &mut self,
+        circuit: &Circuit,
+        mut placement: Placement,
+    ) -> Result<(CompiledProgram, Placement), CompileError> {
+        self.stats = SchedulerStats::default();
+        let mut program =
+            CompiledProgram::new(circuit.num_qubits(), self.graph.topology().num_traps());
+        for gate in circuit.iter() {
+            if !gate.is_two_qubit() {
+                let q = gate.qubits()[0];
+                program.push(ScheduledOp::SingleQubitGate { qubit: q });
+            }
+        }
+
+        let mut dag = DependencyDag::from_circuit(circuit);
+        let mechanics = Mechanics::new(self.graph, self.router);
+        let scorer = HeuristicScorer::new(self.graph, self.router, self.config);
+        let mut decay = DecayTracker::new(
+            circuit.num_qubits(),
+            self.config.decay_delta,
+            self.config.decay_reset_interval,
+        );
+        let mut recent_swaps: VecDeque<(SlotId, SlotId)> = VecDeque::new();
+        let mut stall = 0usize;
+        let budget = 10_000 + 400 * dag.len();
+
+        while !dag.is_complete() {
+            self.stats.iterations += 1;
+            if self.stats.iterations > budget {
+                return Err(CompileError::SchedulingStalled { remaining_gates: dag.remaining() });
+            }
+
+            // Step 4-10: execute every frontier gate whose qubits share a trap.
+            let executed = self.execute_ready(&mut dag, &mut placement, &mut program, &mechanics);
+            if executed > 0 {
+                stall = 0;
+                continue;
+            }
+            if dag.is_complete() {
+                break;
+            }
+
+            // Step 11: gather the candidate generic swaps near the frontier.
+            let frontier: Vec<Gate> = dag.frontier().iter().map(|&id| dag.gate(id)).collect();
+            // Extended look-ahead window: upcoming gates beyond the frontier.
+            let lookahead: Vec<Gate> = dag
+                .lookahead(self.config.lookahead_layers)
+                .into_iter()
+                .skip(frontier.len())
+                .collect();
+            let relevant = self.relevant_traps(&placement, &frontier);
+            let mut candidates = self.candidates(&placement, &relevant, &recent_swaps);
+            if candidates.is_empty() {
+                // Allow undoing recent swaps rather than stalling outright.
+                candidates = self.candidates(&placement, &relevant, &VecDeque::new());
+            }
+
+            let mut applied = false;
+            if !candidates.is_empty() {
+                // Steps 12-18: score each candidate, apply the cheapest.
+                let mut best: Option<(f64, GenericSwap)> = None;
+                for swap in candidates {
+                    let score =
+                        scorer.score_swap(&placement, &decay, &frontier, &lookahead, &swap);
+                    let better = match best {
+                        None => true,
+                        Some((b, _)) => score < b - 1e-12,
+                    };
+                    if better {
+                        best = Some((score, swap));
+                    }
+                }
+                if let Some((_, swap)) = best {
+                    self.apply_swap(&swap, &mut placement, &mut program, &mut decay, &mechanics);
+                    push_recent(&mut recent_swaps, (swap.a, swap.b));
+                    self.stats.heuristic_swaps += 1;
+                    applied = true;
+                }
+            }
+
+            decay.tick();
+            stall += 1;
+            if !applied || stall > self.config.max_stall_iterations {
+                // Safety net: route the cheapest frontier gate directly.
+                let gate = frontier
+                    .iter()
+                    .min_by(|a, b| {
+                        scorer
+                            .gate_score(&placement, a)
+                            .partial_cmp(&scorer.gate_score(&placement, b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .copied()
+                    .expect("frontier is non-empty while the DAG is incomplete");
+                let (q1, q2) = gate.two_qubit_pair().expect("frontier gates are two-qubit");
+                let dest = placement.trap_of(q2).expect("qubit placed");
+                if placement.trap_free_slots(dest) == 0 {
+                    mechanics.make_space(&mut placement, &mut program, dest, 1, &[q1, q2]);
+                }
+                let dest = placement.trap_of(q2).expect("qubit placed");
+                if !mechanics.move_qubit_to_trap(&mut placement, &mut program, q1, dest) {
+                    return Err(CompileError::SchedulingStalled {
+                        remaining_gates: dag.remaining(),
+                    });
+                }
+                self.stats.fallback_routed_gates += 1;
+                stall = 0;
+                recent_swaps.clear();
+            }
+        }
+
+        Ok((program, placement))
+    }
+
+    /// Executes every currently executable frontier gate; returns how many.
+    fn execute_ready(
+        &self,
+        dag: &mut DependencyDag,
+        placement: &mut Placement,
+        program: &mut CompiledProgram,
+        mechanics: &Mechanics<'_>,
+    ) -> usize {
+        let placement_ref = &*placement;
+        let graph = self.graph;
+        let ids = dag.drain_executable(|gate| {
+            let Some((a, b)) = gate.two_qubit_pair() else { return false };
+            match (placement_ref.slot_of(a), placement_ref.slot_of(b)) {
+                (Some(sa), Some(sb)) => graph.same_trap(sa, sb),
+                _ => false,
+            }
+        });
+        for id in &ids {
+            let gate = dag.gate(*id);
+            let (a, b) = gate.two_qubit_pair().expect("two-qubit gate");
+            mechanics.emit_two_qubit_gate(placement, program, a, b);
+        }
+        ids.len()
+    }
+
+    /// Traps worth touching this round: every trap holding a frontier-gate
+    /// qubit plus every trap on the shortest route between the two operand
+    /// traps of a frontier gate.
+    fn relevant_traps(&self, placement: &Placement, frontier: &[Gate]) -> HashSet<TrapId> {
+        let mut relevant = HashSet::new();
+        for gate in frontier {
+            let Some((a, b)) = gate.two_qubit_pair() else { continue };
+            let (Some(ta), Some(tb)) = (placement.trap_of(a), placement.trap_of(b)) else {
+                continue;
+            };
+            for t in self.router.path(ta, tb) {
+                relevant.insert(t);
+            }
+        }
+        relevant
+    }
+
+    /// Valid generic swaps touching a relevant trap, excluding recent moves
+    /// and purposeless reorders (a reorder is only worth considering when it
+    /// moves a space strictly closer to one of its trap's chain ends, i.e.
+    /// towards a shuttle port).
+    fn candidates(
+        &self,
+        placement: &Placement,
+        relevant: &HashSet<TrapId>,
+        recent: &VecDeque<(SlotId, SlotId)>,
+    ) -> Vec<GenericSwap> {
+        GenericSwap::candidates(self.graph, placement)
+            .into_iter()
+            .filter(|s| {
+                relevant.contains(&self.graph.slot_trap(s.a))
+                    || relevant.contains(&self.graph.slot_trap(s.b))
+            })
+            .filter(|s| {
+                !recent.iter().any(|&(a, b)| (a == s.a && b == s.b) || (a == s.b && b == s.a))
+            })
+            .filter(|s| self.reorder_is_purposeful(placement, s))
+            .collect()
+    }
+
+    /// Reorders only matter when they push either the space or the moved
+    /// ion towards a chain end (a shuttle port) — anything else shuffles
+    /// the interior without affecting routing. SWAP gates and shuttles are
+    /// always considered.
+    fn reorder_is_purposeful(&self, placement: &Placement, swap: &GenericSwap) -> bool {
+        if swap.kind != GenericSwapKind::Reorder {
+            return true;
+        }
+        // After the exchange the space sits where the qubit was and vice versa.
+        let (space_slot, qubit_slot) = if placement.is_space(swap.a) {
+            (swap.a, swap.b)
+        } else {
+            (swap.b, swap.a)
+        };
+        let trap = self.graph.topology().trap(self.graph.slot_trap(space_slot));
+        let space_moves_out =
+            trap.distance_to_nearest_end(qubit_slot) < trap.distance_to_nearest_end(space_slot);
+        let qubit_moves_out =
+            trap.distance_to_nearest_end(space_slot) < trap.distance_to_nearest_end(qubit_slot);
+        space_moves_out || qubit_moves_out
+    }
+
+    /// Applies a chosen generic swap: mutates the placement, emits the
+    /// corresponding hardware operation and marks the moved qubits in the
+    /// decay tracker.
+    fn apply_swap(
+        &self,
+        swap: &GenericSwap,
+        placement: &mut Placement,
+        program: &mut CompiledProgram,
+        decay: &mut DecayTracker,
+        mechanics: &Mechanics<'_>,
+    ) {
+        for q in swap.moved_qubits(placement) {
+            decay.mark(q);
+        }
+        match swap.kind {
+            GenericSwapKind::SwapGate => {
+                let a = placement.occupant(swap.a).expect("swap-gate endpoints hold qubits");
+                let b = placement.occupant(swap.b).expect("swap-gate endpoints hold qubits");
+                let trap = self.graph.slot_trap(swap.a);
+                program.push(ScheduledOp::SwapGate {
+                    a,
+                    b,
+                    trap,
+                    chain_len: placement.trap_occupancy(trap),
+                    ion_distance: mechanics.ion_distance(placement, swap.a, swap.b),
+                });
+                placement.swap_slots(swap.a, swap.b);
+            }
+            GenericSwapKind::Reorder => {
+                let trap = self.graph.slot_trap(swap.a);
+                program.push(ScheduledOp::IonReorder { trap, steps: 1 });
+                placement.swap_slots(swap.a, swap.b);
+            }
+            GenericSwapKind::Shuttle { junctions } => {
+                let (from_slot, to_slot) = if placement.occupant(swap.a).is_some() {
+                    (swap.a, swap.b)
+                } else {
+                    (swap.b, swap.a)
+                };
+                let qubit = placement.occupant(from_slot).expect("shuttle moves a qubit");
+                let from_trap = self.graph.slot_trap(from_slot);
+                let to_trap = self.graph.slot_trap(to_slot);
+                let source_chain_len = placement.trap_occupancy(from_trap);
+                let dest_chain_len = placement.trap_occupancy(to_trap) + 1;
+                placement.swap_slots(from_slot, to_slot);
+                program.push(ScheduledOp::Shuttle {
+                    qubit,
+                    from_trap,
+                    to_trap,
+                    junctions,
+                    segments: 1,
+                    source_chain_len,
+                    dest_chain_len,
+                });
+            }
+        }
+    }
+}
+
+fn push_recent(recent: &mut VecDeque<(SlotId, SlotId)>, pair: (SlotId, SlotId)) {
+    recent.push_back(pair);
+    while recent.len() > 6 {
+        recent.pop_front();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initial;
+    use ssync_arch::QccdTopology;
+    use ssync_circuit::generators::{qft, random_two_qubit_circuit};
+    use ssync_circuit::Qubit;
+
+    fn compile(
+        circuit: &Circuit,
+        topo: &QccdTopology,
+        config: &CompilerConfig,
+    ) -> (CompiledProgram, SchedulerStats) {
+        let graph = SlotGraph::new(topo.clone(), config.weights);
+        let router = TrapRouter::new(topo, config.weights);
+        let placement = initial::build_placement(circuit, &graph, config);
+        let mut scheduler = Scheduler::new(&graph, &router, config);
+        let (program, final_placement) = scheduler.run(circuit, placement).unwrap();
+        final_placement.validate().unwrap();
+        (program, scheduler.stats())
+    }
+
+    #[test]
+    fn all_gates_of_a_small_circuit_are_scheduled() {
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(2), Qubit(3));
+        c.cx(Qubit(1), Qubit(2));
+        c.cx(Qubit(0), Qubit(3));
+        let topo = QccdTopology::linear(2, 3);
+        let (program, _) = compile(&c, &topo, &CompilerConfig::default());
+        assert_eq!(program.counts().two_qubit_gates, 4);
+    }
+
+    #[test]
+    fn colocated_circuit_needs_no_shuttles() {
+        let mut c = Circuit::new(4);
+        for i in 0..3u32 {
+            c.cx(Qubit(i), Qubit(i + 1));
+        }
+        // Everything fits into a single trap under the gathering mapping.
+        let topo = QccdTopology::linear(2, 6);
+        let (program, _) = compile(&c, &topo, &CompilerConfig::default());
+        assert_eq!(program.counts().shuttles, 0);
+        assert_eq!(program.counts().two_qubit_gates, 3);
+    }
+
+    #[test]
+    fn cross_trap_gate_forces_exactly_one_shuttle() {
+        let mut c = Circuit::new(2);
+        c.cx(Qubit(0), Qubit(1));
+        let topo = QccdTopology::linear(2, 3);
+        let config = CompilerConfig::default().with_initial_mapping(
+            crate::config::InitialMapping::EvenDivided,
+        );
+        let (program, _) = compile(&c, &topo, &config);
+        assert_eq!(program.counts().two_qubit_gates, 1);
+        assert_eq!(program.counts().shuttles, 1);
+    }
+
+    #[test]
+    fn qft_schedules_completely_on_every_topology() {
+        let circuit = qft(10);
+        for topo in [
+            QccdTopology::linear(2, 8),
+            QccdTopology::grid(2, 2, 5),
+            QccdTopology::fully_connected(3, 6),
+        ] {
+            let (program, _) = compile(&circuit, &topo, &CompilerConfig::default());
+            assert_eq!(
+                program.counts().two_qubit_gates,
+                circuit.two_qubit_gate_count(),
+                "{}",
+                topo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn random_circuits_schedule_on_tight_devices() {
+        for seed in 0..5u64 {
+            let circuit = random_two_qubit_circuit(12, 60, seed);
+            let topo = QccdTopology::grid(2, 2, 4); // 16 slots for 12 qubits
+            let (program, _) = compile(&circuit, &topo, &CompilerConfig::default());
+            assert_eq!(program.counts().two_qubit_gates, 60, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_qubit_gates_are_preserved() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.h(Qubit(1));
+        c.cx(Qubit(0), Qubit(2));
+        let topo = QccdTopology::linear(2, 3);
+        let (program, _) = compile(&c, &topo, &CompilerConfig::default());
+        assert_eq!(program.counts().single_qubit_gates, 2);
+    }
+
+    #[test]
+    fn heuristic_handles_most_routing_without_fallback() {
+        let circuit = qft(16);
+        let topo = QccdTopology::grid(2, 2, 6);
+        let (_, stats) = compile(&circuit, &topo, &CompilerConfig::default());
+        assert!(stats.heuristic_swaps > 0);
+        // The fallback is a safety net; the heuristic should carry the bulk.
+        assert!(
+            stats.fallback_routed_gates * 10 <= circuit.two_qubit_gate_count(),
+            "fallback used too often: {} of {} gates",
+            stats.fallback_routed_gates,
+            circuit.two_qubit_gate_count()
+        );
+    }
+
+    #[test]
+    fn scheduler_reports_stats() {
+        let circuit = qft(8);
+        let topo = QccdTopology::linear(2, 6);
+        let (_, stats) = compile(&circuit, &topo, &CompilerConfig::default());
+        assert!(stats.iterations > 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ssync-sim
+//!
+//! Timing and fidelity substrate for QCCD devices, replacing the paper's
+//! Python noise simulator:
+//!
+//! * [`GateImplementation`] — the FM / PM / AM1 / AM2 two-qubit gate
+//!   duration models of Sec. 4.1,
+//! * [`OperationTimes`] — Table 1's split / move / merge / junction times,
+//! * [`NoiseModel`] — the motional-heating fidelity model of Eq. (4),
+//!   `F = 1 − Γτ − A(2n̄ + 1)` with `A ∝ N / ln N`,
+//! * [`ScheduledOp`] / [`CompiledProgram`] — the hardware-compatible
+//!   operation stream a QCCD compiler produces,
+//! * [`ExecutionTracer`] — walks a compiled program, tracking per-trap
+//!   chain lengths, motional quanta and timelines, and reports the total
+//!   execution time and end-to-end success rate.
+//!
+//! ```
+//! use ssync_sim::{GateImplementation, NoiseModel, OperationTimes};
+//!
+//! // FM gate duration grows with the chain length (Sec. 4.1).
+//! let fm = GateImplementation::Fm;
+//! assert_eq!(fm.two_qubit_duration_us(4, 1), 100.0);      // floor of 100 us
+//! assert!(fm.two_qubit_duration_us(20, 1) > 200.0);
+//!
+//! // Table 1 operation times.
+//! let t = OperationTimes::default();
+//! assert_eq!(t.junction_crossing_us(2), 80.0);
+//!
+//! let noise = NoiseModel::default();
+//! assert!(noise.two_qubit_fidelity(100.0, 10, 0.0) > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gate_impl;
+mod noise;
+mod op_times;
+mod ops;
+mod tracer;
+
+pub use gate_impl::GateImplementation;
+pub use noise::NoiseModel;
+pub use op_times::OperationTimes;
+pub use ops::{CompiledProgram, OpCounts, ScheduledOp};
+pub use tracer::{ExecutionReport, ExecutionTracer};

@@ -1,0 +1,4 @@
+//! This crate only hosts the runnable examples (`quickstart`,
+//! `topology_sweep`, `mapping_tradeoffs`, `gate_implementations`). See each
+//! binary for the interesting code; run them with e.g.
+//! `cargo run --release -p ssync-examples --bin quickstart`.

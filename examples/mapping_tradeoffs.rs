@@ -1,0 +1,49 @@
+//! Initial-mapping trade-offs: gathering vs even-divided vs STA for an
+//! application whose qubits mostly talk to their neighbours (QAOA) and one
+//! with long-range structure (QFT) — the Fig. 12 style of analysis.
+//!
+//! ```text
+//! cargo run --release -p ssync-examples --bin mapping_tradeoffs
+//! ```
+
+use ssync_arch::QccdTopology;
+use ssync_circuit::generators::{qaoa_nearest_neighbor, qft};
+use ssync_circuit::Circuit;
+use ssync_core::{CompilerConfig, InitialMapping, SSyncCompiler};
+
+fn run(circuit: &Circuit, device: &QccdTopology) {
+    println!(
+        "\n{} ({} qubits, {} two-qubit gates) on {}",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.two_qubit_gate_count(),
+        device.name()
+    );
+    println!(
+        "  {:<14} {:>8} {:>8} {:>14} {:>12}",
+        "mapping", "shuttles", "swaps", "exec time (ms)", "success"
+    );
+    for mapping in InitialMapping::ALL {
+        let config = CompilerConfig::default().with_initial_mapping(mapping);
+        let outcome = SSyncCompiler::new(config)
+            .compile(circuit, device)
+            .expect("circuit fits on the device");
+        println!(
+            "  {:<14} {:>8} {:>8} {:>14.1} {:>12.4}",
+            mapping.label(),
+            outcome.counts().shuttles,
+            outcome.counts().swap_gates,
+            outcome.report().total_time_us / 1e3,
+            outcome.report().success_rate
+        );
+    }
+}
+
+fn main() {
+    let device = QccdTopology::grid(2, 3, 10);
+    run(&qaoa_nearest_neighbor(32, 4), &device);
+    run(&qft(32), &device);
+    println!("\nGathering minimises shuttles but packs long FM chains (slower gates);");
+    println!("even-divided keeps chains short at the price of more shuttling — the");
+    println!("same tension the paper highlights in Fig. 12.");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: compile a QFT circuit for a two-trap linear QCCD device and
+//! inspect what the compiler did.
+//!
+//! ```text
+//! cargo run --release -p ssync-examples --bin quickstart
+//! ```
+
+use ssync_arch::QccdTopology;
+use ssync_circuit::generators::qft;
+use ssync_core::{CompilerConfig, SSyncCompiler};
+
+fn main() {
+    // 1. A quantum program: the 16-qubit Quantum Fourier Transform.
+    let circuit = qft(16);
+    println!(
+        "circuit: {} ({} qubits, {} two-qubit gates)",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.two_qubit_gate_count()
+    );
+
+    // 2. A QCCD device: two traps of 10 slots connected by a shuttle path.
+    let device = QccdTopology::linear(2, 10);
+    println!("device:  {device}");
+
+    // 3. Compile with the default configuration (gathering initial mapping,
+    //    FM gates, the paper's Sec. 4.2 hyper-parameters).
+    let compiler = SSyncCompiler::new(CompilerConfig::default());
+    let outcome = compiler.compile(&circuit, &device).expect("circuit fits on the device");
+
+    // 4. What did the compiler insert, and what does it cost?
+    let counts = outcome.counts();
+    let report = outcome.report();
+    println!("\ncompiled in {:.1} ms", outcome.compile_time().as_secs_f64() * 1e3);
+    println!("  two-qubit gates : {}", counts.two_qubit_gates);
+    println!("  inserted SWAPs  : {}", counts.swap_gates);
+    println!("  shuttles        : {}", counts.shuttles);
+    println!("  ion reorders    : {}", counts.reorders);
+    println!("  execution time  : {:.1} ms", report.total_time_us / 1e3);
+    println!("  success rate    : {:.4}", report.success_rate);
+
+    // 5. The first few hardware operations, for a feel of the output format.
+    println!("\nfirst 10 hardware operations:");
+    for op in outcome.program().ops().iter().filter(|o| !matches!(o, ssync_sim::ScheduledOp::SingleQubitGate { .. })).take(10) {
+        println!("  {op}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Integration-test host crate. The actual tests live in `tests/`, and
+//! exercise every crate of the workspace through their public APIs only.
+//!
+//! Shared helpers used across the integration-test files live here.
+
+use ssync_arch::QccdTopology;
+use ssync_circuit::Circuit;
+use ssync_core::CompileOutcome;
+use ssync_sim::ScheduledOp;
+
+/// Checks structural invariants every compiled program must satisfy,
+/// independent of which compiler produced it:
+///
+/// * the number of emitted two-qubit gates matches the circuit,
+/// * the number of emitted single-qubit gates matches the circuit,
+/// * every op references qubits and traps that exist,
+/// * shuttles always connect two *different*, adjacent traps,
+/// * the reported success rate is a probability.
+pub fn check_program_invariants(
+    circuit: &Circuit,
+    topology: &QccdTopology,
+    outcome: &CompileOutcome,
+) {
+    let counts = outcome.counts();
+    assert_eq!(
+        counts.two_qubit_gates,
+        circuit.two_qubit_gate_count(),
+        "every program two-qubit gate must be scheduled exactly once"
+    );
+    assert_eq!(
+        counts.single_qubit_gates,
+        circuit.single_qubit_gate_count(),
+        "every single-qubit gate must be preserved"
+    );
+    let num_traps = topology.num_traps();
+    for op in outcome.program().ops() {
+        match *op {
+            ScheduledOp::SingleQubitGate { qubit } => {
+                assert!(qubit.index() < circuit.num_qubits());
+            }
+            ScheduledOp::TwoQubitGate { a, b, trap, chain_len, ion_distance } => {
+                assert!(a != b);
+                assert!(a.index() < circuit.num_qubits() && b.index() < circuit.num_qubits());
+                assert!(trap.index() < num_traps);
+                assert!(chain_len >= 2, "a two-qubit gate needs at least two ions in the chain");
+                assert!(ion_distance >= 1 && ion_distance < chain_len.max(2));
+            }
+            ScheduledOp::SwapGate { a, b, trap, chain_len, .. } => {
+                assert!(a != b);
+                assert!(trap.index() < num_traps);
+                assert!(chain_len >= 2);
+            }
+            ScheduledOp::IonReorder { trap, steps } => {
+                assert!(trap.index() < num_traps);
+                assert!(steps >= 1);
+            }
+            ScheduledOp::Shuttle { from_trap, to_trap, source_chain_len, dest_chain_len, .. } => {
+                assert_ne!(from_trap, to_trap, "shuttles must cross traps");
+                assert!(from_trap.index() < num_traps && to_trap.index() < num_traps);
+                assert!(
+                    topology.are_adjacent(from_trap, to_trap),
+                    "shuttles only move between directly connected traps"
+                );
+                assert!(source_chain_len >= 1, "the shuttled ion was in the source chain");
+                assert!(dest_chain_len >= 1);
+                assert!(dest_chain_len <= topology.trap(to_trap).capacity());
+            }
+        }
+    }
+    let report = outcome.report();
+    assert!((0.0..=1.0).contains(&report.success_rate));
+    assert!(report.total_time_us >= 0.0);
+    outcome.final_placement().validate().expect("final placement is consistent");
+}

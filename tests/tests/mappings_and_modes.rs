@@ -1,0 +1,104 @@
+//! Integration tests for the initial-mapping strategies, gate
+//! implementations and idealisation modes working through the full
+//! public pipeline.
+
+use ssync_arch::QccdTopology;
+use ssync_circuit::generators::{qaoa_nearest_neighbor, qft, table2_suite};
+use ssync_core::{CompilerConfig, IdealizationMode, InitialMapping, SSyncCompiler};
+use ssync_integration::check_program_invariants;
+use ssync_sim::{ExecutionTracer, GateImplementation};
+
+#[test]
+fn every_initial_mapping_produces_valid_programs() {
+    let circuit = qft(18);
+    let device = QccdTopology::grid(2, 3, 5);
+    for mapping in InitialMapping::ALL {
+        let config = CompilerConfig::default().with_initial_mapping(mapping);
+        let outcome = SSyncCompiler::new(config).compile(&circuit, &device).unwrap();
+        check_program_invariants(&circuit, &device, &outcome);
+    }
+}
+
+#[test]
+fn gathering_reduces_shuttles_for_nearest_neighbor_workloads() {
+    let circuit = qaoa_nearest_neighbor(20, 3);
+    let device = QccdTopology::grid(2, 2, 8);
+    let shuttle_count = |mapping| {
+        let config = CompilerConfig::default().with_initial_mapping(mapping);
+        SSyncCompiler::new(config).compile(&circuit, &device).unwrap().counts().shuttles
+    };
+    let gathering = shuttle_count(InitialMapping::Gathering);
+    let even = shuttle_count(InitialMapping::EvenDivided);
+    assert!(
+        gathering <= even,
+        "gathering ({gathering}) should not shuttle more than even-divided ({even})"
+    );
+}
+
+#[test]
+fn gate_implementations_change_time_but_not_the_schedule() {
+    let circuit = qaoa_nearest_neighbor(16, 2);
+    let device = QccdTopology::grid(2, 2, 6);
+    let compiler = SSyncCompiler::default();
+    let outcome = compiler.compile(&circuit, &device).unwrap();
+    let times: Vec<f64> = GateImplementation::ALL
+        .iter()
+        .map(|&g| {
+            ExecutionTracer { gate_impl: g, ..compiler.tracer() }
+                .evaluate(outcome.program())
+                .total_time_us
+        })
+        .collect();
+    // All four evaluations reuse the identical operation stream, so the
+    // operation counts are fixed while timings differ.
+    assert!(times.iter().any(|&t| (t - times[0]).abs() > 1e-6));
+    for t in times {
+        assert!(t > 0.0);
+    }
+}
+
+#[test]
+fn short_range_workloads_prefer_am2_over_fm() {
+    // The Fig. 13 observation, checked end-to-end.
+    let circuit = qaoa_nearest_neighbor(24, 4);
+    let device = QccdTopology::grid(2, 3, 10);
+    let compiler = SSyncCompiler::default();
+    let outcome = compiler.compile(&circuit, &device).unwrap();
+    let success = |g| {
+        ExecutionTracer { gate_impl: g, ..compiler.tracer() }
+            .evaluate(outcome.program())
+            .success_rate
+    };
+    assert!(success(GateImplementation::Am2) >= success(GateImplementation::Fm));
+}
+
+#[test]
+fn optimality_modes_are_ordered() {
+    let circuit = qft(18);
+    let device = QccdTopology::grid(2, 2, 8);
+    let compiler = SSyncCompiler::default();
+    let outcome = compiler.compile(&circuit, &device).unwrap();
+    let tracer = compiler.tracer();
+    let rate = |m| outcome.evaluate_with(&tracer, m).success_rate;
+    let base = rate(IdealizationMode::None);
+    let perfect_swap = rate(IdealizationMode::PerfectSwap);
+    let perfect_shuttle = rate(IdealizationMode::PerfectShuttle);
+    let ideal = rate(IdealizationMode::Ideal);
+    assert!(perfect_swap >= base);
+    assert!(perfect_shuttle >= base);
+    assert!(ideal >= perfect_swap && ideal >= perfect_shuttle);
+}
+
+#[test]
+fn table2_suite_compiles_at_reduced_size() {
+    // The full Table 2 workloads are exercised by the benchmark harness in
+    // release mode; here we check the suite constructor plus compilation of
+    // its smallest member end to end.
+    let suite = table2_suite();
+    assert_eq!(suite.len(), 7);
+    let qft24 = &suite.iter().find(|n| n.label == "QFT_24").unwrap().circuit;
+    let device = QccdTopology::named("G-2x2").unwrap();
+    let outcome = SSyncCompiler::default().compile(qft24, &device).unwrap();
+    check_program_invariants(qft24, &device, &outcome);
+    assert!(outcome.report().success_rate > 0.0);
+}

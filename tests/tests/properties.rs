@@ -1,0 +1,112 @@
+//! Property-based tests over the whole pipeline: random circuits on random
+//! devices must always compile into valid programs.
+
+use proptest::prelude::*;
+use ssync_arch::{Placement, QccdTopology, SlotId};
+use ssync_circuit::generators::random_two_qubit_circuit;
+use ssync_circuit::{Circuit, DependencyDag, Qubit};
+use ssync_core::{IdealizationMode, SSyncCompiler};
+use ssync_integration::check_program_invariants;
+
+/// Strategy over small but non-trivial QCCD devices.
+fn device_strategy() -> impl Strategy<Value = QccdTopology> {
+    prop_oneof![
+        (2usize..5, 3usize..8).prop_map(|(traps, cap)| QccdTopology::linear(traps, cap)),
+        (2usize..4, 2usize..4, 3usize..6).prop_map(|(r, c, cap)| QccdTopology::grid(r, c, cap)),
+        (3usize..6, 3usize..7).prop_map(|(traps, cap)| QccdTopology::fully_connected(traps, cap)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_circuits_compile_into_valid_programs(
+        device in device_strategy(),
+        qubits in 4usize..14,
+        gates in 1usize..60,
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(device.total_capacity() > qubits + 1);
+        let circuit = random_two_qubit_circuit(qubits, gates, seed);
+        let outcome = SSyncCompiler::default().compile(&circuit, &device).unwrap();
+        check_program_invariants(&circuit, &device, &outcome);
+    }
+
+    #[test]
+    fn idealization_never_lowers_the_success_rate(
+        qubits in 4usize..12,
+        gates in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let circuit = random_two_qubit_circuit(qubits, gates, seed);
+        let device = QccdTopology::grid(2, 2, 5);
+        prop_assume!(device.total_capacity() > qubits + 1);
+        let compiler = SSyncCompiler::default();
+        let outcome = compiler.compile(&circuit, &device).unwrap();
+        let tracer = compiler.tracer();
+        let base = outcome.report().success_rate;
+        for mode in [IdealizationMode::PerfectShuttle, IdealizationMode::PerfectSwap, IdealizationMode::Ideal] {
+            prop_assert!(outcome.evaluate_with(&tracer, mode).success_rate >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn dag_execution_covers_every_gate_exactly_once(
+        qubits in 2usize..16,
+        gates in 0usize..80,
+        seed in 0u64..1_000,
+    ) {
+        let circuit = random_two_qubit_circuit(qubits.max(2), gates, seed);
+        let mut dag = DependencyDag::from_circuit(&circuit);
+        let mut executed = 0usize;
+        while !dag.is_complete() {
+            let id = dag.frontier()[0];
+            dag.execute(id);
+            executed += 1;
+        }
+        prop_assert_eq!(executed, circuit.two_qubit_gate_count());
+    }
+
+    #[test]
+    fn placement_swaps_preserve_bijection(
+        cap in 3usize..8,
+        swaps in proptest::collection::vec((0usize..16, 0usize..16), 0..40),
+    ) {
+        let device = QccdTopology::linear(3, cap);
+        let slots = device.total_capacity();
+        let qubits = slots / 2;
+        let mut placement = Placement::new(&device, qubits);
+        for q in 0..qubits {
+            placement.place(Qubit(q as u32), SlotId((q * 2) as u32));
+        }
+        for (a, b) in swaps {
+            let a = SlotId((a % slots) as u32);
+            let b = SlotId((b % slots) as u32);
+            // Only exchange within/between traps when the graph would allow
+            // *some* operation; the placement primitive itself is total.
+            placement.swap_slots(a, b);
+            prop_assert!(placement.validate().is_ok());
+        }
+        prop_assert_eq!(placement.num_placed(), qubits);
+    }
+
+    #[test]
+    fn circuit_depth_is_bounded_by_gate_count(
+        qubits in 2usize..20,
+        gates in 0usize..120,
+        seed in 0u64..1_000,
+    ) {
+        let circuit = random_two_qubit_circuit(qubits.max(2), gates, seed);
+        prop_assert!(circuit.two_qubit_depth() <= circuit.two_qubit_gate_count());
+        let stats = circuit.stats();
+        prop_assert_eq!(stats.two_qubit_gates + stats.single_qubit_gates, stats.total_gates);
+    }
+}
+
+/// Non-proptest sanity check that the property harness itself is exercised.
+#[test]
+fn property_file_smoke() {
+    let circuit: Circuit = random_two_qubit_circuit(6, 10, 1);
+    assert_eq!(circuit.two_qubit_gate_count(), 10);
+}
