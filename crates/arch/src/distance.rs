@@ -1,0 +1,160 @@
+//! All-pairs slot-to-slot routing distances, precomputed at device-build
+//! time.
+//!
+//! The scheduler's heuristic (Eq. 2) needs the routing distance between
+//! two slots for every (candidate swap × frontier gate) pair, every
+//! iteration. Recomputing it on the fly chains four lookups — next hop,
+//! exit port, entry port, intra-trap offsets — so the hot loop instead
+//! reads a flat `num_slots × num_slots` matrix filled once per device.
+//!
+//! The matrix reproduces the on-the-fly formula *bit for bit*: same trap
+//! costs `inner_weight × chain distance`; across traps the cost is the
+//! inner-weight walk to the exit port, plus the trap router's shuttle
+//! distance, plus the inner-weight walk from the entry port.
+
+use crate::graph::SlotGraph;
+use crate::ids::SlotId;
+use crate::routing::TrapRouter;
+
+/// Precomputed all-pairs slot routing distances (the Eq. 2 `dis` term).
+///
+/// ```
+/// use ssync_arch::{DistanceMatrix, QccdTopology, SlotGraph, SlotId, TrapRouter, WeightConfig};
+/// let topo = QccdTopology::linear(2, 3);
+/// let graph = SlotGraph::new(topo.clone(), WeightConfig::default());
+/// let router = TrapRouter::new(&topo, WeightConfig::default());
+/// let dist = DistanceMatrix::new(&graph, &router);
+/// assert_eq!(dist.get(SlotId(0), SlotId(2)), 0.002);          // two inner steps
+/// assert!((dist.get(SlotId(2), SlotId(3)) - 1.0).abs() < 1e-12); // one shuttle
+/// ```
+/// The `Default` value is an empty (0-slot) matrix, useful only as a
+/// placeholder to move a real matrix out of a struct temporarily.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Precomputes the matrix for a device graph and its trap router.
+    pub fn new(graph: &SlotGraph, router: &TrapRouter) -> Self {
+        let topo = graph.topology();
+        let inner = graph.weights().inner_weight;
+        let n = graph.num_slots();
+        let t = topo.num_traps();
+
+        // Exit port of trap `a` when routing towards trap `b` (also the
+        // entry port of `b` when coming from `a`, read transposed).
+        let port = |a: usize, b: usize| -> SlotId {
+            let (ta, tb) = (crate::ids::TrapId(a as u32), crate::ids::TrapId(b as u32));
+            let towards = router.next_hop(ta, tb).unwrap_or(tb);
+            topo.port_slot(ta, towards)
+        };
+        let mut exit = vec![SlotId(0); t * t];
+        for a in 0..t {
+            for b in 0..t {
+                if a != b {
+                    exit[a * t + b] = port(a, b);
+                }
+            }
+        }
+
+        let mut dist = vec![0.0f64; n * n];
+        for a in 0..n {
+            let sa = SlotId(a as u32);
+            let ta = graph.slot_trap(sa);
+            let pa = graph.slot_position(sa);
+            for b in 0..n {
+                let sb = SlotId(b as u32);
+                let tb = graph.slot_trap(sb);
+                let pb = graph.slot_position(sb);
+                dist[a * n + b] = if ta == tb {
+                    inner * pa.abs_diff(pb) as f64
+                } else {
+                    let exit_slot = exit[ta.index() * t + tb.index()];
+                    let entry_slot = exit[tb.index() * t + ta.index()];
+                    inner * pa.abs_diff(graph.slot_position(exit_slot)) as f64
+                        + router.distance(ta, tb)
+                        + inner * graph.slot_position(entry_slot).abs_diff(pb) as f64
+                };
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of slots covered by the matrix.
+    pub fn num_slots(&self) -> usize {
+        self.n
+    }
+
+    /// The routing distance from slot `a` to slot `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slot id is out of range.
+    #[inline]
+    pub fn get(&self, a: SlotId, b: SlotId) -> f64 {
+        self.dist[a.index() * self.n + b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WeightConfig;
+    use crate::topology::QccdTopology;
+
+    fn matrix(topo: &QccdTopology) -> (SlotGraph, TrapRouter, DistanceMatrix) {
+        let w = WeightConfig::default();
+        let graph = SlotGraph::new(topo.clone(), w);
+        let router = TrapRouter::new(topo, w);
+        let dist = DistanceMatrix::new(&graph, &router);
+        (graph, router, dist)
+    }
+
+    #[test]
+    fn same_trap_distances_scale_with_chain_offset() {
+        let (_, _, d) = matrix(&QccdTopology::linear(2, 4));
+        assert_eq!(d.get(SlotId(0), SlotId(0)), 0.0);
+        assert!((d.get(SlotId(0), SlotId(3)) - 0.003).abs() < 1e-15);
+        assert_eq!(d.get(SlotId(1), SlotId(2)), d.get(SlotId(2), SlotId(1)));
+    }
+
+    #[test]
+    fn cross_trap_distances_include_ports_and_shuttles() {
+        let (_, _, d) = matrix(&QccdTopology::linear(2, 4));
+        // Slot 0 (trap 0 pos 0) -> slot 4 (trap 1 pos 0): 3 inner steps to
+        // the right port, 1 shuttle, 0 entry steps.
+        assert!((d.get(SlotId(0), SlotId(4)) - (0.003 + 1.0)).abs() < 1e-12);
+        // Port to port is a bare shuttle.
+        assert!((d.get(SlotId(3), SlotId(4)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_distances_cross_junctions() {
+        let (_, router, d) = matrix(&QccdTopology::grid(2, 2, 3));
+        // Any cross-trap distance is at least the trap router's distance.
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                let (sa, sb) = (SlotId(a), SlotId(b));
+                let ta = crate::ids::TrapId(a / 3);
+                let tb = crate::ids::TrapId(b / 3);
+                if ta != tb {
+                    assert!(d.get(sa, sb) >= router.distance(ta, tb) - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_covers_every_slot_pair() {
+        let topo = QccdTopology::fully_connected(3, 5);
+        let (graph, _, d) = matrix(&topo);
+        assert_eq!(d.num_slots(), graph.num_slots());
+        for a in 0..graph.num_slots() {
+            for b in 0..graph.num_slots() {
+                assert!(d.get(SlotId(a as u32), SlotId(b as u32)).is_finite());
+            }
+        }
+    }
+}

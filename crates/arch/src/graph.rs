@@ -200,9 +200,7 @@ impl SlotGraph {
     /// Weight of the shuttle edge between two adjacent traps, or `None` if
     /// they are not directly linked.
     pub fn shuttle_weight_between(&self, a: TrapId, b: TrapId) -> Option<f64> {
-        self.topology
-            .link_junctions(a, b)
-            .map(|j| self.weights.shuttle_weight * f64::from(j + 1))
+        self.topology.link_junctions(a, b).map(|j| self.weights.shuttle_weight * f64::from(j + 1))
     }
 
     /// `true` if a two-qubit gate may be applied between ions sitting at
@@ -244,7 +242,8 @@ mod tests {
     fn edge_counts_for_linear_device() {
         let g = l2();
         let intra = g.edges().iter().filter(|e| e.kind == EdgeKind::IntraTrap).count();
-        let inter = g.edges().iter().filter(|e| matches!(e.kind, EdgeKind::InterTrap { .. })).count();
+        let inter =
+            g.edges().iter().filter(|e| matches!(e.kind, EdgeKind::InterTrap { .. })).count();
         assert_eq!(intra, 6); // 3 adjacencies per 4-slot trap × 2 traps
         assert_eq!(inter, 1);
     }

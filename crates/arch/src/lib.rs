@@ -14,7 +14,10 @@
 //!   a node, intra-trap edges carry a small *inner* weight and inter-trap
 //!   edges carry a *shuttle* weight scaled by junction count,
 //! * [`Placement`] — the mutable assignment of program qubits to slots,
-//! * [`TrapRouter`] — all-pairs shuttle distances / next hops between traps.
+//! * [`TrapRouter`] — all-pairs shuttle distances / next hops between traps,
+//! * [`DistanceMatrix`] — all-pairs slot-to-slot routing distances (the
+//!   Eq. 2 `dis` term) precomputed at device-build time for the
+//!   scheduler's O(1) inner loop.
 //!
 //! ```
 //! use ssync_arch::{QccdTopology, SlotGraph, WeightConfig, Placement, TrapId};
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod distance;
 mod error;
 mod graph;
 mod ids;
@@ -41,6 +45,7 @@ mod routing;
 mod topology;
 mod trap;
 
+pub use distance::DistanceMatrix;
 pub use error::ArchError;
 pub use graph::{EdgeKind, SlotEdge, SlotGraph, WeightConfig};
 pub use ids::{SlotId, TrapId};

@@ -187,31 +187,17 @@ impl Placement {
     /// The number of traps without any internal space node — the penalty
     /// term `Pen` of Eq. 2.
     pub fn full_trap_count(&self) -> usize {
-        self.trap_occupancy
-            .iter()
-            .zip(&self.trap_capacity)
-            .filter(|(occ, cap)| occ >= cap)
-            .count()
+        self.trap_occupancy.iter().zip(&self.trap_capacity).filter(|(occ, cap)| occ >= cap).count()
     }
 
     /// The qubits currently inside `trap`, ordered by chain position.
     pub fn qubits_in_trap(&self, topology: &QccdTopology, trap: TrapId) -> Vec<Qubit> {
-        topology
-            .trap(trap)
-            .slots()
-            .into_iter()
-            .filter_map(|s| self.occupant(s))
-            .collect()
+        topology.trap(trap).slots().into_iter().filter_map(|s| self.occupant(s)).collect()
     }
 
     /// The empty slots of `trap`, ordered by chain position.
     pub fn spaces_in_trap(&self, topology: &QccdTopology, trap: TrapId) -> Vec<SlotId> {
-        topology
-            .trap(trap)
-            .slots()
-            .into_iter()
-            .filter(|&s| self.is_space(s))
-            .collect()
+        topology.trap(trap).slots().into_iter().filter(|&s| self.is_space(s)).collect()
     }
 
     /// The trap of each placed qubit, as `(qubit, trap)` pairs.
@@ -219,9 +205,7 @@ impl Placement {
         self.slot_of
             .iter()
             .enumerate()
-            .filter_map(|(q, slot)| {
-                slot.map(|s| (Qubit(q as u32), self.slot_trap[s.index()]))
-            })
+            .filter_map(|(q, slot)| slot.map(|s| (Qubit(q as u32), self.slot_trap[s.index()])))
             .collect()
     }
 

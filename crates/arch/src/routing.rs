@@ -177,10 +177,7 @@ mod tests {
     fn path_reconstruction_follows_next_hops() {
         let topo = QccdTopology::linear(5, 3);
         let r = TrapRouter::new(&topo, WeightConfig::default());
-        assert_eq!(
-            r.path(TrapId(0), TrapId(3)),
-            vec![TrapId(0), TrapId(1), TrapId(2), TrapId(3)]
-        );
+        assert_eq!(r.path(TrapId(0), TrapId(3)), vec![TrapId(0), TrapId(1), TrapId(2), TrapId(3)]);
         assert_eq!(r.path(TrapId(2), TrapId(2)), vec![TrapId(2)]);
         assert_eq!(r.next_hop(TrapId(4), TrapId(0)), Some(TrapId(3)));
     }

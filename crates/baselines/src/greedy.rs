@@ -117,9 +117,7 @@ impl GreedyRouter {
             }
             let dest = placement.trap_of(anchor).expect("anchor placed");
             if !mechanics.move_qubit_to_trap(&mut placement, &mut program, mover, dest) {
-                return Err(CompileError::SchedulingStalled {
-                    remaining_gates: dag.remaining(),
-                });
+                return Err(CompileError::SchedulingStalled { remaining_gates: dag.remaining() });
             }
         }
 

@@ -50,5 +50,42 @@ fn bench_compile_apps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile_time, bench_compile_apps);
+/// The hot-path speedup measurement: the optimized scheduler
+/// ([`ssync_core::Scheduler::run`]) against the straightforward reference
+/// transcription of Algorithm 1 (`run_reference`), scheduler-only (no
+/// tracing / report overhead), on the largest circuits of the suite. Both
+/// produce bit-identical programs; only the wall clock differs.
+fn bench_scheduler_hot_path(c: &mut Criterion) {
+    use ssync_arch::{SlotGraph, TrapRouter};
+    use ssync_core::{initial, Scheduler};
+
+    let topo = QccdTopology::grid(2, 2, 10);
+    let config = CompilerConfig::default();
+    let graph = SlotGraph::new(topo.clone(), config.weights);
+    let router = TrapRouter::new(&topo, config.weights);
+    let mut group = c.benchmark_group("scheduler_hot_path");
+    group.sample_size(10);
+    for (label, circuit) in [
+        ("qft/28", scaled_app(AppKind::Qft, 28)),
+        ("qaoa/24", scaled_app(AppKind::Qaoa, 24)),
+        ("adder/24", scaled_app(AppKind::Adder, 24)),
+    ] {
+        let placement = initial::build_placement(&circuit, &graph, &config);
+        group.bench_with_input(BenchmarkId::new("optimized", label), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut scheduler = Scheduler::new(&graph, &router, &config);
+                scheduler.run(circuit, placement.clone()).expect("schedules").0.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", label), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut scheduler = Scheduler::new(&graph, &router, &config);
+                scheduler.run_reference(circuit, placement.clone()).expect("schedules").0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_time, bench_compile_apps, bench_scheduler_hot_path);
 criterion_main!(benches);

@@ -23,8 +23,14 @@ pub enum AppKind {
 
 impl AppKind {
     /// Every application, in Table 2 order.
-    pub const ALL: [AppKind; 6] =
-        [AppKind::Adder, AppKind::Qaoa, AppKind::Alt, AppKind::Bv, AppKind::Qft, AppKind::Heisenberg];
+    pub const ALL: [AppKind; 6] = [
+        AppKind::Adder,
+        AppKind::Qaoa,
+        AppKind::Alt,
+        AppKind::Bv,
+        AppKind::Qft,
+        AppKind::Heisenberg,
+    ];
 
     /// Short label used in tables (e.g. `"QFT"`).
     pub fn label(self) -> &'static str {

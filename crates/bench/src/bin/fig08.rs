@@ -10,7 +10,8 @@ fn main() {
     let rows = comparison_rows(scale, &CompilerConfig::default(), |what| {
         eprintln!("[fig08] compiling {what}");
     });
-    let mut table = Table::new(["Application", "Topology", "Murali et al.", "Dai et al.", "This Work"]);
+    let mut table =
+        Table::new(["Application", "Topology", "Murali et al.", "Dai et al.", "This Work"]);
     let mut seen = std::collections::BTreeSet::new();
     for row in &rows {
         let key = (row.app.clone(), row.topology.clone());
@@ -33,8 +34,9 @@ fn main() {
     }
     println!("Fig. 8 — number of shuttles (lower is better)\n");
     println!("{table}");
-    let vs_murali =
-        geometric_mean_ratio(&rows, CompilerKind::Murali, CompilerKind::SSync, |r| r.shuttles as f64);
+    let vs_murali = geometric_mean_ratio(&rows, CompilerKind::Murali, CompilerKind::SSync, |r| {
+        r.shuttles as f64
+    });
     let vs_dai =
         geometric_mean_ratio(&rows, CompilerKind::Dai, CompilerKind::SSync, |r| r.shuttles as f64);
     println!("Geometric-mean shuttle reduction vs Murali et al.: {vs_murali:.2}x");

@@ -10,7 +10,8 @@ fn main() {
     let rows = comparison_rows(scale, &CompilerConfig::default(), |what| {
         eprintln!("[fig09] compiling {what}");
     });
-    let mut table = Table::new(["Application", "Topology", "Murali et al.", "Dai et al.", "This Work"]);
+    let mut table =
+        Table::new(["Application", "Topology", "Murali et al.", "Dai et al.", "This Work"]);
     let mut seen = std::collections::BTreeSet::new();
     for row in &rows {
         let key = (row.app.clone(), row.topology.clone());

@@ -15,7 +15,7 @@ fn topology(name: &str, total_capacity: usize) -> Option<ssync_arch::QccdTopolog
         "G-3x3" => 9,
         _ => return None,
     };
-    let capacity = (total_capacity + traps - 1) / traps;
+    let capacity = total_capacity.div_ceil(traps);
     let t = match name {
         "L-4" => QccdTopology::linear(4, capacity),
         "L-6" => QccdTopology::linear(6, capacity),

@@ -23,8 +23,7 @@ fn main() {
     let config = CompilerConfig::default();
     let compiler = SSyncCompiler::new(config);
 
-    let mut table =
-        Table::new(["Application", "FM", "AM1", "AM2", "PM"]);
+    let mut table = Table::new(["Application", "FM", "AM1", "AM2", "PM"]);
     for (app, qubits) in apps {
         let circuit = scaled_app(app, qubits);
         let label = format!("{}_{}", app.label(), circuit.num_qubits());

@@ -34,7 +34,8 @@ fn main() {
         eprintln!("[fig16] compiling {label}");
         let outcome = compiler.compile(&circuit, &topo).expect("compilation succeeds");
         let tracer = compiler.tracer();
-        let rate = |mode: IdealizationMode| fmt_rate(outcome.evaluate_with(&tracer, mode).success_rate);
+        let rate =
+            |mode: IdealizationMode| fmt_rate(outcome.evaluate_with(&tracer, mode).success_rate);
         table.push_row([
             label,
             rate(IdealizationMode::Ideal),

@@ -18,7 +18,8 @@ pub enum CompilerKind {
 
 impl CompilerKind {
     /// The three compilers in the order plotted in Figs. 8–10.
-    pub const ALL: [CompilerKind; 3] = [CompilerKind::Murali, CompilerKind::Dai, CompilerKind::SSync];
+    pub const ALL: [CompilerKind; 3] =
+        [CompilerKind::Murali, CompilerKind::Dai, CompilerKind::SSync];
 
     /// Legend label used in the paper's figures.
     pub fn label(self) -> &'static str {

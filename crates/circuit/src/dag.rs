@@ -23,6 +23,15 @@ struct DagNode {
     executed: bool,
 }
 
+/// Reusable buffers for [`DependencyDag::lookahead_ids_into`], so the
+/// scheduler's per-iteration look-ahead walk allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LookaheadScratch {
+    pending: Vec<usize>,
+    layer: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
 /// A dependency DAG with an executable *frontier*.
 ///
 /// Nodes are gates; a directed edge `(g_i, g_j)` means `g_j` uses a qubit
@@ -62,11 +71,7 @@ impl DependencyDag {
     /// Builds the DAG from an explicit gate sequence.
     pub fn from_gates(gates: impl IntoIterator<Item = Gate>) -> Self {
         let gates: Vec<Gate> = gates.into_iter().collect();
-        let max_qubit = gates
-            .iter()
-            .map(|g| g.max_qubit().index() + 1)
-            .max()
-            .unwrap_or(0);
+        let max_qubit = gates.iter().map(|g| g.max_qubit().index() + 1).max().unwrap_or(0);
         let mut nodes: Vec<DagNode> = gates
             .iter()
             .map(|&gate| DagNode { gate, succs: Vec::new(), pending_preds: 0, executed: false })
@@ -164,35 +169,56 @@ impl DependencyDag {
     /// frontier (the look-ahead window used by the extended cost function
     /// and the intra-trap initial-mapping score).
     pub fn lookahead(&self, k: usize) -> Vec<Gate> {
-        let mut result = Vec::new();
+        let mut scratch = LookaheadScratch::default();
+        let mut ids = Vec::new();
+        self.lookahead_ids_into(k, &mut scratch, &mut ids);
+        ids.into_iter().map(|id| self.nodes[id.0].gate).collect()
+    }
+
+    /// Allocation-free variant of [`DependencyDag::lookahead`]: writes the
+    /// node ids of the first `k` dependency layers into `out` (same order
+    /// as `lookahead`), reusing `scratch` buffers across calls. This is the
+    /// form the scheduler's hot loop uses — the look-ahead window only
+    /// changes when gates retire, so callers can cache `out` between
+    /// placement-only iterations.
+    pub fn lookahead_ids_into(
+        &self,
+        k: usize,
+        scratch: &mut LookaheadScratch,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
         if k == 0 {
-            return result;
+            return;
         }
         // Breadth-first walk over unexecuted nodes, layer by layer, using a
         // temporary pending-predecessor count.
-        let mut pending: Vec<usize> =
-            self.nodes.iter().map(|n| if n.executed { 0 } else { n.pending_preds }).collect();
-        let mut layer: Vec<NodeId> = self.frontier.clone();
+        scratch.pending.clear();
+        scratch
+            .pending
+            .extend(self.nodes.iter().map(|n| if n.executed { 0 } else { n.pending_preds }));
+        scratch.layer.clear();
+        scratch.layer.extend_from_slice(&self.frontier);
         for _ in 0..k {
-            if layer.is_empty() {
+            if scratch.layer.is_empty() {
                 break;
             }
-            let mut next = Vec::new();
-            for &id in &layer {
-                result.push(self.nodes[id.0].gate);
+            scratch.next.clear();
+            for i in 0..scratch.layer.len() {
+                let id = scratch.layer[i];
+                out.push(id);
                 for &s in &self.nodes[id.0].succs {
                     if self.nodes[s.0].executed {
                         continue;
                     }
-                    pending[s.0] = pending[s.0].saturating_sub(1);
-                    if pending[s.0] == 0 {
-                        next.push(s);
+                    scratch.pending[s.0] = scratch.pending[s.0].saturating_sub(1);
+                    if scratch.pending[s.0] == 0 {
+                        scratch.next.push(s);
                     }
                 }
             }
-            layer = next;
+            std::mem::swap(&mut scratch.layer, &mut scratch.next);
         }
-        result
     }
 
     /// Executes, in order, every frontier gate accepted by `can_execute`,

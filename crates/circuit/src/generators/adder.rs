@@ -98,10 +98,7 @@ mod tests {
         // Table 2 reports 545; the exact figure depends on the Toffoli
         // decomposition. Ours must land in the same ballpark.
         let count = cuccaro_adder(32).two_qubit_gate_count();
-        assert!(
-            (450..=650).contains(&count),
-            "expected ~545 two-qubit gates, got {count}"
-        );
+        assert!((450..=650).contains(&count), "expected ~545 two-qubit gates, got {count}");
     }
 
     #[test]

@@ -72,8 +72,7 @@ mod tests {
     #[test]
     fn qft_has_one_hadamard_per_qubit() {
         let c = qft(8);
-        let h_count =
-            c.iter().filter(|g| matches!(g, crate::gate::Gate::H(_))).count();
+        let h_count = c.iter().filter(|g| matches!(g, crate::gate::Gate::H(_))).count();
         assert_eq!(h_count, 8);
     }
 

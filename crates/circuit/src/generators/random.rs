@@ -44,10 +44,7 @@ mod tests {
 
     #[test]
     fn random_circuit_is_deterministic_per_seed() {
-        assert_eq!(
-            random_two_qubit_circuit(8, 20, 42),
-            random_two_qubit_circuit(8, 20, 42)
-        );
+        assert_eq!(random_two_qubit_circuit(8, 20, 42), random_two_qubit_circuit(8, 20, 42));
     }
 
     #[test]

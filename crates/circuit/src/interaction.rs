@@ -84,11 +84,7 @@ impl InteractionGraph {
 
     /// Total interaction count of a single qubit (its weighted degree).
     pub fn degree(&self, q: Qubit) -> usize {
-        self.counts
-            .iter()
-            .filter(|(&(a, b), _)| a == q || b == q)
-            .map(|(_, &c)| c)
-            .sum()
+        self.counts.iter().filter(|(&(a, b), _)| a == q || b == q).map(|(_, &c)| c).sum()
     }
 
     /// Qubits sorted by descending interaction degree (ties by index). This

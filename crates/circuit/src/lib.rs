@@ -41,7 +41,7 @@ mod interaction;
 mod layers;
 
 pub use circuit::{Circuit, CircuitStats};
-pub use dag::{DependencyDag, NodeId};
+pub use dag::{DependencyDag, LookaheadScratch, NodeId};
 pub use error::CircuitError;
 pub use gate::{Gate, GateKind, Qubit};
 pub use interaction::InteractionGraph;

@@ -228,14 +228,11 @@ mod tests {
     fn different_gate_impls_change_execution_time() {
         let circuit = qaoa_nearest_neighbor(16, 2);
         let topo = QccdTopology::grid(2, 2, 6);
-        let fm = SSyncCompiler::new(CompilerConfig::default())
-            .compile(&circuit, &topo)
-            .unwrap();
-        let am2 = SSyncCompiler::new(
-            CompilerConfig::default().with_gate_impl(GateImplementation::Am2),
-        )
-        .compile(&circuit, &topo)
-        .unwrap();
+        let fm = SSyncCompiler::new(CompilerConfig::default()).compile(&circuit, &topo).unwrap();
+        let am2 =
+            SSyncCompiler::new(CompilerConfig::default().with_gate_impl(GateImplementation::Am2))
+                .compile(&circuit, &topo)
+                .unwrap();
         assert_ne!(fm.report().total_time_us, am2.report().total_time_us);
     }
 

@@ -68,9 +68,7 @@ impl GenericSwap {
         let occ_b = placement.occupant(b).is_some();
         match kind {
             EdgeKind::IntraTrap => match (occ_a, occ_b) {
-                (true, true) => {
-                    Some(GenericSwap { a, b, kind: GenericSwapKind::SwapGate, weight })
-                }
+                (true, true) => Some(GenericSwap { a, b, kind: GenericSwapKind::SwapGate, weight }),
                 (true, false) | (false, true) => {
                     Some(GenericSwap { a, b, kind: GenericSwapKind::Reorder, weight })
                 }

@@ -2,9 +2,9 @@
 //! tracker that spreads generic swaps across qubits.
 
 use crate::config::CompilerConfig;
-use crate::generic_swap::GenericSwap;
-use ssync_arch::{Placement, SlotGraph, SlotId, TrapRouter};
-use ssync_circuit::{Gate, Qubit};
+use crate::generic_swap::{GenericSwap, GenericSwapKind};
+use ssync_arch::{DistanceMatrix, Placement, SlotGraph, SlotId, TrapId, TrapRouter};
+use ssync_circuit::{Gate, NodeId, Qubit};
 
 /// Tracks, per program qubit, how recently it was involved in a generic
 /// swap. A gate whose qubit moved within the last `reset_interval`
@@ -44,9 +44,7 @@ impl DecayTracker {
     /// The decay factor of a single qubit (`1 + δ` if recently moved).
     pub fn factor(&self, qubit: Qubit) -> f64 {
         match self.last_involved.get(qubit.index()).copied().flatten() {
-            Some(it) if self.iteration.saturating_sub(it) < self.reset_interval => {
-                1.0 + self.delta
-            }
+            Some(it) if self.iteration.saturating_sub(it) < self.reset_interval => 1.0 + self.delta,
             _ => 1.0,
         }
     }
@@ -73,18 +71,37 @@ pub struct HeuristicScorer<'a> {
     graph: &'a SlotGraph,
     router: &'a TrapRouter,
     config: &'a CompilerConfig,
+    dist: Option<&'a DistanceMatrix>,
 }
 
 impl<'a> HeuristicScorer<'a> {
-    /// Creates a scorer over a device graph and its trap router.
+    /// Creates a scorer over a device graph and its trap router. Distances
+    /// are derived on the fly; prefer
+    /// [`HeuristicScorer::with_distance_matrix`] on any hot path.
     pub fn new(graph: &'a SlotGraph, router: &'a TrapRouter, config: &'a CompilerConfig) -> Self {
-        HeuristicScorer { graph, router, config }
+        HeuristicScorer { graph, router, config, dist: None }
+    }
+
+    /// Creates a scorer that reads slot distances from a precomputed
+    /// [`DistanceMatrix`] instead of chaining router/port lookups per call.
+    /// The matrix holds exactly the values [`HeuristicScorer::slot_distance`]
+    /// would compute, so scores are bit-identical either way.
+    pub fn with_distance_matrix(
+        graph: &'a SlotGraph,
+        router: &'a TrapRouter,
+        config: &'a CompilerConfig,
+        dist: &'a DistanceMatrix,
+    ) -> Self {
+        HeuristicScorer { graph, router, config, dist: Some(dist) }
     }
 
     /// The routing distance between two slots: inner-weight steps to reach
     /// the exit port, shuttle weights across traps, inner-weight steps from
     /// the entry port (Eq. 2's `dis` term under the static formulation).
     pub fn slot_distance(&self, a: SlotId, b: SlotId) -> f64 {
+        if let Some(dist) = self.dist {
+            return dist.get(a, b);
+        }
         let inner = self.config.weights.inner_weight;
         let ta = self.graph.slot_trap(a);
         let tb = self.graph.slot_trap(b);
@@ -113,19 +130,23 @@ impl<'a> HeuristicScorer<'a> {
     ) -> f64 {
         let trap = self.graph.slot_trap(port);
         let port_pos = self.graph.slot_position(port);
+        let trap_ref = self.graph.topology().trap(trap);
         let mut best: Option<usize> = None;
-        for s in self.graph.trap_slots(trap) {
+        // Iterate chain positions directly (trap slots are contiguous), so
+        // the readiness scan allocates nothing.
+        for pos in 0..trap_ref.capacity() {
+            let s = trap_ref.slot_at(pos);
             let occupied = match swap {
                 Some(sw) if s == sw.a => placement.occupant(sw.b).is_some(),
                 Some(sw) if s == sw.b => placement.occupant(sw.a).is_some(),
                 _ => placement.occupant(s).is_some(),
             };
             if !occupied {
-                let d = self.graph.slot_position(s).abs_diff(port_pos);
+                let d = pos.abs_diff(port_pos);
                 best = Some(best.map_or(d, |b| b.min(d)));
             }
         }
-        best.unwrap_or(self.graph.topology().trap(trap).capacity()) as f64
+        best.unwrap_or(trap_ref.capacity()) as f64
     }
 
     /// Route score of a qubit pair at slots `s1`, `s2`, optionally after a
@@ -180,30 +201,16 @@ impl<'a> HeuristicScorer<'a> {
         swap: &GenericSwap,
     ) -> Option<(SlotId, SlotId)> {
         let (q1, q2) = gate.two_qubit_pair()?;
-        let (mut s1, mut s2) = (placement.slot_of(q1)?, placement.slot_of(q2)?);
+        let (s1, s2) = (placement.slot_of(q1)?, placement.slot_of(q2)?);
         let occ_a = placement.occupant(swap.a);
         let occ_b = placement.occupant(swap.b);
-        for (slot, q) in [(swap.a, occ_a), (swap.b, occ_b)] {
-            let other = if slot == swap.a { swap.b } else { swap.a };
-            if q == Some(q1) && s1 == slot {
-                s1 = other;
-            }
-            if q == Some(q2) && s2 == slot {
-                s2 = other;
-            }
-        }
-        Some((s1, s2))
+        Some(slots_after_swap(q1, q2, s1, s2, swap, occ_a, occ_b))
     }
 
     /// The score of `gate` if `swap` were applied (no placement mutation:
     /// the swap only relocates the occupants of its two endpoints and can
     /// only change the full-trap penalty when it is a shuttle).
-    pub fn gate_score_after(
-        &self,
-        placement: &Placement,
-        gate: &Gate,
-        swap: &GenericSwap,
-    ) -> f64 {
+    pub fn gate_score_after(&self, placement: &Placement, gate: &Gate, swap: &GenericSwap) -> f64 {
         let Some((s1, s2)) = self.slots_after(placement, gate, swap) else {
             return if gate.two_qubit_pair().is_none() { 0.0 } else { f64::INFINITY };
         };
@@ -213,12 +220,7 @@ impl<'a> HeuristicScorer<'a> {
 
     /// `true` if applying `swap` would let `gate` execute immediately (its
     /// qubits end up in the same trap).
-    pub fn makes_executable(
-        &self,
-        placement: &Placement,
-        gate: &Gate,
-        swap: &GenericSwap,
-    ) -> bool {
+    pub fn makes_executable(&self, placement: &Placement, gate: &Gate, swap: &GenericSwap) -> bool {
         match self.slots_after(placement, gate, swap) {
             Some((s1, s2)) => self.graph.same_trap(s1, s2),
             None => false,
@@ -227,24 +229,7 @@ impl<'a> HeuristicScorer<'a> {
 
     /// The full-trap penalty after hypothetically applying `swap`.
     pub fn penalty_after(&self, placement: &Placement, swap: &GenericSwap) -> usize {
-        let mut pen = placement.full_trap_count();
-        if swap.is_shuttle() {
-            // An ion leaves one trap and enters another.
-            let (from_slot, to_slot) = if placement.occupant(swap.a).is_some() {
-                (swap.a, swap.b)
-            } else {
-                (swap.b, swap.a)
-            };
-            let from = self.graph.slot_trap(from_slot);
-            let to = self.graph.slot_trap(to_slot);
-            if placement.trap_is_full(from) {
-                pen -= 1;
-            }
-            if placement.trap_free_slots(to) == 1 {
-                pen += 1;
-            }
-        }
-        pen
+        self.penalty_with(placement, swap, placement.full_trap_count())
     }
 
     /// The full heuristic `H(swap)` of Eq. (1) over the given frontier
@@ -304,6 +289,350 @@ impl<'a> HeuristicScorer<'a> {
             None => true,
         }
     }
+}
+
+/// One gate of the active scoring pass, with every placement-derived term
+/// precomputed so that scoring a candidate against it is O(1) in the
+/// common case.
+#[derive(Debug, Clone, Copy)]
+struct GateTerm {
+    q1: Qubit,
+    q2: Qubit,
+    s1: SlotId,
+    s2: SlotId,
+    ta: TrapId,
+    tb: TrapId,
+    /// Traps whose occupancy pattern feeds the readiness term (the
+    /// next-hop entry traps of the route), `None` for same-trap gates.
+    entry_a: Option<TrapId>,
+    entry_b: Option<TrapId>,
+    /// `pair_route_score(placement, None, s1, s2)` — the cached base.
+    route: f64,
+    /// Decay factor (frontier gates only; 1.0 for look-ahead gates).
+    decay: f64,
+    /// `true` if the gate's qubits already share a trap.
+    executable: bool,
+}
+
+/// Cross-iteration cache of per-gate base route scores.
+///
+/// A gate's base score (`pair_route_score` with no hypothetical swap)
+/// depends on (a) the slots of its two operands and (b) the occupancy
+/// *pattern* of the two next-hop entry traps along its route (the
+/// readiness term). The cache therefore keys each entry on the operand
+/// slots plus a per-trap epoch counter: the scheduler bumps a trap's
+/// epoch whenever an applied generic swap changes which of its slots are
+/// occupied (reorders and shuttles — SWAP gates permute ions between two
+/// occupied slots and leave the pattern untouched). An entry is reused
+/// only when both the slots and the entry-trap epochs still match, which
+/// makes the cached value bit-identical to a fresh recomputation.
+#[derive(Debug, Clone)]
+pub struct ScoreCache {
+    entries: Vec<CachedRoute>,
+    trap_epoch: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CachedRoute {
+    set: bool,
+    s1: SlotId,
+    s2: SlotId,
+    epoch_a: u64,
+    epoch_b: u64,
+    route: f64,
+}
+
+impl ScoreCache {
+    /// Creates an empty cache for `num_gates` DAG nodes on `num_traps`
+    /// traps.
+    pub fn new(num_gates: usize, num_traps: usize) -> Self {
+        ScoreCache {
+            entries: vec![
+                CachedRoute {
+                    set: false,
+                    s1: SlotId(0),
+                    s2: SlotId(0),
+                    epoch_a: 0,
+                    epoch_b: 0,
+                    route: 0.0,
+                };
+                num_gates
+            ],
+            trap_epoch: vec![0; num_traps],
+        }
+    }
+
+    /// Invalidates readiness-dependent entries touching `trap` (call after
+    /// an applied reorder or shuttle changed its occupancy pattern).
+    pub fn bump_trap(&mut self, trap: TrapId) {
+        self.trap_epoch[trap.index()] += 1;
+    }
+
+    /// Invalidates every cached entry (call after bulk placement changes,
+    /// e.g. the deterministic fallback router).
+    pub fn bump_all(&mut self) {
+        for e in &mut self.entries {
+            e.set = false;
+        }
+    }
+
+    #[inline]
+    fn epoch_of(&self, trap: Option<TrapId>) -> u64 {
+        trap.map_or(0, |t| self.trap_epoch[t.index()])
+    }
+}
+
+/// Per-iteration scoring pass over the frontier and look-ahead gates.
+///
+/// Built once per scheduler iteration by [`HeuristicScorer::prepare_pass`]
+/// and then read for every candidate via
+/// [`HeuristicScorer::score_swap_prepared`], which reproduces
+/// [`HeuristicScorer::score_swap`] bit for bit while touching each gate in
+/// O(1) unless the candidate actually relocates one of its operands or
+/// perturbs its readiness traps.
+#[derive(Debug, Clone, Default)]
+pub struct ScoringScratch {
+    terms: Vec<GateTerm>,
+    frontier_len: usize,
+    full_traps: usize,
+}
+
+impl ScoringScratch {
+    /// The full-trap penalty of the pass's placement snapshot.
+    pub fn full_traps(&self) -> usize {
+        self.full_traps
+    }
+
+    /// The cached base score of the `i`-th frontier gate of the pass, as
+    /// [`HeuristicScorer::gate_score`] would report it (route + penalty).
+    pub fn frontier_gate_score(&self, i: usize) -> f64 {
+        self.terms[i].route + self.full_traps as f64
+    }
+}
+
+impl<'a> HeuristicScorer<'a> {
+    /// Prepares a scoring pass: computes (or reuses from `cache`) the base
+    /// score of every frontier and look-ahead gate under the current
+    /// placement. Gate lists carry DAG node ids so cached entries survive
+    /// across iterations until an operand moves or an entry trap's
+    /// occupancy pattern changes.
+    pub fn prepare_pass(
+        &self,
+        scratch: &mut ScoringScratch,
+        cache: &mut ScoreCache,
+        placement: &Placement,
+        decay: &DecayTracker,
+        frontier: &[(NodeId, Gate)],
+        lookahead: &[(NodeId, Gate)],
+    ) {
+        scratch.terms.clear();
+        scratch.frontier_len = frontier.len();
+        scratch.full_traps = placement.full_trap_count();
+        for (is_frontier, list) in [(true, frontier), (false, lookahead)] {
+            for &(id, gate) in list {
+                let term = self.gate_term(cache, placement, id, &gate, is_frontier, decay);
+                scratch.terms.push(term);
+            }
+        }
+    }
+
+    fn gate_term(
+        &self,
+        cache: &mut ScoreCache,
+        placement: &Placement,
+        id: NodeId,
+        gate: &Gate,
+        is_frontier: bool,
+        decay: &DecayTracker,
+    ) -> GateTerm {
+        let (q1, q2) =
+            gate.two_qubit_pair().expect("the scheduler DAG only contains two-qubit gates");
+        let s1 = placement.slot_of(q1).expect("scheduled qubits are placed");
+        let s2 = placement.slot_of(q2).expect("scheduled qubits are placed");
+        let ta = self.graph.slot_trap(s1);
+        let tb = self.graph.slot_trap(s2);
+        let (entry_a, entry_b) = if ta == tb {
+            (None, None)
+        } else {
+            (self.router.next_hop(ta, tb), self.router.next_hop(tb, ta))
+        };
+        let epoch_a = cache.epoch_of(entry_a);
+        let epoch_b = cache.epoch_of(entry_b);
+        let cached = &mut cache.entries[id.0];
+        let route = if cached.set
+            && cached.s1 == s1
+            && cached.s2 == s2
+            && cached.epoch_a == epoch_a
+            && cached.epoch_b == epoch_b
+        {
+            cached.route
+        } else {
+            let route = self.pair_route_score(placement, None, s1, s2);
+            *cached = CachedRoute { set: true, s1, s2, epoch_a, epoch_b, route };
+            route
+        };
+        GateTerm {
+            q1,
+            q2,
+            s1,
+            s2,
+            ta,
+            tb,
+            entry_a,
+            entry_b,
+            route,
+            decay: if is_frontier { decay.gate_factor(gate) } else { 1.0 },
+            executable: ta == tb,
+        }
+    }
+
+    /// `H(swap)` over a prepared pass — bit-identical to
+    /// [`HeuristicScorer::score_swap`] on the same frontier / look-ahead
+    /// lists, but each unchanged gate costs an integer compare instead of a
+    /// route recomputation.
+    pub fn score_swap_prepared(
+        &self,
+        scratch: &ScoringScratch,
+        placement: &Placement,
+        swap: &GenericSwap,
+    ) -> f64 {
+        let occ_a = placement.occupant(swap.a);
+        let occ_b = placement.occupant(swap.b);
+        let pen_after = self.penalty_with(placement, swap, scratch.full_traps) as f64;
+        let swap_ta = self.graph.slot_trap(swap.a);
+        let swap_tb = self.graph.slot_trap(swap.b);
+        let pattern_preserving = swap.kind == GenericSwapKind::SwapGate;
+
+        let mut best_gate_term = f64::INFINITY;
+        let mut enables_gate = false;
+        let (frontier, lookahead) = scratch.terms.split_at(scratch.frontier_len);
+        for t in frontier {
+            let (s1, s2) = slots_after_swap(t.q1, t.q2, t.s1, t.s2, swap, occ_a, occ_b);
+            let score = self.term_score(
+                t,
+                placement,
+                swap,
+                s1,
+                s2,
+                pen_after,
+                pattern_preserving,
+                swap_ta,
+                swap_tb,
+            );
+            let term = t.decay * score;
+            if term < best_gate_term {
+                best_gate_term = term;
+            }
+            if !enables_gate && !t.executable && self.graph.same_trap(s1, s2) {
+                enables_gate = true;
+            }
+        }
+        let gate_term = if best_gate_term.is_finite() { best_gate_term } else { 0.0 };
+        let lookahead_term = if lookahead.is_empty() {
+            0.0
+        } else {
+            let mut sum = 0.0f64;
+            for t in lookahead {
+                let (s1, s2) = slots_after_swap(t.q1, t.q2, t.s1, t.s2, swap, occ_a, occ_b);
+                sum += self.term_score(
+                    t,
+                    placement,
+                    swap,
+                    s1,
+                    s2,
+                    pen_after,
+                    pattern_preserving,
+                    swap_ta,
+                    swap_tb,
+                );
+            }
+            0.5 * sum / lookahead.len() as f64
+        };
+        let effective_weight = match swap.kind {
+            GenericSwapKind::SwapGate => 3.0 * swap.weight,
+            _ => swap.weight,
+        };
+        let bonus = if enables_gate { self.config.executable_bonus } else { 0.0 };
+        gate_term + lookahead_term + effective_weight - bonus
+    }
+
+    /// The score of one prepared gate under a hypothetical swap: the cached
+    /// base when the swap provably cannot change the gate's route or
+    /// readiness, the full recomputation otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn term_score(
+        &self,
+        t: &GateTerm,
+        placement: &Placement,
+        swap: &GenericSwap,
+        s1: SlotId,
+        s2: SlotId,
+        pen_after: f64,
+        pattern_preserving: bool,
+        swap_ta: TrapId,
+        swap_tb: TrapId,
+    ) -> f64 {
+        let slots_unchanged = s1 == t.s1 && s2 == t.s2;
+        let readiness_unchanged = pattern_preserving
+            || t.ta == t.tb
+            || (Some(swap_ta) != t.entry_a
+                && Some(swap_ta) != t.entry_b
+                && Some(swap_tb) != t.entry_a
+                && Some(swap_tb) != t.entry_b);
+        if slots_unchanged && readiness_unchanged {
+            t.route + pen_after
+        } else {
+            self.pair_route_score(placement, Some(swap), s1, s2) + pen_after
+        }
+    }
+
+    /// [`HeuristicScorer::penalty_after`] with the current full-trap count
+    /// supplied by the caller (hoisted out of the candidate loop).
+    fn penalty_with(&self, placement: &Placement, swap: &GenericSwap, full: usize) -> usize {
+        let mut pen = full;
+        if swap.is_shuttle() {
+            let (from_slot, to_slot) = if placement.occupant(swap.a).is_some() {
+                (swap.a, swap.b)
+            } else {
+                (swap.b, swap.a)
+            };
+            let from = self.graph.slot_trap(from_slot);
+            let to = self.graph.slot_trap(to_slot);
+            if placement.trap_is_full(from) {
+                pen -= 1;
+            }
+            if placement.trap_free_slots(to) == 1 {
+                pen += 1;
+            }
+        }
+        pen
+    }
+}
+
+/// The slots of a gate's qubits after hypothetically applying `swap`: the
+/// single source of truth behind both `HeuristicScorer::slots_after` and
+/// the prepared-pass fast path. The swap's endpoint occupants are passed
+/// in so the caller can hoist the two lookups out of its gate loop.
+#[inline]
+fn slots_after_swap(
+    q1: Qubit,
+    q2: Qubit,
+    mut s1: SlotId,
+    mut s2: SlotId,
+    swap: &GenericSwap,
+    occ_a: Option<Qubit>,
+    occ_b: Option<Qubit>,
+) -> (SlotId, SlotId) {
+    for (slot, q) in [(swap.a, occ_a), (swap.b, occ_b)] {
+        let other = if slot == swap.a { swap.b } else { swap.a };
+        if q == Some(q1) && s1 == slot {
+            s1 = other;
+        }
+        if q == Some(q2) && s2 == slot {
+            s2 = other;
+        }
+    }
+    (s1, s2)
 }
 
 #[cfg(test)]
@@ -404,7 +733,7 @@ mod tests {
         let mut p = Placement::new(&topo, 2);
         p.place(Qubit(0), SlotId(1)); // trap 0 port
         p.place(Qubit(1), SlotId(3)); // trap 1, non-port slot (right end)
-        // Shuttling qubit 0 into slot 2 fills trap 1.
+                                      // Shuttling qubit 0 into slot 2 fills trap 1.
         let swap = GenericSwap {
             a: SlotId(1),
             b: SlotId(2),

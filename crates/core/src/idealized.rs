@@ -52,7 +52,8 @@ impl IdealizationMode {
     /// Applies the idealisation: returns a copy of `program` with the
     /// waived operations removed.
     pub fn apply(self, program: &CompiledProgram) -> CompiledProgram {
-        let drop_shuttle = matches!(self, IdealizationMode::PerfectShuttle | IdealizationMode::Ideal);
+        let drop_shuttle =
+            matches!(self, IdealizationMode::PerfectShuttle | IdealizationMode::Ideal);
         let drop_swaps = matches!(self, IdealizationMode::PerfectSwap | IdealizationMode::Ideal);
         let mut out = CompiledProgram::new(program.num_qubits(), program.num_traps());
         for op in program.ops() {

@@ -131,10 +131,8 @@ fn sta(circuit: &Circuit, topology: &QccdTopology, config: &CompilerConfig) -> V
                 if let Some(pt) = placed_trap {
                     let w = interactions.weight(q, Qubit(p as u32));
                     if w > 0.0 {
-                        let hops = router.hops(
-                            topology.traps()[t].id(),
-                            topology.traps()[*pt].id(),
-                        ) as f64;
+                        let hops = router.hops(topology.traps()[t].id(), topology.traps()[*pt].id())
+                            as f64;
                         score += w / (1.0 + hops);
                     }
                 }
@@ -199,7 +197,7 @@ mod tests {
         assert_eq!(total_assigned(&groups), 12);
         // Nearest-neighbour chains should mostly keep consecutive qubits in
         // the same trap: count cut edges (consecutive qubits in different traps).
-        let mut trap_of = vec![0usize; 12];
+        let mut trap_of = [0usize; 12];
         for (t, g) in groups.iter().enumerate() {
             for q in g {
                 trap_of[q.index()] = t;

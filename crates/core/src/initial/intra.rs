@@ -46,10 +46,8 @@ pub fn location_score(
 /// chain ends, the highest-scoring ones to the centre.
 pub fn mountain_order(circuit: &Circuit, members: &[Qubit], config: &CompilerConfig) -> Vec<Qubit> {
     let member_set: HashSet<Qubit> = members.iter().copied().collect();
-    let mut scored: Vec<(f64, Qubit)> = members
-        .iter()
-        .map(|&q| (location_score(circuit, &member_set, q, config), q))
-        .collect();
+    let mut scored: Vec<(f64, Qubit)> =
+        members.iter().map(|&q| (location_score(circuit, &member_set, q, config), q)).collect();
     // Ascending score: the first elements are the most "outgoing" qubits.
     scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let n = scored.len();

@@ -80,9 +80,8 @@ mod tests {
             &g,
             &CompilerConfig::default().with_initial_mapping(InitialMapping::EvenDivided),
         );
-        let used = |p: &Placement| {
-            topo.traps().iter().filter(|t| p.trap_occupancy(t.id()) > 0).count()
-        };
+        let used =
+            |p: &Placement| topo.traps().iter().filter(|t| p.trap_occupancy(t.id()) > 0).count();
         assert!(used(&gathering) < used(&even));
     }
 

@@ -53,6 +53,6 @@ pub use compiler::{CompileOutcome, SSyncCompiler};
 pub use config::{CompilerConfig, InitialMapping};
 pub use error::CompileError;
 pub use generic_swap::{GenericSwap, GenericSwapKind};
-pub use heuristic::{DecayTracker, HeuristicScorer};
+pub use heuristic::{DecayTracker, HeuristicScorer, ScoreCache, ScoringScratch};
 pub use idealized::IdealizationMode;
 pub use scheduler::Scheduler;

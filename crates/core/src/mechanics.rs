@@ -50,10 +50,8 @@ impl<'a> Mechanics<'a> {
         let (pa, pb) = (self.graph.slot_position(a), self.graph.slot_position(b));
         let (lo, hi) = if pa < pb { (pa, pb) } else { (pb, pa) };
         let slots = self.graph.trap_slots(trap);
-        let between = slots[lo + 1..hi]
-            .iter()
-            .filter(|&&s| placement.occupant(s).is_some())
-            .count();
+        let between =
+            slots[lo + 1..hi].iter().filter(|&&s| placement.occupant(s).is_some()).count();
         between + 1
     }
 

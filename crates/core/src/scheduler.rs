@@ -1,12 +1,26 @@
 //! The generic-swap based shuttling scheduler (Algorithm 1 of the paper).
+//!
+//! Two implementations live here:
+//!
+//! * [`Scheduler::run`] — the optimized hot path: per-trap candidate
+//!   enumeration, incrementally maintained frontier / look-ahead gate
+//!   lists, a precomputed [`DistanceMatrix`], cached per-gate base scores
+//!   and reusable scratch buffers (the inner loop allocates nothing).
+//! * [`Scheduler::run_reference`] — the straightforward transcription of
+//!   Algorithm 1 (global candidate enumeration, fresh collections every
+//!   iteration, per-call distance recomputation). It exists as the golden
+//!   reference: both entry points emit **bit-identical** programs and
+//!   stats for the same inputs, which the `hot_path_equivalence`
+//!   integration tests enforce and the `compile_time` benchmark exploits
+//!   to measure the speedup.
 
 use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::generic_swap::{GenericSwap, GenericSwapKind};
-use crate::heuristic::{DecayTracker, HeuristicScorer};
+use crate::heuristic::{DecayTracker, HeuristicScorer, ScoreCache, ScoringScratch};
 use crate::mechanics::Mechanics;
-use ssync_arch::{Placement, SlotGraph, SlotId, TrapId, TrapRouter};
-use ssync_circuit::{Circuit, DependencyDag, Gate};
+use ssync_arch::{DistanceMatrix, Placement, SlotGraph, SlotId, TrapId, TrapRouter};
+use ssync_circuit::{Circuit, DependencyDag, Gate, LookaheadScratch, NodeId};
 use ssync_sim::{CompiledProgram, ScheduledOp};
 use std::collections::{HashSet, VecDeque};
 
@@ -21,6 +35,40 @@ pub struct SchedulerStats {
     pub fallback_routed_gates: usize,
 }
 
+/// Ring buffer of the most recent generic swaps (tabu list). Fixed
+/// capacity, no heap traffic.
+#[derive(Debug, Clone)]
+struct RecentSwaps {
+    buf: [(SlotId, SlotId); RECENT_CAP],
+    len: usize,
+    next: usize,
+}
+
+impl Default for RecentSwaps {
+    fn default() -> Self {
+        RecentSwaps { buf: [(SlotId(0), SlotId(0)); RECENT_CAP], len: 0, next: 0 }
+    }
+}
+
+const RECENT_CAP: usize = 6;
+
+impl RecentSwaps {
+    fn push(&mut self, pair: (SlotId, SlotId)) {
+        self.buf[self.next] = pair;
+        self.next = (self.next + 1) % RECENT_CAP;
+        self.len = (self.len + 1).min(RECENT_CAP);
+    }
+
+    fn contains(&self, a: SlotId, b: SlotId) -> bool {
+        self.buf[..self.len].iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.next = 0;
+    }
+}
+
 /// The generic-swap scheduler: executes every two-qubit gate of a circuit
 /// on a QCCD device, inserting SWAP gates, reorders and shuttles chosen by
 /// the heuristic of Eqs. (1)–(2).
@@ -30,17 +78,72 @@ pub struct Scheduler<'a> {
     router: &'a TrapRouter,
     config: &'a CompilerConfig,
     stats: SchedulerStats,
+    /// All-pairs slot distances, built once per scheduler (device-build
+    /// time relative to the compile).
+    dist: DistanceMatrix,
+    /// Edge indices of the static graph touching each trap (either
+    /// endpoint), ascending within each trap.
+    trap_edges: Vec<Vec<u32>>,
+    // ---- reusable scratch (cleared, never reallocated, per iteration) ----
+    frontier: Vec<(NodeId, Gate)>,
+    lookahead: Vec<(NodeId, Gate)>,
+    lookahead_ids: Vec<NodeId>,
+    lookahead_scratch: LookaheadScratch,
+    relevant_mask: Vec<bool>,
+    relevant_list: Vec<TrapId>,
+    edge_stamp: Vec<u64>,
+    edge_epoch: u64,
+    edge_list: Vec<u32>,
+    candidates: Vec<GenericSwap>,
+    fallback_scores: Vec<f64>,
+    scoring: ScoringScratch,
 }
 
 impl<'a> Scheduler<'a> {
-    /// Creates a scheduler over a prepared device graph and router.
+    /// Creates a scheduler over a prepared device graph and router. The
+    /// all-pairs [`DistanceMatrix`] and the per-trap edge index are built
+    /// here, once per device.
     pub fn new(graph: &'a SlotGraph, router: &'a TrapRouter, config: &'a CompilerConfig) -> Self {
-        Scheduler { graph, router, config, stats: SchedulerStats::default() }
+        let num_traps = graph.topology().num_traps();
+        let mut trap_edges: Vec<Vec<u32>> = vec![Vec::new(); num_traps];
+        for (i, e) in graph.edges().iter().enumerate() {
+            let ta = graph.slot_trap(e.a);
+            let tb = graph.slot_trap(e.b);
+            trap_edges[ta.index()].push(i as u32);
+            if tb != ta {
+                trap_edges[tb.index()].push(i as u32);
+            }
+        }
+        Scheduler {
+            graph,
+            router,
+            config,
+            stats: SchedulerStats::default(),
+            dist: DistanceMatrix::new(graph, router),
+            trap_edges,
+            frontier: Vec::new(),
+            lookahead: Vec::new(),
+            lookahead_ids: Vec::new(),
+            lookahead_scratch: LookaheadScratch::default(),
+            relevant_mask: vec![false; num_traps],
+            relevant_list: Vec::new(),
+            edge_stamp: vec![0; graph.edges().len()],
+            edge_epoch: 0,
+            edge_list: Vec::new(),
+            candidates: Vec::new(),
+            fallback_scores: Vec::new(),
+            scoring: ScoringScratch::default(),
+        }
     }
 
-    /// Search statistics of the last [`Scheduler::run`] call.
+    /// Search statistics of the last run.
     pub fn stats(&self) -> SchedulerStats {
         self.stats
+    }
+
+    /// The precomputed all-pairs slot distance matrix.
+    pub fn distance_matrix(&self) -> &DistanceMatrix {
+        &self.dist
     }
 
     /// Runs Algorithm 1: schedules every two-qubit gate of `circuit`
@@ -73,6 +176,250 @@ impl<'a> Scheduler<'a> {
 
         let mut dag = DependencyDag::from_circuit(circuit);
         let mechanics = Mechanics::new(self.graph, self.router);
+        let mut cache = ScoreCache::new(dag.len(), self.graph.topology().num_traps());
+        let mut decay = DecayTracker::new(
+            circuit.num_qubits(),
+            self.config.decay_delta,
+            self.config.decay_reset_interval,
+        );
+        let mut recent = RecentSwaps::default();
+        let mut stall = 0usize;
+        let budget = 10_000 + 400 * dag.len();
+        // The frontier / look-ahead gate lists only change when the DAG
+        // retires gates, not when ions move; rebuild them lazily.
+        let mut gate_lists_stale = true;
+
+        while !dag.is_complete() {
+            self.stats.iterations += 1;
+            if self.stats.iterations > budget {
+                return Err(CompileError::SchedulingStalled { remaining_gates: dag.remaining() });
+            }
+
+            // Step 4-10: execute every frontier gate whose qubits share a trap.
+            let executed = self.execute_ready(&mut dag, &mut placement, &mut program, &mechanics);
+            if executed > 0 {
+                stall = 0;
+                gate_lists_stale = true;
+                continue;
+            }
+            if dag.is_complete() {
+                break;
+            }
+
+            // Step 11: gather the candidate generic swaps near the frontier.
+            if gate_lists_stale {
+                self.rebuild_gate_lists(&dag);
+                gate_lists_stale = false;
+            }
+            self.collect_relevant_traps(&placement);
+            self.collect_candidates(&placement, Some(&recent));
+            if self.candidates.is_empty() {
+                // Allow undoing recent swaps rather than stalling outright.
+                self.collect_candidates(&placement, None);
+            }
+
+            // The scorer borrows only the `dist` field, so the remaining
+            // per-iteration scratch mutations stay disjoint.
+            let scorer = HeuristicScorer::with_distance_matrix(
+                self.graph,
+                self.router,
+                self.config,
+                &self.dist,
+            );
+            let mut applied = false;
+            if !self.candidates.is_empty() {
+                // Steps 12-18: score each candidate, apply the cheapest.
+                scorer.prepare_pass(
+                    &mut self.scoring,
+                    &mut cache,
+                    &placement,
+                    &decay,
+                    &self.frontier,
+                    &self.lookahead,
+                );
+                let mut best: Option<(f64, GenericSwap)> = None;
+                for swap in &self.candidates {
+                    let score = scorer.score_swap_prepared(&self.scoring, &placement, swap);
+                    let better = match best {
+                        None => true,
+                        Some((b, _)) => score < b - 1e-12,
+                    };
+                    if better {
+                        best = Some((score, *swap));
+                    }
+                }
+                if let Some((_, swap)) = best {
+                    self.apply_swap(&swap, &mut placement, &mut program, &mut decay, &mechanics);
+                    bump_swap_epochs(&mut cache, self.graph, &swap);
+                    recent.push((swap.a, swap.b));
+                    self.stats.heuristic_swaps += 1;
+                    applied = true;
+                }
+            }
+
+            decay.tick();
+            stall += 1;
+            if !applied || stall > self.config.max_stall_iterations {
+                // Safety net: route the cheapest frontier gate directly,
+                // scoring each frontier gate exactly once.
+                self.fallback_scores.clear();
+                for (_, gate) in &self.frontier {
+                    self.fallback_scores.push(scorer.gate_score(&placement, gate));
+                }
+                let mut best_idx = 0usize;
+                for i in 1..self.fallback_scores.len() {
+                    let cmp = self.fallback_scores[i]
+                        .partial_cmp(&self.fallback_scores[best_idx])
+                        .unwrap_or(std::cmp::Ordering::Equal);
+                    if cmp == std::cmp::Ordering::Less {
+                        best_idx = i;
+                    }
+                }
+                let gate = self
+                    .frontier
+                    .get(best_idx)
+                    .map(|&(_, g)| g)
+                    .expect("frontier is non-empty while the DAG is incomplete");
+                let (q1, q2) = gate.two_qubit_pair().expect("frontier gates are two-qubit");
+                let dest = placement.trap_of(q2).expect("qubit placed");
+                if placement.trap_free_slots(dest) == 0 {
+                    mechanics.make_space(&mut placement, &mut program, dest, 1, &[q1, q2]);
+                }
+                let dest = placement.trap_of(q2).expect("qubit placed");
+                if !mechanics.move_qubit_to_trap(&mut placement, &mut program, q1, dest) {
+                    return Err(CompileError::SchedulingStalled {
+                        remaining_gates: dag.remaining(),
+                    });
+                }
+                self.stats.fallback_routed_gates += 1;
+                stall = 0;
+                recent.clear();
+                // The fallback reshuffles ions arbitrarily: drop every
+                // cached base score.
+                cache.bump_all();
+            }
+        }
+
+        Ok((program, placement))
+    }
+
+    /// Rebuilds the cached frontier and look-ahead `(id, gate)` lists from
+    /// the DAG. Called only when gates retired since the last rebuild.
+    fn rebuild_gate_lists(&mut self, dag: &DependencyDag) {
+        self.frontier.clear();
+        self.frontier.extend(dag.frontier().iter().map(|&id| (id, dag.gate(id))));
+        dag.lookahead_ids_into(
+            self.config.lookahead_layers,
+            &mut self.lookahead_scratch,
+            &mut self.lookahead_ids,
+        );
+        self.lookahead.clear();
+        self.lookahead.extend(
+            self.lookahead_ids.iter().skip(self.frontier.len()).map(|&id| (id, dag.gate(id))),
+        );
+    }
+
+    /// Marks every trap holding a frontier-gate qubit plus every trap on
+    /// the shortest route between the two operand traps of a frontier gate
+    /// (the reusable-mask twin of [`Scheduler::relevant_traps_reference`]).
+    fn collect_relevant_traps(&mut self, placement: &Placement) {
+        for &t in &self.relevant_list {
+            self.relevant_mask[t.index()] = false;
+        }
+        self.relevant_list.clear();
+        for &(_, gate) in &self.frontier {
+            let Some((a, b)) = gate.two_qubit_pair() else { continue };
+            let (Some(ta), Some(tb)) = (placement.trap_of(a), placement.trap_of(b)) else {
+                continue;
+            };
+            if ta != tb && self.router.next_hop(ta, tb).is_none() {
+                continue; // unreachable pair: the reference inserts nothing
+            }
+            let mut cur = ta;
+            let mut hops = 0usize;
+            loop {
+                if !self.relevant_mask[cur.index()] {
+                    self.relevant_mask[cur.index()] = true;
+                    self.relevant_list.push(cur);
+                }
+                if cur == tb || hops > self.relevant_mask.len() {
+                    break;
+                }
+                match self.router.next_hop(cur, tb) {
+                    Some(n) if n != cur => cur = n,
+                    _ => break,
+                }
+                hops += 1;
+            }
+        }
+    }
+
+    /// Gathers the valid generic swaps touching a relevant trap into the
+    /// reusable candidate buffer, in static-edge order (matching the
+    /// reference's global enumerate-then-filter order exactly). `recent`
+    /// filters out tabu pairs when given.
+    fn collect_candidates(&mut self, placement: &Placement, recent: Option<&RecentSwaps>) {
+        // Union the per-trap edge lists, deduplicating inter-trap edges
+        // with an epoch stamp, then sort: candidate order must be the
+        // static edge order for tie-breaking to match the reference.
+        self.edge_epoch += 1;
+        let stamp = self.edge_epoch;
+        self.edge_list.clear();
+        for &t in &self.relevant_list {
+            for &e in &self.trap_edges[t.index()] {
+                let slot = &mut self.edge_stamp[e as usize];
+                if *slot != stamp {
+                    *slot = stamp;
+                    self.edge_list.push(e);
+                }
+            }
+        }
+        self.edge_list.sort_unstable();
+        self.candidates.clear();
+        for &ei in &self.edge_list {
+            let e = self.graph.edges()[ei as usize];
+            let Some(swap) =
+                GenericSwap::classify(self.graph, placement, e.a, e.b, e.kind, e.weight)
+            else {
+                continue;
+            };
+            if let Some(recent) = recent {
+                if recent.contains(swap.a, swap.b) {
+                    continue;
+                }
+            }
+            if !self.reorder_is_purposeful(placement, &swap) {
+                continue;
+            }
+            self.candidates.push(swap);
+        }
+    }
+
+    /// The straightforward transcription of Algorithm 1, kept as the
+    /// golden reference implementation: global candidate enumeration,
+    /// fresh collections every iteration and per-call distance
+    /// recomputation. Produces output bit-identical to [`Scheduler::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Scheduler::run`].
+    pub fn run_reference(
+        &mut self,
+        circuit: &Circuit,
+        mut placement: Placement,
+    ) -> Result<(CompiledProgram, Placement), CompileError> {
+        self.stats = SchedulerStats::default();
+        let mut program =
+            CompiledProgram::new(circuit.num_qubits(), self.graph.topology().num_traps());
+        for gate in circuit.iter() {
+            if !gate.is_two_qubit() {
+                let q = gate.qubits()[0];
+                program.push(ScheduledOp::SingleQubitGate { qubit: q });
+            }
+        }
+
+        let mut dag = DependencyDag::from_circuit(circuit);
+        let mechanics = Mechanics::new(self.graph, self.router);
         let scorer = HeuristicScorer::new(self.graph, self.router, self.config);
         let mut decay = DecayTracker::new(
             circuit.num_qubits(),
@@ -89,7 +436,6 @@ impl<'a> Scheduler<'a> {
                 return Err(CompileError::SchedulingStalled { remaining_gates: dag.remaining() });
             }
 
-            // Step 4-10: execute every frontier gate whose qubits share a trap.
             let executed = self.execute_ready(&mut dag, &mut placement, &mut program, &mechanics);
             if executed > 0 {
                 stall = 0;
@@ -99,28 +445,23 @@ impl<'a> Scheduler<'a> {
                 break;
             }
 
-            // Step 11: gather the candidate generic swaps near the frontier.
             let frontier: Vec<Gate> = dag.frontier().iter().map(|&id| dag.gate(id)).collect();
-            // Extended look-ahead window: upcoming gates beyond the frontier.
             let lookahead: Vec<Gate> = dag
                 .lookahead(self.config.lookahead_layers)
                 .into_iter()
                 .skip(frontier.len())
                 .collect();
-            let relevant = self.relevant_traps(&placement, &frontier);
-            let mut candidates = self.candidates(&placement, &relevant, &recent_swaps);
+            let relevant = self.relevant_traps_reference(&placement, &frontier);
+            let mut candidates = self.candidates_reference(&placement, &relevant, &recent_swaps);
             if candidates.is_empty() {
-                // Allow undoing recent swaps rather than stalling outright.
-                candidates = self.candidates(&placement, &relevant, &VecDeque::new());
+                candidates = self.candidates_reference(&placement, &relevant, &VecDeque::new());
             }
 
             let mut applied = false;
             if !candidates.is_empty() {
-                // Steps 12-18: score each candidate, apply the cheapest.
                 let mut best: Option<(f64, GenericSwap)> = None;
                 for swap in candidates {
-                    let score =
-                        scorer.score_swap(&placement, &decay, &frontier, &lookahead, &swap);
+                    let score = scorer.score_swap(&placement, &decay, &frontier, &lookahead, &swap);
                     let better = match best {
                         None => true,
                         Some((b, _)) => score < b - 1e-12,
@@ -131,7 +472,10 @@ impl<'a> Scheduler<'a> {
                 }
                 if let Some((_, swap)) = best {
                     self.apply_swap(&swap, &mut placement, &mut program, &mut decay, &mechanics);
-                    push_recent(&mut recent_swaps, (swap.a, swap.b));
+                    recent_swaps.push_back((swap.a, swap.b));
+                    while recent_swaps.len() > RECENT_CAP {
+                        recent_swaps.pop_front();
+                    }
                     self.stats.heuristic_swaps += 1;
                     applied = true;
                 }
@@ -196,10 +540,15 @@ impl<'a> Scheduler<'a> {
         ids.len()
     }
 
-    /// Traps worth touching this round: every trap holding a frontier-gate
+    /// Traps worth touching this round (reference implementation used by
+    /// [`Scheduler::run_reference`]): every trap holding a frontier-gate
     /// qubit plus every trap on the shortest route between the two operand
     /// traps of a frontier gate.
-    fn relevant_traps(&self, placement: &Placement, frontier: &[Gate]) -> HashSet<TrapId> {
+    fn relevant_traps_reference(
+        &self,
+        placement: &Placement,
+        frontier: &[Gate],
+    ) -> HashSet<TrapId> {
         let mut relevant = HashSet::new();
         for gate in frontier {
             let Some((a, b)) = gate.two_qubit_pair() else { continue };
@@ -213,11 +562,9 @@ impl<'a> Scheduler<'a> {
         relevant
     }
 
-    /// Valid generic swaps touching a relevant trap, excluding recent moves
-    /// and purposeless reorders (a reorder is only worth considering when it
-    /// moves a space strictly closer to one of its trap's chain ends, i.e.
-    /// towards a shuttle port).
-    fn candidates(
+    /// Valid generic swaps touching a relevant trap (reference
+    /// implementation used by [`Scheduler::run_reference`]).
+    fn candidates_reference(
         &self,
         placement: &Placement,
         relevant: &HashSet<TrapId>,
@@ -245,11 +592,8 @@ impl<'a> Scheduler<'a> {
             return true;
         }
         // After the exchange the space sits where the qubit was and vice versa.
-        let (space_slot, qubit_slot) = if placement.is_space(swap.a) {
-            (swap.a, swap.b)
-        } else {
-            (swap.b, swap.a)
-        };
+        let (space_slot, qubit_slot) =
+            if placement.is_space(swap.a) { (swap.a, swap.b) } else { (swap.b, swap.a) };
         let trap = self.graph.topology().trap(self.graph.slot_trap(space_slot));
         let space_moves_out =
             trap.distance_to_nearest_end(qubit_slot) < trap.distance_to_nearest_end(space_slot);
@@ -317,10 +661,18 @@ impl<'a> Scheduler<'a> {
     }
 }
 
-fn push_recent(recent: &mut VecDeque<(SlotId, SlotId)>, pair: (SlotId, SlotId)) {
-    recent.push_back(pair);
-    while recent.len() > 6 {
-        recent.pop_front();
+/// Bumps the score cache's trap epochs after `swap` was applied: reorders
+/// and shuttles change which slots of their trap(s) are occupied; SWAP
+/// gates exchange two ions between occupied slots and leave the occupancy
+/// pattern untouched.
+fn bump_swap_epochs(cache: &mut ScoreCache, graph: &SlotGraph, swap: &GenericSwap) {
+    match swap.kind {
+        GenericSwapKind::SwapGate => {}
+        GenericSwapKind::Reorder => cache.bump_trap(graph.slot_trap(swap.a)),
+        GenericSwapKind::Shuttle { .. } => {
+            cache.bump_trap(graph.slot_trap(swap.a));
+            cache.bump_trap(graph.slot_trap(swap.b));
+        }
     }
 }
 
@@ -376,9 +728,8 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cx(Qubit(0), Qubit(1));
         let topo = QccdTopology::linear(2, 3);
-        let config = CompilerConfig::default().with_initial_mapping(
-            crate::config::InitialMapping::EvenDivided,
-        );
+        let config = CompilerConfig::default()
+            .with_initial_mapping(crate::config::InitialMapping::EvenDivided);
         let (program, _) = compile(&c, &topo, &config);
         assert_eq!(program.counts().two_qubit_gates, 1);
         assert_eq!(program.counts().shuttles, 1);
@@ -444,5 +795,40 @@ mod tests {
         let topo = QccdTopology::linear(2, 6);
         let (_, stats) = compile(&circuit, &topo, &CompilerConfig::default());
         assert!(stats.iterations > 0);
+    }
+
+    #[test]
+    fn optimized_and_reference_runs_are_bit_identical() {
+        let config = CompilerConfig::default();
+        for (circuit, topo) in [
+            (qft(12), QccdTopology::grid(2, 2, 5)),
+            (random_two_qubit_circuit(10, 80, 3), QccdTopology::linear(3, 5)),
+        ] {
+            let graph = SlotGraph::new(topo.clone(), config.weights);
+            let router = TrapRouter::new(&topo, config.weights);
+            let placement = initial::build_placement(&circuit, &graph, &config);
+            let mut scheduler = Scheduler::new(&graph, &router, &config);
+            let (fast, fast_placement) = scheduler.run(&circuit, placement.clone()).unwrap();
+            let fast_stats = scheduler.stats();
+            let (slow, slow_placement) = scheduler.run_reference(&circuit, placement).unwrap();
+            let slow_stats = scheduler.stats();
+            assert_eq!(fast.ops(), slow.ops(), "{}", topo.name());
+            assert_eq!(fast_stats, slow_stats, "{}", topo.name());
+            assert_eq!(fast_placement, slow_placement, "{}", topo.name());
+        }
+    }
+
+    #[test]
+    fn scheduler_scratch_is_reusable_across_runs() {
+        let config = CompilerConfig::default();
+        let topo = QccdTopology::grid(2, 2, 5);
+        let graph = SlotGraph::new(topo.clone(), config.weights);
+        let router = TrapRouter::new(&topo, config.weights);
+        let mut scheduler = Scheduler::new(&graph, &router, &config);
+        let circuit = qft(10);
+        let placement = initial::build_placement(&circuit, &graph, &config);
+        let (first, _) = scheduler.run(&circuit, placement.clone()).unwrap();
+        let (second, _) = scheduler.run(&circuit, placement).unwrap();
+        assert_eq!(first.ops(), second.ops());
     }
 }

@@ -61,7 +61,8 @@ impl NoiseModel {
     /// Eq. (4). Clamped to `[0, 1]`.
     pub fn two_qubit_fidelity(&self, tau_us: f64, chain_len: usize, n_bar: f64) -> f64 {
         let tau_s = tau_us * 1e-6;
-        let f = 1.0 - self.heating_rate_gamma * tau_s
+        let f = 1.0
+            - self.heating_rate_gamma * tau_s
             - self.thermal_factor_a(chain_len) * (2.0 * n_bar + 1.0);
         f.clamp(0.0, 1.0)
     }

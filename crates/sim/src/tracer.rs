@@ -108,13 +108,10 @@ impl ExecutionTracer {
                     trap_clock[trap.index()] += tau;
                     transport_time += tau;
                 }
-                ScheduledOp::Shuttle {
-                    from_trap, to_trap, junctions, segments, ..
-                } => {
+                ScheduledOp::Shuttle { from_trap, to_trap, junctions, segments, .. } => {
                     let junction_paths: Vec<u32> = (0..junctions).map(|_| 3).collect();
                     let tau = self.op_times.shuttle_us(segments, &junction_paths);
-                    let start =
-                        trap_clock[from_trap.index()].max(trap_clock[to_trap.index()]);
+                    let start = trap_clock[from_trap.index()].max(trap_clock[to_trap.index()]);
                     let end = start + tau;
                     trap_clock[from_trap.index()] = end;
                     trap_clock[to_trap.index()] = end;
@@ -266,9 +263,7 @@ mod tests {
         short.push(gate(0, 5));
         let mut long = CompiledProgram::new(2, 1);
         long.push(gate(0, 20));
-        assert!(
-            tracer.evaluate(&long).total_time_us > tracer.evaluate(&short).total_time_us
-        );
+        assert!(tracer.evaluate(&long).total_time_us > tracer.evaluate(&short).total_time_us);
     }
 
     #[test]

@@ -41,7 +41,13 @@ fn main() {
 
     // 5. The first few hardware operations, for a feel of the output format.
     println!("\nfirst 10 hardware operations:");
-    for op in outcome.program().ops().iter().filter(|o| !matches!(o, ssync_sim::ScheduledOp::SingleQubitGate { .. })).take(10) {
+    for op in outcome
+        .program()
+        .ops()
+        .iter()
+        .filter(|o| !matches!(o, ssync_sim::ScheduledOp::SingleQubitGate { .. }))
+        .take(10)
+    {
         println!("  {op}");
     }
 }

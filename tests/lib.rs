@@ -54,7 +54,9 @@ pub fn check_program_invariants(
                 assert!(trap.index() < num_traps);
                 assert!(steps >= 1);
             }
-            ScheduledOp::Shuttle { from_trap, to_trap, source_chain_len, dest_chain_len, .. } => {
+            ScheduledOp::Shuttle {
+                from_trap, to_trap, source_chain_len, dest_chain_len, ..
+            } => {
                 assert_ne!(from_trap, to_trap, "shuttles must cross traps");
                 assert!(from_trap.index() < num_traps && to_trap.index() < num_traps);
                 assert!(

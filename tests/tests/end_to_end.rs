@@ -55,10 +55,7 @@ fn baselines_satisfy_program_invariants_everywhere() {
             if device.total_capacity() <= circuit.num_qubits() + 2 {
                 continue;
             }
-            for outcome in [
-                murali.compile(&circuit, &device),
-                dai.compile(&circuit, &device),
-            ] {
+            for outcome in [murali.compile(&circuit, &device), dai.compile(&circuit, &device)] {
                 let outcome = outcome
                     .unwrap_or_else(|e| panic!("{} on {}: {e}", circuit.name(), device.name()));
                 check_program_invariants(&circuit, &device, &outcome);

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`) as a plain wall-clock harness:
+//! each benchmark runs a warm-up pass plus `sample_size` timed samples and
+//! reports the per-iteration mean and minimum.
+//!
+//! Environment knobs (used by CI):
+//!
+//! * `SSYNC_BENCH_QUICK=1` — clamp every benchmark to 3 samples.
+//! * `SSYNC_BENCH_JSON=<path>` — additionally dump all results as a JSON
+//!   array of `{"name": ..., "mean_ns": ..., "min_ns": ..., "samples": ...}`
+//!   objects (the format committed in `BENCH_scheduling.json`).
+
+use std::fmt;
+use std::fs;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark path, e.g. `group/function/parameter`.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Identifier of a parameterised benchmark (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std_black_box(routine());
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("SSYNC_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `routine` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: F,
+    ) -> &mut Self {
+        let sample_size = if quick_mode() { self.sample_size.min(3) } else { self.sample_size };
+        let mut bencher = Bencher { sample_size, samples_ns: Vec::new() };
+        routine(&mut bencher);
+        self.record(id.to_string(), &bencher);
+        self
+    }
+
+    /// Runs `routine` with `input` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let sample_size = if quick_mode() { self.sample_size.min(3) } else { self.sample_size };
+        let mut bencher = Bencher { sample_size, samples_ns: Vec::new() };
+        routine(&mut bencher, input);
+        self.record(id.to_string(), &bencher);
+        self
+    }
+
+    /// Ends the group (kept for API parity; results are recorded eagerly).
+    pub fn finish(&mut self) {}
+
+    fn record(&mut self, id: String, bencher: &Bencher) {
+        if bencher.samples_ns.is_empty() {
+            return;
+        }
+        let n = bencher.samples_ns.len();
+        let mean = bencher.samples_ns.iter().sum::<f64>() / n as f64;
+        let min = bencher.samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let result = BenchResult {
+            name: format!("{}/{}", self.name, id),
+            mean_ns: mean,
+            min_ns: min,
+            samples: n,
+        };
+        println!(
+            "{:<56} mean {:>12.1} ns  min {:>12.1} ns  ({} samples)",
+            result.name, result.mean_ns, result.min_ns, result.samples
+        );
+        self.criterion.results.push(result);
+    }
+}
+
+/// The benchmark harness driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group (default sample size 10).
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), criterion: self, sample_size: 10 }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, routine: F) {
+        let name = id.to_string();
+        let sample_size = if quick_mode() { 3 } else { 10 };
+        let mut bencher = Bencher { sample_size, samples_ns: Vec::new() };
+        let mut routine = routine;
+        routine(&mut bencher);
+        if !bencher.samples_ns.is_empty() {
+            let n = bencher.samples_ns.len();
+            let mean = bencher.samples_ns.iter().sum::<f64>() / n as f64;
+            let min = bencher.samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+            let result = BenchResult { name, mean_ns: mean, min_ns: min, samples: n };
+            println!(
+                "{:<56} mean {:>12.1} ns  min {:>12.1} ns  ({} samples)",
+                result.name, result.mean_ns, result.min_ns, result.samples
+            );
+            self.results.push(result);
+        }
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the JSON dump if `SSYNC_BENCH_JSON` is set. Called by the
+    /// `criterion_main!`-generated `main` after every group has run.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("SSYNC_BENCH_JSON") else { return };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+                r.name.replace('"', "'"),
+                r.mean_ns,
+                r.min_ns,
+                r.samples,
+                comma
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote benchmark JSON to {path}");
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running every group then finalizing the JSON dump.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_records_results() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("f", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("h", 3), &3, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].name, "g/f");
+        assert_eq!(c.results()[1].name, "g/h/3");
+        assert!(c.results()[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

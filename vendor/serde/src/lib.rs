@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no crates.io access) and never
+//! performs real (de)serialization, so `Serialize` / `Deserialize` are
+//! plain marker traits here and the derives emit empty impls. Replace the
+//! `vendor/serde*` path dependencies with the real crates to regain full
+//! serde behaviour — the source code is already written against the real
+//! API surface it uses (`use serde::{Deserialize, Serialize}` + derives).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided: nothing in
+/// the workspace names the trait directly).
+pub trait Deserialize {}
