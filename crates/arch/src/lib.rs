@@ -17,7 +17,11 @@
 //! * [`TrapRouter`] — all-pairs shuttle distances / next hops between traps,
 //! * [`DistanceMatrix`] — all-pairs slot-to-slot routing distances (the
 //!   Eq. 2 `dis` term) precomputed at device-build time for the
-//!   scheduler's O(1) inner loop.
+//!   scheduler's O(1) inner loop,
+//! * [`Device`] — the once-built, immutable bundle of topology + slot
+//!   graph + trap router + distance matrix + trap→edge candidate index
+//!   that every compile entry point shares (and batch compilation shares
+//!   across worker threads).
 //!
 //! ```
 //! use ssync_arch::{QccdTopology, SlotGraph, WeightConfig, Placement, TrapId};
@@ -36,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod device;
 mod distance;
 mod error;
 mod graph;
@@ -45,6 +50,7 @@ mod routing;
 mod topology;
 mod trap;
 
+pub use device::Device;
 pub use distance::DistanceMatrix;
 pub use error::ArchError;
 pub use graph::{EdgeKind, SlotEdge, SlotGraph, WeightConfig};

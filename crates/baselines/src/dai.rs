@@ -1,7 +1,7 @@
 //! The Dai et al. (IEEE TQE 2024) baseline compiler.
 
 use crate::greedy::{BaselineStyle, GreedyRouter};
-use ssync_arch::QccdTopology;
+use ssync_arch::{Device, QccdTopology};
 use ssync_circuit::Circuit;
 use ssync_core::{CompileError, CompileOutcome, CompilerConfig};
 
@@ -42,7 +42,7 @@ impl DaiCompiler {
         self.router.config()
     }
 
-    /// Compiles `circuit` for `topology`.
+    /// Compiles `circuit` for `topology`, building a throw-away device.
     ///
     /// # Errors
     ///
@@ -53,6 +53,20 @@ impl DaiCompiler {
         topology: &QccdTopology,
     ) -> Result<CompileOutcome, CompileError> {
         self.router.compile(circuit, topology)
+    }
+
+    /// Compiles `circuit` against a prepared, shared [`Device`] artifact
+    /// (the entry point sweeps should use).
+    ///
+    /// # Errors
+    ///
+    /// See [`GreedyRouter::compile_on`].
+    pub fn compile_on(
+        &self,
+        device: &Device,
+        circuit: &Circuit,
+    ) -> Result<CompileOutcome, CompileError> {
+        self.router.compile_on(device, circuit)
     }
 }
 

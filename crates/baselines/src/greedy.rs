@@ -1,7 +1,7 @@
 //! The shared greedy routing engine behind both baseline compilers.
 
-use ssync_arch::{Placement, QccdTopology, SlotGraph, TrapRouter};
-use ssync_circuit::{Circuit, DependencyDag, Gate, Qubit};
+use ssync_arch::{Device, Placement, QccdTopology, SlotGraph, TrapRouter};
+use ssync_circuit::{Circuit, DependencyDag, Gate, NodeId, Qubit};
 use ssync_core::mechanics::Mechanics;
 use ssync_core::{CompileError, CompileOutcome, CompilerConfig};
 use ssync_sim::{CompiledProgram, ExecutionTracer, ScheduledOp};
@@ -49,29 +49,59 @@ impl GreedyRouter {
 
     /// Compiles `circuit` for `topology`.
     ///
+    /// This is a convenience wrapper that builds a throw-away [`Device`]
+    /// and forwards to [`GreedyRouter::compile_on`]; sweeps should build
+    /// the device once and call `compile_on` directly.
+    ///
     /// # Errors
     ///
-    /// Returns [`CompileError::DeviceTooSmall`] when the device cannot hold
-    /// every qubit plus a free slot, and
-    /// [`CompileError::DisconnectedTopology`] for unreachable traps.
+    /// See [`GreedyRouter::compile_on`].
     pub fn compile(
         &self,
         circuit: &Circuit,
         topology: &QccdTopology,
     ) -> Result<CompileOutcome, CompileError> {
+        let device = Device::build(topology.clone(), self.config.weights);
+        self.compile_on(&device, circuit)
+    }
+
+    /// Compiles `circuit` against a prepared, shared `device` artifact.
+    /// The slot graph and trap router come from the device; nothing
+    /// device-derived is rebuilt per compile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::DeviceTooSmall`] when the device cannot hold
+    /// every qubit plus a free slot, and
+    /// [`CompileError::DisconnectedTopology`] for unreachable traps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was built with different edge weights than this
+    /// router's configuration.
+    pub fn compile_on(
+        &self,
+        device: &Device,
+        circuit: &Circuit,
+    ) -> Result<CompileOutcome, CompileError> {
+        assert!(
+            device.weights() == self.config.weights,
+            "device was built with different edge weights than the baseline config"
+        );
+        let topology = device.topology();
         let slots = topology.total_capacity();
         if slots < circuit.num_qubits() + 1 {
             return Err(CompileError::DeviceTooSmall { qubits: circuit.num_qubits(), slots });
         }
-        let router = TrapRouter::new(topology, self.config.weights);
-        if !router.is_connected() {
+        if !device.is_connected() {
             return Err(CompileError::DisconnectedTopology);
         }
 
         let start = Instant::now();
-        let graph = SlotGraph::new(topology.clone(), self.config.weights);
-        let mechanics = Mechanics::new(&graph, &router);
-        let mut placement = self.initial_placement(circuit, &graph);
+        let graph = device.graph();
+        let router = device.router();
+        let mechanics = Mechanics::new(graph, router);
+        let mut placement = self.initial_placement(circuit, graph);
         let mut program = CompiledProgram::new(circuit.num_qubits(), topology.num_traps());
         for gate in circuit.iter() {
             if !gate.is_two_qubit() {
@@ -82,6 +112,8 @@ impl GreedyRouter {
         let mut dag = DependencyDag::from_circuit(circuit);
         let mut rounds = 0usize;
         let budget = 10_000 + 100 * dag.len();
+        let mut drain_scratch: Vec<NodeId> = Vec::new();
+        let mut executed: Vec<NodeId> = Vec::new();
         while !dag.is_complete() {
             rounds += 1;
             if rounds > budget {
@@ -89,13 +121,17 @@ impl GreedyRouter {
             }
             // Execute everything already co-located.
             let placement_ref = &placement;
-            let executed = dag.drain_executable(|gate| {
-                let Some((a, b)) = gate.two_qubit_pair() else { return false };
-                match (placement_ref.slot_of(a), placement_ref.slot_of(b)) {
-                    (Some(sa), Some(sb)) => graph.same_trap(sa, sb),
-                    _ => false,
-                }
-            });
+            dag.drain_executable_into(
+                |gate| {
+                    let Some((a, b)) = gate.two_qubit_pair() else { return false };
+                    match (placement_ref.slot_of(a), placement_ref.slot_of(b)) {
+                        (Some(sa), Some(sb)) => graph.same_trap(sa, sb),
+                        _ => false,
+                    }
+                },
+                &mut drain_scratch,
+                &mut executed,
+            );
             for id in &executed {
                 let (a, b) = dag.gate(*id).two_qubit_pair().expect("two-qubit gate");
                 mechanics.emit_two_qubit_gate(&placement, &mut program, a, b);
@@ -109,8 +145,8 @@ impl GreedyRouter {
 
             // Every frontier gate is blocked: pick one and route it.
             let frontier: Vec<Gate> = dag.frontier().iter().map(|&id| dag.gate(id)).collect();
-            let gate = self.pick_gate(&frontier, &placement, &router, &graph);
-            let (mover, anchor) = self.pick_mover(&gate, &placement, &router, &graph);
+            let gate = self.pick_gate(&frontier, &placement, router, graph);
+            let (mover, anchor) = self.pick_mover(&gate, &placement, router, graph);
             let dest = placement.trap_of(anchor).expect("anchor placed");
             if placement.trap_free_slots(dest) == 0 {
                 mechanics.make_space(&mut placement, &mut program, dest, 1, &[mover, anchor]);

@@ -56,13 +56,11 @@ fn bench_compile_apps(c: &mut Criterion) {
 /// tracing / report overhead), on the largest circuits of the suite. Both
 /// produce bit-identical programs; only the wall clock differs.
 fn bench_scheduler_hot_path(c: &mut Criterion) {
-    use ssync_arch::{SlotGraph, TrapRouter};
+    use ssync_arch::Device;
     use ssync_core::{initial, Scheduler};
 
-    let topo = QccdTopology::grid(2, 2, 10);
     let config = CompilerConfig::default();
-    let graph = SlotGraph::new(topo.clone(), config.weights);
-    let router = TrapRouter::new(&topo, config.weights);
+    let device = Device::build(QccdTopology::grid(2, 2, 10), config.weights);
     let mut group = c.benchmark_group("scheduler_hot_path");
     group.sample_size(10);
     for (label, circuit) in [
@@ -70,16 +68,16 @@ fn bench_scheduler_hot_path(c: &mut Criterion) {
         ("qaoa/24", scaled_app(AppKind::Qaoa, 24)),
         ("adder/24", scaled_app(AppKind::Adder, 24)),
     ] {
-        let placement = initial::build_placement(&circuit, &graph, &config);
+        let placement = initial::build_placement(&circuit, &device, &config);
         group.bench_with_input(BenchmarkId::new("optimized", label), &circuit, |b, circuit| {
             b.iter(|| {
-                let mut scheduler = Scheduler::new(&graph, &router, &config);
+                let mut scheduler = Scheduler::new(&device, &config);
                 scheduler.run(circuit, placement.clone()).expect("schedules").0.len()
             })
         });
         group.bench_with_input(BenchmarkId::new("reference", label), &circuit, |b, circuit| {
             b.iter(|| {
-                let mut scheduler = Scheduler::new(&graph, &router, &config);
+                let mut scheduler = Scheduler::new(&device, &config);
                 scheduler.run_reference(circuit, placement.clone()).expect("schedules").0.len()
             })
         });
@@ -87,5 +85,97 @@ fn bench_scheduler_hot_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile_time, bench_compile_apps, bench_scheduler_hot_path);
+/// Batch throughput over one shared device: the same circuit set compiled
+/// three ways — rebuilding the device artifact per compile like the
+/// pre-`Device` code did ("rebuild_device"), through one shared device a
+/// worker at a time ("sequential") and with the full worker pool
+/// ("parallel"), the latter two via the identical
+/// `compile_batch_with_workers` code path.
+/// circuits/sec = circuit count ÷ (mean_ns × 1e-9). The circuit count is
+/// part of the benchmark name so the JSON stays self-describing.
+fn bench_batch_throughput(c: &mut Criterion) {
+    use ssync_arch::Device;
+    use ssync_core::SSyncCompiler;
+
+    let config = CompilerConfig::default();
+    let topo = QccdTopology::grid(2, 3, 10);
+    let device = Device::build(topo.clone(), config.weights);
+    let compiler = SSyncCompiler::new(config);
+    // A fig11-style cell: every application of the suite against one
+    // fixed device, at smoke-test sizes.
+    let circuits: Vec<_> = [
+        (AppKind::Qft, 16usize),
+        (AppKind::Bv, 16),
+        (AppKind::Adder, 16),
+        (AppKind::Qaoa, 16),
+        (AppKind::Alt, 16),
+        (AppKind::Heisenberg, 16),
+        (AppKind::Qft, 24),
+        (AppKind::Qaoa, 24),
+    ]
+    .into_iter()
+    .map(|(app, n)| scaled_app(app, n))
+    .collect();
+    let workers = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    let n = circuits.len();
+    group.bench_function(BenchmarkId::new("rebuild_device", format!("{n}circ")), |b| {
+        b.iter(|| circuits.iter().filter(|c| compiler.compile(c, &topo).is_ok()).count())
+    });
+    group.bench_function(BenchmarkId::new("sequential", format!("{n}circ")), |b| {
+        b.iter(|| {
+            compiler
+                .compile_batch_with_workers(&device, &circuits, 1)
+                .into_iter()
+                .filter(|r| r.is_ok())
+                .count()
+        })
+    });
+    group.bench_function(BenchmarkId::new("parallel", format!("{n}circ/{workers}workers")), |b| {
+        b.iter(|| {
+            compiler
+                .compile_batch_with_workers(&device, &circuits, workers)
+                .into_iter()
+                .filter(|r| r.is_ok())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+/// Cost of building the shared [`ssync_arch::Device`] artifact itself —
+/// the fixed price a sweep pays once per (topology, weights) cell instead
+/// of once per compile.
+fn bench_device_build(c: &mut Criterion) {
+    use ssync_arch::Device;
+
+    let config = CompilerConfig::default();
+    let mut group = c.benchmark_group("device_build");
+    group.sample_size(10);
+    for name in ["G-2x3", "G-3x3", "S-6", "L-6"] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // Touch the lazy distance matrix so the full artifact cost
+                // (graph + router + all-pairs distances + edge index) is
+                // what this benchmark reports.
+                Device::named(name, config.weights)
+                    .expect("known topology")
+                    .distance_matrix()
+                    .num_slots()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile_time,
+    bench_compile_apps,
+    bench_scheduler_hot_path,
+    bench_batch_throughput,
+    bench_device_build
+);
 criterion_main!(benches);

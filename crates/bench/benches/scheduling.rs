@@ -2,7 +2,7 @@
 //! construction, initial mapping, trap routing and the execution tracer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ssync_arch::{QccdTopology, SlotGraph, TrapRouter, WeightConfig};
+use ssync_arch::{Device, QccdTopology, TrapRouter, WeightConfig};
 use ssync_circuit::generators::{qft, random_two_qubit_circuit};
 use ssync_circuit::DependencyDag;
 use ssync_core::{initial, CompilerConfig, SSyncCompiler};
@@ -23,11 +23,11 @@ fn bench_initial_mapping(c: &mut Criterion) {
     let mut group = c.benchmark_group("initial_mapping");
     let circuit = qft(48);
     let topo = QccdTopology::grid(2, 3, 10);
+    let device = Device::build(topo, CompilerConfig::default().weights);
     for mapping in ssync_core::InitialMapping::ALL {
         let config = CompilerConfig::default().with_initial_mapping(mapping);
-        let graph = SlotGraph::new(topo.clone(), config.weights);
         group.bench_function(mapping.label(), |b| {
-            b.iter(|| initial::build_placement(&circuit, &graph, &config).num_placed())
+            b.iter(|| initial::build_placement(&circuit, &device, &config).num_placed())
         });
     }
     group.finish();

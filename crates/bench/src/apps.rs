@@ -1,6 +1,7 @@
 //! Application registry: the Table 2 benchmarks plus size-parameterised
 //! variants for the application-size sweeps (Figs. 12, 14, 15).
 
+use ssync_arch::QccdTopology;
 use ssync_circuit::generators;
 use ssync_circuit::Circuit;
 
@@ -66,6 +67,30 @@ pub fn scaled_app(kind: AppKind, qubits: usize) -> Circuit {
     }
 }
 
+/// Builds the (application, size) sweep cells that fit on `topology`
+/// (the device must hold every qubit plus one free slot), in input order.
+/// Returns one `(app, actual_qubits)` entry per kept circuit, aligned
+/// with the circuit list — the shape every batch-compiling fig binary
+/// feeds to `compile_batch` / `run_compiler_batch`. This is the single
+/// home of the fit predicate, so every figure skips exactly the same
+/// cells.
+pub fn fitting_cells(
+    pairs: impl IntoIterator<Item = (AppKind, usize)>,
+    topology: &QccdTopology,
+) -> (Vec<(AppKind, usize)>, Vec<Circuit>) {
+    let mut cells = Vec::new();
+    let mut circuits = Vec::new();
+    for (app, size) in pairs {
+        let circuit = scaled_app(app, size);
+        if circuit.num_qubits() + 1 > topology.total_capacity() {
+            continue;
+        }
+        cells.push((app, circuit.num_qubits()));
+        circuits.push(circuit);
+    }
+    (cells, circuits)
+}
+
 /// The paper-scale instance of each application (Table 2 sizes).
 pub fn table2_app(kind: AppKind) -> Circuit {
     match kind {
@@ -98,6 +123,18 @@ mod tests {
         assert_eq!(table2_app(AppKind::Qft).num_qubits(), 64);
         assert_eq!(table2_app(AppKind::Bv).num_qubits(), 65);
         assert_eq!(table2_app(AppKind::Heisenberg).two_qubit_gate_count(), 13_536);
+    }
+
+    #[test]
+    fn fitting_cells_keeps_only_circuits_with_a_spare_slot() {
+        let topo = QccdTopology::linear(2, 9); // 18 slots
+        let (cells, circuits) =
+            fitting_cells([(AppKind::Qft, 16), (AppKind::Qft, 18), (AppKind::Qft, 12)], &topo);
+        // QFT_18 needs 18 + 1 slots and is dropped; order is preserved.
+        assert_eq!(cells, vec![(AppKind::Qft, 16), (AppKind::Qft, 12)]);
+        assert_eq!(circuits.len(), 2);
+        assert_eq!(circuits[0].num_qubits(), 16);
+        assert_eq!(circuits[1].num_qubits(), 12);
     }
 
     #[test]

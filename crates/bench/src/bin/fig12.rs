@@ -2,9 +2,13 @@
 //! even-divided, STA) on shuttles, SWAPs, execution time and success rate,
 //! for the Adder and QFT applications on a G-2x3 device across application
 //! sizes.
+//!
+//! The G-2x3 device is built once and shared by every mapping; each
+//! mapping's circuits compile in one parallel batch.
 
+use ssync_arch::Device;
 use ssync_bench::table::{fmt_rate, fmt_us};
-use ssync_bench::{scaled_app, AppKind, BenchScale, Table};
+use ssync_bench::{fitting_cells, AppKind, BenchScale, Table};
 use ssync_core::{CompilerConfig, InitialMapping, SSyncCompiler};
 
 fn main() {
@@ -13,8 +17,24 @@ fn main() {
         BenchScale::Paper => vec![50, 58, 66, 74, 82, 90],
         BenchScale::Small => vec![12, 16],
     };
-    let topo = ssync_arch::QccdTopology::named("G-2x3").expect("known topology");
+    let base_config = CompilerConfig::default();
+    let device = Device::named("G-2x3", base_config.weights).expect("known topology");
     let apps = [AppKind::Adder, AppKind::Qft];
+
+    // All (app, size) circuits that fit, in output order.
+    let (cells, circuits) = fitting_cells(
+        apps.iter().flat_map(|&app| sizes.iter().map(move |&size| (app, size))),
+        device.topology(),
+    );
+
+    // One parallel batch per mapping over the shared device.
+    let mut per_mapping = Vec::new();
+    for mapping in InitialMapping::ALL {
+        eprintln!("[fig12] {} circuits with {} (batched)", circuits.len(), mapping.label());
+        let config = base_config.with_initial_mapping(mapping);
+        let outcomes = SSyncCompiler::new(config).compile_batch(&device, &circuits);
+        per_mapping.push(outcomes);
+    }
 
     let mut table = Table::new([
         "Application",
@@ -25,28 +45,18 @@ fn main() {
         "Execution time",
         "Success rate",
     ]);
-    for app in apps {
-        for &size in &sizes {
-            let circuit = scaled_app(app, size);
-            if circuit.num_qubits() + 1 > topo.total_capacity() {
-                continue;
-            }
-            for mapping in InitialMapping::ALL {
-                eprintln!("[fig12] {}_{} with {}", app.label(), size, mapping.label());
-                let config = CompilerConfig::default().with_initial_mapping(mapping);
-                let outcome = SSyncCompiler::new(config)
-                    .compile(&circuit, &topo)
-                    .expect("compilation succeeds");
-                table.push_row([
-                    app.label().to_string(),
-                    circuit.num_qubits().to_string(),
-                    mapping.label().to_string(),
-                    outcome.counts().shuttles.to_string(),
-                    outcome.counts().swap_gates.to_string(),
-                    fmt_us(outcome.report().total_time_us),
-                    fmt_rate(outcome.report().success_rate),
-                ]);
-            }
+    for (i, &(app, qubits)) in cells.iter().enumerate() {
+        for (m, mapping) in InitialMapping::ALL.into_iter().enumerate() {
+            let outcome = per_mapping[m][i].as_ref().expect("compilation succeeds");
+            table.push_row([
+                app.label().to_string(),
+                qubits.to_string(),
+                mapping.label().to_string(),
+                outcome.counts().shuttles.to_string(),
+                outcome.counts().swap_gates.to_string(),
+                fmt_us(outcome.report().total_time_us),
+                fmt_rate(outcome.report().success_rate),
+            ]);
         }
     }
     println!("Fig. 12 — initial-mapping comparison on G-2x3 (S-SYNC, FM gates)\n");

@@ -1,9 +1,15 @@
 //! Regenerates Fig. 14: hyper-parameter sensitivity of S-SYNC — the
 //! shuttle/inner weight ratio r (left panel) and the decay rate δ (right
 //! panel) — on a G-2x2 device with trap capacity 20.
+//!
+//! Devices are keyed by (topology, weights): the weight-ratio sweep
+//! builds one device per ratio (the edge weights change the artifact),
+//! while the decay sweep shares a single device across every δ. Each
+//! cell's circuits compile in one parallel batch.
 
+use ssync_arch::{Device, QccdTopology};
 use ssync_bench::table::fmt_rate;
-use ssync_bench::{scaled_app, AppKind, BenchScale, Table};
+use ssync_bench::{fitting_cells, AppKind, BenchScale, Table};
 use ssync_core::{CompilerConfig, SSyncCompiler};
 
 fn main() {
@@ -13,51 +19,53 @@ fn main() {
         BenchScale::Small => vec![12, 16],
     };
     let apps = [AppKind::Adder, AppKind::Qft, AppKind::Qaoa];
-    let topo = ssync_arch::QccdTopology::grid(2, 2, 20);
+    let topo = QccdTopology::grid(2, 2, 20);
 
-    // Left panel: weight-ratio sweep.
+    // The (app, size) cells that fit, in output order.
+    let (cells, circuits) = fitting_cells(
+        apps.iter().flat_map(|&app| sizes.iter().map(move |&size| (app, size))),
+        &topo,
+    );
+
+    // Left panel: weight-ratio sweep — the weights are part of the device
+    // artifact, so each ratio builds its own device once.
     let ratios = [100.0, 1_000.0, 10_000.0, 100_000.0];
+    let mut per_ratio = Vec::new();
+    for &ratio in &ratios {
+        let config = CompilerConfig::default().with_weight_ratio(ratio);
+        let device = Device::build(topo.clone(), config.weights);
+        eprintln!("[fig14] {} circuits at ratio {ratio} (batched)", circuits.len());
+        per_ratio.push(SSyncCompiler::new(config).compile_batch(&device, &circuits));
+    }
     let mut weight_table = Table::new(["Application", "Size", "r=100", "r=1e3", "r=1e4", "r=1e5"]);
-    for app in apps {
-        for &size in &sizes {
-            let circuit = scaled_app(app, size);
-            if circuit.num_qubits() + 1 > topo.total_capacity() {
-                continue;
-            }
-            let mut cells = vec![app.label().to_string(), circuit.num_qubits().to_string()];
-            for &ratio in &ratios {
-                eprintln!("[fig14] {}_{} ratio {ratio}", app.label(), size);
-                let config = CompilerConfig::default().with_weight_ratio(ratio);
-                let outcome = SSyncCompiler::new(config)
-                    .compile(&circuit, &topo)
-                    .expect("compilation succeeds");
-                cells.push(fmt_rate(outcome.report().success_rate));
-            }
-            weight_table.push_row(cells);
+    for (i, &(app, qubits)) in cells.iter().enumerate() {
+        let mut row = vec![app.label().to_string(), qubits.to_string()];
+        for outcomes in &per_ratio {
+            let outcome = outcomes[i].as_ref().expect("compilation succeeds");
+            row.push(fmt_rate(outcome.report().success_rate));
         }
+        weight_table.push_row(row);
     }
 
-    // Right panel: decay-rate sweep.
+    // Right panel: decay-rate sweep — δ does not touch the device, so one
+    // shared artifact serves every configuration.
     let decays = [0.0, 0.01, 0.001, 0.0001];
+    let shared = Device::build(topo.clone(), CompilerConfig::default().weights);
+    let mut per_decay = Vec::new();
+    for &delta in &decays {
+        let config = CompilerConfig::default().with_decay(delta);
+        eprintln!("[fig14] {} circuits at decay {delta} (batched)", circuits.len());
+        per_decay.push(SSyncCompiler::new(config).compile_batch(&shared, &circuits));
+    }
     let mut decay_table =
         Table::new(["Application", "Size", "d=0", "d=0.01", "d=0.001", "d=0.0001"]);
-    for app in apps {
-        for &size in &sizes {
-            let circuit = scaled_app(app, size);
-            if circuit.num_qubits() + 1 > topo.total_capacity() {
-                continue;
-            }
-            let mut cells = vec![app.label().to_string(), circuit.num_qubits().to_string()];
-            for &delta in &decays {
-                eprintln!("[fig14] {}_{} decay {delta}", app.label(), size);
-                let config = CompilerConfig::default().with_decay(delta);
-                let outcome = SSyncCompiler::new(config)
-                    .compile(&circuit, &topo)
-                    .expect("compilation succeeds");
-                cells.push(fmt_rate(outcome.report().success_rate));
-            }
-            decay_table.push_row(cells);
+    for (i, &(app, qubits)) in cells.iter().enumerate() {
+        let mut row = vec![app.label().to_string(), qubits.to_string()];
+        for outcomes in &per_decay {
+            let outcome = outcomes[i].as_ref().expect("compilation succeeds");
+            row.push(fmt_rate(outcome.report().success_rate));
         }
+        decay_table.push_row(row);
     }
 
     println!("Fig. 14 (left) — success rate vs shuttle/inner weight ratio (G-2x2, cap 20)\n");

@@ -1,8 +1,17 @@
 //! Regenerates Fig. 15: compilation time vs application size — S-SYNC
 //! against the Murali et al. baseline on QFT (left panel) and across all
 //! benchmarks for S-SYNC (right panel), on a G-2x2 device of capacity 20.
+//!
+//! One shared device serves the whole figure. Because the per-circuit
+//! `compile_time` IS the quantity this figure reports, the batches run
+//! with a single worker: concurrent compilations would contend for cores
+//! and inflate each other's wall-clock readings. The shared device is
+//! still built exactly once.
 
-use ssync_bench::{run_compiler, scaled_app, AppKind, BenchScale, CompilerKind, Table};
+use ssync_arch::{Device, QccdTopology};
+use ssync_bench::{
+    fitting_cells, run_compiler_batch_with_workers, AppKind, BenchScale, CompilerKind, Table,
+};
 use ssync_core::CompilerConfig;
 
 fn main() {
@@ -11,43 +20,47 @@ fn main() {
         BenchScale::Paper => vec![48, 56, 64, 72],
         BenchScale::Small => vec![12, 16],
     };
-    let topo = ssync_arch::QccdTopology::grid(2, 2, 20);
+    let topo = QccdTopology::grid(2, 2, 20);
     let config = CompilerConfig::default();
+    let device = Device::build(topo, config.weights);
 
     // Left panel: QFT, S-SYNC vs Murali.
+    let (_, qft_circuits) =
+        fitting_cells(sizes.iter().map(|&size| (AppKind::Qft, size)), device.topology());
+    // Single worker: compile_time is the measured quantity (see module doc).
+    eprintln!("[fig15] {} QFT sizes under both compilers (shared device)", qft_circuits.len());
+    let murali =
+        run_compiler_batch_with_workers(CompilerKind::Murali, &device, &qft_circuits, &config, 1);
+    let ssync =
+        run_compiler_batch_with_workers(CompilerKind::SSync, &device, &qft_circuits, &config, 1);
     let mut left = Table::new(["QFT size", "Murali et al. (s)", "This Work (s)"]);
-    for &size in &sizes {
-        let circuit = scaled_app(AppKind::Qft, size);
-        if circuit.num_qubits() + 1 > topo.total_capacity() {
-            continue;
-        }
-        eprintln!("[fig15] QFT_{size} under both compilers");
-        let murali = run_compiler(CompilerKind::Murali, &circuit, &topo, &config).unwrap();
-        let ssync = run_compiler(CompilerKind::SSync, &circuit, &topo, &config).unwrap();
+    for (i, circuit) in qft_circuits.iter().enumerate() {
+        let m = murali[i].as_ref().expect("compilation succeeds");
+        let s = ssync[i].as_ref().expect("compilation succeeds");
         left.push_row([
-            size.to_string(),
-            format!("{:.3}", murali.compile_time().as_secs_f64()),
-            format!("{:.3}", ssync.compile_time().as_secs_f64()),
+            circuit.num_qubits().to_string(),
+            format!("{:.3}", m.compile_time().as_secs_f64()),
+            format!("{:.3}", s.compile_time().as_secs_f64()),
         ]);
     }
 
     // Right panel: every benchmark under S-SYNC.
     let apps = [AppKind::Qft, AppKind::Adder, AppKind::Bv, AppKind::Qaoa, AppKind::Alt];
+    let (cells, circuits) = fitting_cells(
+        apps.iter().flat_map(|&app| sizes.iter().map(move |&size| (app, size))),
+        device.topology(),
+    );
+    eprintln!("[fig15] {} benchmark circuits under S-SYNC (shared device)", circuits.len());
+    let outcomes =
+        run_compiler_batch_with_workers(CompilerKind::SSync, &device, &circuits, &config, 1);
     let mut right = Table::new(["Application", "Size", "Compile time (s)"]);
-    for app in apps {
-        for &size in &sizes {
-            let circuit = scaled_app(app, size);
-            if circuit.num_qubits() + 1 > topo.total_capacity() {
-                continue;
-            }
-            eprintln!("[fig15] {}_{} under S-SYNC", app.label(), size);
-            let outcome = run_compiler(CompilerKind::SSync, &circuit, &topo, &config).unwrap();
-            right.push_row([
-                app.label().to_string(),
-                circuit.num_qubits().to_string(),
-                format!("{:.3}", outcome.compile_time().as_secs_f64()),
-            ]);
-        }
+    for (&(app, qubits), outcome) in cells.iter().zip(&outcomes) {
+        let outcome = outcome.as_ref().expect("compilation succeeds");
+        right.push_row([
+            app.label().to_string(),
+            qubits.to_string(),
+            format!("{:.3}", outcome.compile_time().as_secs_f64()),
+        ]);
     }
 
     println!("Fig. 15 (left) — compilation time, QFT, S-SYNC vs Murali et al. (G-2x2, cap 20)\n");
@@ -57,4 +70,7 @@ fn main() {
     println!("Expected shape: S-SYNC's compilation time does not grow strictly with");
     println!("application size — as devices fill up there are fewer space nodes and");
     println!("therefore fewer candidate paths to score.");
+    println!("Note: compile times cover compilation proper over a prepared device;");
+    println!("the shared Device artifact (slot graph, router, distance matrix) is a");
+    println!("per-sweep cost excluded here (see device_build in BENCH_scheduling.json).");
 }

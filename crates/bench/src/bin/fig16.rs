@@ -1,9 +1,13 @@
 //! Regenerates Fig. 16: the optimality analysis — S-SYNC against the
 //! "perfect SWAP", "perfect shuttle" and "ideal" upper bounds on a G-2x2
 //! device with trap capacity 20.
+//!
+//! One shared device, one parallel batch; the idealised bounds re-evaluate
+//! each compiled program without recompiling.
 
+use ssync_arch::{Device, QccdTopology};
 use ssync_bench::table::fmt_rate;
-use ssync_bench::{scaled_app, AppKind, BenchScale, Table};
+use ssync_bench::{fitting_cells, AppKind, BenchScale, Table};
 use ssync_core::{CompilerConfig, IdealizationMode, SSyncCompiler};
 
 fn main() {
@@ -18,22 +22,21 @@ fn main() {
         ],
         BenchScale::Small => vec![(AppKind::Bv, 16), (AppKind::Qft, 16)],
     };
-    let topo = ssync_arch::QccdTopology::grid(2, 2, 20);
     let config = CompilerConfig::default();
+    let device = Device::build(QccdTopology::grid(2, 2, 20), config.weights);
     let compiler = SSyncCompiler::new(config);
+
+    let (cells, circuits) = fitting_cells(apps, device.topology());
+    let labels: Vec<String> =
+        cells.iter().map(|&(app, qubits)| format!("{}_{qubits}", app.label())).collect();
+    eprintln!("[fig16] compiling {} benchmarks in parallel", circuits.len());
+    let outcomes = compiler.compile_batch(&device, &circuits);
 
     let mut table =
         Table::new(["Application", "Ideal", "Perfect Shuttle", "Perfect SWAP", "S-SYNC"]);
-    for (app, qubits) in apps {
-        let circuit = scaled_app(app, qubits);
-        let label = format!("{}_{}", app.label(), circuit.num_qubits());
-        if circuit.num_qubits() + 1 > topo.total_capacity() {
-            eprintln!("[fig16] skipping {label}: does not fit on G-2x2 cap 20");
-            continue;
-        }
-        eprintln!("[fig16] compiling {label}");
-        let outcome = compiler.compile(&circuit, &topo).expect("compilation succeeds");
-        let tracer = compiler.tracer();
+    let tracer = compiler.tracer();
+    for (label, outcome) in labels.into_iter().zip(outcomes) {
+        let outcome = outcome.expect("compilation succeeds");
         let rate =
             |mode: IdealizationMode| fmt_rate(outcome.evaluate_with(&tracer, mode).success_rate);
         table.push_row([

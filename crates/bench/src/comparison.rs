@@ -1,9 +1,17 @@
 //! The shared Figs. 8–10 comparison sweep: benchmark × topology × compiler.
+//!
+//! The sweep is organised around shared [`Device`] artifacts: every
+//! topology's slot graph / router / distance matrix is built exactly once
+//! and all applications targeting it are compiled in parallel through the
+//! batch API, per compiler. Row order (and every measured count) is
+//! identical to the historical one-compile-at-a-time nesting.
 
 use crate::apps::{scaled_app, AppKind};
-use crate::harness::{run_compiler, BenchScale, CompilerKind};
-use ssync_arch::QccdTopology;
+use crate::harness::{run_compiler_batch, BenchScale, CompilerKind};
+use ssync_arch::{Device, QccdTopology};
+use ssync_circuit::Circuit;
 use ssync_core::CompilerConfig;
+use std::collections::BTreeMap;
 
 /// One (application, topology, compiler) measurement.
 #[derive(Debug, Clone)]
@@ -47,30 +55,63 @@ pub fn comparison_targets(scale: BenchScale) -> Vec<(AppKind, usize, Vec<&'stati
 }
 
 /// Runs the full comparison sweep and returns one row per
-/// (application, topology, compiler) triple. `progress` is called before
-/// each compilation with a short description.
+/// (application, topology, compiler) triple, in the same nesting order as
+/// the paper's figures (application → topology → compiler). Each
+/// topology's [`Device`] is built exactly once; all applications sharing
+/// it are compiled in parallel per compiler. `progress` is called before
+/// each batch with a short description.
 pub fn comparison_rows(
     scale: BenchScale,
     config: &CompilerConfig,
     mut progress: impl FnMut(&str),
 ) -> Vec<ComparisonRow> {
-    let mut rows = Vec::new();
+    // One entry per (application, topology) cell, in output nesting order.
+    struct Cell {
+        app_label: String,
+        topo_name: &'static str,
+        circuit: Circuit,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut devices: BTreeMap<&'static str, Device> = BTreeMap::new();
     for (app, qubits, topologies) in comparison_targets(scale) {
         let circuit = scaled_app(app, qubits);
         let app_label = format!("{}_{}", app.label(), qubits);
         for topo_name in topologies {
             let topo = QccdTopology::named(topo_name).expect("known topology name");
             if topo.total_capacity() <= circuit.num_qubits() {
-                continue;
+                continue; // no device build for cells nothing targets
             }
-            for compiler in CompilerKind::ALL {
-                progress(&format!("{app_label} on {topo_name} with {}", compiler.label()));
-                let outcome = run_compiler(compiler, &circuit, &topo, config)
-                    .expect("paper configurations must compile");
+            devices.entry(topo_name).or_insert_with(|| Device::build(topo, config.weights));
+            cells.push(Cell { app_label: app_label.clone(), topo_name, circuit: circuit.clone() });
+        }
+    }
+
+    // Group the cells by topology, batch-compile each group per compiler,
+    // then scatter the results back into nesting order.
+    let mut groups: BTreeMap<&'static str, Vec<usize>> = BTreeMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        groups.entry(cell.topo_name).or_default().push(i);
+    }
+    let mut rows: Vec<Option<ComparisonRow>> =
+        (0..cells.len() * CompilerKind::ALL.len()).map(|_| None).collect();
+    for (topo_name, cell_indices) in &groups {
+        let device = &devices[topo_name];
+        let circuits: Vec<Circuit> =
+            cell_indices.iter().map(|&i| cells[i].circuit.clone()).collect();
+        for (k, compiler) in CompilerKind::ALL.into_iter().enumerate() {
+            progress(&format!(
+                "{} circuits on {topo_name} with {} (batched)",
+                circuits.len(),
+                compiler.label()
+            ));
+            let outcomes = run_compiler_batch(compiler, device, &circuits, config);
+            for (&cell_idx, outcome) in cell_indices.iter().zip(outcomes) {
+                let outcome = outcome.expect("paper configurations must compile");
+                let cell = &cells[cell_idx];
                 let counts = outcome.counts();
-                rows.push(ComparisonRow {
-                    app: app_label.clone(),
-                    topology: topo_name.to_string(),
+                rows[cell_idx * CompilerKind::ALL.len() + k] = Some(ComparisonRow {
+                    app: cell.app_label.clone(),
+                    topology: cell.topo_name.to_string(),
                     compiler,
                     shuttles: counts.shuttles,
                     swaps: counts.swap_gates,
@@ -81,7 +122,7 @@ pub fn comparison_rows(
             }
         }
     }
-    rows
+    rows.into_iter().map(|r| r.expect("every cell compiled under every compiler")).collect()
 }
 
 /// Geometric-mean ratio of a metric between two compilers over matching

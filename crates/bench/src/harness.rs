@@ -1,9 +1,10 @@
-//! Shared harness plumbing: compiler selection and benchmark scale.
+//! Shared harness plumbing: compiler selection, shared-device batch
+//! compilation and benchmark scale.
 
-use ssync_arch::QccdTopology;
+use ssync_arch::{Device, QccdTopology};
 use ssync_baselines::{DaiCompiler, MuraliCompiler};
 use ssync_circuit::Circuit;
-use ssync_core::{CompileError, CompileOutcome, CompilerConfig, SSyncCompiler};
+use ssync_core::{batch, CompileError, CompileOutcome, CompilerConfig, SSyncCompiler};
 
 /// Which compiler to run for a comparison row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,7 +33,9 @@ impl CompilerKind {
 }
 
 /// Compiles `circuit` for `topology` with the selected compiler and a
-/// shared evaluation configuration.
+/// shared evaluation configuration, building a throw-away [`Device`].
+/// Sweeps should build the device once and use [`run_compiler_on`] or
+/// [`run_compiler_batch`] instead.
 ///
 /// # Errors
 ///
@@ -43,10 +46,73 @@ pub fn run_compiler(
     topology: &QccdTopology,
     config: &CompilerConfig,
 ) -> Result<CompileOutcome, CompileError> {
+    let device = Device::build(topology.clone(), config.weights);
+    run_compiler_on(kind, &device, circuit, config)
+}
+
+/// Compiles `circuit` against a prepared, shared `device` with the
+/// selected compiler.
+///
+/// # Errors
+///
+/// Propagates the underlying compiler's [`CompileError`].
+pub fn run_compiler_on(
+    kind: CompilerKind,
+    device: &Device,
+    circuit: &Circuit,
+    config: &CompilerConfig,
+) -> Result<CompileOutcome, CompileError> {
     match kind {
-        CompilerKind::Murali => MuraliCompiler::new(*config).compile(circuit, topology),
-        CompilerKind::Dai => DaiCompiler::new(*config).compile(circuit, topology),
-        CompilerKind::SSync => SSyncCompiler::new(*config).compile(circuit, topology),
+        CompilerKind::Murali => MuraliCompiler::new(*config).compile_on(device, circuit),
+        CompilerKind::Dai => DaiCompiler::new(*config).compile_on(device, circuit),
+        CompilerKind::SSync => SSyncCompiler::new(*config).compile_on(device, circuit),
+    }
+}
+
+/// Compiles every circuit against one shared `device` with the selected
+/// compiler, fanning out over worker threads (`SSYNC_BATCH_WORKERS`
+/// environment variable, then `config.batch_workers`, then available
+/// parallelism). Results come back in input order and are bit-identical
+/// to calling [`run_compiler_on`] per circuit, whatever the worker count.
+pub fn run_compiler_batch(
+    kind: CompilerKind,
+    device: &Device,
+    circuits: &[Circuit],
+    config: &CompilerConfig,
+) -> Vec<Result<CompileOutcome, CompileError>> {
+    run_compiler_batch_with_workers(
+        kind,
+        device,
+        circuits,
+        config,
+        batch::resolve_workers(config.batch_workers),
+    )
+}
+
+/// [`run_compiler_batch`] with an explicit worker count. Pass `1` when the
+/// per-circuit `compile_time` is the quantity under study (e.g. Fig. 15):
+/// concurrent workers contend for cores and would inflate the wall-clock
+/// readings, while the compiled programs themselves are identical either
+/// way.
+pub fn run_compiler_batch_with_workers(
+    kind: CompilerKind,
+    device: &Device,
+    circuits: &[Circuit],
+    config: &CompilerConfig,
+    workers: usize,
+) -> Vec<Result<CompileOutcome, CompileError>> {
+    match kind {
+        CompilerKind::Murali => {
+            let compiler = MuraliCompiler::new(*config);
+            batch::parallel_map(workers, circuits, |_, c| compiler.compile_on(device, c))
+        }
+        CompilerKind::Dai => {
+            let compiler = DaiCompiler::new(*config);
+            batch::parallel_map(workers, circuits, |_, c| compiler.compile_on(device, c))
+        }
+        CompilerKind::SSync => {
+            SSyncCompiler::new(*config).compile_batch_with_workers(device, circuits, workers)
+        }
     }
 }
 
@@ -92,6 +158,23 @@ mod tests {
         for kind in CompilerKind::ALL {
             let outcome = run_compiler(kind, &circuit, &topo, &config).unwrap();
             assert_eq!(outcome.counts().two_qubit_gates, 132, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_circuit_compiles_for_every_compiler() {
+        let circuits: Vec<_> = vec![qft(8), qft(10), qft(12)];
+        let config = CompilerConfig::default();
+        let device = Device::build(QccdTopology::grid(2, 2, 5), config.weights);
+        for kind in CompilerKind::ALL {
+            let batched = run_compiler_batch(kind, &device, &circuits, &config);
+            assert_eq!(batched.len(), circuits.len());
+            for (circuit, outcome) in circuits.iter().zip(&batched) {
+                let single = run_compiler_on(kind, &device, circuit, &config).unwrap();
+                let outcome = outcome.as_ref().unwrap();
+                assert_eq!(outcome.program().ops(), single.program().ops(), "{kind:?}");
+                assert_eq!(outcome.final_placement(), single.final_placement(), "{kind:?}");
+            }
         }
     }
 

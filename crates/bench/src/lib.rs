@@ -30,7 +30,10 @@ pub mod comparison;
 pub mod harness;
 pub mod table;
 
-pub use apps::{scaled_app, AppKind};
+pub use apps::{fitting_cells, scaled_app, AppKind};
 pub use comparison::{comparison_rows, comparison_targets, ComparisonRow};
-pub use harness::{run_compiler, BenchScale, CompilerKind};
+pub use harness::{
+    run_compiler, run_compiler_batch, run_compiler_batch_with_workers, run_compiler_on, BenchScale,
+    CompilerKind,
+};
 pub use table::Table;

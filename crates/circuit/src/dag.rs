@@ -224,27 +224,41 @@ impl DependencyDag {
     /// Executes, in order, every frontier gate accepted by `can_execute`,
     /// repeating until no frontier gate is accepted. Returns the executed
     /// node ids in execution order.
-    pub fn drain_executable(&mut self, mut can_execute: impl FnMut(Gate) -> bool) -> Vec<NodeId> {
+    pub fn drain_executable(&mut self, can_execute: impl FnMut(Gate) -> bool) -> Vec<NodeId> {
+        let mut scratch = Vec::new();
         let mut executed = Vec::new();
+        self.drain_executable_into(can_execute, &mut scratch, &mut executed);
+        executed
+    }
+
+    /// Allocation-free variant of [`DependencyDag::drain_executable`]:
+    /// writes the executed node ids into `out` (cleared first, same order)
+    /// using `scratch` for the per-pass candidate list, so a scheduler can
+    /// reuse both buffers across its iterations instead of allocating two
+    /// fresh `Vec`s per round.
+    pub fn drain_executable_into(
+        &mut self,
+        mut can_execute: impl FnMut(Gate) -> bool,
+        scratch: &mut Vec<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
         loop {
-            let candidates: Vec<NodeId> = self
-                .frontier
-                .iter()
-                .copied()
-                .filter(|&id| can_execute(self.nodes[id.0].gate))
-                .collect();
-            if candidates.is_empty() {
+            scratch.clear();
+            scratch.extend(
+                self.frontier.iter().copied().filter(|&id| can_execute(self.nodes[id.0].gate)),
+            );
+            if scratch.is_empty() {
                 break;
             }
-            for id in candidates {
+            for &id in scratch.iter() {
                 // A node can leave the frontier only via execute(), and
                 // executing one candidate never removes another, so this is
                 // still in the frontier.
                 self.execute(id);
-                executed.push(id);
+                out.push(id);
             }
         }
-        executed
     }
 }
 
@@ -325,6 +339,19 @@ mod tests {
         let all = dag.drain_executable(|_| true);
         assert_eq!(all.len(), 3);
         assert!(dag.is_complete());
+    }
+
+    #[test]
+    fn drain_executable_into_matches_allocating_variant() {
+        let c = chain3();
+        let mut a = DependencyDag::from_circuit(&c);
+        let mut b = a.clone();
+        let expected = a.drain_executable(|_| true);
+        let mut scratch = Vec::new();
+        let mut out = vec![NodeId(99)]; // stale content must be cleared
+        b.drain_executable_into(|_| true, &mut scratch, &mut out);
+        assert_eq!(out, expected);
+        assert!(b.is_complete());
     }
 
     #[test]

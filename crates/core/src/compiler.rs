@@ -1,11 +1,12 @@
 //! The top-level S-SYNC compiler pipeline (Fig. 1).
 
+use crate::batch;
 use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::idealized::IdealizationMode;
 use crate::initial;
 use crate::scheduler::{Scheduler, SchedulerStats};
-use ssync_arch::{Placement, QccdTopology, SlotGraph, TrapRouter};
+use ssync_arch::{Device, Placement, QccdTopology, TrapRouter};
 use ssync_circuit::Circuit;
 use ssync_sim::{CompiledProgram, ExecutionReport, ExecutionTracer, OpCounts};
 use std::time::{Duration, Instant};
@@ -138,8 +139,30 @@ impl SSyncCompiler {
         Ok(())
     }
 
+    /// Validates that `circuit` can run on the prepared `device`, using the
+    /// device's precomputed router (nothing is rebuilt).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SSyncCompiler::validate`].
+    pub fn validate_on(&self, device: &Device, circuit: &Circuit) -> Result<(), CompileError> {
+        let slots = device.topology().total_capacity();
+        if slots < circuit.num_qubits() + 1 {
+            return Err(CompileError::DeviceTooSmall { qubits: circuit.num_qubits(), slots });
+        }
+        if !device.is_connected() {
+            return Err(CompileError::DisconnectedTopology);
+        }
+        Ok(())
+    }
+
     /// Compiles `circuit` for `topology` and evaluates the result with the
     /// configured timing / noise models.
+    ///
+    /// This is a convenience wrapper that builds a throw-away [`Device`]
+    /// and forwards to [`SSyncCompiler::compile_on`]; sweeps compiling many
+    /// circuits against one machine should build the device once and call
+    /// `compile_on` (or [`SSyncCompiler::compile_batch`]) directly.
     ///
     /// # Errors
     ///
@@ -150,12 +173,46 @@ impl SSyncCompiler {
         circuit: &Circuit,
         topology: &QccdTopology,
     ) -> Result<CompileOutcome, CompileError> {
-        self.validate(circuit, topology)?;
+        let device = Device::build(topology.clone(), self.config.weights);
+        self.compile_on(&device, circuit)
+    }
+
+    /// Compiles `circuit` against a prepared, shared `device` artifact and
+    /// evaluates the result with the configured timing / noise models. The
+    /// slot graph, trap router, all-pairs distance matrix and trap→edge
+    /// candidate index all come from `device`; nothing device-derived is
+    /// rebuilt, so this is the entry point to amortise over many circuits.
+    ///
+    /// [`CompileOutcome::compile_time`] covers compilation proper (initial
+    /// mapping + scheduling + evaluation) and deliberately excludes the
+    /// device build, which is a per-sweep rather than per-circuit cost.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SSyncCompiler::compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was built with different edge weights than this
+    /// compiler's configuration — distances would silently disagree with
+    /// the heuristic otherwise.
+    pub fn compile_on(
+        &self,
+        device: &Device,
+        circuit: &Circuit,
+    ) -> Result<CompileOutcome, CompileError> {
+        assert!(
+            device.weights() == self.config.weights,
+            "device was built with different edge weights than the compiler config"
+        );
+        self.validate_on(device, circuit)?;
+        // Force the lazily-built all-pairs matrix before the timer starts:
+        // it is a per-device cost, and letting the first compile of a batch
+        // absorb it would skew that circuit's reported compile_time.
+        device.distance_matrix();
         let start = Instant::now();
-        let graph = SlotGraph::new(topology.clone(), self.config.weights);
-        let router = TrapRouter::new(topology, self.config.weights);
-        let placement = initial::build_placement(circuit, &graph, &self.config);
-        let mut scheduler = Scheduler::new(&graph, &router, &self.config);
+        let placement = initial::build_placement(circuit, device, &self.config);
+        let mut scheduler = Scheduler::new(device, &self.config);
         let (program, final_placement) = scheduler.run(circuit, placement)?;
         let compile_time = start.elapsed();
         let report = self.tracer().evaluate(&program);
@@ -166,6 +223,47 @@ impl SSyncCompiler {
             scheduler_stats: scheduler.stats(),
             compile_time,
         })
+    }
+
+    /// Compiles every circuit of `circuits` against one shared `device`,
+    /// fanning the independent compilations out over scoped worker threads.
+    /// The worker count comes from [`batch::resolve_workers`] (the
+    /// `SSYNC_BATCH_WORKERS` environment variable, then
+    /// [`CompilerConfig::batch_workers`], then the machine's available
+    /// parallelism). Results are returned **in input order** and are
+    /// bit-identical to calling [`SSyncCompiler::compile_on`] per circuit,
+    /// whatever the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was built with different edge weights than this
+    /// compiler's configuration.
+    pub fn compile_batch(
+        &self,
+        device: &Device,
+        circuits: &[Circuit],
+    ) -> Vec<Result<CompileOutcome, CompileError>> {
+        self.compile_batch_with_workers(
+            device,
+            circuits,
+            batch::resolve_workers(self.config.batch_workers),
+        )
+    }
+
+    /// [`SSyncCompiler::compile_batch`] with an explicit worker count
+    /// (mainly for tests proving worker-count independence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was built with different edge weights than this
+    /// compiler's configuration.
+    pub fn compile_batch_with_workers(
+        &self,
+        device: &Device,
+        circuits: &[Circuit],
+        workers: usize,
+    ) -> Vec<Result<CompileOutcome, CompileError>> {
+        batch::parallel_map(workers, circuits, |_, circuit| self.compile_on(device, circuit))
     }
 }
 

@@ -74,6 +74,10 @@ pub struct CompilerConfig {
     /// cancellation between a shuttle's distance gain and its edge weight
     /// in Eq. (1), letting route-completing shuttles win over no-op moves.
     pub executable_bonus: f64,
+    /// Worker-thread count for batch compilation (`compile_batch`); `0`
+    /// means "auto" (the machine's available parallelism). The
+    /// `SSYNC_BATCH_WORKERS` environment variable overrides either.
+    pub batch_workers: usize,
 }
 
 impl Default for CompilerConfig {
@@ -92,6 +96,7 @@ impl Default for CompilerConfig {
             noise: NoiseModel::default(),
             max_stall_iterations: 48,
             executable_bonus: 2.0,
+            batch_workers: 0,
         }
     }
 }
@@ -119,6 +124,13 @@ impl CompilerConfig {
     /// (Fig. 14 sensitivity sweep).
     pub fn with_weight_ratio(mut self, ratio: f64) -> Self {
         self.weights = WeightConfig::with_ratio(ratio);
+        self
+    }
+
+    /// Returns a copy with an explicit batch-compilation worker count
+    /// (`0` restores "auto").
+    pub fn with_batch_workers(mut self, workers: usize) -> Self {
+        self.batch_workers = workers;
         self
     }
 }

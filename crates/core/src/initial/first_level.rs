@@ -1,22 +1,24 @@
 //! First-level initial mapping: assigning program qubits to traps.
 
 use crate::config::{CompilerConfig, InitialMapping};
-use ssync_arch::{QccdTopology, TrapRouter};
+use ssync_arch::{Device, QccdTopology, TrapRouter};
 use ssync_circuit::{Circuit, InteractionGraph, Qubit};
 
 /// Assigns every program qubit of `circuit` to a trap, returning one qubit
 /// list per trap (indexed by trap id). The per-trap lists respect trap
 /// capacities; when the device has spare room each trap keeps at least one
-/// free slot so it can receive shuttled ions.
+/// free slot so it can receive shuttled ions. Trap distances needed by the
+/// STA strategy are read from the device's shared router.
 pub fn assign_traps(
     circuit: &Circuit,
-    topology: &QccdTopology,
+    device: &Device,
     config: &CompilerConfig,
 ) -> Vec<Vec<Qubit>> {
+    let topology = device.topology();
     match config.initial_mapping {
         InitialMapping::EvenDivided => even_divided(circuit, topology),
         InitialMapping::Gathering => gathering(circuit, topology),
-        InitialMapping::Sta => sta(circuit, topology, config),
+        InitialMapping::Sta => sta(circuit, topology, device.router()),
     }
 }
 
@@ -108,13 +110,13 @@ fn gathering(circuit: &Circuit, topology: &QccdTopology) -> Vec<Vec<Qubit>> {
 /// interactions are packed into the same or neighbouring traps. Greedy:
 /// qubits are visited in first-use order and each is assigned to the trap
 /// that maximises its temporally-discounted attachment to already-placed
-/// partners, discounted by the trap distance.
-fn sta(circuit: &Circuit, topology: &QccdTopology, config: &CompilerConfig) -> Vec<Vec<Qubit>> {
+/// partners, discounted by the trap distance (read from the device's
+/// shared `router`).
+fn sta(circuit: &Circuit, topology: &QccdTopology, router: &TrapRouter) -> Vec<Vec<Qubit>> {
     let n = circuit.num_qubits();
     let caps = usable_capacity(topology, n);
     let num_traps = topology.num_traps();
     let interactions = InteractionGraph::with_temporal_discount(circuit, 0.01);
-    let router = TrapRouter::new(topology, config.weights);
     let mut groups: Vec<Vec<Qubit>> = vec![Vec::new(); num_traps];
     let mut trap_of: Vec<Option<usize>> = vec![None; n];
 
@@ -193,7 +195,8 @@ mod tests {
         let circuit = qaoa_nearest_neighbor(12, 2);
         let topo = QccdTopology::linear(3, 6);
         let config = CompilerConfig::default();
-        let groups = sta(&circuit, &topo, &config);
+        let router = TrapRouter::new(&topo, config.weights);
+        let groups = sta(&circuit, &topo, &router);
         assert_eq!(total_assigned(&groups), 12);
         // Nearest-neighbour chains should mostly keep consecutive qubits in
         // the same trap: count cut edges (consecutive qubits in different traps).
@@ -212,10 +215,11 @@ mod tests {
         let circuit = qft(30);
         let topo = QccdTopology::grid(2, 2, 8); // 32 slots, tight fit
         let config = CompilerConfig::default();
+        let router = TrapRouter::new(&topo, config.weights);
         for groups in [
             even_divided(&circuit, &topo),
             gathering(&circuit, &topo),
-            sta(&circuit, &topo, &config),
+            sta(&circuit, &topo, &router),
         ] {
             assert_eq!(total_assigned(&groups), 30);
             for (g, trap) in groups.iter().zip(topo.traps()) {

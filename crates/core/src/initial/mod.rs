@@ -11,25 +11,27 @@ pub mod first_level;
 pub mod intra;
 
 use crate::config::CompilerConfig;
-use ssync_arch::{Placement, SlotGraph};
+use ssync_arch::{Device, Placement};
 use ssync_circuit::Circuit;
 
-/// Builds the complete initial placement for `circuit` on the device
-/// described by `graph`, using the strategy selected in `config`.
+/// Builds the complete initial placement for `circuit` on the shared
+/// `device` artifact, using the strategy selected in `config`. Trap
+/// routes needed by the STA mapping come from the device's prebuilt
+/// [`ssync_arch::TrapRouter`] — nothing is recomputed per placement.
 ///
 /// # Panics
 ///
 /// Panics if the device has fewer slots than the circuit has qubits (the
 /// compiler front-end validates this before calling).
-pub fn build_placement(circuit: &Circuit, graph: &SlotGraph, config: &CompilerConfig) -> Placement {
-    let topology = graph.topology();
+pub fn build_placement(circuit: &Circuit, device: &Device, config: &CompilerConfig) -> Placement {
+    let topology = device.topology();
     assert!(
         topology.num_slots() >= circuit.num_qubits(),
         "device has {} slots but the circuit needs {}",
         topology.num_slots(),
         circuit.num_qubits()
     );
-    let groups = first_level::assign_traps(circuit, topology, config);
+    let groups = first_level::assign_traps(circuit, device, config);
     let mut placement = Placement::new(topology, circuit.num_qubits());
     for (trap_idx, qubits) in groups.iter().enumerate() {
         let trap = topology.traps()[trap_idx].id();
@@ -49,8 +51,8 @@ mod tests {
     use ssync_arch::{QccdTopology, WeightConfig};
     use ssync_circuit::generators::qft;
 
-    fn graph(topo: QccdTopology) -> SlotGraph {
-        SlotGraph::new(topo, WeightConfig::default())
+    fn device(topo: QccdTopology) -> Device {
+        Device::build(topo, WeightConfig::default())
     }
 
     #[test]
@@ -59,7 +61,7 @@ mod tests {
         let topo = QccdTopology::grid(2, 3, 8);
         for mapping in InitialMapping::ALL {
             let config = CompilerConfig::default().with_initial_mapping(mapping);
-            let placement = build_placement(&circuit, &graph(topo.clone()), &config);
+            let placement = build_placement(&circuit, &device(topo.clone()), &config);
             assert!(placement.is_complete(), "{mapping:?}");
             placement.validate().unwrap();
         }
@@ -69,15 +71,15 @@ mod tests {
     fn gathering_uses_fewer_traps_than_even_divided() {
         let circuit = qft(12);
         let topo = QccdTopology::linear(4, 16);
-        let g = graph(topo.clone());
+        let d = device(topo.clone());
         let gathering = build_placement(
             &circuit,
-            &g,
+            &d,
             &CompilerConfig::default().with_initial_mapping(InitialMapping::Gathering),
         );
         let even = build_placement(
             &circuit,
-            &g,
+            &d,
             &CompilerConfig::default().with_initial_mapping(InitialMapping::EvenDivided),
         );
         let used =
@@ -91,7 +93,7 @@ mod tests {
         let topo = QccdTopology::grid(2, 2, 16);
         for mapping in InitialMapping::ALL {
             let config = CompilerConfig::default().with_initial_mapping(mapping);
-            let p = build_placement(&circuit, &graph(topo.clone()), &config);
+            let p = build_placement(&circuit, &device(topo.clone()), &config);
             for trap in topo.traps() {
                 assert!(p.trap_occupancy(trap.id()) <= trap.capacity());
             }
@@ -106,6 +108,6 @@ mod tests {
     fn too_small_device_panics() {
         let circuit = qft(30);
         let topo = QccdTopology::linear(2, 8);
-        build_placement(&circuit, &graph(topo), &CompilerConfig::default());
+        build_placement(&circuit, &device(topo), &CompilerConfig::default());
     }
 }

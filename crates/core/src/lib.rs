@@ -35,10 +35,31 @@
 //! assert_eq!(outcome.counts().two_qubit_gates, circuit.two_qubit_gate_count());
 //! assert!(outcome.report().success_rate > 0.0);
 //! ```
+//!
+//! ## Compiling many circuits over one device
+//!
+//! Sweeps should build the shared [`ssync_arch::Device`] artifact once and
+//! fan the independent compilations out with
+//! [`SSyncCompiler::compile_batch`]:
+//!
+//! ```
+//! use ssync_circuit::generators::qft;
+//! use ssync_arch::{Device, QccdTopology};
+//! use ssync_core::{CompilerConfig, SSyncCompiler};
+//!
+//! let config = CompilerConfig::default();
+//! let device = Device::build(QccdTopology::linear(2, 8), config.weights);
+//! let circuits: Vec<_> = (8..=12).map(|n| qft(n)).collect();
+//! let compiler = SSyncCompiler::new(config);
+//! let outcomes = compiler.compile_batch(&device, &circuits);
+//! assert_eq!(outcomes.len(), circuits.len()); // input order, any worker count
+//! assert!(outcomes.iter().all(|o| o.is_ok()));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod compiler;
 mod config;
 mod error;

@@ -46,12 +46,13 @@ impl<'a> Mechanics<'a> {
         if a == b {
             return 0;
         }
-        let trap = self.graph.slot_trap(a);
+        let trap = self.graph.topology().trap(self.graph.slot_trap(a));
         let (pa, pb) = (self.graph.slot_position(a), self.graph.slot_position(b));
         let (lo, hi) = if pa < pb { (pa, pb) } else { (pb, pa) };
-        let slots = self.graph.trap_slots(trap);
+        // Trap slots are contiguous: walk the positions directly instead of
+        // materialising the slot list.
         let between =
-            slots[lo + 1..hi].iter().filter(|&&s| placement.occupant(s).is_some()).count();
+            (lo + 1..hi).filter(|&p| placement.occupant(trap.slot_at(p)).is_some()).count();
         between + 1
     }
 
@@ -97,19 +98,25 @@ impl<'a> Mechanics<'a> {
             return 0;
         }
         let trap = self.graph.slot_trap(target);
-        let spaces = placement.spaces_in_trap(self.graph.topology(), trap);
+        let trap_ref = self.graph.topology().trap(trap);
         let target_pos = self.graph.slot_position(target);
-        let nearest = spaces
-            .iter()
-            .copied()
-            .min_by_key(|&s| self.graph.slot_position(s).abs_diff(target_pos))
-            .expect("trap must have a free slot to clear the target");
-        let mut pos = self.graph.slot_position(nearest);
-        let slots = self.graph.trap_slots(trap);
+        // Scan chain positions directly (slots are contiguous) for the
+        // space nearest to the target; ties break towards the left end,
+        // matching the old chain-ordered `spaces_in_trap` minimum.
+        let mut nearest: Option<usize> = None;
+        for pos in 0..trap_ref.capacity() {
+            if placement.is_space(trap_ref.slot_at(pos)) {
+                let d = pos.abs_diff(target_pos);
+                if nearest.is_none_or(|best| d < best.abs_diff(target_pos)) {
+                    nearest = Some(pos);
+                }
+            }
+        }
+        let mut pos = nearest.expect("trap must have a free slot to clear the target");
         let mut steps = 0;
         while pos != target_pos {
             let next = if pos < target_pos { pos + 1 } else { pos - 1 };
-            placement.swap_slots(slots[pos], slots[next]);
+            placement.swap_slots(trap_ref.slot_at(pos), trap_ref.slot_at(next));
             program.push(ScheduledOp::IonReorder { trap, steps: 1 });
             pos = next;
             steps += 1;
@@ -134,13 +141,13 @@ impl<'a> Mechanics<'a> {
         let start = placement.slot_of(qubit).expect("qubit must be placed");
         assert!(self.graph.same_trap(start, target), "target slot must be in the qubit's trap");
         let trap = self.graph.slot_trap(start);
-        let slots = self.graph.trap_slots(trap);
+        let trap_ref = self.graph.topology().trap(trap);
         let mut pos = self.graph.slot_position(start);
         let target_pos = self.graph.slot_position(target);
         let mut swaps = 0;
         while pos != target_pos {
             let next = if pos < target_pos { pos + 1 } else { pos - 1 };
-            let next_slot = slots[next];
+            let next_slot = trap_ref.slot_at(next);
             match placement.occupant(next_slot) {
                 Some(other) => {
                     program.push(ScheduledOp::SwapGate {
@@ -156,7 +163,7 @@ impl<'a> Mechanics<'a> {
                     program.push(ScheduledOp::IonReorder { trap, steps: 1 });
                 }
             }
-            placement.swap_slots(slots[pos], next_slot);
+            placement.swap_slots(trap_ref.slot_at(pos), next_slot);
             pos = next;
         }
         swaps
@@ -326,10 +333,9 @@ impl<'a> Mechanics<'a> {
         protect: &[Qubit],
     ) -> Option<Qubit> {
         let target_pos = self.graph.slot_position(slot);
-        self.graph
-            .trap_slots(trap)
-            .into_iter()
-            .filter_map(|s| placement.occupant(s).map(|q| (q, self.graph.slot_position(s))))
+        let trap_ref = self.graph.topology().trap(trap);
+        (0..trap_ref.capacity())
+            .filter_map(|pos| placement.occupant(trap_ref.slot_at(pos)).map(|q| (q, pos)))
             .filter(|(q, _)| !protect.contains(q))
             .min_by_key(|&(_, pos)| pos.abs_diff(target_pos))
             .map(|(q, _)| q)

@@ -19,7 +19,7 @@ use crate::error::CompileError;
 use crate::generic_swap::{GenericSwap, GenericSwapKind};
 use crate::heuristic::{DecayTracker, HeuristicScorer, ScoreCache, ScoringScratch};
 use crate::mechanics::Mechanics;
-use ssync_arch::{DistanceMatrix, Placement, SlotGraph, SlotId, TrapId, TrapRouter};
+use ssync_arch::{Device, DistanceMatrix, Placement, SlotGraph, SlotId, TrapId, TrapRouter};
 use ssync_circuit::{Circuit, DependencyDag, Gate, LookaheadScratch, NodeId};
 use ssync_sim::{CompiledProgram, ScheduledOp};
 use std::collections::{HashSet, VecDeque};
@@ -78,12 +78,12 @@ pub struct Scheduler<'a> {
     router: &'a TrapRouter,
     config: &'a CompilerConfig,
     stats: SchedulerStats,
-    /// All-pairs slot distances, built once per scheduler (device-build
-    /// time relative to the compile).
-    dist: DistanceMatrix,
+    /// All-pairs slot distances, shared from the [`Device`] artifact.
+    dist: &'a DistanceMatrix,
     /// Edge indices of the static graph touching each trap (either
-    /// endpoint), ascending within each trap.
-    trap_edges: Vec<Vec<u32>>,
+    /// endpoint), ascending within each trap — the [`Device`]'s trap→edge
+    /// candidate index.
+    trap_edges: &'a [Vec<u32>],
     // ---- reusable scratch (cleared, never reallocated, per iteration) ----
     frontier: Vec<(NodeId, Gate)>,
     lookahead: Vec<(NodeId, Gate)>,
@@ -96,31 +96,37 @@ pub struct Scheduler<'a> {
     edge_list: Vec<u32>,
     candidates: Vec<GenericSwap>,
     fallback_scores: Vec<f64>,
+    drain_scratch: Vec<NodeId>,
+    executed_ids: Vec<NodeId>,
     scoring: ScoringScratch,
 }
 
 impl<'a> Scheduler<'a> {
-    /// Creates a scheduler over a prepared device graph and router. The
-    /// all-pairs [`DistanceMatrix`] and the per-trap edge index are built
-    /// here, once per device.
-    pub fn new(graph: &'a SlotGraph, router: &'a TrapRouter, config: &'a CompilerConfig) -> Self {
+    /// Creates a scheduler over a prepared [`Device`]. All per-device
+    /// structures (slot graph, trap router, all-pairs [`DistanceMatrix`],
+    /// trap→edge candidate index) are borrowed from the shared artifact —
+    /// nothing device-derived is rebuilt here, so schedulers are cheap to
+    /// create per compile and many can run concurrently over one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was built with different edge weights than
+    /// `config` — the precomputed distances would silently disagree with
+    /// the Eq. 2 heuristic otherwise.
+    pub fn new(device: &'a Device, config: &'a CompilerConfig) -> Self {
+        assert!(
+            device.weights() == config.weights,
+            "device was built with different edge weights than the scheduler config"
+        );
+        let graph = device.graph();
         let num_traps = graph.topology().num_traps();
-        let mut trap_edges: Vec<Vec<u32>> = vec![Vec::new(); num_traps];
-        for (i, e) in graph.edges().iter().enumerate() {
-            let ta = graph.slot_trap(e.a);
-            let tb = graph.slot_trap(e.b);
-            trap_edges[ta.index()].push(i as u32);
-            if tb != ta {
-                trap_edges[tb.index()].push(i as u32);
-            }
-        }
         Scheduler {
             graph,
-            router,
+            router: device.router(),
             config,
             stats: SchedulerStats::default(),
-            dist: DistanceMatrix::new(graph, router),
-            trap_edges,
+            dist: device.distance_matrix(),
+            trap_edges: device.trap_edge_index(),
             frontier: Vec::new(),
             lookahead: Vec::new(),
             lookahead_ids: Vec::new(),
@@ -132,6 +138,8 @@ impl<'a> Scheduler<'a> {
             edge_list: Vec::new(),
             candidates: Vec::new(),
             fallback_scores: Vec::new(),
+            drain_scratch: Vec::new(),
+            executed_ids: Vec::new(),
             scoring: ScoringScratch::default(),
         }
     }
@@ -143,7 +151,7 @@ impl<'a> Scheduler<'a> {
 
     /// The precomputed all-pairs slot distance matrix.
     pub fn distance_matrix(&self) -> &DistanceMatrix {
-        &self.dist
+        self.dist
     }
 
     /// Runs Algorithm 1: schedules every two-qubit gate of `circuit`
@@ -224,7 +232,7 @@ impl<'a> Scheduler<'a> {
                 self.graph,
                 self.router,
                 self.config,
-                &self.dist,
+                self.dist,
             );
             let mut applied = false;
             if !self.candidates.is_empty() {
@@ -436,7 +444,8 @@ impl<'a> Scheduler<'a> {
                 return Err(CompileError::SchedulingStalled { remaining_gates: dag.remaining() });
             }
 
-            let executed = self.execute_ready(&mut dag, &mut placement, &mut program, &mechanics);
+            let executed =
+                self.execute_ready_reference(&mut dag, &mut placement, &mut program, &mechanics);
             if executed > 0 {
                 stall = 0;
                 continue;
@@ -516,7 +525,40 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Executes every currently executable frontier gate; returns how many.
+    /// Reuses the scheduler's drain buffers, so the per-iteration check
+    /// allocates nothing.
     fn execute_ready(
+        &mut self,
+        dag: &mut DependencyDag,
+        placement: &mut Placement,
+        program: &mut CompiledProgram,
+        mechanics: &Mechanics<'_>,
+    ) -> usize {
+        let placement_ref = &*placement;
+        let graph = self.graph;
+        dag.drain_executable_into(
+            |gate| {
+                let Some((a, b)) = gate.two_qubit_pair() else { return false };
+                match (placement_ref.slot_of(a), placement_ref.slot_of(b)) {
+                    (Some(sa), Some(sb)) => graph.same_trap(sa, sb),
+                    _ => false,
+                }
+            },
+            &mut self.drain_scratch,
+            &mut self.executed_ids,
+        );
+        for id in &self.executed_ids {
+            let gate = dag.gate(*id);
+            let (a, b) = gate.two_qubit_pair().expect("two-qubit gate");
+            mechanics.emit_two_qubit_gate(placement, program, a, b);
+        }
+        self.executed_ids.len()
+    }
+
+    /// The straightforward, allocating twin of [`Scheduler::execute_ready`]
+    /// used by the reference transcription: fresh `Vec`s every call via
+    /// [`DependencyDag::drain_executable`].
+    fn execute_ready_reference(
         &self,
         dag: &mut DependencyDag,
         placement: &mut Placement,
@@ -689,10 +731,9 @@ mod tests {
         topo: &QccdTopology,
         config: &CompilerConfig,
     ) -> (CompiledProgram, SchedulerStats) {
-        let graph = SlotGraph::new(topo.clone(), config.weights);
-        let router = TrapRouter::new(topo, config.weights);
-        let placement = initial::build_placement(circuit, &graph, config);
-        let mut scheduler = Scheduler::new(&graph, &router, config);
+        let device = Device::build(topo.clone(), config.weights);
+        let placement = initial::build_placement(circuit, &device, config);
+        let mut scheduler = Scheduler::new(&device, config);
         let (program, final_placement) = scheduler.run(circuit, placement).unwrap();
         final_placement.validate().unwrap();
         (program, scheduler.stats())
@@ -804,10 +845,9 @@ mod tests {
             (qft(12), QccdTopology::grid(2, 2, 5)),
             (random_two_qubit_circuit(10, 80, 3), QccdTopology::linear(3, 5)),
         ] {
-            let graph = SlotGraph::new(topo.clone(), config.weights);
-            let router = TrapRouter::new(&topo, config.weights);
-            let placement = initial::build_placement(&circuit, &graph, &config);
-            let mut scheduler = Scheduler::new(&graph, &router, &config);
+            let device = Device::build(topo.clone(), config.weights);
+            let placement = initial::build_placement(&circuit, &device, &config);
+            let mut scheduler = Scheduler::new(&device, &config);
             let (fast, fast_placement) = scheduler.run(&circuit, placement.clone()).unwrap();
             let fast_stats = scheduler.stats();
             let (slow, slow_placement) = scheduler.run_reference(&circuit, placement).unwrap();
@@ -822,11 +862,10 @@ mod tests {
     fn scheduler_scratch_is_reusable_across_runs() {
         let config = CompilerConfig::default();
         let topo = QccdTopology::grid(2, 2, 5);
-        let graph = SlotGraph::new(topo.clone(), config.weights);
-        let router = TrapRouter::new(&topo, config.weights);
-        let mut scheduler = Scheduler::new(&graph, &router, &config);
+        let device = Device::build(topo, config.weights);
+        let mut scheduler = Scheduler::new(&device, &config);
         let circuit = qft(10);
-        let placement = initial::build_placement(&circuit, &graph, &config);
+        let placement = initial::build_placement(&circuit, &device, &config);
         let (first, _) = scheduler.run(&circuit, placement.clone()).unwrap();
         let (second, _) = scheduler.run(&circuit, placement).unwrap();
         assert_eq!(first.ops(), second.ops());

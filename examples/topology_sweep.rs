@@ -1,43 +1,47 @@
-//! Topology exploration: run the same application across the paper's
+//! Topology exploration: run the same applications across the paper's
 //! L-/G-/S-series devices and compare shuttle counts, execution time and
 //! success rate (the Fig. 11 style of analysis, at a laptop-friendly size).
+//!
+//! Each named device is built once as a shared [`Device`] artifact and the
+//! whole QFT size sweep compiles against it in one parallel batch.
 //!
 //! ```text
 //! cargo run --release -p ssync-examples --bin topology_sweep
 //! ```
 
-use ssync_arch::QccdTopology;
+use ssync_arch::Device;
 use ssync_circuit::generators::qft;
 use ssync_core::{CompilerConfig, SSyncCompiler};
 
 fn main() {
-    let circuit = qft(24);
-    let compiler = SSyncCompiler::new(CompilerConfig::default());
+    let config = CompilerConfig::default();
+    let compiler = SSyncCompiler::new(config);
+    let circuits: Vec<_> = [16usize, 24, 32].into_iter().map(qft).collect();
     println!(
-        "application: {} ({} qubits, {} two-qubit gates)\n",
-        circuit.name(),
-        circuit.num_qubits(),
-        circuit.two_qubit_gate_count()
-    );
-    println!(
-        "{:<8} {:>6} {:>10} {:>8} {:>14} {:>12}",
-        "device", "traps", "capacity", "shuttles", "exec time (ms)", "success"
+        "{:<8} {:>6} {:>10} {:>6} {:>8} {:>14} {:>12}",
+        "device", "traps", "capacity", "qubits", "shuttles", "exec time (ms)", "success"
     );
     for name in ["L-2", "L-4", "L-6", "G-2x2", "G-2x3", "G-3x3", "S-4", "S-6"] {
-        let device = QccdTopology::named(name).expect("known device");
-        match compiler.compile(&circuit, &device) {
-            Ok(outcome) => {
-                println!(
-                    "{:<8} {:>6} {:>10} {:>8} {:>14.1} {:>12.4}",
+        // Slot graph, trap router and distance matrix are built once here;
+        // every compilation below shares them.
+        let device = Device::named(name, config.weights).expect("known device");
+        let outcomes = compiler.compile_batch(&device, &circuits);
+        for (circuit, outcome) in circuits.iter().zip(outcomes) {
+            match outcome {
+                Ok(outcome) => println!(
+                    "{:<8} {:>6} {:>10} {:>6} {:>8} {:>14.1} {:>12.4}",
                     name,
                     device.num_traps(),
-                    device.total_capacity(),
+                    device.topology().total_capacity(),
+                    circuit.num_qubits(),
                     outcome.counts().shuttles,
                     outcome.report().total_time_us / 1e3,
                     outcome.report().success_rate
-                );
+                ),
+                Err(err) => {
+                    println!("{name:<8} {} qubits skipped: {err}", circuit.num_qubits())
+                }
             }
-            Err(err) => println!("{name:<8} skipped: {err}"),
         }
     }
     println!("\nGrid-style devices typically give the best time/fidelity balance,");

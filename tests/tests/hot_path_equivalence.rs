@@ -8,7 +8,7 @@
 //! same search statistics. Any divergence means the optimization changed
 //! the algorithm, not just its cost.
 
-use ssync_arch::{DistanceMatrix, QccdTopology, SlotGraph, SlotId, TrapRouter};
+use ssync_arch::{Device, DistanceMatrix, QccdTopology, SlotGraph, SlotId, TrapRouter};
 use ssync_circuit::generators::{
     bernstein_vazirani, cuccaro_adder, qaoa_nearest_neighbor, qft, random_two_qubit_circuit,
 };
@@ -26,10 +26,9 @@ fn topologies() -> Vec<QccdTopology> {
 /// Runs both scheduler entry points from the same initial placement and
 /// asserts bit-identical results.
 fn assert_bit_identical(circuit: &Circuit, topo: &QccdTopology, config: &CompilerConfig) {
-    let graph = SlotGraph::new(topo.clone(), config.weights);
-    let router = TrapRouter::new(topo, config.weights);
-    let placement = initial::build_placement(circuit, &graph, config);
-    let mut scheduler = Scheduler::new(&graph, &router, config);
+    let device = Device::build(topo.clone(), config.weights);
+    let placement = initial::build_placement(circuit, &device, config);
+    let mut scheduler = Scheduler::new(&device, config);
 
     let (fast_program, fast_placement) =
         scheduler.run(circuit, placement.clone()).expect("optimized scheduler completes");
