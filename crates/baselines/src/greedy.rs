@@ -7,7 +7,7 @@ use ssync_core::{CompileError, CompileOutcome, CompilerConfig};
 use ssync_sim::{CompiledProgram, ExecutionTracer, ScheduledOp};
 use std::time::Instant;
 
-/// What differentiates the two baselines inside the shared greedy engine.
+/// What differentiates the baselines inside the shared greedy engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BaselineStyle {
     /// Murali et al.: two reserved slots per trap, always move the first
@@ -16,6 +16,11 @@ pub enum BaselineStyle {
     /// Dai et al.: one reserved slot per trap, move the cheaper operand,
     /// serve the cheapest blocked gate first.
     Dai,
+    /// Plain greedy: no reserved routing slots (traps pack completely
+    /// full), first operand moved, blocked gates served in DAG order. The
+    /// simplest policy the engine can express — an ablation isolating the
+    /// value of the reserved-slot headroom the published baselines keep.
+    Greedy,
 }
 
 impl BaselineStyle {
@@ -23,6 +28,7 @@ impl BaselineStyle {
         match self {
             BaselineStyle::Murali => 2,
             BaselineStyle::Dai => 1,
+            BaselineStyle::Greedy => 0,
         }
     }
 }
@@ -84,6 +90,32 @@ impl GreedyRouter {
         device: &Device,
         circuit: &Circuit,
     ) -> Result<CompileOutcome, CompileError> {
+        self.compile_on_with_order(device, circuit, None)
+    }
+
+    /// [`GreedyRouter::compile_on`] with an optionally precomputed
+    /// first-use qubit order ([`Circuit::first_use_order`]). The order
+    /// depends only on the circuit — not on the device, the style, or the
+    /// configuration — so sweeps compiling one circuit across many
+    /// topology cells should compute it once and pass it here instead of
+    /// re-sorting inside every `initial_placement`. Passing `None` (or the
+    /// correct order) is behaviourally identical to `compile_on`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GreedyRouter::compile_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was built with different edge weights than this
+    /// router's configuration, or if `order` is not a permutation of the
+    /// circuit's qubits.
+    pub fn compile_on_with_order(
+        &self,
+        device: &Device,
+        circuit: &Circuit,
+        order: Option<&[Qubit]>,
+    ) -> Result<CompileOutcome, CompileError> {
         assert!(
             device.weights() == self.config.weights,
             "device was built with different edge weights than the baseline config"
@@ -101,7 +133,13 @@ impl GreedyRouter {
         let graph = device.graph();
         let router = device.router();
         let mechanics = Mechanics::new(graph, router);
-        let mut placement = self.initial_placement(circuit, graph);
+        let mut placement = match order {
+            Some(order) => {
+                assert_eq!(order.len(), circuit.num_qubits(), "order must cover every qubit");
+                self.initial_placement_with_order(circuit, graph, order)
+            }
+            None => self.initial_placement(circuit, graph),
+        };
         let mut program = CompiledProgram::new(circuit.num_qubits(), topology.num_traps());
         for gate in circuit.iter() {
             if !gate.is_two_qubit() {
@@ -167,22 +205,23 @@ impl GreedyRouter {
         Ok(CompileOutcome::from_parts(program, report, placement, compile_time))
     }
 
-    /// Sequential first-use packing with the style's reserved slots.
+    /// Sequential first-use packing with the style's reserved slots,
+    /// computing the order locally ([`Circuit::first_use_order`]).
     fn initial_placement(&self, circuit: &Circuit, graph: &SlotGraph) -> Placement {
+        self.initial_placement_with_order(circuit, graph, &circuit.first_use_order())
+    }
+
+    /// Sequential packing of a precomputed first-use order with the
+    /// style's reserved slots.
+    fn initial_placement_with_order(
+        &self,
+        circuit: &Circuit,
+        graph: &SlotGraph,
+        order: &[Qubit],
+    ) -> Placement {
         let topology = graph.topology();
         let n = circuit.num_qubits();
         let mut placement = Placement::new(topology, n);
-        // Order qubits by first use in the program.
-        let mut first_use = vec![usize::MAX; n];
-        for (i, gate) in circuit.iter().enumerate() {
-            for q in gate.qubits() {
-                if first_use[q.index()] == usize::MAX {
-                    first_use[q.index()] = i;
-                }
-            }
-        }
-        let mut order: Vec<Qubit> = (0..n as u32).map(Qubit).collect();
-        order.sort_by_key(|q| (first_use[q.index()], q.0));
 
         // Soft capacity: reserve routing slots when the device has room.
         let reserve = self.style.reserved_slots();
@@ -201,7 +240,7 @@ impl GreedyRouter {
 
         let mut trap = 0usize;
         let mut placed_in_trap = 0usize;
-        for q in order {
+        for &q in order {
             while trap < topology.num_traps()
                 && (placed_in_trap >= soft_caps[trap]
                     || placed_in_trap >= topology.traps()[trap].capacity())
@@ -243,7 +282,7 @@ impl GreedyRouter {
         graph: &SlotGraph,
     ) -> Gate {
         match self.style {
-            BaselineStyle::Murali => frontier[0],
+            BaselineStyle::Murali | BaselineStyle::Greedy => frontier[0],
             BaselineStyle::Dai => frontier
                 .iter()
                 .copied()
@@ -262,7 +301,7 @@ impl GreedyRouter {
     ) -> (Qubit, Qubit) {
         let (a, b) = gate.two_qubit_pair().expect("frontier gates are two-qubit");
         match self.style {
-            BaselineStyle::Murali => (a, b),
+            BaselineStyle::Murali | BaselineStyle::Greedy => (a, b),
             BaselineStyle::Dai => {
                 let cost = |mover: Qubit, anchor: Qubit| -> usize {
                     let (Some(sm), Some(ta), Some(tb)) = (
@@ -312,10 +351,38 @@ mod tests {
     use ssync_circuit::generators::{qft, random_two_qubit_circuit};
 
     #[test]
+    fn precomputed_order_matches_internal_sort() {
+        let circuit = qft(14);
+        let topo = QccdTopology::grid(2, 2, 6);
+        let config = CompilerConfig::default();
+        let device = Device::build(topo, config.weights);
+        let order = circuit.first_use_order();
+        for style in [BaselineStyle::Murali, BaselineStyle::Dai, BaselineStyle::Greedy] {
+            let router = GreedyRouter::new(style, config);
+            let plain = router.compile_on(&device, &circuit).unwrap();
+            let cached = router.compile_on_with_order(&device, &circuit, Some(&order)).unwrap();
+            assert_eq!(plain.program().ops(), cached.program().ops(), "{style:?}");
+            assert_eq!(plain.final_placement(), cached.final_placement(), "{style:?}");
+        }
+    }
+
+    #[test]
+    fn plain_greedy_packs_traps_full() {
+        let circuit = qft(12);
+        let topo = QccdTopology::linear(4, 8);
+        let router = GreedyRouter::new(BaselineStyle::Greedy, CompilerConfig::default());
+        let graph = SlotGraph::new(topo.clone(), CompilerConfig::default().weights);
+        let placement = router.initial_placement(&circuit, &graph);
+        // 12 qubits into capacity-8 traps with zero reserved slots: the
+        // first trap fills completely.
+        assert_eq!(placement.trap_occupancy(topo.traps()[0].id()), 8);
+    }
+
+    #[test]
     fn both_styles_schedule_every_gate() {
         let circuit = qft(14);
         let topo = QccdTopology::grid(2, 2, 6);
-        for style in [BaselineStyle::Murali, BaselineStyle::Dai] {
+        for style in [BaselineStyle::Murali, BaselineStyle::Dai, BaselineStyle::Greedy] {
             let outcome = GreedyRouter::new(style, CompilerConfig::default())
                 .compile(&circuit, &topo)
                 .unwrap();

@@ -41,8 +41,10 @@
 
 mod dai;
 mod greedy;
+mod kind;
 mod murali;
 
 pub use dai::DaiCompiler;
 pub use greedy::{BaselineStyle, GreedyRouter};
+pub use kind::CompilerKind;
 pub use murali::MuraliCompiler;

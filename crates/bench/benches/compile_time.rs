@@ -13,7 +13,7 @@ fn bench_compile_time(c: &mut Criterion) {
     group.sample_size(10);
     for qubits in [12usize, 20, 28] {
         let circuit = scaled_app(AppKind::Qft, qubits);
-        for compiler in CompilerKind::ALL {
+        for compiler in CompilerKind::PAPER {
             group.bench_with_input(
                 BenchmarkId::new(compiler.label(), qubits),
                 &circuit,
@@ -170,12 +170,117 @@ fn bench_device_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// Service throughput over the multi-device product: the same
+/// (device × circuit × compiler) job set run three ways — a direct
+/// sequential `compile_on` loop ("direct"), a fresh [`CompileService`]
+/// per iteration including worker spawn/join ("service"), and resubmission
+/// against a persistent, already-primed service where every job is a
+/// result-cache hit ("cache_hit"). Job count is part of the benchmark name
+/// so the JSON stays self-describing; jobs/sec = jobs ÷ (mean_ns × 1e-9).
+fn bench_service_throughput(c: &mut Criterion) {
+    use ssync_service::{CompileRequest, CompileService};
+    use std::sync::Arc;
+
+    let config = CompilerConfig::default();
+    let topologies =
+        [("G-2x2", QccdTopology::grid(2, 2, 10)), ("L-3", QccdTopology::linear(3, 10))];
+    let circuits: Vec<Arc<_>> =
+        [(AppKind::Qft, 16usize), (AppKind::Bv, 16), (AppKind::Adder, 16), (AppKind::Qaoa, 16)]
+            .into_iter()
+            .map(|(app, n)| Arc::new(scaled_app(app, n)))
+            .collect();
+    let kinds = CompilerKind::ALL;
+    let jobs = topologies.len() * circuits.len() * kinds.len();
+    let workers = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("direct", format!("{jobs}jobs")), |b| {
+        use ssync_arch::Device;
+        let devices: Vec<Device> =
+            topologies.iter().map(|(_, t)| Device::build(t.clone(), config.weights)).collect();
+        b.iter(|| {
+            let mut ok = 0usize;
+            for device in &devices {
+                for circuit in &circuits {
+                    for kind in kinds {
+                        ok += usize::from(
+                            ssync_bench::run_compiler_on(kind, device, circuit, &config).is_ok(),
+                        );
+                    }
+                }
+            }
+            ok
+        })
+    });
+
+    group.bench_function(
+        BenchmarkId::new("service", format!("{jobs}jobs/{workers}workers")),
+        |b| {
+            b.iter(|| {
+                // Fresh service per iteration: the measurement includes
+                // registry build, worker spawn and join, so it is the
+                // honest cold-start cost — no cache carry-over between
+                // iterations.
+                let service = CompileService::with_workers(workers);
+                let devices: Vec<_> = topologies
+                    .iter()
+                    .map(|(name, t)| {
+                        service.registry().get_or_build(name, config.weights, || t.clone())
+                    })
+                    .collect();
+                let handles = service.submit_batch(devices.iter().flat_map(|device| {
+                    circuits.iter().flat_map(|circuit| {
+                        kinds.map(|kind| {
+                            CompileRequest::new(
+                                Arc::clone(device),
+                                Arc::clone(circuit),
+                                kind,
+                                config,
+                            )
+                        })
+                    })
+                }));
+                handles.iter().filter(|h| h.wait().is_ok()).count()
+            })
+        },
+    );
+
+    // Persistent service, primed once: every iteration's jobs are all
+    // result-cache hits — the steady-state cost of a repeated sweep.
+    let service = CompileService::with_workers(workers);
+    let devices: Vec<_> = topologies
+        .iter()
+        .map(|(name, t)| service.registry().get_or_build(name, config.weights, || t.clone()))
+        .collect();
+    let submit_all = || {
+        service.submit_batch(devices.iter().flat_map(|device| {
+            circuits.iter().flat_map(|circuit| {
+                kinds.map(|kind| {
+                    CompileRequest::new(Arc::clone(device), Arc::clone(circuit), kind, config)
+                })
+            })
+        }))
+    };
+    for handle in submit_all() {
+        handle.wait().expect("priming compiles");
+    }
+    group.bench_function(BenchmarkId::new("cache_hit", format!("{jobs}jobs")), |b| {
+        b.iter(|| submit_all().iter().filter(|h| h.wait().is_ok()).count())
+    });
+    let stats = service.cache().stats();
+    assert!(stats.hits > 0, "cache-hit bench must exercise the hit path");
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compile_time,
     bench_compile_apps,
     bench_scheduler_hot_path,
     bench_batch_throughput,
-    bench_device_build
+    bench_device_build,
+    bench_service_throughput
 );
 criterion_main!(benches);

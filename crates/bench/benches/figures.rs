@@ -14,7 +14,7 @@ fn bench_comparison_cell(c: &mut Criterion) {
     let config = CompilerConfig::default();
     let mut group = c.benchmark_group("figure_comparison_cell");
     group.sample_size(10);
-    for compiler in CompilerKind::ALL {
+    for compiler in CompilerKind::PAPER {
         group.bench_function(compiler.label(), |b| {
             b.iter(|| {
                 let outcome = run_compiler(compiler, &circuit, &topo, &config).unwrap();

@@ -3,13 +3,16 @@
 //! for the Adder and QFT applications on a G-2x3 device across application
 //! sizes.
 //!
-//! The G-2x3 device is built once and shared by every mapping; each
-//! mapping's circuits compile in one parallel batch.
+//! The full (mapping × application) product goes through the compile
+//! service in one submission: the G-2x3 device is registered (and built)
+//! once, every circuit is shared by `Arc` across the three mapping
+//! configurations, and the work-stealing pool drains the product.
 
-use ssync_arch::Device;
 use ssync_bench::table::{fmt_rate, fmt_us};
-use ssync_bench::{fitting_cells, AppKind, BenchScale, Table};
-use ssync_core::{CompilerConfig, InitialMapping, SSyncCompiler};
+use ssync_bench::{fitting_cells, AppKind, BenchScale, CompilerKind, Table};
+use ssync_core::{CompilerConfig, InitialMapping};
+use ssync_service::{CompileRequest, CompileService};
+use std::sync::Arc;
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -18,23 +21,42 @@ fn main() {
         BenchScale::Small => vec![12, 16],
     };
     let base_config = CompilerConfig::default();
-    let device = Device::named("G-2x3", base_config.weights).expect("known topology");
+    let service = CompileService::new();
+    let device = service
+        .registry()
+        .get_or_build_named("G-2x3", base_config.weights)
+        .expect("known topology");
     let apps = [AppKind::Adder, AppKind::Qft];
 
-    // All (app, size) circuits that fit, in output order.
+    // All (app, size) circuits that fit, in output order, shared by Arc
+    // across every mapping.
     let (cells, circuits) = fitting_cells(
         apps.iter().flat_map(|&app| sizes.iter().map(move |&size| (app, size))),
-        device.topology(),
+        device.device().topology(),
     );
+    let circuits: Vec<Arc<_>> = circuits.into_iter().map(Arc::new).collect();
 
-    // One parallel batch per mapping over the shared device.
-    let mut per_mapping = Vec::new();
-    for mapping in InitialMapping::ALL {
-        eprintln!("[fig12] {} circuits with {} (batched)", circuits.len(), mapping.label());
-        let config = base_config.with_initial_mapping(mapping);
-        let outcomes = SSyncCompiler::new(config).compile_batch(&device, &circuits);
-        per_mapping.push(outcomes);
-    }
+    // One submission covering the whole (mapping × circuit) product.
+    eprintln!(
+        "[fig12] submitting {} circuits x {} mappings to the compile service ({} workers)",
+        circuits.len(),
+        InitialMapping::ALL.len(),
+        service.workers()
+    );
+    let per_mapping: Vec<Vec<_>> = InitialMapping::ALL
+        .into_iter()
+        .map(|mapping| {
+            let config = base_config.with_initial_mapping(mapping);
+            service.submit_batch(circuits.iter().map(|circuit| {
+                CompileRequest::new(
+                    Arc::clone(&device),
+                    Arc::clone(circuit),
+                    CompilerKind::SSync,
+                    config,
+                )
+            }))
+        })
+        .collect();
 
     let mut table = Table::new([
         "Application",
@@ -47,7 +69,7 @@ fn main() {
     ]);
     for (i, &(app, qubits)) in cells.iter().enumerate() {
         for (m, mapping) in InitialMapping::ALL.into_iter().enumerate() {
-            let outcome = per_mapping[m][i].as_ref().expect("compilation succeeds");
+            let outcome = per_mapping[m][i].wait().expect("compilation succeeds");
             table.push_row([
                 app.label().to_string(),
                 qubits.to_string(),

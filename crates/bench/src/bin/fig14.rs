@@ -2,15 +2,19 @@
 //! shuttle/inner weight ratio r (left panel) and the decay rate δ (right
 //! panel) — on a G-2x2 device with trap capacity 20.
 //!
-//! Devices are keyed by (topology, weights): the weight-ratio sweep
-//! builds one device per ratio (the edge weights change the artifact),
-//! while the decay sweep shares a single device across every δ. Each
-//! cell's circuits compile in one parallel batch.
+//! Both panels go through the compile service in one submission each.
+//! Devices are keyed by (name, weights) in the service registry: the
+//! weight-ratio sweep registers one device per ratio (the edge weights
+//! change the artifact), while the decay sweep shares a single registered
+//! device across every δ. Circuits are shared by `Arc` across every
+//! configuration of both panels.
 
-use ssync_arch::{Device, QccdTopology};
+use ssync_arch::QccdTopology;
 use ssync_bench::table::fmt_rate;
-use ssync_bench::{fitting_cells, AppKind, BenchScale, Table};
-use ssync_core::{CompilerConfig, SSyncCompiler};
+use ssync_bench::{fitting_cells, AppKind, BenchScale, CompilerKind, Table};
+use ssync_core::CompilerConfig;
+use ssync_service::{CompileRequest, CompileService};
+use std::sync::Arc;
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -20,54 +24,87 @@ fn main() {
     };
     let apps = [AppKind::Adder, AppKind::Qft, AppKind::Qaoa];
     let topo = QccdTopology::grid(2, 2, 20);
+    let service = CompileService::new();
 
     // The (app, size) cells that fit, in output order.
     let (cells, circuits) = fitting_cells(
         apps.iter().flat_map(|&app| sizes.iter().map(move |&size| (app, size))),
         &topo,
     );
+    let circuits: Vec<Arc<_>> = circuits.into_iter().map(Arc::new).collect();
 
     // Left panel: weight-ratio sweep — the weights are part of the device
-    // artifact, so each ratio builds its own device once.
+    // artifact, so each ratio registers its own device once.
     let ratios = [100.0, 1_000.0, 10_000.0, 100_000.0];
-    let mut per_ratio = Vec::new();
-    for &ratio in &ratios {
-        let config = CompilerConfig::default().with_weight_ratio(ratio);
-        let device = Device::build(topo.clone(), config.weights);
-        eprintln!("[fig14] {} circuits at ratio {ratio} (batched)", circuits.len());
-        per_ratio.push(SSyncCompiler::new(config).compile_batch(&device, &circuits));
-    }
+    eprintln!(
+        "[fig14] submitting {} circuits x {} ratios + {} decays ({} workers)",
+        circuits.len(),
+        ratios.len(),
+        4,
+        service.workers()
+    );
+    let per_ratio: Vec<Vec<_>> = ratios
+        .iter()
+        .map(|&ratio| {
+            let config = CompilerConfig::default().with_weight_ratio(ratio);
+            let device =
+                service.registry().get_or_build(topo.name(), config.weights, || topo.clone());
+            service.submit_batch(circuits.iter().map(|circuit| {
+                CompileRequest::new(
+                    Arc::clone(&device),
+                    Arc::clone(circuit),
+                    CompilerKind::SSync,
+                    config,
+                )
+            }))
+        })
+        .collect();
+
+    // Right panel: decay-rate sweep — δ does not touch the device, so one
+    // registered artifact serves every configuration (and the ratio-1000
+    // entry above is literally the same device: same name, same weights).
+    let decays = [0.0, 0.01, 0.001, 0.0001];
+    let shared =
+        service
+            .registry()
+            .get_or_build(topo.name(), CompilerConfig::default().weights, || topo.clone());
+    let per_decay: Vec<Vec<_>> = decays
+        .iter()
+        .map(|&delta| {
+            let config = CompilerConfig::default().with_decay(delta);
+            service.submit_batch(circuits.iter().map(|circuit| {
+                CompileRequest::new(
+                    Arc::clone(&shared),
+                    Arc::clone(circuit),
+                    CompilerKind::SSync,
+                    config,
+                )
+            }))
+        })
+        .collect();
+
     let mut weight_table = Table::new(["Application", "Size", "r=100", "r=1e3", "r=1e4", "r=1e5"]);
     for (i, &(app, qubits)) in cells.iter().enumerate() {
         let mut row = vec![app.label().to_string(), qubits.to_string()];
-        for outcomes in &per_ratio {
-            let outcome = outcomes[i].as_ref().expect("compilation succeeds");
+        for handles in &per_ratio {
+            let outcome = handles[i].wait().expect("compilation succeeds");
             row.push(fmt_rate(outcome.report().success_rate));
         }
         weight_table.push_row(row);
     }
 
-    // Right panel: decay-rate sweep — δ does not touch the device, so one
-    // shared artifact serves every configuration.
-    let decays = [0.0, 0.01, 0.001, 0.0001];
-    let shared = Device::build(topo.clone(), CompilerConfig::default().weights);
-    let mut per_decay = Vec::new();
-    for &delta in &decays {
-        let config = CompilerConfig::default().with_decay(delta);
-        eprintln!("[fig14] {} circuits at decay {delta} (batched)", circuits.len());
-        per_decay.push(SSyncCompiler::new(config).compile_batch(&shared, &circuits));
-    }
     let mut decay_table =
         Table::new(["Application", "Size", "d=0", "d=0.01", "d=0.001", "d=0.0001"]);
     for (i, &(app, qubits)) in cells.iter().enumerate() {
         let mut row = vec![app.label().to_string(), qubits.to_string()];
-        for outcomes in &per_decay {
-            let outcome = outcomes[i].as_ref().expect("compilation succeeds");
+        for handles in &per_decay {
+            let outcome = handles[i].wait().expect("compilation succeeds");
             row.push(fmt_rate(outcome.report().success_rate));
         }
         decay_table.push_row(row);
     }
 
+    let metrics = service.metrics();
     println!("Fig. 14 (left) — success rate vs shuttle/inner weight ratio (G-2x2, cap 20)\n");
     println!("{weight_table}");
     println!("Fig. 14 (right) — success rate vs decay rate δ (G-2x2, cap 20)\n");
@@ -75,4 +112,9 @@ fn main() {
     println!("Expected shape: performance is largely insensitive to the weight ratio as");
     println!("long as shuttle weight stays proportionally larger than the inner weight;");
     println!("δ has a mild, application-dependent optimum around 1e-3.");
+    eprintln!(
+        "[fig14] dedup: {} cache hits + {} coalesced of {} submitted \
+         (r=1e3 and d=0.001 are both the default config)",
+        metrics.cache.hits, metrics.jobs_coalesced, metrics.jobs_submitted
+    );
 }

@@ -2,13 +2,15 @@
 //! "perfect SWAP", "perfect shuttle" and "ideal" upper bounds on a G-2x2
 //! device with trap capacity 20.
 //!
-//! One shared device, one parallel batch; the idealised bounds re-evaluate
-//! each compiled program without recompiling.
+//! One registered device, one service submission; the idealised bounds
+//! re-evaluate each compiled program without recompiling.
 
-use ssync_arch::{Device, QccdTopology};
+use ssync_arch::QccdTopology;
 use ssync_bench::table::fmt_rate;
-use ssync_bench::{fitting_cells, AppKind, BenchScale, Table};
+use ssync_bench::{fitting_cells, AppKind, BenchScale, CompilerKind, Table};
 use ssync_core::{CompilerConfig, IdealizationMode, SSyncCompiler};
+use ssync_service::{CompileRequest, CompileService};
+use std::sync::Arc;
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -23,20 +25,27 @@ fn main() {
         BenchScale::Small => vec![(AppKind::Bv, 16), (AppKind::Qft, 16)],
     };
     let config = CompilerConfig::default();
-    let device = Device::build(QccdTopology::grid(2, 2, 20), config.weights);
-    let compiler = SSyncCompiler::new(config);
+    let topo = QccdTopology::grid(2, 2, 20);
+    let service = CompileService::new();
+    let device = service.registry().get_or_build(topo.name(), config.weights, || topo.clone());
 
-    let (cells, circuits) = fitting_cells(apps, device.topology());
+    let (cells, circuits) = fitting_cells(apps, device.device().topology());
     let labels: Vec<String> =
         cells.iter().map(|&(app, qubits)| format!("{}_{qubits}", app.label())).collect();
-    eprintln!("[fig16] compiling {} benchmarks in parallel", circuits.len());
-    let outcomes = compiler.compile_batch(&device, &circuits);
+    eprintln!(
+        "[fig16] submitting {} benchmarks to the compile service ({} workers)",
+        circuits.len(),
+        service.workers()
+    );
+    let handles = service.submit_batch(circuits.into_iter().map(|circuit| {
+        CompileRequest::new(Arc::clone(&device), Arc::new(circuit), CompilerKind::SSync, config)
+    }));
 
     let mut table =
         Table::new(["Application", "Ideal", "Perfect Shuttle", "Perfect SWAP", "S-SYNC"]);
-    let tracer = compiler.tracer();
-    for (label, outcome) in labels.into_iter().zip(outcomes) {
-        let outcome = outcome.expect("compilation succeeds");
+    let tracer = SSyncCompiler::new(config).tracer();
+    for (label, handle) in labels.into_iter().zip(handles) {
+        let outcome = handle.wait().expect("compilation succeeds");
         let rate =
             |mode: IdealizationMode| fmt_rate(outcome.evaluate_with(&tracer, mode).success_rate);
         table.push_row([

@@ -1,17 +1,24 @@
 //! The shared Figs. 8–10 comparison sweep: benchmark × topology × compiler.
 //!
-//! The sweep is organised around shared [`Device`] artifacts: every
-//! topology's slot graph / router / distance matrix is built exactly once
-//! and all applications targeting it are compiled in parallel through the
-//! batch API, per compiler. Row order (and every measured count) is
-//! identical to the historical one-compile-at-a-time nesting.
+//! The sweep is one big submission to the
+//! [`CompileService`](ssync_service::CompileService): every topology is
+//! registered once in the service's device registry (the slot graph /
+//! router / distance matrix is built exactly once), every circuit travels
+//! as a shared `Arc` (one allocation per application, however many
+//! topologies it targets), and the full (application × topology ×
+//! compiler) product is queued at once for the work-stealing pool to
+//! drain. Row order (and every measured count) is identical to the
+//! historical one-compile-at-a-time nesting — the service guarantees
+//! worker-count-independent, bit-identical results.
 
 use crate::apps::{scaled_app, AppKind};
-use crate::harness::{run_compiler_batch, BenchScale, CompilerKind};
-use ssync_arch::{Device, QccdTopology};
+use crate::harness::{BenchScale, CompilerKind};
+use ssync_arch::QccdTopology;
 use ssync_circuit::Circuit;
 use ssync_core::CompilerConfig;
+use ssync_service::{CompileRequest, CompileService, RegisteredDevice};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One (application, topology, compiler) measurement.
 #[derive(Debug, Clone)]
@@ -56,10 +63,12 @@ pub fn comparison_targets(scale: BenchScale) -> Vec<(AppKind, usize, Vec<&'stati
 
 /// Runs the full comparison sweep and returns one row per
 /// (application, topology, compiler) triple, in the same nesting order as
-/// the paper's figures (application → topology → compiler). Each
-/// topology's [`Device`] is built exactly once; all applications sharing
-/// it are compiled in parallel per compiler. `progress` is called before
-/// each batch with a short description.
+/// the paper's figures (application → topology → compiler). The whole
+/// product is submitted to a [`CompileService`] in one batch: each
+/// topology's device is registered (and built) exactly once, each
+/// application's circuit is shared by `Arc` across every topology cell,
+/// and the pool's workers drain the queue with stealing. `progress` is
+/// called with a submission summary and once per drained topology group.
 pub fn comparison_rows(
     scale: BenchScale,
     config: &CompilerConfig,
@@ -69,60 +78,71 @@ pub fn comparison_rows(
     struct Cell {
         app_label: String,
         topo_name: &'static str,
-        circuit: Circuit,
+        circuit: Arc<Circuit>,
     }
+    let service = CompileService::new();
     let mut cells: Vec<Cell> = Vec::new();
-    let mut devices: BTreeMap<&'static str, Device> = BTreeMap::new();
+    let mut devices: BTreeMap<&'static str, Arc<RegisteredDevice>> = BTreeMap::new();
     for (app, qubits, topologies) in comparison_targets(scale) {
-        let circuit = scaled_app(app, qubits);
+        let circuit = Arc::new(scaled_app(app, qubits));
         let app_label = format!("{}_{}", app.label(), qubits);
         for topo_name in topologies {
             let topo = QccdTopology::named(topo_name).expect("known topology name");
             if topo.total_capacity() <= circuit.num_qubits() {
                 continue; // no device build for cells nothing targets
             }
-            devices.entry(topo_name).or_insert_with(|| Device::build(topo, config.weights));
-            cells.push(Cell { app_label: app_label.clone(), topo_name, circuit: circuit.clone() });
+            devices.entry(topo_name).or_insert_with(|| {
+                service.registry().get_or_build(topo_name, config.weights, || topo)
+            });
+            cells.push(Cell {
+                app_label: app_label.clone(),
+                topo_name,
+                circuit: Arc::clone(&circuit),
+            });
         }
     }
 
-    // Group the cells by topology, batch-compile each group per compiler,
-    // then scatter the results back into nesting order.
-    let mut groups: BTreeMap<&'static str, Vec<usize>> = BTreeMap::new();
-    for (i, cell) in cells.iter().enumerate() {
-        groups.entry(cell.topo_name).or_default().push(i);
-    }
-    let mut rows: Vec<Option<ComparisonRow>> =
-        (0..cells.len() * CompilerKind::ALL.len()).map(|_| None).collect();
-    for (topo_name, cell_indices) in &groups {
-        let device = &devices[topo_name];
-        let circuits: Vec<Circuit> =
-            cell_indices.iter().map(|&i| cells[i].circuit.clone()).collect();
-        for (k, compiler) in CompilerKind::ALL.into_iter().enumerate() {
-            progress(&format!(
-                "{} circuits on {topo_name} with {} (batched)",
-                circuits.len(),
-                compiler.label()
-            ));
-            let outcomes = run_compiler_batch(compiler, device, &circuits, config);
-            for (&cell_idx, outcome) in cell_indices.iter().zip(outcomes) {
-                let outcome = outcome.expect("paper configurations must compile");
-                let cell = &cells[cell_idx];
-                let counts = outcome.counts();
-                rows[cell_idx * CompilerKind::ALL.len() + k] = Some(ComparisonRow {
-                    app: cell.app_label.clone(),
-                    topology: cell.topo_name.to_string(),
-                    compiler,
-                    shuttles: counts.shuttles,
-                    swaps: counts.swap_gates,
-                    success_rate: outcome.report().success_rate,
-                    execution_time_us: outcome.report().total_time_us,
-                    compile_time_s: outcome.compile_time().as_secs_f64(),
-                });
-            }
+    // Submit the whole (cell × compiler) product in row nesting order.
+    let compilers = CompilerKind::PAPER;
+    progress(&format!(
+        "submitting {} (app, topology) cells x {} compilers to the compile service \
+         ({} workers, {} devices)",
+        cells.len(),
+        compilers.len(),
+        service.workers(),
+        devices.len()
+    ));
+    let handles = service.submit_batch(cells.iter().flat_map(|cell| {
+        let device = Arc::clone(&devices[cell.topo_name]);
+        let circuit = Arc::clone(&cell.circuit);
+        compilers.into_iter().map(move |compiler| {
+            CompileRequest::new(Arc::clone(&device), Arc::clone(&circuit), compiler, *config)
+        })
+    }));
+
+    let mut rows = Vec::with_capacity(handles.len());
+    let mut last_topo: Option<&'static str> = None;
+    for (cell, chunk) in cells.iter().zip(handles.chunks(compilers.len())) {
+        if last_topo != Some(cell.topo_name) {
+            progress(&format!("draining results for {}", cell.topo_name));
+            last_topo = Some(cell.topo_name);
+        }
+        for (compiler, handle) in compilers.into_iter().zip(chunk) {
+            let outcome = handle.wait().expect("paper configurations must compile");
+            let counts = outcome.counts();
+            rows.push(ComparisonRow {
+                app: cell.app_label.clone(),
+                topology: cell.topo_name.to_string(),
+                compiler,
+                shuttles: counts.shuttles,
+                swaps: counts.swap_gates,
+                success_rate: outcome.report().success_rate,
+                execution_time_us: outcome.report().total_time_us,
+                compile_time_s: outcome.compile_time().as_secs_f64(),
+            });
         }
     }
-    rows.into_iter().map(|r| r.expect("every cell compiled under every compiler")).collect()
+    rows
 }
 
 /// Geometric-mean ratio of a metric between two compilers over matching

@@ -1,36 +1,18 @@
 //! Shared harness plumbing: compiler selection, shared-device batch
 //! compilation and benchmark scale.
+//!
+//! The compiler selector itself is [`ssync_baselines::CompilerKind`] —
+//! re-exported here — so the figure binaries, the batch fan-out and the
+//! `ssync-service` pool all dispatch through one enum. Figures compare the
+//! paper's three compilers ([`CompilerKind::PAPER`]); the service also
+//! accepts the plain-greedy ablation ([`CompilerKind::Greedy`]).
+
+pub use ssync_baselines::CompilerKind;
 
 use ssync_arch::{Device, QccdTopology};
-use ssync_baselines::{DaiCompiler, MuraliCompiler};
 use ssync_circuit::Circuit;
-use ssync_core::{batch, CompileError, CompileOutcome, CompilerConfig, SSyncCompiler};
-
-/// Which compiler to run for a comparison row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CompilerKind {
-    /// Murali et al. (ISCA 2020) greedy baseline.
-    Murali,
-    /// Dai et al. (TQE 2024) parallel-shuttle baseline.
-    Dai,
-    /// This work (S-SYNC).
-    SSync,
-}
-
-impl CompilerKind {
-    /// The three compilers in the order plotted in Figs. 8–10.
-    pub const ALL: [CompilerKind; 3] =
-        [CompilerKind::Murali, CompilerKind::Dai, CompilerKind::SSync];
-
-    /// Legend label used in the paper's figures.
-    pub fn label(self) -> &'static str {
-        match self {
-            CompilerKind::Murali => "Murali et al.",
-            CompilerKind::Dai => "Dai et al.",
-            CompilerKind::SSync => "This Work",
-        }
-    }
-}
+use ssync_core::{batch, CompileError, CompileOutcome, CompileScratch, CompilerConfig};
+use std::borrow::Borrow;
 
 /// Compiles `circuit` for `topology` with the selected compiler and a
 /// shared evaluation configuration, building a throw-away [`Device`].
@@ -62,11 +44,7 @@ pub fn run_compiler_on(
     circuit: &Circuit,
     config: &CompilerConfig,
 ) -> Result<CompileOutcome, CompileError> {
-    match kind {
-        CompilerKind::Murali => MuraliCompiler::new(*config).compile_on(device, circuit),
-        CompilerKind::Dai => DaiCompiler::new(*config).compile_on(device, circuit),
-        CompilerKind::SSync => SSyncCompiler::new(*config).compile_on(device, circuit),
-    }
+    kind.compile_on(device, circuit, config)
 }
 
 /// Compiles every circuit against one shared `device` with the selected
@@ -74,10 +52,12 @@ pub fn run_compiler_on(
 /// environment variable, then `config.batch_workers`, then available
 /// parallelism). Results come back in input order and are bit-identical
 /// to calling [`run_compiler_on`] per circuit, whatever the worker count.
-pub fn run_compiler_batch(
+/// The work-list is generic over [`Borrow<Circuit>`], so `&[Circuit]` and
+/// `&[Arc<Circuit>]` both work without cloning circuits.
+pub fn run_compiler_batch<C: Borrow<Circuit> + Sync>(
     kind: CompilerKind,
     device: &Device,
-    circuits: &[Circuit],
+    circuits: &[C],
     config: &CompilerConfig,
 ) -> Vec<Result<CompileOutcome, CompileError>> {
     run_compiler_batch_with_workers(
@@ -93,27 +73,18 @@ pub fn run_compiler_batch(
 /// per-circuit `compile_time` is the quantity under study (e.g. Fig. 15):
 /// concurrent workers contend for cores and would inflate the wall-clock
 /// readings, while the compiled programs themselves are identical either
-/// way.
-pub fn run_compiler_batch_with_workers(
+/// way. Every worker reuses one [`CompileScratch`] across its share of
+/// the batch.
+pub fn run_compiler_batch_with_workers<C: Borrow<Circuit> + Sync>(
     kind: CompilerKind,
     device: &Device,
-    circuits: &[Circuit],
+    circuits: &[C],
     config: &CompilerConfig,
     workers: usize,
 ) -> Vec<Result<CompileOutcome, CompileError>> {
-    match kind {
-        CompilerKind::Murali => {
-            let compiler = MuraliCompiler::new(*config);
-            batch::parallel_map(workers, circuits, |_, c| compiler.compile_on(device, c))
-        }
-        CompilerKind::Dai => {
-            let compiler = DaiCompiler::new(*config);
-            batch::parallel_map(workers, circuits, |_, c| compiler.compile_on(device, c))
-        }
-        CompilerKind::SSync => {
-            SSyncCompiler::new(*config).compile_batch_with_workers(device, circuits, workers)
-        }
-    }
+    batch::parallel_map_with(workers, circuits, CompileScratch::default, |scratch, _, c| {
+        kind.compile_on_with(device, c.borrow(), config, None, scratch)
+    })
 }
 
 /// Problem-size scaling of the figure binaries.
@@ -149,9 +120,10 @@ impl BenchScale {
 mod tests {
     use super::*;
     use ssync_circuit::generators::qft;
+    use std::sync::Arc;
 
     #[test]
-    fn all_three_compilers_run_through_the_harness() {
+    fn all_four_compilers_run_through_the_harness() {
         let circuit = qft(12);
         let topo = QccdTopology::grid(2, 2, 5);
         let config = CompilerConfig::default();
@@ -179,10 +151,23 @@ mod tests {
     }
 
     #[test]
+    fn arc_work_lists_batch_without_cloning_circuits() {
+        let circuits: Vec<Arc<Circuit>> = vec![Arc::new(qft(8)), Arc::new(qft(10))];
+        let config = CompilerConfig::default();
+        let device = Device::build(QccdTopology::grid(2, 2, 5), config.weights);
+        let batched = run_compiler_batch(CompilerKind::SSync, &device, &circuits, &config);
+        for (circuit, outcome) in circuits.iter().zip(&batched) {
+            let single = run_compiler_on(CompilerKind::SSync, &device, circuit, &config).unwrap();
+            assert_eq!(outcome.as_ref().unwrap().program().ops(), single.program().ops());
+        }
+    }
+
+    #[test]
     fn labels_match_figure_legends() {
         assert_eq!(CompilerKind::SSync.label(), "This Work");
         assert_eq!(CompilerKind::Murali.label(), "Murali et al.");
         assert_eq!(CompilerKind::Dai.label(), "Dai et al.");
+        assert_eq!(CompilerKind::Greedy.label(), "Greedy");
     }
 
     #[test]

@@ -274,6 +274,58 @@ impl Circuit {
         out
     }
 
+    /// The register's qubits ordered by the index of the first gate that
+    /// touches them (never-used qubits come last, by index). This is the
+    /// packing order the greedy baseline compilers place ions in; it
+    /// depends only on the circuit, so callers compiling one circuit
+    /// against many devices should compute it once and reuse it.
+    pub fn first_use_order(&self) -> Vec<Qubit> {
+        let n = self.num_qubits;
+        let mut first_use = vec![usize::MAX; n];
+        for (i, gate) in self.gates.iter().enumerate() {
+            for q in gate.qubits() {
+                if first_use[q.index()] == usize::MAX {
+                    first_use[q.index()] = i;
+                }
+            }
+        }
+        let mut order: Vec<Qubit> = (0..n as u32).map(Qubit).collect();
+        order.sort_by_key(|q| (first_use[q.index()], q.0));
+        order
+    }
+
+    /// A stable 64-bit content hash over the register width and the gate
+    /// list (kinds, operands and angle bit patterns). The circuit's name is
+    /// deliberately excluded: two circuits with identical structure hash
+    /// identically. The hash is FNV-1a, so it is reproducible across runs,
+    /// platforms and processes — suitable as a compile-result cache key.
+    pub fn content_hash(&self) -> u64 {
+        let mut hasher = crate::StableHasher::new();
+        let mut write = |v: u64| hasher.write_u64(v);
+        write(self.num_qubits as u64);
+        for gate in &self.gates {
+            let (tag, a, b, angle): (u64, u32, u32, f64) = match *gate {
+                Gate::H(q) => (0, q.0, u32::MAX, 0.0),
+                Gate::X(q) => (1, q.0, u32::MAX, 0.0),
+                Gate::Rx(q, t) => (2, q.0, u32::MAX, t),
+                Gate::Ry(q, t) => (3, q.0, u32::MAX, t),
+                Gate::Rz(q, t) => (4, q.0, u32::MAX, t),
+                Gate::Cx(x, y) => (5, x.0, y.0, 0.0),
+                Gate::Cz(x, y) => (6, x.0, y.0, 0.0),
+                Gate::Cp(x, y, t) => (7, x.0, y.0, t),
+                Gate::Ms(x, y) => (8, x.0, y.0, 0.0),
+                Gate::Rzz(x, y, t) => (9, x.0, y.0, t),
+                Gate::Rxx(x, y, t) => (10, x.0, y.0, t),
+                Gate::Ryy(x, y, t) => (11, x.0, y.0, t),
+                Gate::Swap(x, y) => (12, x.0, y.0, 0.0),
+            };
+            write(tag);
+            write(u64::from(a) | (u64::from(b) << 32));
+            write(angle.to_bits());
+        }
+        hasher.finish()
+    }
+
     /// Restricts the circuit to the first `n` qubits, dropping every gate
     /// that touches a higher-indexed qubit. Used by application-size sweeps.
     pub fn restrict_to_qubits(&self, n: usize) -> Circuit {
@@ -421,6 +473,37 @@ mod tests {
         let s = c.to_string();
         assert!(s.contains("h q0;"));
         assert!(s.contains("cx q0, q1;"));
+    }
+
+    #[test]
+    fn first_use_order_sorts_by_first_gate_then_index() {
+        let mut c = Circuit::new(5);
+        c.cx(Qubit(3), Qubit(1));
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(4));
+        // Qubit 2 is never used and comes last; 3 and 1 tie on the first
+        // gate and break by index.
+        assert_eq!(c.first_use_order(), vec![Qubit(1), Qubit(3), Qubit(0), Qubit(4), Qubit(2)]);
+    }
+
+    #[test]
+    fn content_hash_ignores_name_but_not_structure() {
+        let mut a = Circuit::with_name(3, "a");
+        a.cx(Qubit(0), Qubit(1));
+        a.rz(Qubit(2), 0.25);
+        let mut b = Circuit::with_name(3, "completely different name");
+        b.cx(Qubit(0), Qubit(1));
+        b.rz(Qubit(2), 0.25);
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        let mut angle = b.clone();
+        angle.rz(Qubit(2), 0.5);
+        assert_ne!(a.content_hash(), angle.content_hash());
+        let mut operands = Circuit::new(3);
+        operands.cx(Qubit(1), Qubit(0));
+        operands.rz(Qubit(2), 0.25);
+        assert_ne!(a.content_hash(), operands.content_hash());
+        assert_ne!(Circuit::new(3).content_hash(), Circuit::new(4).content_hash());
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod gate;
 pub mod generators;
 mod interaction;
 mod layers;
+mod stable_hash;
 
 pub use circuit::{Circuit, CircuitStats};
 pub use dag::{DependencyDag, LookaheadScratch, NodeId};
@@ -46,3 +47,4 @@ pub use error::CircuitError;
 pub use gate::{Gate, GateKind, Qubit};
 pub use interaction::InteractionGraph;
 pub use layers::Layers;
+pub use stable_hash::StableHasher;

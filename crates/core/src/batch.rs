@@ -49,20 +49,42 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_with(workers, items, || (), |(), i, item| f(i, item))
+}
+
+/// [`parallel_map`] with per-worker state: every worker thread calls
+/// `init` exactly once and threads the resulting value through each of its
+/// `f` invocations. This is how batch workers carry a reusable
+/// [`crate::CompileScratch`] across their share of a batch — the state
+/// recycles allocations and must never influence results (determinism is
+/// enforced by the batch golden tests, which hold at any worker count).
+///
+/// # Panics
+///
+/// Re-raises a panic from `init` or `f` on the calling thread.
+pub fn parallel_map_with<T, R, S, I, F>(workers: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let workers = workers.max(1).min(items.len());
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let worker_outputs: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        local.push((i, f(i, item)));
+                        local.push((i, f(&mut state, i, item)));
                     }
                     local
                 })
@@ -102,6 +124,30 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
         assert_eq!(parallel_map(8, &[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialised_once_per_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1usize, 4] {
+            // Each worker counts how many items it processed through its
+            // own state; the counts must cover every item exactly once.
+            let results = parallel_map_with(
+                workers,
+                &items,
+                || 0usize,
+                |seen, i, &x| {
+                    *seen += 1;
+                    (i, x, *seen)
+                },
+            );
+            assert_eq!(results.len(), items.len(), "workers = {workers}");
+            for (slot, &(i, x, seen)) in results.iter().enumerate() {
+                assert_eq!(slot, i);
+                assert_eq!(i, x);
+                assert!(seen >= 1 && seen <= items.len());
+            }
+        }
     }
 
     #[test]

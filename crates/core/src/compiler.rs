@@ -5,11 +5,23 @@ use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::idealized::IdealizationMode;
 use crate::initial;
-use crate::scheduler::{Scheduler, SchedulerStats};
+use crate::scheduler::{Scheduler, SchedulerScratch, SchedulerStats};
 use ssync_arch::{Device, Placement, QccdTopology, TrapRouter};
 use ssync_circuit::Circuit;
 use ssync_sim::{CompiledProgram, ExecutionReport, ExecutionTracer, OpCounts};
+use std::borrow::Borrow;
 use std::time::{Duration, Instant};
+
+/// Reusable per-worker compile state: the scheduler's working memory,
+/// carried across compiles so batch and service workers stop paying the
+/// per-compile scratch allocation. One instance belongs to one worker at a
+/// time (it is `Send` but deliberately not shared), may be reused across
+/// circuits *and* devices, and never influences compiled output — the
+/// batch golden tests pin that down.
+#[derive(Debug, Default)]
+pub struct CompileScratch {
+    scheduler: SchedulerScratch,
+}
 
 /// The result of compiling (and evaluating) a circuit for a QCCD device.
 #[derive(Debug, Clone)]
@@ -201,6 +213,30 @@ impl SSyncCompiler {
         device: &Device,
         circuit: &Circuit,
     ) -> Result<CompileOutcome, CompileError> {
+        self.compile_on_with_scratch(device, circuit, &mut CompileScratch::default())
+    }
+
+    /// [`SSyncCompiler::compile_on`] reusing a caller-owned
+    /// [`CompileScratch`]: the scheduler's working memory is taken from
+    /// `scratch` for the duration of the compile and handed back
+    /// afterwards, so a worker compiling many circuits allocates its
+    /// buffers once. Output is bit-identical to `compile_on` — the scratch
+    /// only recycles allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SSyncCompiler::compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was built with different edge weights than this
+    /// compiler's configuration.
+    pub fn compile_on_with_scratch(
+        &self,
+        device: &Device,
+        circuit: &Circuit,
+        scratch: &mut CompileScratch,
+    ) -> Result<CompileOutcome, CompileError> {
         assert!(
             device.weights() == self.config.weights,
             "device was built with different edge weights than the compiler config"
@@ -212,17 +248,15 @@ impl SSyncCompiler {
         device.distance_matrix();
         let start = Instant::now();
         let placement = initial::build_placement(circuit, device, &self.config);
-        let mut scheduler = Scheduler::new(device, &self.config);
-        let (program, final_placement) = scheduler.run(circuit, placement)?;
+        let mut scheduler =
+            Scheduler::with_scratch(device, &self.config, std::mem::take(&mut scratch.scheduler));
+        let result = scheduler.run(circuit, placement);
+        let scheduler_stats = scheduler.stats();
+        scratch.scheduler = scheduler.into_scratch();
+        let (program, final_placement) = result?;
         let compile_time = start.elapsed();
         let report = self.tracer().evaluate(&program);
-        Ok(CompileOutcome {
-            program,
-            report,
-            final_placement,
-            scheduler_stats: scheduler.stats(),
-            compile_time,
-        })
+        Ok(CompileOutcome { program, report, final_placement, scheduler_stats, compile_time })
     }
 
     /// Compiles every circuit of `circuits` against one shared `device`,
@@ -234,14 +268,19 @@ impl SSyncCompiler {
     /// bit-identical to calling [`SSyncCompiler::compile_on`] per circuit,
     /// whatever the worker count.
     ///
+    /// The work-list is generic over [`Borrow<Circuit>`], so both plain
+    /// `&[Circuit]` slices and shared `&[Arc<Circuit>]` work-lists (the
+    /// service / sweep shape, where one circuit targets many devices
+    /// without being cloned) compile through the same entry point.
+    ///
     /// # Panics
     ///
     /// Panics if `device` was built with different edge weights than this
     /// compiler's configuration.
-    pub fn compile_batch(
+    pub fn compile_batch<C: Borrow<Circuit> + Sync>(
         &self,
         device: &Device,
-        circuits: &[Circuit],
+        circuits: &[C],
     ) -> Vec<Result<CompileOutcome, CompileError>> {
         self.compile_batch_with_workers(
             device,
@@ -251,19 +290,24 @@ impl SSyncCompiler {
     }
 
     /// [`SSyncCompiler::compile_batch`] with an explicit worker count
-    /// (mainly for tests proving worker-count independence).
+    /// (mainly for tests proving worker-count independence). Every worker
+    /// carries one [`CompileScratch`] across its share of the batch, so the
+    /// scheduler's working memory is allocated `workers` times, not
+    /// `circuits.len()` times.
     ///
     /// # Panics
     ///
     /// Panics if `device` was built with different edge weights than this
     /// compiler's configuration.
-    pub fn compile_batch_with_workers(
+    pub fn compile_batch_with_workers<C: Borrow<Circuit> + Sync>(
         &self,
         device: &Device,
-        circuits: &[Circuit],
+        circuits: &[C],
         workers: usize,
     ) -> Vec<Result<CompileOutcome, CompileError>> {
-        batch::parallel_map(workers, circuits, |_, circuit| self.compile_on(device, circuit))
+        batch::parallel_map_with(workers, circuits, CompileScratch::default, |scratch, _, c| {
+            self.compile_on_with_scratch(device, c.borrow(), scratch)
+        })
     }
 }
 

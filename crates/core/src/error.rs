@@ -24,6 +24,13 @@ pub enum CompileError {
         /// Gates left unexecuted when the budget was exhausted.
         remaining_gates: usize,
     },
+    /// An unexpected internal failure (e.g. a compile worker panicked).
+    /// Long-lived multi-tenant front-ends report this instead of tearing
+    /// the whole process down.
+    Internal {
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -40,6 +47,7 @@ impl fmt::Display for CompileError {
             CompileError::SchedulingStalled { remaining_gates } => {
                 write!(f, "scheduling stalled with {remaining_gates} gates remaining")
             }
+            CompileError::Internal { message } => write!(f, "internal compiler error: {message}"),
         }
     }
 }

@@ -70,10 +70,10 @@ pub mod initial;
 pub mod mechanics;
 mod scheduler;
 
-pub use compiler::{CompileOutcome, SSyncCompiler};
+pub use compiler::{CompileOutcome, CompileScratch, SSyncCompiler};
 pub use config::{CompilerConfig, InitialMapping};
 pub use error::CompileError;
 pub use generic_swap::{GenericSwap, GenericSwapKind};
 pub use heuristic::{DecayTracker, HeuristicScorer, ScoreCache, ScoringScratch};
 pub use idealized::IdealizationMode;
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, SchedulerScratch};

@@ -69,22 +69,14 @@ impl RecentSwaps {
     }
 }
 
-/// The generic-swap scheduler: executes every two-qubit gate of a circuit
-/// on a QCCD device, inserting SWAP gates, reorders and shuttles chosen by
-/// the heuristic of Eqs. (1)–(2).
-#[derive(Debug)]
-pub struct Scheduler<'a> {
-    graph: &'a SlotGraph,
-    router: &'a TrapRouter,
-    config: &'a CompilerConfig,
-    stats: SchedulerStats,
-    /// All-pairs slot distances, shared from the [`Device`] artifact.
-    dist: &'a DistanceMatrix,
-    /// Edge indices of the static graph touching each trap (either
-    /// endpoint), ascending within each trap — the [`Device`]'s trap→edge
-    /// candidate index.
-    trap_edges: &'a [Vec<u32>],
-    // ---- reusable scratch (cleared, never reallocated, per iteration) ----
+/// The scheduler's reusable working memory: every per-iteration buffer the
+/// hot path touches, extracted so batch and service workers can carry one
+/// instance across many compiles (and devices) instead of reallocating it
+/// per [`Scheduler`]. The contents are pure scratch — they never influence
+/// the produced program, which the batch/service golden equivalence tests
+/// enforce.
+#[derive(Debug, Default)]
+pub struct SchedulerScratch {
     frontier: Vec<(NodeId, Gate)>,
     lookahead: Vec<(NodeId, Gate)>,
     lookahead_ids: Vec<NodeId>,
@@ -101,6 +93,39 @@ pub struct Scheduler<'a> {
     scoring: ScoringScratch,
 }
 
+impl SchedulerScratch {
+    /// Re-sizes the device-shaped buffers for a (possibly different) device
+    /// and resets the cross-iteration marks, keeping every allocation.
+    /// The epoch counter keeps rising monotonically across compiles, so a
+    /// stale stamp can never collide with a future pass.
+    fn prepare(&mut self, num_traps: usize, num_edges: usize) {
+        self.relevant_mask.clear();
+        self.relevant_mask.resize(num_traps, false);
+        self.relevant_list.clear();
+        self.edge_stamp.clear();
+        self.edge_stamp.resize(num_edges, 0);
+    }
+}
+
+/// The generic-swap scheduler: executes every two-qubit gate of a circuit
+/// on a QCCD device, inserting SWAP gates, reorders and shuttles chosen by
+/// the heuristic of Eqs. (1)–(2).
+#[derive(Debug)]
+pub struct Scheduler<'a> {
+    graph: &'a SlotGraph,
+    router: &'a TrapRouter,
+    config: &'a CompilerConfig,
+    stats: SchedulerStats,
+    /// All-pairs slot distances, shared from the [`Device`] artifact.
+    dist: &'a DistanceMatrix,
+    /// Edge indices of the static graph touching each trap (either
+    /// endpoint), ascending within each trap — the [`Device`]'s trap→edge
+    /// candidate index.
+    trap_edges: &'a [Vec<u32>],
+    /// Reusable working memory (cleared, never reallocated, per iteration).
+    scratch: SchedulerScratch,
+}
+
 impl<'a> Scheduler<'a> {
     /// Creates a scheduler over a prepared [`Device`]. All per-device
     /// structures (slot graph, trap router, all-pairs [`DistanceMatrix`],
@@ -114,12 +139,29 @@ impl<'a> Scheduler<'a> {
     /// `config` — the precomputed distances would silently disagree with
     /// the Eq. 2 heuristic otherwise.
     pub fn new(device: &'a Device, config: &'a CompilerConfig) -> Self {
+        Self::with_scratch(device, config, SchedulerScratch::default())
+    }
+
+    /// [`Scheduler::new`] reusing the working memory of a previous
+    /// scheduler (recovered via [`Scheduler::into_scratch`]). The scratch
+    /// may come from a run over a *different* device — the device-shaped
+    /// buffers are resized here. Batch and service workers use this to
+    /// compile many circuits with zero steady-state scratch allocation.
+    ///
+    /// # Panics
+    ///
+    /// Same condition as [`Scheduler::new`].
+    pub fn with_scratch(
+        device: &'a Device,
+        config: &'a CompilerConfig,
+        mut scratch: SchedulerScratch,
+    ) -> Self {
         assert!(
             device.weights() == config.weights,
             "device was built with different edge weights than the scheduler config"
         );
         let graph = device.graph();
-        let num_traps = graph.topology().num_traps();
+        scratch.prepare(graph.topology().num_traps(), graph.edges().len());
         Scheduler {
             graph,
             router: device.router(),
@@ -127,21 +169,14 @@ impl<'a> Scheduler<'a> {
             stats: SchedulerStats::default(),
             dist: device.distance_matrix(),
             trap_edges: device.trap_edge_index(),
-            frontier: Vec::new(),
-            lookahead: Vec::new(),
-            lookahead_ids: Vec::new(),
-            lookahead_scratch: LookaheadScratch::default(),
-            relevant_mask: vec![false; num_traps],
-            relevant_list: Vec::new(),
-            edge_stamp: vec![0; graph.edges().len()],
-            edge_epoch: 0,
-            edge_list: Vec::new(),
-            candidates: Vec::new(),
-            fallback_scores: Vec::new(),
-            drain_scratch: Vec::new(),
-            executed_ids: Vec::new(),
-            scoring: ScoringScratch::default(),
+            scratch,
         }
+    }
+
+    /// Consumes the scheduler and hands its working memory back for reuse
+    /// in a later [`Scheduler::with_scratch`].
+    pub fn into_scratch(self) -> SchedulerScratch {
+        self.scratch
     }
 
     /// Search statistics of the last run.
@@ -221,7 +256,7 @@ impl<'a> Scheduler<'a> {
             }
             self.collect_relevant_traps(&placement);
             self.collect_candidates(&placement, Some(&recent));
-            if self.candidates.is_empty() {
+            if self.scratch.candidates.is_empty() {
                 // Allow undoing recent swaps rather than stalling outright.
                 self.collect_candidates(&placement, None);
             }
@@ -235,19 +270,19 @@ impl<'a> Scheduler<'a> {
                 self.dist,
             );
             let mut applied = false;
-            if !self.candidates.is_empty() {
+            if !self.scratch.candidates.is_empty() {
                 // Steps 12-18: score each candidate, apply the cheapest.
                 scorer.prepare_pass(
-                    &mut self.scoring,
+                    &mut self.scratch.scoring,
                     &mut cache,
                     &placement,
                     &decay,
-                    &self.frontier,
-                    &self.lookahead,
+                    &self.scratch.frontier,
+                    &self.scratch.lookahead,
                 );
                 let mut best: Option<(f64, GenericSwap)> = None;
-                for swap in &self.candidates {
-                    let score = scorer.score_swap_prepared(&self.scoring, &placement, swap);
+                for swap in &self.scratch.candidates {
+                    let score = scorer.score_swap_prepared(&self.scratch.scoring, &placement, swap);
                     let better = match best {
                         None => true,
                         Some((b, _)) => score < b - 1e-12,
@@ -270,20 +305,21 @@ impl<'a> Scheduler<'a> {
             if !applied || stall > self.config.max_stall_iterations {
                 // Safety net: route the cheapest frontier gate directly,
                 // scoring each frontier gate exactly once.
-                self.fallback_scores.clear();
-                for (_, gate) in &self.frontier {
-                    self.fallback_scores.push(scorer.gate_score(&placement, gate));
+                self.scratch.fallback_scores.clear();
+                for (_, gate) in &self.scratch.frontier {
+                    self.scratch.fallback_scores.push(scorer.gate_score(&placement, gate));
                 }
                 let mut best_idx = 0usize;
-                for i in 1..self.fallback_scores.len() {
-                    let cmp = self.fallback_scores[i]
-                        .partial_cmp(&self.fallback_scores[best_idx])
+                for i in 1..self.scratch.fallback_scores.len() {
+                    let cmp = self.scratch.fallback_scores[i]
+                        .partial_cmp(&self.scratch.fallback_scores[best_idx])
                         .unwrap_or(std::cmp::Ordering::Equal);
                     if cmp == std::cmp::Ordering::Less {
                         best_idx = i;
                     }
                 }
                 let gate = self
+                    .scratch
                     .frontier
                     .get(best_idx)
                     .map(|&(_, g)| g)
@@ -314,16 +350,20 @@ impl<'a> Scheduler<'a> {
     /// Rebuilds the cached frontier and look-ahead `(id, gate)` lists from
     /// the DAG. Called only when gates retired since the last rebuild.
     fn rebuild_gate_lists(&mut self, dag: &DependencyDag) {
-        self.frontier.clear();
-        self.frontier.extend(dag.frontier().iter().map(|&id| (id, dag.gate(id))));
+        self.scratch.frontier.clear();
+        self.scratch.frontier.extend(dag.frontier().iter().map(|&id| (id, dag.gate(id))));
         dag.lookahead_ids_into(
             self.config.lookahead_layers,
-            &mut self.lookahead_scratch,
-            &mut self.lookahead_ids,
+            &mut self.scratch.lookahead_scratch,
+            &mut self.scratch.lookahead_ids,
         );
-        self.lookahead.clear();
-        self.lookahead.extend(
-            self.lookahead_ids.iter().skip(self.frontier.len()).map(|&id| (id, dag.gate(id))),
+        self.scratch.lookahead.clear();
+        self.scratch.lookahead.extend(
+            self.scratch
+                .lookahead_ids
+                .iter()
+                .skip(self.scratch.frontier.len())
+                .map(|&id| (id, dag.gate(id))),
         );
     }
 
@@ -331,11 +371,11 @@ impl<'a> Scheduler<'a> {
     /// the shortest route between the two operand traps of a frontier gate
     /// (the reusable-mask twin of [`Scheduler::relevant_traps_reference`]).
     fn collect_relevant_traps(&mut self, placement: &Placement) {
-        for &t in &self.relevant_list {
-            self.relevant_mask[t.index()] = false;
+        for &t in &self.scratch.relevant_list {
+            self.scratch.relevant_mask[t.index()] = false;
         }
-        self.relevant_list.clear();
-        for &(_, gate) in &self.frontier {
+        self.scratch.relevant_list.clear();
+        for &(_, gate) in &self.scratch.frontier {
             let Some((a, b)) = gate.two_qubit_pair() else { continue };
             let (Some(ta), Some(tb)) = (placement.trap_of(a), placement.trap_of(b)) else {
                 continue;
@@ -346,11 +386,11 @@ impl<'a> Scheduler<'a> {
             let mut cur = ta;
             let mut hops = 0usize;
             loop {
-                if !self.relevant_mask[cur.index()] {
-                    self.relevant_mask[cur.index()] = true;
-                    self.relevant_list.push(cur);
+                if !self.scratch.relevant_mask[cur.index()] {
+                    self.scratch.relevant_mask[cur.index()] = true;
+                    self.scratch.relevant_list.push(cur);
                 }
-                if cur == tb || hops > self.relevant_mask.len() {
+                if cur == tb || hops > self.scratch.relevant_mask.len() {
                     break;
                 }
                 match self.router.next_hop(cur, tb) {
@@ -370,21 +410,21 @@ impl<'a> Scheduler<'a> {
         // Union the per-trap edge lists, deduplicating inter-trap edges
         // with an epoch stamp, then sort: candidate order must be the
         // static edge order for tie-breaking to match the reference.
-        self.edge_epoch += 1;
-        let stamp = self.edge_epoch;
-        self.edge_list.clear();
-        for &t in &self.relevant_list {
+        self.scratch.edge_epoch += 1;
+        let stamp = self.scratch.edge_epoch;
+        self.scratch.edge_list.clear();
+        for &t in &self.scratch.relevant_list {
             for &e in &self.trap_edges[t.index()] {
-                let slot = &mut self.edge_stamp[e as usize];
+                let slot = &mut self.scratch.edge_stamp[e as usize];
                 if *slot != stamp {
                     *slot = stamp;
-                    self.edge_list.push(e);
+                    self.scratch.edge_list.push(e);
                 }
             }
         }
-        self.edge_list.sort_unstable();
-        self.candidates.clear();
-        for &ei in &self.edge_list {
+        self.scratch.edge_list.sort_unstable();
+        self.scratch.candidates.clear();
+        for &ei in &self.scratch.edge_list {
             let e = self.graph.edges()[ei as usize];
             let Some(swap) =
                 GenericSwap::classify(self.graph, placement, e.a, e.b, e.kind, e.weight)
@@ -399,7 +439,7 @@ impl<'a> Scheduler<'a> {
             if !self.reorder_is_purposeful(placement, &swap) {
                 continue;
             }
-            self.candidates.push(swap);
+            self.scratch.candidates.push(swap);
         }
     }
 
@@ -544,15 +584,15 @@ impl<'a> Scheduler<'a> {
                     _ => false,
                 }
             },
-            &mut self.drain_scratch,
-            &mut self.executed_ids,
+            &mut self.scratch.drain_scratch,
+            &mut self.scratch.executed_ids,
         );
-        for id in &self.executed_ids {
+        for id in &self.scratch.executed_ids {
             let gate = dag.gate(*id);
             let (a, b) = gate.two_qubit_pair().expect("two-qubit gate");
             mechanics.emit_two_qubit_gate(placement, program, a, b);
         }
-        self.executed_ids.len()
+        self.scratch.executed_ids.len()
     }
 
     /// The straightforward, allocating twin of [`Scheduler::execute_ready`]
@@ -869,5 +909,26 @@ mod tests {
         let (first, _) = scheduler.run(&circuit, placement.clone()).unwrap();
         let (second, _) = scheduler.run(&circuit, placement).unwrap();
         assert_eq!(first.ops(), second.ops());
+    }
+
+    #[test]
+    fn recovered_scratch_is_reusable_across_different_devices() {
+        // A worker's scratch hops between devices of different sizes; the
+        // output on each must match a fresh-scratch scheduler exactly.
+        let config = CompilerConfig::default();
+        let circuit = qft(10);
+        let mut scratch = SchedulerScratch::default();
+        for topo in
+            [QccdTopology::grid(2, 2, 5), QccdTopology::linear(2, 8), QccdTopology::grid(3, 3, 4)]
+        {
+            let device = Device::build(topo.clone(), config.weights);
+            let placement = initial::build_placement(&circuit, &device, &config);
+            let (fresh, _) =
+                Scheduler::new(&device, &config).run(&circuit, placement.clone()).unwrap();
+            let mut scheduler = Scheduler::with_scratch(&device, &config, scratch);
+            let (reused, _) = scheduler.run(&circuit, placement).unwrap();
+            scratch = scheduler.into_scratch();
+            assert_eq!(fresh.ops(), reused.ops(), "{}", topo.name());
+        }
     }
 }

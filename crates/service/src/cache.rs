@@ -1,0 +1,184 @@
+//! The compile-result cache.
+//!
+//! Compilation is deterministic: the outcome is a pure function of
+//! (device, circuit, compiler, config). A long-lived service can therefore
+//! memoise it — repeated requests (re-runs of a sweep, the same benchmark
+//! against the same machine from different tenants) are served from memory
+//! without recompiling, and because the service hands out `Arc`s of the
+//! original outcome, a cache hit is also allocation-free.
+
+use ssync_baselines::CompilerKind;
+use ssync_core::CompileOutcome;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The identity of one compile request, built from stable content hashes
+/// (never from process-local pointers or randomly-seeded hashers):
+/// the device's [fingerprint](crate::hash::device_fingerprint), the
+/// circuit's [content hash](ssync_circuit::Circuit::content_hash), the
+/// config's [output-affecting hash](crate::hash::config_hash) and the
+/// compiler kind. Any component changing produces a different key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Stable fingerprint of the target device (topology + weights).
+    pub device_fingerprint: u64,
+    /// Stable content hash of the input circuit.
+    pub circuit_hash: u64,
+    /// Stable hash of the output-affecting configuration fields.
+    pub config_hash: u64,
+    /// Which compiler ran.
+    pub compiler: CompilerKind,
+}
+
+/// Hit/miss counters of a [`ResultCache`], snapshot via
+/// [`ResultCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a compile.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, `0.0` when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent memo table from [`CacheKey`] to shared compile outcomes.
+/// Only successful outcomes are stored: errors are cheap to reproduce
+/// (validation fails before any scheduling work) and should not occupy
+/// memory. Unbounded by design for now — entries are a few kilobytes and
+/// sweeps touch thousands, not millions, of distinct keys; an eviction
+/// policy is a documented follow-up for a persistent tier.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<CacheKey, Arc<CompileOutcome>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks `key` up, counting the outcome as a hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompileOutcome>> {
+        let found = self.map.lock().expect("cache lock poisoned").get(key).cloned();
+        match found {
+            Some(outcome) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(outcome)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a compiled outcome under `key`. Last write wins; since
+    /// compilation is deterministic, concurrent writers store identical
+    /// results and the race is benign.
+    pub fn insert(&self, key: CacheKey, outcome: Arc<CompileOutcome>) {
+        self.map.lock().expect("cache lock poisoned").insert(key, outcome);
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the hit/miss counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_arch::QccdTopology;
+    use ssync_circuit::generators::qft;
+    use ssync_core::{CompilerConfig, SSyncCompiler};
+
+    fn key(config: &CompilerConfig, circuit_hash: u64) -> CacheKey {
+        CacheKey {
+            device_fingerprint: 7,
+            circuit_hash,
+            config_hash: crate::hash::config_hash(config),
+            compiler: CompilerKind::SSync,
+        }
+    }
+
+    fn some_outcome() -> Arc<CompileOutcome> {
+        let circuit = qft(6);
+        let outcome = SSyncCompiler::default()
+            .compile(&circuit, &QccdTopology::linear(2, 4))
+            .expect("compiles");
+        Arc::new(outcome)
+    }
+
+    #[test]
+    fn identical_resubmit_hits_and_returns_the_same_arc() {
+        let cache = ResultCache::new();
+        let config = CompilerConfig::default();
+        let circuit = qft(6);
+        let k = key(&config, circuit.content_hash());
+        assert!(cache.get(&k).is_none());
+        let outcome = some_outcome();
+        cache.insert(k, Arc::clone(&outcome));
+        let hit = cache.get(&k).expect("second lookup hits");
+        assert!(Arc::ptr_eq(&hit, &outcome), "hits share the stored outcome");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_key_component_change_is_a_miss() {
+        let cache = ResultCache::new();
+        let config = CompilerConfig::default();
+        let circuit = qft(6);
+        let base = key(&config, circuit.content_hash());
+        cache.insert(base, some_outcome());
+
+        let reconfigured = key(&config.with_decay(0.01), circuit.content_hash());
+        assert!(cache.get(&reconfigured).is_none(), "config change must miss");
+        let other_circuit = key(&config, qft(7).content_hash());
+        assert!(cache.get(&other_circuit).is_none(), "circuit change must miss");
+        let other_device = CacheKey { device_fingerprint: 8, ..base };
+        assert!(cache.get(&other_device).is_none(), "device change must miss");
+        let other_compiler = CacheKey { compiler: CompilerKind::Murali, ..base };
+        assert!(cache.get(&other_compiler).is_none(), "compiler change must miss");
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_rate() {
+        let cache = ResultCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+}

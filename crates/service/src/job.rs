@@ -1,0 +1,115 @@
+//! Requests and handles: what tenants submit and what they wait on.
+
+use crate::registry::RegisteredDevice;
+use ssync_baselines::CompilerKind;
+use ssync_circuit::Circuit;
+use ssync_core::{CompileError, CompileOutcome, CompilerConfig};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One unit of service work: compile one circuit against one registered
+/// device with one compiler under one configuration. Requests are cheap to
+/// build in bulk — the device and circuit travel as `Arc`s, so the full
+/// (device × circuit × compiler × config) product of a sweep shares every
+/// underlying artifact.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// The registered target machine.
+    pub device: Arc<RegisteredDevice>,
+    /// The shared input circuit.
+    pub circuit: Arc<Circuit>,
+    /// Which compiler to run.
+    pub compiler: CompilerKind,
+    /// The evaluation configuration; its `weights` must match the ones the
+    /// device was registered under.
+    pub config: CompilerConfig,
+}
+
+impl CompileRequest {
+    /// Bundles a request.
+    pub fn new(
+        device: Arc<RegisteredDevice>,
+        circuit: Arc<Circuit>,
+        compiler: CompilerKind,
+        config: CompilerConfig,
+    ) -> Self {
+        CompileRequest { device, circuit, compiler, config }
+    }
+}
+
+/// What a job resolves to: a shared outcome (possibly served straight from
+/// the result cache) or the compiler's error.
+pub type JobResult = Result<Arc<CompileOutcome>, CompileError>;
+
+#[derive(Debug, Default)]
+pub(crate) struct JobState {
+    slot: Mutex<Option<JobResult>>,
+    done: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn fulfil(&self, result: JobResult) {
+        let mut slot = self.slot.lock().expect("job lock poisoned");
+        debug_assert!(slot.is_none(), "a job is fulfilled exactly once");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to one submitted request. Cloning is cheap; every clone
+/// observes the same completion.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    pub(crate) state: Arc<JobState>,
+}
+
+impl JobHandle {
+    pub(crate) fn new() -> (Self, Arc<JobState>) {
+        let state = Arc::new(JobState::default());
+        (JobHandle { state: Arc::clone(&state) }, state)
+    }
+
+    /// Blocks until the job completes and returns its result. Safe to call
+    /// from multiple threads and multiple times — later calls return the
+    /// same (shared) result immediately.
+    pub fn wait(&self) -> JobResult {
+        let mut slot = self.state.slot.lock().expect("job lock poisoned");
+        while slot.is_none() {
+            slot = self.state.done.wait(slot).expect("job lock poisoned");
+        }
+        slot.clone().expect("loop exits only when fulfilled")
+    }
+
+    /// Returns the result if the job already completed, `None` otherwise.
+    /// Never blocks beyond the internal lock.
+    pub fn try_poll(&self) -> Option<JobResult> {
+        self.state.slot.lock().expect("job lock poisoned").clone()
+    }
+
+    /// `true` once the job has completed (successfully or not).
+    pub fn is_done(&self) -> bool {
+        self.try_poll().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_observe_fulfilment_from_another_thread() {
+        let (handle, state) = JobHandle::new();
+        assert!(!handle.is_done());
+        assert!(handle.try_poll().is_none());
+        let waiter = handle.clone();
+        std::thread::scope(|scope| {
+            let join = scope.spawn(move || waiter.wait());
+            scope.spawn(move || {
+                state.fulfil(Err(CompileError::DisconnectedTopology));
+            });
+            let result = join.join().expect("waiter thread");
+            assert!(matches!(result, Err(CompileError::DisconnectedTopology)));
+        });
+        assert!(handle.is_done());
+        assert!(matches!(handle.wait(), Err(CompileError::DisconnectedTopology)));
+    }
+}

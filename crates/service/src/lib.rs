@@ -1,0 +1,63 @@
+//! # ssync-service
+//!
+//! A long-lived, multi-tenant **compile service** over the S-SYNC compiler
+//! and its baselines: the front-end the production-traffic north star
+//! needs, turning one-shot CLI compilation into a shared system that
+//! accepts heterogeneous requests over the full (device × circuit ×
+//! compiler × config) product.
+//!
+//! Three cooperating components (std-only — threads and channels, no
+//! async runtime):
+//!
+//! * [`DeviceRegistry`] — names machines, builds each [`ssync_arch::Device`]
+//!   artifact exactly once per `(name, weights)` key, shares it as an
+//!   `Arc`, and fingerprints its *content* stably for cache keying.
+//! * [`CompileService`] — a work-stealing worker pool (per-worker deques +
+//!   global injector, hand-rolled on `std::sync`) executing
+//!   [`CompileRequest`]s through the unified
+//!   [`CompilerKind`](ssync_baselines::CompilerKind) entry point. Every
+//!   worker reuses one [`ssync_core::CompileScratch`] across jobs and the
+//!   greedy baselines' first-use qubit order is computed once per circuit
+//!   and shared across every device and kind. Submissions return
+//!   [`JobHandle`]s with blocking `wait()` and non-blocking `try_poll()`.
+//! * [`ResultCache`] — memoises outcomes by (device fingerprint, circuit
+//!   content hash, config hash, compiler kind), so repeated requests are
+//!   served without recompiling.
+//!
+//! **Determinism guarantee:** compiled output is bit-identical to a
+//! sequential `compile_on` loop at any worker count; the
+//! `service_equivalence` integration tests enforce it at 1, 2 and 8
+//! workers for all four compiler kinds.
+//!
+//! ```
+//! use ssync_baselines::CompilerKind;
+//! use ssync_circuit::generators::qft;
+//! use ssync_core::CompilerConfig;
+//! use ssync_service::{CompileRequest, CompileService};
+//! use std::sync::Arc;
+//!
+//! let service = CompileService::with_workers(2);
+//! let config = CompilerConfig::default();
+//! let device = service.registry().get_or_build_named("G-2x2", config.weights).unwrap();
+//! let circuit = Arc::new(qft(10));
+//! let handle = service.submit(CompileRequest::new(device, circuit, CompilerKind::SSync, config));
+//! let outcome = handle.wait().unwrap();
+//! assert_eq!(outcome.counts().two_qubit_gates, 90);
+//! assert_eq!(service.metrics().jobs_completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hash;
+mod job;
+mod metrics;
+mod pool;
+pub mod registry;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use job::{CompileRequest, JobHandle, JobResult};
+pub use metrics::{ServiceMetrics, WorkerMetrics};
+pub use pool::CompileService;
+pub use registry::{DeviceRegistry, RegisteredDevice};

@@ -1,0 +1,48 @@
+//! Service observability: counters a deployment would scrape.
+
+use crate::cache::CacheStats;
+use std::time::Duration;
+
+/// Per-worker execution counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerMetrics {
+    /// Jobs this worker executed (from any queue).
+    pub executed: u64,
+    /// Of those, jobs stolen from another worker's deque.
+    pub stolen: u64,
+}
+
+/// A point-in-time snapshot of the service's health, taken via
+/// [`crate::CompileService::metrics`]. Counters are monotonic except
+/// `queue_depth`, which is the instantaneous backlog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Requests accepted (whether served from cache, coalesced or queued).
+    pub jobs_submitted: u64,
+    /// Requests resolved (cache hits, coalesced waiters and executed
+    /// compiles). Catches up with `jobs_submitted` at quiescence.
+    pub jobs_completed: u64,
+    /// Requests that attached to an identical job already in flight
+    /// instead of queuing their own compile.
+    pub jobs_coalesced: u64,
+    /// Jobs currently queued and not yet claimed by a worker.
+    pub queue_depth: usize,
+    /// Result-cache counters (hits, misses, entries).
+    pub cache: CacheStats,
+    /// Per-worker executed/stolen counts, indexed by worker.
+    pub workers: Vec<WorkerMetrics>,
+    /// Wall-clock time since the service started.
+    pub uptime: Duration,
+}
+
+impl ServiceMetrics {
+    /// Jobs executed by workers (excludes cache hits), summed.
+    pub fn jobs_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.executed).sum()
+    }
+
+    /// Jobs that moved between workers through stealing, summed.
+    pub fn jobs_stolen(&self) -> u64 {
+        self.workers.iter().map(|w| w.stolen).sum()
+    }
+}

@@ -1,0 +1,617 @@
+//! The compile service: a work-stealing worker pool over the unified
+//! compiler entry point.
+//!
+//! ## Scheduling structure
+//!
+//! Hand-rolled on `std::sync` (no external runtime):
+//!
+//! * **Global injector** — an MPMC `VecDeque` that single [`submit`]s land
+//!   in; any worker drains it.
+//! * **Per-worker deques** — [`submit_batch`] deals jobs round-robin
+//!   across the workers' own deques, giving each worker an affine run of
+//!   work it pops LIFO-front from its own end.
+//! * **Stealing** — a worker whose deque and the injector are both empty
+//!   scans the other workers' deques and steals from the *back*, so
+//!   skewed batches (one giant circuit next to many small ones) rebalance
+//!   without any coordination from the submitter.
+//!
+//! Sleeping is coordinated through one `Mutex<…>/Condvar` pair guarding a
+//! `queued` count: producers increment it under the lock *before* pushing
+//! a job (so a claim can never outrun its announcement and underflow the
+//! counter), workers decrement it when they claim one and only sleep
+//! while it is zero — so a wakeup can never be lost between "scanned
+//! empty" and "went to sleep".
+//!
+//! Identical requests are deduplicated twice over: completed outcomes are
+//! served from the [`ResultCache`], and a request identical to a job still
+//! *in flight* coalesces onto it — the submission gets a handle to the
+//! same pending state instead of queuing a second compile.
+//!
+//! ## Determinism
+//!
+//! Workers race for *jobs*, never for *results*: each job's outcome is a
+//! pure function of its request, and every result lands in its own
+//! [`JobHandle`]. Output is therefore bit-identical to a sequential
+//! [`CompilerKind::compile_on`] loop at any worker count — the
+//! `service_equivalence` integration tests enforce exactly that at 1, 2
+//! and 8 workers.
+//!
+//! [`submit`]: CompileService::submit
+//! [`submit_batch`]: CompileService::submit_batch
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::hash::config_hash;
+use crate::job::{CompileRequest, JobHandle, JobResult, JobState};
+use crate::metrics::{ServiceMetrics, WorkerMetrics};
+use crate::registry::DeviceRegistry;
+use ssync_circuit::{Circuit, Qubit};
+use ssync_core::{batch, CompileError, CompileScratch};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Per-circuit preparation shared by every job over the same circuit
+/// content: the stable hash (computed at submission) and the greedy
+/// baselines' first-use qubit order, computed lazily by the first worker
+/// that needs it and reused across every topology cell and compiler kind
+/// afterwards.
+#[derive(Debug)]
+struct CircuitPrep {
+    hash: u64,
+    first_use: OnceLock<Vec<Qubit>>,
+}
+
+/// One queued unit of work. `attached` counts the submissions sharing this
+/// job's `state` (1 plus any identical requests coalesced onto it while it
+/// was in flight).
+struct Job {
+    request: CompileRequest,
+    prep: Arc<CircuitPrep>,
+    key: CacheKey,
+    state: Arc<JobState>,
+    attached: Arc<AtomicU64>,
+}
+
+/// A not-yet-completed job identical submissions coalesce onto.
+struct PendingEntry {
+    state: Arc<JobState>,
+    attached: Arc<AtomicU64>,
+}
+
+/// Producer/worker sleep coordination; see the module docs.
+#[derive(Debug, Default)]
+struct SleepState {
+    /// Jobs published to some queue and not yet claimed by a worker.
+    queued: usize,
+    /// Set once by `Drop`; workers drain every queue, then exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    injector: Mutex<VecDeque<Job>>,
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    sleep: Mutex<SleepState>,
+    wake: Condvar,
+    cache: ResultCache,
+    preps: Mutex<HashMap<u64, Arc<CircuitPrep>>>,
+    pending: Mutex<HashMap<CacheKey, PendingEntry>>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    coalesced: AtomicU64,
+    executed: Vec<AtomicU64>,
+    stolen: Vec<AtomicU64>,
+}
+
+impl Shared {
+    /// Claims the next job for worker `me`: own deque front first, then
+    /// the injector, then the back of every other worker's deque.
+    /// Returns the job and whether it was stolen.
+    fn find_job(&self, me: usize) -> Option<(Job, bool)> {
+        if let Some(job) = self.deques[me].lock().expect("deque lock poisoned").pop_front() {
+            self.claim();
+            return Some((job, false));
+        }
+        if let Some(job) = self.injector.lock().expect("injector lock poisoned").pop_front() {
+            self.claim();
+            return Some((job, false));
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            if let Some(job) = self.deques[victim].lock().expect("deque lock poisoned").pop_back() {
+                self.claim();
+                return Some((job, true));
+            }
+        }
+        None
+    }
+
+    fn claim(&self) {
+        self.sleep.lock().expect("sleep lock poisoned").queued -= 1;
+    }
+
+    /// Raises the published-job count. MUST run *before* the job is pushed
+    /// into any queue: `claim()` pairs each decrement with a successful
+    /// pop, so as long as every push is preceded by its increment the
+    /// counter can never underflow — whereas increment-after-push would
+    /// let a racing worker pop and decrement first. A worker that sees
+    /// `queued > 0` but finds the queues momentarily empty just rescans.
+    fn announce(&self) {
+        self.sleep.lock().expect("sleep lock poisoned").queued += 1;
+    }
+}
+
+/// A long-lived, multi-tenant compile service; see the module docs for the
+/// scheduling structure. Owns a [`DeviceRegistry`], a [`ResultCache`] and
+/// a fixed pool of worker threads, each carrying one reusable
+/// [`CompileScratch`] across every job it executes. Dropping the service
+/// finishes all outstanding jobs, then joins the workers.
+pub struct CompileService {
+    shared: Arc<Shared>,
+    registry: DeviceRegistry,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    round_robin: AtomicUsize,
+    started: Instant,
+}
+
+impl std::fmt::Debug for CompileService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileService").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl Default for CompileService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompileService {
+    /// Starts a service with the resolved default worker count: the
+    /// `SSYNC_BATCH_WORKERS` environment variable when set, otherwise the
+    /// machine's available parallelism — the same resolution chain batch
+    /// compilation uses ([`batch::resolve_workers`]).
+    pub fn new() -> Self {
+        Self::with_workers(batch::resolve_workers(0))
+    }
+
+    /// Starts a service with exactly `workers` worker threads (clamped to
+    /// at least 1), ignoring the environment — the constructor for tests
+    /// pinning worker-count independence.
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(SleepState::default()),
+            wake: Condvar::new(),
+            cache: ResultCache::new(),
+            preps: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ssync-service-worker-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        CompileService {
+            shared,
+            registry: DeviceRegistry::new(),
+            workers: handles,
+            round_robin: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// The service's device registry; register machines here and hand the
+    /// returned `Arc` to [`CompileRequest`]s.
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// The result cache (for stats and tests).
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one request to the global injector and returns its handle.
+    /// If an identical request (same device fingerprint, circuit content,
+    /// output-affecting config and compiler) completed before, the handle
+    /// is fulfilled immediately from the [`ResultCache`] and no job is
+    /// queued.
+    pub fn submit(&self, request: CompileRequest) -> JobHandle {
+        self.submit_to(request, None)
+    }
+
+    /// Submits a batch, dealing the cache-missing jobs round-robin across
+    /// the per-worker deques (stealing rebalances skew later). Handles
+    /// come back in request order; results are independent of the worker
+    /// count and of how the deal landed.
+    pub fn submit_batch(
+        &self,
+        requests: impl IntoIterator<Item = CompileRequest>,
+    ) -> Vec<JobHandle> {
+        let workers = self.workers.len();
+        requests
+            .into_iter()
+            .map(|request| {
+                let target = self.round_robin.fetch_add(1, Ordering::Relaxed) % workers;
+                self.submit_to(request, Some(target))
+            })
+            .collect()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            jobs_submitted: self.shared.submitted.load(Ordering::Relaxed),
+            jobs_completed: self.shared.completed.load(Ordering::Relaxed),
+            jobs_coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            queue_depth: self.shared.sleep.lock().expect("sleep lock poisoned").queued,
+            cache: self.shared.cache.stats(),
+            workers: self
+                .shared
+                .executed
+                .iter()
+                .zip(&self.shared.stolen)
+                .map(|(e, s)| WorkerMetrics {
+                    executed: e.load(Ordering::Relaxed),
+                    stolen: s.load(Ordering::Relaxed),
+                })
+                .collect(),
+            uptime: self.started.elapsed(),
+        }
+    }
+
+    fn submit_to(&self, request: CompileRequest, target: Option<usize>) -> JobHandle {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let prep = self.prep_for(&request.circuit);
+        let key = CacheKey {
+            device_fingerprint: request.device.fingerprint(),
+            circuit_hash: prep.hash,
+            config_hash: config_hash(&request.config),
+            compiler: request.compiler,
+        };
+        if let Some(cached) = self.shared.cache.get(&key) {
+            let (handle, state) = JobHandle::new();
+            state.fulfil(Ok(cached));
+            self.shared.completed.fetch_add(1, Ordering::Relaxed);
+            return handle;
+        }
+        // Coalesce onto an identical in-flight job, or register a new one.
+        // Registration happens under the pending lock so two racing
+        // identical submissions cannot both enqueue.
+        let (handle, state, attached) = {
+            let mut pending = self.shared.pending.lock().expect("pending lock poisoned");
+            if let Some(entry) = pending.get(&key) {
+                entry.attached.fetch_add(1, Ordering::Relaxed);
+                self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                return JobHandle { state: Arc::clone(&entry.state) };
+            }
+            // Re-check the cache under the pending lock: a worker retires
+            // its pending entry only *after* inserting the outcome, so an
+            // identical job that vanished from `pending` between our two
+            // lookups is guaranteed to be visible here (lock order is
+            // always pending → cache; workers never hold both).
+            if let Some(cached) = self.shared.cache.get(&key) {
+                let (handle, state) = JobHandle::new();
+                state.fulfil(Ok(cached));
+                self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                return handle;
+            }
+            let (handle, state) = JobHandle::new();
+            let attached = Arc::new(AtomicU64::new(1));
+            pending.insert(
+                key,
+                PendingEntry { state: Arc::clone(&state), attached: Arc::clone(&attached) },
+            );
+            (handle, state, attached)
+        };
+        let job = Job { request, prep, key, state, attached };
+        // Announce strictly before the push makes the job claimable; see
+        // `Shared::announce` for why this ordering is load-bearing.
+        self.shared.announce();
+        match target {
+            Some(worker) => {
+                self.shared.deques[worker].lock().expect("deque lock poisoned").push_back(job)
+            }
+            None => self.shared.injector.lock().expect("injector lock poisoned").push_back(job),
+        }
+        self.shared.wake.notify_one();
+        handle
+    }
+
+    /// The shared per-circuit preparation, deduplicated by content hash so
+    /// one circuit submitted across many devices/compilers shares a single
+    /// lazily-computed first-use order.
+    fn prep_for(&self, circuit: &Circuit) -> Arc<CircuitPrep> {
+        let hash = circuit.content_hash();
+        let mut preps = self.shared.preps.lock().expect("prep lock poisoned");
+        Arc::clone(
+            preps
+                .entry(hash)
+                .or_insert_with(|| Arc::new(CircuitPrep { hash, first_use: OnceLock::new() })),
+        )
+    }
+}
+
+impl Drop for CompileService {
+    fn drop(&mut self) {
+        {
+            let mut sleep = self.shared.sleep.lock().expect("sleep lock poisoned");
+            sleep.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    let mut scratch = CompileScratch::default();
+    loop {
+        match shared.find_job(me) {
+            Some((job, was_stolen)) => {
+                if was_stolen {
+                    shared.stolen[me].fetch_add(1, Ordering::Relaxed);
+                }
+                execute(shared, me, job, &mut scratch);
+            }
+            None => {
+                let sleep = shared.sleep.lock().expect("sleep lock poisoned");
+                if sleep.queued > 0 {
+                    continue; // published between our scan and the lock
+                }
+                if sleep.shutdown {
+                    return;
+                }
+                // Queue empty, no shutdown: sleep until a publish. The
+                // re-scan after waking handles spurious wakeups.
+                drop(shared.wake.wait(sleep).expect("sleep lock poisoned"));
+            }
+        }
+    }
+}
+
+fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
+    let Job { request, prep, key, state, attached } = job;
+    let result = run_compile(&request, &prep, scratch).unwrap_or_else(|panic_message| {
+        // A panicking compile must not take the worker (and every queued
+        // tenant behind it) down; surface it on the one affected handle
+        // and drop the possibly-inconsistent scratch.
+        *scratch = CompileScratch::default();
+        Err(CompileError::Internal { message: panic_message })
+    });
+    if let Ok(outcome) = &result {
+        // Insert into the cache *before* retiring the pending entry:
+        // identical submissions racing this completion find the job in at
+        // least one of the two, so nothing recompiles.
+        shared.cache.insert(key, Arc::clone(outcome));
+    }
+    shared.pending.lock().expect("pending lock poisoned").remove(&key);
+    // No further submissions can attach past this point; settle every
+    // request sharing this job. Counters move before the fulfilment wakes
+    // any waiter, so a caller that observed `wait()` returning sees its
+    // own job in the metrics.
+    shared.executed[me].fetch_add(1, Ordering::Relaxed);
+    shared.completed.fetch_add(attached.load(Ordering::Relaxed), Ordering::Relaxed);
+    state.fulfil(result);
+}
+
+/// Runs one compile, catching panics; `Err` carries the panic message.
+fn run_compile(
+    request: &CompileRequest,
+    prep: &CircuitPrep,
+    scratch: &mut CompileScratch,
+) -> Result<JobResult, String> {
+    let first_use = request
+        .compiler
+        .uses_first_use_order()
+        .then(|| prep.first_use.get_or_init(|| request.circuit.first_use_order()).as_slice());
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        request
+            .compiler
+            .compile_on_with(
+                request.device.device(),
+                &request.circuit,
+                &request.config,
+                first_use,
+                scratch,
+            )
+            .map(Arc::new)
+    }))
+    .map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "compile worker panicked".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_arch::QccdTopology;
+    use ssync_baselines::CompilerKind;
+    use ssync_circuit::generators::qft;
+    use ssync_core::CompilerConfig;
+
+    fn request(
+        service: &CompileService,
+        circuit: &Arc<Circuit>,
+        kind: CompilerKind,
+        config: &CompilerConfig,
+    ) -> CompileRequest {
+        let device = service.registry().get_or_build_named("G-2x2", config.weights).unwrap();
+        CompileRequest::new(device, Arc::clone(circuit), kind, *config)
+    }
+
+    #[test]
+    fn submit_and_wait_round_trips() {
+        let service = CompileService::with_workers(2);
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(10));
+        let handle = service.submit(request(&service, &circuit, CompilerKind::SSync, &config));
+        let outcome = handle.wait().expect("compiles");
+        assert_eq!(outcome.counts().two_qubit_gates, circuit.two_qubit_gate_count());
+        // try_poll after completion sees the same shared outcome.
+        let polled = handle.try_poll().expect("done").expect("ok");
+        assert!(Arc::ptr_eq(&outcome, &polled));
+    }
+
+    #[test]
+    fn identical_resubmission_is_served_from_cache() {
+        let service = CompileService::with_workers(2);
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(10));
+        let first = service
+            .submit(request(&service, &circuit, CompilerKind::SSync, &config))
+            .wait()
+            .expect("compiles");
+        let second = service
+            .submit(request(&service, &circuit, CompilerKind::SSync, &config))
+            .wait()
+            .expect("compiles");
+        assert!(Arc::ptr_eq(&first, &second), "hit shares the cached outcome");
+        let metrics = service.metrics();
+        assert_eq!(metrics.cache.hits, 1);
+        assert_eq!(metrics.jobs_executed(), 1, "second request must not recompile");
+        assert_eq!(metrics.jobs_submitted, 2);
+        assert_eq!(metrics.jobs_completed, 2);
+    }
+
+    #[test]
+    fn config_changes_bypass_the_cache() {
+        let service = CompileService::with_workers(1);
+        let circuit = Arc::new(qft(10));
+        let base = CompilerConfig::default();
+        service.submit(request(&service, &circuit, CompilerKind::SSync, &base)).wait().unwrap();
+        let changed = base.with_decay(0.01);
+        service.submit(request(&service, &circuit, CompilerKind::SSync, &changed)).wait().unwrap();
+        let metrics = service.metrics();
+        assert_eq!(metrics.cache.hits, 0);
+        assert_eq!(metrics.jobs_executed(), 2);
+        assert_eq!(service.cache().len(), 2);
+    }
+
+    #[test]
+    fn errors_propagate_and_are_not_cached() {
+        let service = CompileService::with_workers(2);
+        let config = CompilerConfig::default();
+        // 8 slots cannot hold 12 qubits + 1 space.
+        let device =
+            service.registry().get_or_build("tiny", config.weights, || QccdTopology::linear(2, 4));
+        let circuit = Arc::new(qft(12));
+        let handle = service.submit(CompileRequest::new(
+            device,
+            Arc::clone(&circuit),
+            CompilerKind::SSync,
+            config,
+        ));
+        assert!(matches!(
+            handle.wait(),
+            Err(CompileError::DeviceTooSmall { qubits: 12, slots: 8 })
+        ));
+        assert!(service.cache().is_empty(), "errors are not cached");
+    }
+
+    #[test]
+    fn batch_handles_come_back_in_request_order() {
+        let service = CompileService::with_workers(3);
+        let config = CompilerConfig::default();
+        let circuits: Vec<Arc<Circuit>> = (6..=12).map(|n| Arc::new(qft(n))).collect();
+        let handles = service.submit_batch(
+            circuits.iter().map(|c| request(&service, c, CompilerKind::SSync, &config)),
+        );
+        assert_eq!(handles.len(), circuits.len());
+        for (circuit, handle) in circuits.iter().zip(&handles) {
+            let outcome = handle.wait().expect("compiles");
+            assert_eq!(outcome.counts().two_qubit_gates, circuit.two_qubit_gate_count());
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.jobs_completed, circuits.len() as u64);
+        assert_eq!(metrics.queue_depth, 0);
+        assert_eq!(metrics.workers.len(), 3);
+    }
+
+    #[test]
+    fn identical_submissions_never_compile_twice() {
+        let service = CompileService::with_workers(1);
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(14));
+        // Ten identical requests in rapid succession: whichever way each
+        // one resolves (queued, coalesced onto the in-flight job, or a
+        // cache hit after completion), exactly one compile runs.
+        let handles: Vec<_> = (0..10)
+            .map(|_| service.submit(request(&service, &circuit, CompilerKind::SSync, &config)))
+            .collect();
+        let outcomes: Vec<_> = handles.iter().map(|h| h.wait().expect("compiles")).collect();
+        for outcome in &outcomes {
+            assert!(Arc::ptr_eq(outcome, &outcomes[0]), "all handles share one outcome");
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.jobs_executed(), 1, "one compile serves all ten");
+        assert_eq!(metrics.jobs_submitted, 10);
+        assert_eq!(metrics.jobs_completed, 10);
+        assert_eq!(metrics.cache.hits + metrics.jobs_coalesced, 9);
+    }
+
+    #[test]
+    fn a_panicking_job_reports_internal_error_and_spares_the_pool() {
+        let service = CompileService::with_workers(1);
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(8));
+        // A device registered under different weights than the request's
+        // config trips the compile-entry assertion inside the worker.
+        let mismatched = service.registry().get_or_build(
+            "mismatched",
+            ssync_arch::WeightConfig::with_ratio(100.0),
+            || QccdTopology::grid(2, 2, 6),
+        );
+        let bad = service.submit(CompileRequest::new(
+            mismatched,
+            Arc::clone(&circuit),
+            CompilerKind::SSync,
+            config,
+        ));
+        assert!(matches!(bad.wait(), Err(CompileError::Internal { .. })));
+        // The (sole) worker survives and keeps serving.
+        let good = service.submit(request(&service, &circuit, CompilerKind::SSync, &config));
+        assert!(good.wait().is_ok());
+    }
+
+    #[test]
+    fn drop_drains_outstanding_jobs() {
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(12));
+        let handles = {
+            let service = CompileService::with_workers(2);
+            service.submit_batch(
+                (0..6).map(|_| request(&service, &circuit, CompilerKind::SSync, &config)),
+            )
+            // service dropped here with jobs possibly still queued
+        };
+        for handle in handles {
+            assert!(handle.wait().is_ok(), "drop must finish outstanding work");
+        }
+    }
+}
