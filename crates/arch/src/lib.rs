@@ -55,7 +55,7 @@ pub use distance::DistanceMatrix;
 pub use error::ArchError;
 pub use graph::{EdgeKind, SlotEdge, SlotGraph, WeightConfig};
 pub use ids::{SlotId, TrapId};
-pub use placement::Placement;
+pub use placement::{Placement, RawPlacement};
 pub use routing::TrapRouter;
 pub use topology::{QccdTopology, Side, TopologyKind};
 pub use trap::Trap;

@@ -34,6 +34,24 @@ pub struct Placement {
     trap_occupancy: Vec<usize>,
 }
 
+/// The raw column vectors of a [`Placement`], exposed for codecs
+/// (persistent result caches, wire formats) that must round-trip a
+/// placement bit-identically without rebuilding it from a topology.
+/// Produced by [`Placement::to_raw`], consumed by [`Placement::from_raw`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawPlacement {
+    /// Per program qubit: the slot it occupies, if placed.
+    pub slot_of: Vec<Option<SlotId>>,
+    /// Per physical slot: the qubit occupying it, `None` for space nodes.
+    pub occupant: Vec<Option<Qubit>>,
+    /// Per physical slot: the trap containing it.
+    pub slot_trap: Vec<TrapId>,
+    /// Per trap: its slot capacity.
+    pub trap_capacity: Vec<usize>,
+    /// Per trap: the number of ions currently held.
+    pub trap_occupancy: Vec<usize>,
+}
+
 impl Placement {
     /// Creates an empty placement for `num_qubits` program qubits on the
     /// given device.
@@ -209,6 +227,50 @@ impl Placement {
             .collect()
     }
 
+    /// Exports the placement's raw column vectors, for codecs that persist
+    /// or transmit a placement without access to the topology it was built
+    /// from. [`Placement::from_raw`] reconstructs a bit-identical value.
+    pub fn to_raw(&self) -> RawPlacement {
+        RawPlacement {
+            slot_of: self.slot_of.clone(),
+            occupant: self.occupant.clone(),
+            slot_trap: self.slot_trap.clone(),
+            trap_capacity: self.trap_capacity.clone(),
+            trap_occupancy: self.trap_occupancy.clone(),
+        }
+    }
+
+    /// Rebuilds a placement from [`Placement::to_raw`] output. Returns
+    /// `None` when the vectors are dimensionally inconsistent (truncated or
+    /// corrupted input) or fail the internal consistency check — callers
+    /// deserializing untrusted bytes treat that as a decode failure rather
+    /// than a panic.
+    pub fn from_raw(raw: RawPlacement) -> Option<Placement> {
+        if raw.occupant.len() != raw.slot_trap.len()
+            || raw.trap_capacity.len() != raw.trap_occupancy.len()
+        {
+            return None;
+        }
+        if raw.slot_trap.iter().any(|t| t.index() >= raw.trap_capacity.len()) {
+            return None;
+        }
+        if raw.slot_of.iter().any(|s| s.is_some_and(|slot| slot.index() >= raw.occupant.len())) {
+            return None;
+        }
+        if raw.occupant.iter().any(|q| q.is_some_and(|qubit| qubit.index() >= raw.slot_of.len())) {
+            return None;
+        }
+        let placement = Placement {
+            slot_of: raw.slot_of,
+            occupant: raw.occupant,
+            slot_trap: raw.slot_trap,
+            trap_capacity: raw.trap_capacity,
+            trap_occupancy: raw.trap_occupancy,
+        };
+        placement.validate().ok()?;
+        Some(placement)
+    }
+
     /// Validates internal consistency (every placed qubit's slot points
     /// back at it and occupancy counters match). Used by property tests.
     pub fn validate(&self) -> Result<(), String> {
@@ -247,6 +309,33 @@ mod tests {
         let topo = QccdTopology::linear(2, 3);
         let p = Placement::new(&topo, 4);
         (topo, p)
+    }
+
+    #[test]
+    fn raw_round_trip_and_corrupt_rejection() {
+        let (_, mut p) = setup();
+        p.place(Qubit(0), SlotId(1));
+        p.place(Qubit(1), SlotId(4));
+        let rebuilt = Placement::from_raw(p.to_raw()).expect("consistent raw parts");
+        assert_eq!(p, rebuilt);
+
+        // Out-of-range slot reference in slot_of.
+        let mut bad = p.to_raw();
+        bad.slot_of[0] = Some(SlotId(999));
+        assert!(Placement::from_raw(bad).is_none());
+        // Out-of-range qubit reference in occupant (must not panic).
+        let mut bad = p.to_raw();
+        bad.occupant[1] = Some(Qubit(999));
+        assert!(Placement::from_raw(bad).is_none());
+        // Mismatched column lengths.
+        let mut bad = p.to_raw();
+        bad.slot_trap.pop();
+        assert!(Placement::from_raw(bad).is_none());
+        // Dimensionally fine but semantically inconsistent (occupancy
+        // counter off by one).
+        let mut bad = p.to_raw();
+        bad.trap_occupancy[0] += 1;
+        assert!(Placement::from_raw(bad).is_none());
     }
 
     #[test]

@@ -44,7 +44,7 @@ struct TrapEdge {
 ///
 /// Use the named constructors ([`QccdTopology::linear`],
 /// [`QccdTopology::grid`], [`QccdTopology::fully_connected`]) or the
-/// fallible [`QccdTopology::try_new_linear`]-style variants when the
+/// fallible [`QccdTopology::try_linear`]-style variants when the
 /// parameters come from user input.
 ///
 /// ```

@@ -274,6 +274,85 @@ fn bench_service_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Result-cache behaviour under capacity pressure: one fixed working set
+/// of (circuit, config) jobs replayed against caches bounded at 25%, 50%
+/// and 100% of the working-set size. The access pattern mixes a hot
+/// quarter of the keys (re-touched between every cold key) with a cold
+/// sweep, so the segmented-LRU policy has something to protect:
+///
+/// * `cap100pct` — everything fits; steady state is all hits.
+/// * `cap50pct` — the hot keys stay protected, the cold sweep churns.
+/// * `cap25pct` — even the hot set barely fits; most accesses recompile.
+///
+/// The measured steady-state hit rate is embedded in the benchmark name
+/// (`…/hitNN`, in percent) so the JSON records rate and wall-clock
+/// together; wall-clock per sweep is dominated by the eviction-induced
+/// recompiles.
+fn bench_cache_eviction(c: &mut Criterion) {
+    use ssync_arch::Device;
+    use ssync_core::{CacheBounds, SSyncCompiler};
+    use ssync_service::hash::{config_hash, device_fingerprint};
+    use ssync_service::{CacheKey, ResultCache};
+    use std::sync::Arc;
+
+    let base = CompilerConfig::default();
+    let device = Device::build(QccdTopology::grid(2, 2, 8), base.weights);
+    let fingerprint = device_fingerprint(&device);
+    let circuit = scaled_app(AppKind::Qft, 12);
+    let circuit_hash = circuit.content_hash();
+
+    // Twelve distinct output-affecting configs = twelve cache keys.
+    let configs: Vec<CompilerConfig> =
+        (0..12).map(|i| base.with_decay(0.001 + 0.0005 * i as f64)).collect();
+    let jobs: Vec<(CacheKey, CompilerConfig)> = configs
+        .iter()
+        .map(|config| {
+            let key = CacheKey {
+                device_fingerprint: fingerprint,
+                circuit_hash,
+                config_hash: config_hash(config),
+                compiler: CompilerKind::SSync,
+            };
+            (key, *config)
+        })
+        .collect();
+    // Hot/cold access pattern: cold keys 3..12 in order, a hot key
+    // (0..3, round-robin) re-touched after each.
+    let accesses: Vec<usize> = (3..jobs.len()).flat_map(|cold| [cold, cold % 3]).collect();
+
+    let sweep = |cache: &ResultCache| -> usize {
+        let mut compiled = 0usize;
+        for &i in &accesses {
+            let (key, config) = &jobs[i];
+            if cache.get(key).is_none() {
+                let outcome =
+                    SSyncCompiler::new(*config).compile_on(&device, &circuit).expect("compiles");
+                cache.insert(*key, Arc::new(outcome));
+                compiled += 1;
+            }
+        }
+        compiled
+    };
+
+    let mut group = c.benchmark_group("cache_eviction");
+    group.sample_size(10);
+    for (label, capacity) in
+        [("cap25pct", jobs.len() / 4), ("cap50pct", jobs.len() / 2), ("cap100pct", jobs.len())]
+    {
+        let cache = ResultCache::bounded(CacheBounds::with_max_entries(capacity));
+        sweep(&cache); // warm to steady state
+        let before = cache.stats();
+        sweep(&cache);
+        let after = cache.stats();
+        let lookups = (after.hits + after.misses) - (before.hits + before.misses);
+        let hit_pct = (100 * (after.hits - before.hits)) / lookups.max(1);
+        group.bench_function(BenchmarkId::new(label, format!("hit{hit_pct}")), |b| {
+            b.iter(|| sweep(&cache))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compile_time,
@@ -281,6 +360,7 @@ criterion_group!(
     bench_scheduler_hot_path,
     bench_batch_throughput,
     bench_device_build,
-    bench_service_throughput
+    bench_service_throughput,
+    bench_cache_eviction
 );
 criterion_main!(benches);

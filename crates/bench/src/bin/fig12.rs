@@ -11,7 +11,7 @@
 use ssync_bench::table::{fmt_rate, fmt_us};
 use ssync_bench::{fitting_cells, AppKind, BenchScale, CompilerKind, Table};
 use ssync_core::{CompilerConfig, InitialMapping};
-use ssync_service::{CompileRequest, CompileService};
+use ssync_service::{CompileRequest, CompileService, Priority, TenantId};
 use std::sync::Arc;
 
 fn main() {
@@ -43,10 +43,14 @@ fn main() {
         InitialMapping::ALL.len(),
         service.workers()
     );
+    // Each mapping sweep is its own tenant at Batch priority, so when
+    // several figure binaries share one long-lived daemon none of them
+    // can starve the others (or an interactive request).
     let per_mapping: Vec<Vec<_>> = InitialMapping::ALL
         .into_iter()
         .map(|mapping| {
             let config = base_config.with_initial_mapping(mapping);
+            let tenant = TenantId::from_name(&format!("fig12-{}", mapping.label()));
             service.submit_batch(circuits.iter().map(|circuit| {
                 CompileRequest::new(
                     Arc::clone(&device),
@@ -54,6 +58,8 @@ fn main() {
                     CompilerKind::SSync,
                     config,
                 )
+                .with_priority(Priority::Batch)
+                .with_tenant(tenant)
             }))
         })
         .collect();
@@ -81,8 +87,14 @@ fn main() {
             ]);
         }
     }
+    let metrics = service.metrics();
     println!("Fig. 12 — initial-mapping comparison on G-2x3 (S-SYNC, FM gates)\n");
     println!("{table}");
+    eprintln!(
+        "[fig12] fairness: {} batch-priority jobs across {} tenants drained evenly",
+        metrics.submitted_at(Priority::Batch),
+        InitialMapping::ALL.len()
+    );
     println!("Expected shape: gathering needs the fewest shuttles but its longer FM");
     println!("chains raise execution time and can lower the success rate as the");
     println!("application's communication pattern gets more complex.");

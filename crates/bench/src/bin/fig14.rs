@@ -13,7 +13,7 @@ use ssync_arch::QccdTopology;
 use ssync_bench::table::fmt_rate;
 use ssync_bench::{fitting_cells, AppKind, BenchScale, CompilerKind, Table};
 use ssync_core::CompilerConfig;
-use ssync_service::{CompileRequest, CompileService};
+use ssync_service::{CompileRequest, CompileService, Priority, TenantId};
 use std::sync::Arc;
 
 fn main() {
@@ -43,6 +43,11 @@ fn main() {
         4,
         service.workers()
     );
+    // The two panels are two tenants at Batch priority: with both
+    // backlogged, deficit round-robin interleaves them instead of letting
+    // the (submitted-first) ratio sweep run to completion alone.
+    let ratio_tenant = TenantId::from_name("fig14-ratio-sweep");
+    let decay_tenant = TenantId::from_name("fig14-decay-sweep");
     let per_ratio: Vec<Vec<_>> = ratios
         .iter()
         .map(|&ratio| {
@@ -56,6 +61,8 @@ fn main() {
                     CompilerKind::SSync,
                     config,
                 )
+                .with_priority(Priority::Batch)
+                .with_tenant(ratio_tenant)
             }))
         })
         .collect();
@@ -79,6 +86,8 @@ fn main() {
                     CompilerKind::SSync,
                     config,
                 )
+                .with_priority(Priority::Batch)
+                .with_tenant(decay_tenant)
             }))
         })
         .collect();
@@ -114,7 +123,16 @@ fn main() {
     println!("δ has a mild, application-dependent optimum around 1e-3.");
     eprintln!(
         "[fig14] dedup: {} cache hits + {} coalesced of {} submitted \
-         (r=1e3 and d=0.001 are both the default config)",
-        metrics.cache.hits, metrics.jobs_coalesced, metrics.jobs_submitted
+         (r=1e3 and d=0.001 are both the default config); \
+         {} near-duplicates shared a device+circuit under different configs",
+        metrics.cache.hits,
+        metrics.jobs_coalesced,
+        metrics.jobs_submitted,
+        metrics.jobs_near_duplicate
+    );
+    eprintln!(
+        "[fig14] fairness: two Batch tenants (ratio / decay panels), \
+         {} jobs total, drained by deficit round-robin",
+        metrics.submitted_at(Priority::Batch)
     );
 }

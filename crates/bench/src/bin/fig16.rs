@@ -9,7 +9,7 @@ use ssync_arch::QccdTopology;
 use ssync_bench::table::fmt_rate;
 use ssync_bench::{fitting_cells, AppKind, BenchScale, CompilerKind, Table};
 use ssync_core::{CompilerConfig, IdealizationMode, SSyncCompiler};
-use ssync_service::{CompileRequest, CompileService};
+use ssync_service::{CompileRequest, CompileService, Priority, TenantId};
 use std::sync::Arc;
 
 fn main() {
@@ -37,8 +37,11 @@ fn main() {
         circuits.len(),
         service.workers()
     );
+    let tenant = TenantId::from_name("fig16-optimality");
     let handles = service.submit_batch(circuits.into_iter().map(|circuit| {
         CompileRequest::new(Arc::clone(&device), Arc::new(circuit), CompilerKind::SSync, config)
+            .with_priority(Priority::Batch)
+            .with_tenant(tenant)
     }));
 
     let mut table =

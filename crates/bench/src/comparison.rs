@@ -1,7 +1,7 @@
 //! The shared Figs. 8–10 comparison sweep: benchmark × topology × compiler.
 //!
 //! The sweep is one big submission to the
-//! [`CompileService`](ssync_service::CompileService): every topology is
+//! [`CompileService`]: every topology is
 //! registered once in the service's device registry (the slot graph /
 //! router / distance matrix is built exactly once), every circuit travels
 //! as a shared `Arc` (one allocation per application, however many

@@ -1,6 +1,7 @@
 //! Benchmark circuit generators (Table 2 of the paper).
 //!
-//! Every generator returns a plain [`Circuit`]. Two-qubit interactions are
+//! Every generator returns a plain [`Circuit`](crate::Circuit). Two-qubit
+//! interactions are
 //! decomposed down to CX/MS-level two-qubit gates so the counts match the
 //! granularity at which a QCCD compiler has to route:
 //!

@@ -52,6 +52,20 @@ impl CompileOutcome {
         }
     }
 
+    /// Assembles an outcome from *every* field, including the scheduler
+    /// statistics [`CompileOutcome::from_parts`] defaults. Intended for
+    /// codecs (persistent result caches, wire formats) that must
+    /// reconstruct a previously-compiled outcome bit-identically.
+    pub fn from_saved_parts(
+        program: CompiledProgram,
+        report: ExecutionReport,
+        final_placement: Placement,
+        scheduler_stats: SchedulerStats,
+        compile_time: Duration,
+    ) -> Self {
+        CompileOutcome { program, report, final_placement, scheduler_stats, compile_time }
+    }
+
     /// The hardware-compatible operation stream.
     pub fn program(&self) -> &CompiledProgram {
         &self.program

@@ -71,9 +71,9 @@ pub mod mechanics;
 mod scheduler;
 
 pub use compiler::{CompileOutcome, CompileScratch, SSyncCompiler};
-pub use config::{CompilerConfig, InitialMapping};
+pub use config::{CacheBounds, CompilerConfig, InitialMapping};
 pub use error::CompileError;
 pub use generic_swap::{GenericSwap, GenericSwapKind};
 pub use heuristic::{DecayTracker, HeuristicScorer, ScoreCache, ScoringScratch};
 pub use idealized::IdealizationMode;
-pub use scheduler::{Scheduler, SchedulerScratch};
+pub use scheduler::{Scheduler, SchedulerScratch, SchedulerStats};

@@ -1,0 +1,119 @@
+//! `ssync-serviced` — the standalone compile daemon.
+//!
+//! Wraps a [`ssync_service::CompileService`] in the wire protocol of
+//! `ssync_service::wire` over one of two transports:
+//!
+//! ```text
+//! ssync-serviced --stdio                          # frames on stdin/stdout
+//! ssync-serviced --socket /tmp/ssync.sock         # Unix domain socket
+//! ```
+//!
+//! Options:
+//!
+//! * `--workers N` — worker threads (default: `SSYNC_BATCH_WORKERS` or
+//!   the machine's parallelism).
+//! * `--cache-max-entries N` / `--cache-max-bytes N` — result-cache
+//!   bounds (default: the `SSYNC_CACHE_MAX_*` environment variables,
+//!   else unbounded).
+//! * `--cache-dir DIR` — enable the persistent cache tier: outcomes are
+//!   written through to `DIR` and loaded back on a miss, sharing compiles
+//!   across daemon restarts and between processes.
+//!
+//! The daemon exits on a `Shutdown` request, or on EOF in stdio mode.
+
+use ssync_core::CacheBounds;
+use ssync_service::{front, CompileService};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    stdio: bool,
+    socket: Option<std::path::PathBuf>,
+    workers: usize,
+    bounds: CacheBounds,
+    cache_dir: Option<std::path::PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: ssync-serviced (--stdio | --socket PATH) [--workers N] \
+     [--cache-max-entries N] [--cache-max-bytes N] [--cache-dir DIR]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        stdio: false,
+        socket: None,
+        workers: 0,
+        bounds: CacheBounds::from_env(),
+        cache_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |what: &str| args.next().ok_or_else(|| format!("{what} needs a value\n{}", usage()));
+        match arg.as_str() {
+            "--stdio" => options.stdio = true,
+            "--socket" => options.socket = Some(value("--socket")?.into()),
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer".to_string())?
+            }
+            // `0` means unbounded, matching the SSYNC_CACHE_MAX_* env vars.
+            "--cache-max-entries" => {
+                let n: usize = value("--cache-max-entries")?
+                    .parse()
+                    .map_err(|_| "--cache-max-entries expects an integer".to_string())?;
+                options.bounds.max_entries = (n > 0).then_some(n);
+            }
+            "--cache-max-bytes" => {
+                let n: usize = value("--cache-max-bytes")?
+                    .parse()
+                    .map_err(|_| "--cache-max-bytes expects an integer".to_string())?;
+                options.bounds.max_bytes = (n > 0).then_some(n);
+            }
+            "--cache-dir" => options.cache_dir = Some(value("--cache-dir")?.into()),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    if options.stdio == options.socket.is_some() {
+        return Err(format!("pick exactly one transport\n{}", usage()));
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut builder =
+        CompileService::builder().workers(options.workers).cache_bounds(options.bounds);
+    if let Some(dir) = &options.cache_dir {
+        builder = builder.persist_dir(dir);
+    }
+    let service = Arc::new(builder.build());
+    eprintln!(
+        "[ssync-serviced] serving with {} workers (cache: {:?}, persist: {:?})",
+        service.workers(),
+        service.cache().config().bounds,
+        options.cache_dir,
+    );
+    let result = if options.stdio {
+        front::serve_stdio(&service)
+    } else {
+        let path = options.socket.as_deref().expect("validated by parse_args");
+        front::serve_unix(&service, path)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("[ssync-serviced] transport error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

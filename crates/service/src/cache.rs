@@ -1,4 +1,5 @@
-//! The compile-result cache.
+//! The compile-result cache: a bounded, evicting in-memory tier with an
+//! optional persistent directory tier.
 //!
 //! Compilation is deterministic: the outcome is a pure function of
 //! (device, circuit, compiler, config). A long-lived service can therefore
@@ -6,10 +7,43 @@
 //! against the same machine from different tenants) are served from memory
 //! without recompiling, and because the service hands out `Arc`s of the
 //! original outcome, a cache hit is also allocation-free.
+//!
+//! ## Bounding and eviction (segmented LRU)
+//!
+//! Production traffic cannot run an unbounded memo table, so the cache
+//! enforces two caps from [`CacheBounds`]: a **maximum entry count** and
+//! an **approximate maximum resident byte size**, measured through the
+//! [`CompiledWeight`] trait on stored results. Exceeding either cap evicts
+//! entries under a *segmented-LRU* policy:
+//!
+//! * a new entry lands in the **probationary** segment;
+//! * a hit promotes it to the **protected** segment (capped at 3/4 of the
+//!   entry bound; overflow demotes the protected LRU back to probation);
+//! * eviction removes the probationary LRU first and touches the
+//!   protected segment only when probation is empty.
+//!
+//! One-touch entries (a sweep scanning thousands of configurations once)
+//! therefore churn through probation without displacing the hot set —
+//! the scan-resistance property plain LRU lacks. The policy is fully
+//! deterministic: for a given sequence of `get`/`insert` calls the evicted
+//! keys are fixed, which the unit tests pin down at capacity 1.
+//!
+//! ## The persistent tier
+//!
+//! Cache keys are built from stable content fingerprints (FNV-1a over
+//! device/circuit/config content — see [`crate::hash`]), so they are valid
+//! *across processes*. With [`CacheConfig::persist_dir`] set, every insert
+//! is written through to `<dir>/<key>.outcome` (atomic tmp-file + rename)
+//! and an in-memory miss falls back to loading that file, letting separate
+//! bench runs share one compile. Files use the [`crate::codec`] binary
+//! format behind a magic/version header; corrupt or truncated files are
+//! treated as misses, never errors.
 
+use crate::codec::{self, ByteReader, ByteWriter, CodecError};
 use ssync_baselines::CompilerKind;
-use ssync_core::CompileOutcome;
-use std::collections::HashMap;
+use ssync_core::{CacheBounds, CompileOutcome};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -31,16 +65,89 @@ pub struct CacheKey {
     pub compiler: CompilerKind,
 }
 
-/// Hit/miss counters of a [`ResultCache`], snapshot via
-/// [`ResultCache::stats`].
+impl CacheKey {
+    /// The file name this key persists under: the three fingerprints plus
+    /// the compiler tag, all stable across processes.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{:016x}-{:016x}-{:016x}-k{}.outcome",
+            self.device_fingerprint,
+            self.circuit_hash,
+            self.config_hash,
+            codec::compiler_kind_tag(self.compiler)
+        )
+    }
+}
+
+/// Approximate resident size of a cached result, used to enforce
+/// [`CacheBounds::max_bytes`]. Implementations estimate the heap footprint
+/// (they are a cap guide, not an allocator audit).
+pub trait CompiledWeight {
+    /// Approximate resident bytes of this value.
+    fn weight_bytes(&self) -> usize;
+}
+
+impl CompiledWeight for CompileOutcome {
+    fn weight_bytes(&self) -> usize {
+        let program = self.program();
+        let placement = self.final_placement();
+        std::mem::size_of::<CompileOutcome>()
+            + program.len() * std::mem::size_of::<ssync_sim::ScheduledOp>()
+            // slot_of + (occupant, slot_trap) + (trap_capacity, trap_occupancy)
+            + placement.num_qubits() * 8
+            + placement.num_slots() * 12
+            + program.num_traps() * 16
+    }
+}
+
+/// Full configuration of a [`ResultCache`]: capacity bounds for the
+/// in-memory tier and the optional persistent directory tier.
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    /// Entry / byte caps of the in-memory tier ([`CacheBounds::UNBOUNDED`]
+    /// by default — the historical behaviour).
+    pub bounds: CacheBounds,
+    /// Directory for the write-through persistent tier; `None` disables it.
+    pub persist_dir: Option<PathBuf>,
+}
+
+impl CacheConfig {
+    /// An unbounded, memory-only configuration.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with the given capacity bounds.
+    pub fn with_bounds(mut self, bounds: CacheBounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Returns a copy with the persistent tier rooted at `dir`.
+    pub fn with_persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Counters of a [`ResultCache`], snapshot via [`ResultCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (memory or persistent tier).
     pub hits: u64,
     /// Lookups that fell through to a compile.
     pub misses: u64,
-    /// Entries currently stored.
+    /// Entries currently stored in memory.
     pub entries: usize,
+    /// Approximate resident bytes of the in-memory tier.
+    pub bytes: usize,
+    /// Entries evicted to stay within the configured bounds.
+    pub evictions: u64,
+    /// Of `hits`, lookups served by loading a persisted file after an
+    /// in-memory miss.
+    pub persist_hits: u64,
+    /// Entries successfully written through to the persistent tier.
+    pub persist_stores: u64,
 }
 
 impl CacheStats {
@@ -55,65 +162,368 @@ impl CacheStats {
     }
 }
 
-/// A concurrent memo table from [`CacheKey`] to shared compile outcomes.
-/// Only successful outcomes are stored: errors are cheap to reproduce
-/// (validation fails before any scheduling work) and should not occupy
-/// memory. Unbounded by design for now — entries are a few kilobytes and
-/// sweeps touch thousands, not millions, of distinct keys; an eviction
-/// policy is a documented follow-up for a persistent tier.
-#[derive(Debug, Default)]
+/// One stored entry plus its bookkeeping.
+struct Entry {
+    outcome: Arc<CompileOutcome>,
+    bytes: usize,
+    protected: bool,
+    /// Matches the newest queue record for this key; older records with a
+    /// different stamp are stale and skipped during eviction (lazy LRU).
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    /// `(stamp, key)` records, LRU at the front. Stale records (stamp
+    /// mismatch or wrong segment) are dropped when encountered.
+    probation: VecDeque<(u64, CacheKey)>,
+    protected: VecDeque<(u64, CacheKey)>,
+    protected_count: usize,
+    tick: u64,
+    bytes: usize,
+}
+
+/// A concurrent memo table from [`CacheKey`] to shared compile outcomes,
+/// bounded and evicting per the module docs. Only successful outcomes are
+/// stored: errors are cheap to reproduce (validation fails before any
+/// scheduling work) and should not occupy memory.
 pub struct ResultCache {
-    map: Mutex<HashMap<CacheKey, Arc<CompileOutcome>>>,
+    inner: Mutex<Inner>,
+    config: CacheConfig,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    persist_hits: AtomicU64,
+    persist_stores: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::with_config(CacheConfig::default())
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, unbounded, memory-only cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Looks `key` up, counting the outcome as a hit or miss.
+    /// An empty cache with entry/byte bounds (memory-only).
+    pub fn bounded(bounds: CacheBounds) -> Self {
+        Self::with_config(CacheConfig::default().with_bounds(bounds))
+    }
+
+    /// An empty cache with the full configuration, including the optional
+    /// persistent tier.
+    pub fn with_config(config: CacheConfig) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            persist_hits: AtomicU64::new(0),
+            persist_stores: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Looks `key` up, counting the outcome as a hit or miss. An in-memory
+    /// miss consults the persistent tier (when configured) before giving
+    /// up; a loaded file counts as both a hit and a `persist_hit` and is
+    /// promoted into the memory tier.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CompileOutcome>> {
-        let found = self.map.lock().expect("cache lock poisoned").get(key).cloned();
-        match found {
-            Some(outcome) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(outcome)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        if let Some(outcome) = self.get_memory(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(outcome);
+        }
+        if let Some(outcome) = self.load_persisted(key) {
+            self.insert_memory(*key, Arc::clone(&outcome));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.persist_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(outcome);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a compiled outcome under `key` (write-through to the
+    /// persistent tier when configured). Last write wins; since
+    /// compilation is deterministic, concurrent writers store identical
+    /// results and the race is benign.
+    pub fn insert(&self, key: CacheKey, outcome: Arc<CompileOutcome>) {
+        self.insert_memory(key, Arc::clone(&outcome));
+        if let Some(dir) = &self.config.persist_dir {
+            if self.store_persisted(dir, &key, &outcome).is_ok() {
+                self.persist_stores.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Stores a compiled outcome under `key`. Last write wins; since
-    /// compilation is deterministic, concurrent writers store identical
-    /// results and the race is benign.
-    pub fn insert(&self, key: CacheKey, outcome: Arc<CompileOutcome>) {
-        self.map.lock().expect("cache lock poisoned").insert(key, outcome);
+    fn get_memory(&self, key: &CacheKey) -> Option<Arc<CompileOutcome>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = &mut *inner;
+        let entry = inner.map.get_mut(key)?;
+        let outcome = Arc::clone(&entry.outcome);
+        // Promote to protected, restamping so older queue records go stale.
+        inner.tick += 1;
+        entry.stamp = inner.tick;
+        if !entry.protected {
+            entry.protected = true;
+            inner.protected_count += 1;
+        }
+        let stamp = entry.stamp;
+        inner.protected.push_back((stamp, *key));
+        // Protected overflow demotes its LRU back to probation, keeping
+        // room for newcomers to earn a second touch.
+        let cap = protected_cap(&self.config.bounds);
+        while inner.protected_count > cap {
+            let Some((stamp, victim)) = inner.protected.pop_front() else { break };
+            let Some(e) = inner.map.get_mut(&victim) else { continue };
+            if !e.protected || e.stamp != stamp {
+                continue; // stale record
+            }
+            inner.tick += 1;
+            e.protected = false;
+            e.stamp = inner.tick;
+            let stamp = e.stamp;
+            inner.protected_count -= 1;
+            inner.probation.push_back((stamp, victim));
+        }
+        maybe_compact(inner);
+        Some(outcome)
     }
 
-    /// Number of stored entries.
+    fn insert_memory(&self, key: CacheKey, outcome: Arc<CompileOutcome>) {
+        let bytes = outcome.weight_bytes();
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = &mut *inner;
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let entry = slot.get_mut();
+                inner.bytes = inner.bytes - entry.bytes + bytes;
+                entry.outcome = outcome;
+                entry.bytes = bytes;
+                entry.stamp = tick;
+                if entry.protected {
+                    inner.protected.push_back((tick, key));
+                } else {
+                    inner.probation.push_back((tick, key));
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Entry { outcome, bytes, protected: false, stamp: tick });
+                inner.bytes += bytes;
+                inner.probation.push_back((tick, key));
+            }
+        }
+        let evicted = enforce_bounds(inner, &self.config.bounds);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        maybe_compact(inner);
+    }
+
+    fn load_persisted(&self, key: &CacheKey) -> Option<Arc<CompileOutcome>> {
+        let dir = self.config.persist_dir.as_ref()?;
+        let bytes = std::fs::read(dir.join(key.file_name())).ok()?;
+        decode_persisted(&bytes)
+            .ok()
+            .filter(|(stored, _)| stored == key)
+            .map(|(_, outcome)| Arc::new(outcome))
+    }
+
+    fn store_persisted(
+        &self,
+        dir: &Path,
+        key: &CacheKey,
+        outcome: &CompileOutcome,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let bytes = encode_persisted(key, outcome);
+        // Atomic publish: readers only ever see complete files.
+        let tmp = dir.join(format!(".{}.tmp-{}", key.file_name(), std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, dir.join(key.file_name()))
+    }
+
+    /// Writes every in-memory entry through to `dir` (creating it if
+    /// needed), regardless of whether the cache was configured with a
+    /// persistent tier. Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O failure; earlier files stay written.
+    pub fn snapshot_to(&self, dir: impl AsRef<Path>) -> std::io::Result<usize> {
+        let dir = dir.as_ref();
+        let entries: Vec<(CacheKey, Arc<CompileOutcome>)> = {
+            let inner = self.inner.lock().expect("cache lock poisoned");
+            inner.map.iter().map(|(k, e)| (*k, Arc::clone(&e.outcome))).collect()
+        };
+        for (key, outcome) in &entries {
+            self.store_persisted(dir, key, outcome)?;
+        }
+        Ok(entries.len())
+    }
+
+    /// Loads every valid `.outcome` file under `dir` into the memory tier
+    /// (still subject to the configured bounds). Corrupt files are skipped.
+    /// Returns the number of entries loaded. A missing directory loads
+    /// nothing.
+    pub fn load_from(&self, dir: impl AsRef<Path>) -> usize {
+        let Ok(listing) = std::fs::read_dir(dir.as_ref()) else { return 0 };
+        let mut paths: Vec<PathBuf> = listing
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "outcome"))
+            .collect();
+        paths.sort(); // deterministic load (and eviction) order
+        let mut loaded = 0usize;
+        for path in paths {
+            let Ok(bytes) = std::fs::read(&path) else { continue };
+            let Ok((key, outcome)) = decode_persisted(&bytes) else { continue };
+            self.insert_memory(key, Arc::new(outcome));
+            loaded += 1;
+        }
+        loaded
+    }
+
+    /// Number of stored in-memory entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock poisoned").len()
+        self.inner.lock().expect("cache lock poisoned").map.len()
     }
 
-    /// `true` when nothing is stored.
+    /// `true` when nothing is stored in memory.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// A consistent snapshot of the hit/miss counters and entry count.
+    /// A consistent snapshot of every counter.
     pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let inner = self.inner.lock().expect("cache lock poisoned");
+            (inner.map.len(), inner.bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.len(),
+            entries,
+            bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            persist_hits: self.persist_hits.load(Ordering::Relaxed),
+            persist_stores: self.persist_stores.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Every hit pushes a fresh queue record and leaves the old one stale, so
+/// a hot entry hit many times would grow the queues without bound. When
+/// the queues hold more than 4× the live entries, drop every stale record
+/// in place (order among live records is preserved, so LRU order — and
+/// therefore eviction determinism — is unaffected).
+fn maybe_compact(inner: &mut Inner) {
+    let live = inner.map.len();
+    if inner.probation.len() + inner.protected.len() <= (4 * live).max(32) {
+        return;
+    }
+    let Inner { map, probation, protected, .. } = inner;
+    probation
+        .retain(|(stamp, key)| map.get(key).is_some_and(|e| !e.protected && e.stamp == *stamp));
+    protected.retain(|(stamp, key)| map.get(key).is_some_and(|e| e.protected && e.stamp == *stamp));
+}
+
+/// The protected segment holds at most 3/4 of a bounded cache (at least
+/// one entry); unbounded caches never demote.
+fn protected_cap(bounds: &CacheBounds) -> usize {
+    match bounds.max_entries {
+        Some(max) => (max.saturating_mul(3) / 4).max(1),
+        None => usize::MAX,
+    }
+}
+
+/// Evicts until both caps hold; returns how many entries were removed.
+fn enforce_bounds(inner: &mut Inner, bounds: &CacheBounds) -> u64 {
+    let over = |inner: &Inner| {
+        bounds.max_entries.is_some_and(|cap| inner.map.len() > cap)
+            || bounds.max_bytes.is_some_and(|cap| inner.bytes > cap)
+    };
+    let mut evicted = 0u64;
+    while over(inner) && !inner.map.is_empty() {
+        if evict_one(inner, false) || evict_one(inner, true) {
+            evicted += 1;
+        } else {
+            break; // queues exhausted (cannot happen with a non-empty map)
+        }
+    }
+    evicted
+}
+
+/// Pops the LRU of one segment (skipping stale records) and removes it
+/// from the map. Returns `false` when the segment has no live entry.
+fn evict_one(inner: &mut Inner, from_protected: bool) -> bool {
+    let queue = if from_protected { &mut inner.protected } else { &mut inner.probation };
+    while let Some((stamp, key)) = queue.pop_front() {
+        let Some(entry) = inner.map.get(&key) else { continue };
+        if entry.protected != from_protected || entry.stamp != stamp {
+            continue; // stale record: the entry moved or was restamped
+        }
+        let entry = inner.map.remove(&key).expect("checked present");
+        inner.bytes -= entry.bytes;
+        if from_protected {
+            inner.protected_count -= 1;
+        }
+        return true;
+    }
+    false
+}
+
+const PERSIST_MAGIC: u32 = 0x5353_4352; // "SSCR"
+const PERSIST_VERSION: u32 = 1;
+
+fn encode_persisted(key: &CacheKey, outcome: &CompileOutcome) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(PERSIST_MAGIC);
+    w.put_u32(PERSIST_VERSION);
+    w.put_u64(key.device_fingerprint);
+    w.put_u64(key.circuit_hash);
+    w.put_u64(key.config_hash);
+    w.put_u8(codec::compiler_kind_tag(key.compiler));
+    codec::encode_outcome(&mut w, outcome);
+    w.into_bytes()
+}
+
+fn decode_persisted(bytes: &[u8]) -> Result<(CacheKey, CompileOutcome), CodecError> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_u32()? != PERSIST_MAGIC {
+        return Err(CodecError::Invalid("cache file magic"));
+    }
+    if r.get_u32()? != PERSIST_VERSION {
+        return Err(CodecError::Invalid("cache file version"));
+    }
+    let key = CacheKey {
+        device_fingerprint: r.get_u64()?,
+        circuit_hash: r.get_u64()?,
+        config_hash: r.get_u64()?,
+        compiler: codec::compiler_kind_from_tag(r.get_u8()?)?,
+    };
+    let outcome = codec::decode_outcome(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid("trailing bytes"));
+    }
+    Ok((key, outcome))
 }
 
 #[cfg(test)]
@@ -122,6 +532,15 @@ mod tests {
     use ssync_arch::QccdTopology;
     use ssync_circuit::generators::qft;
     use ssync_core::{CompilerConfig, SSyncCompiler};
+
+    fn key_n(n: u64) -> CacheKey {
+        CacheKey {
+            device_fingerprint: n,
+            circuit_hash: 100 + n,
+            config_hash: 200 + n,
+            compiler: CompilerKind::SSync,
+        }
+    }
 
     fn key(config: &CompilerConfig, circuit_hash: u64) -> CacheKey {
         CacheKey {
@@ -154,6 +573,8 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(stats.bytes > 0, "weight accounting tracks resident bytes");
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -180,5 +601,131 @@ mod tests {
         let cache = ResultCache::new();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    /// The capacity-1 determinism contract: inserting a second entry
+    /// always evicts the probationary LRU, and a protected (hit) entry
+    /// outlives a one-touch newcomer.
+    #[test]
+    fn capacity_one_cache_evicts_deterministically() {
+        let cache = ResultCache::bounded(CacheBounds::with_max_entries(1));
+        let outcome = some_outcome();
+        let (a, b, c) = (key_n(1), key_n(2), key_n(3));
+
+        // Two one-touch inserts: the older entry (A) is evicted.
+        cache.insert(a, Arc::clone(&outcome));
+        cache.insert(b, Arc::clone(&outcome));
+        assert!(cache.get(&a).is_none(), "A was the probationary LRU");
+        assert!(cache.get(&b).is_some(), "B survived (and is now protected)");
+        assert_eq!(cache.stats().evictions, 1);
+
+        // B is protected by the hit above; a newcomer churns through
+        // probation without displacing it (scan resistance).
+        cache.insert(c, Arc::clone(&outcome));
+        assert!(cache.get(&b).is_some(), "protected entry survives the scan");
+        assert!(cache.get(&c).is_none(), "one-touch newcomer was evicted");
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn entry_cap_keeps_the_hot_set() {
+        let cache = ResultCache::bounded(CacheBounds::with_max_entries(4));
+        let outcome = some_outcome();
+        for n in 0..4 {
+            cache.insert(key_n(n), Arc::clone(&outcome));
+        }
+        // Touch 0 and 1: they are promoted to protected.
+        assert!(cache.get(&key_n(0)).is_some());
+        assert!(cache.get(&key_n(1)).is_some());
+        // Four more one-touch inserts sweep through.
+        for n in 4..8 {
+            cache.insert(key_n(n), Arc::clone(&outcome));
+        }
+        assert!(cache.get(&key_n(0)).is_some(), "hot entry survived the sweep");
+        assert!(cache.get(&key_n(1)).is_some(), "hot entry survived the sweep");
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions, 4);
+    }
+
+    #[test]
+    fn byte_cap_evicts_and_a_single_oversized_entry_is_dropped() {
+        let outcome = some_outcome();
+        let per_entry = outcome.weight_bytes();
+
+        // Room for exactly two entries.
+        let cache = ResultCache::bounded(CacheBounds::with_max_bytes(2 * per_entry + 1));
+        cache.insert(key_n(1), Arc::clone(&outcome));
+        cache.insert(key_n(2), Arc::clone(&outcome));
+        assert_eq!(cache.len(), 2);
+        cache.insert(key_n(3), Arc::clone(&outcome));
+        assert_eq!(cache.len(), 2, "third entry pushed out the LRU");
+        assert!(cache.get(&key_n(1)).is_none());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().bytes <= 2 * per_entry + 1);
+
+        // A cap smaller than one entry refuses to retain anything.
+        let tiny = ResultCache::bounded(CacheBounds::with_max_bytes(per_entry / 2));
+        tiny.insert(key_n(1), Arc::clone(&outcome));
+        assert!(tiny.is_empty(), "oversized entries cannot be cached");
+        assert_eq!(tiny.stats().evictions, 1);
+        assert_eq!(tiny.stats().bytes, 0);
+    }
+
+    #[test]
+    fn persisted_entries_round_trip_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("ssync-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let outcome = some_outcome();
+        let k = key_n(42);
+        let writer = ResultCache::with_config(CacheConfig::default().with_persist_dir(&dir));
+        writer.insert(k, Arc::clone(&outcome));
+        assert_eq!(writer.stats().persist_stores, 1);
+
+        // A second cache (standing in for a second process) finds the file.
+        let reader = ResultCache::with_config(CacheConfig::default().with_persist_dir(&dir));
+        let loaded = reader.get(&k).expect("served from the persistent tier");
+        assert_eq!(outcome.program().ops(), loaded.program().ops());
+        assert_eq!(outcome.final_placement(), loaded.final_placement());
+        assert_eq!(outcome.scheduler_stats(), loaded.scheduler_stats());
+        assert_eq!(outcome.compile_time(), loaded.compile_time());
+        assert_eq!(outcome.report().success_rate.to_bits(), loaded.report().success_rate.to_bits());
+        let stats = reader.stats();
+        assert_eq!((stats.hits, stats.persist_hits, stats.misses), (1, 1, 0));
+        // The loaded entry was promoted into memory: next hit skips disk.
+        assert!(reader.get(&k).is_some());
+        assert_eq!(reader.stats().persist_hits, 1);
+
+        // Corrupt files degrade to a miss, never an error.
+        std::fs::write(dir.join(k.file_name()), b"garbage").expect("overwrite");
+        let fresh = ResultCache::with_config(CacheConfig::default().with_persist_dir(&dir));
+        assert!(fresh.get(&k).is_none());
+        assert_eq!(fresh.stats().misses, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_and_load_round_trip_a_whole_cache() {
+        let dir = std::env::temp_dir().join(format!("ssync-cache-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let source = ResultCache::new();
+        let outcome = some_outcome();
+        for n in 0..3 {
+            source.insert(key_n(n), Arc::clone(&outcome));
+        }
+        assert_eq!(source.snapshot_to(&dir).expect("snapshot"), 3);
+
+        let target = ResultCache::new();
+        assert_eq!(target.load_from(&dir), 3);
+        for n in 0..3 {
+            let loaded = target.get(&key_n(n)).expect("loaded entry");
+            assert_eq!(outcome.program().ops(), loaded.program().ops());
+        }
+        assert_eq!(ResultCache::new().load_from(dir.join("missing-subdir")), 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

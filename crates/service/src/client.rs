@@ -1,0 +1,206 @@
+//! A minimal client for the `ssync-serviced` IPC front-end.
+//!
+//! Mirrors the in-process request/handle API over [`wire`](crate::wire)
+//! frames: `submit` returns a job id (the remote analogue of a
+//! [`JobHandle`](crate::JobHandle)), `wait`/`poll` resolve it, `metrics`
+//! snapshots the remote [`ServiceMetrics`](crate::ServiceMetrics). The
+//! client is deliberately synchronous and single-connection — one
+//! outstanding request at a time — because the concurrency lives
+//! server-side in the pool; spin up more connections for parallel
+//! waiting.
+//!
+//! ```no_run
+//! use ssync_baselines::CompilerKind;
+//! use ssync_circuit::generators::qft;
+//! use ssync_core::CompilerConfig;
+//! use ssync_service::client::ServiceClient;
+//! use ssync_service::wire::RemoteRequest;
+//!
+//! let mut client = ServiceClient::connect_unix("/tmp/ssync-serviced.sock").unwrap();
+//! let job = client
+//!     .submit(&RemoteRequest::new("G-2x2", qft(10), CompilerKind::SSync,
+//!                                 CompilerConfig::default()))
+//!     .unwrap();
+//! let outcome = client.wait(job).unwrap().unwrap();
+//! println!("{} shuttles", outcome.counts().shuttles);
+//! ```
+
+use crate::codec::CodecError;
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, RemoteRequest, Request, Response,
+};
+use ssync_core::{CompileError, CompileOutcome};
+use std::io::{Read, Write};
+
+/// What can go wrong talking to a remote service.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(std::io::Error),
+    /// A response payload did not decode.
+    Codec(CodecError),
+    /// The server rejected the request (unknown device or job id).
+    Rejected(
+        /// The server's reason.
+        String,
+    ),
+    /// The server answered with a variant the request doesn't expect.
+    UnexpectedResponse(
+        /// A description of what arrived.
+        &'static str,
+    ),
+    /// The connection closed before a response arrived.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Codec(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Rejected(reason) => write!(f, "request rejected: {reason}"),
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response variant: {what}")
+            }
+            ClientError::Disconnected => write!(f, "server disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// Identifier of a job submitted through a [`ServiceClient`] — the remote
+/// analogue of a [`JobHandle`](crate::JobHandle), scoped to its
+/// connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteJob(pub u64);
+
+/// A synchronous connection to an `ssync-serviced` daemon over any byte
+/// stream pair (a Unix socket, or a child process's stdio).
+pub struct ServiceClient {
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for ServiceClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient").finish_non_exhaustive()
+    }
+}
+
+impl ServiceClient {
+    /// A client over an explicit reader/writer pair — e.g. a spawned
+    /// daemon's stdout/stdin (see `examples/remote_compile.rs`).
+    pub fn over(reader: impl Read + Send + 'static, writer: impl Write + Send + 'static) -> Self {
+        ServiceClient { reader: Box::new(reader), writer: Box::new(writer) }
+    }
+
+    /// Connects to a daemon listening on a Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        Ok(Self::over(reader, stream))
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &encode_request(request))?;
+        let payload = read_frame(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
+        let response = decode_response(&payload)?;
+        if let Response::Rejected { reason } = response {
+            return Err(ClientError::Rejected(reason));
+        }
+        Ok(response)
+    }
+
+    /// Submits a compile request; the returned [`RemoteJob`] feeds
+    /// [`ServiceClient::wait`] / [`ServiceClient::poll`].
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec failures, or [`ClientError::Rejected`] for an
+    /// unknown device name.
+    pub fn submit(&mut self, request: &RemoteRequest) -> Result<RemoteJob, ClientError> {
+        match self.round_trip(&Request::Submit(Box::new(request.clone())))? {
+            Response::Submitted { job } => Ok(RemoteJob(job)),
+            _ => Err(ClientError::UnexpectedResponse("submit expected Submitted")),
+        }
+    }
+
+    /// Blocks until `job` finishes; the inner result is the compile's own
+    /// success or failure, exactly as [`crate::JobHandle::wait`] returns
+    /// it in-process.
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec failures, or [`ClientError::Rejected`] for an
+    /// unknown job id.
+    pub fn wait(
+        &mut self,
+        job: RemoteJob,
+    ) -> Result<Result<CompileOutcome, CompileError>, ClientError> {
+        match self.round_trip(&Request::Wait { job: job.0 })? {
+            Response::Outcome(outcome) => Ok(Ok(outcome)),
+            Response::CompileFailed(error) => Ok(Err(error)),
+            _ => Err(ClientError::UnexpectedResponse("wait expected a result")),
+        }
+    }
+
+    /// Non-blocking check of `job`: `None` while it is still running.
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec failures, or [`ClientError::Rejected`] for an
+    /// unknown job id.
+    pub fn poll(
+        &mut self,
+        job: RemoteJob,
+    ) -> Result<Option<Result<CompileOutcome, CompileError>>, ClientError> {
+        match self.round_trip(&Request::Poll { job: job.0 })? {
+            Response::Pending => Ok(None),
+            Response::Outcome(outcome) => Ok(Some(Ok(outcome))),
+            Response::CompileFailed(error) => Ok(Some(Err(error))),
+            _ => Err(ClientError::UnexpectedResponse("poll expected a status")),
+        }
+    }
+
+    /// Fetches a metrics snapshot from the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec failures.
+    pub fn metrics(&mut self) -> Result<crate::ServiceMetrics, ClientError> {
+        match self.round_trip(&Request::Metrics)? {
+            Response::Metrics(metrics) => Ok(metrics),
+            _ => Err(ClientError::UnexpectedResponse("metrics expected Metrics")),
+        }
+    }
+
+    /// Asks the daemon to exit (acknowledged before it does).
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("shutdown expected ShuttingDown")),
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The `ssync-serviced` server loop: drives a [`CompileService`] from
+//! [`wire`](crate::wire) frames.
+//!
+//! Two transports, same conversation:
+//!
+//! * **stdio** ([`serve_stdio`]) — one session over the process's
+//!   stdin/stdout, for a supervisor that spawns the daemon as a child
+//!   (the `examples/remote_compile.rs` pattern). The daemon exits on EOF
+//!   or an explicit `Shutdown`.
+//! * **Unix domain socket** ([`serve_unix`]) — a listener accepting any
+//!   number of concurrent connections, one handler thread each, all
+//!   sharing the one service (and therefore its registry, cache and
+//!   worker pool). A `Shutdown` from any connection stops the daemon.
+//!
+//! The front-end is a thin adapter: every `Submit` becomes a
+//! [`CompileService::submit`] and the returned [`JobHandle`] is parked in
+//! a per-connection table keyed by a per-connection job id. `Wait` blocks
+//! only the requesting connection's thread — the pool keeps draining
+//! other work meanwhile.
+
+use crate::job::JobHandle;
+use crate::pool::CompileService;
+use crate::wire::{
+    decode_request, encode_response, read_frame, write_frame, RemoteRequest, Request, Response,
+};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Per-connection state: the handles of every job this peer submitted.
+#[derive(Default)]
+struct Session {
+    jobs: HashMap<u64, JobHandle>,
+    next_id: u64,
+}
+
+impl Session {
+    fn submit(&mut self, service: &CompileService, remote: RemoteRequest) -> Response {
+        let Some(device) =
+            service.registry().get_or_build_named(&remote.device, remote.config.weights)
+        else {
+            return Response::Rejected { reason: format!("unknown device '{}'", remote.device) };
+        };
+        let request = crate::job::CompileRequest::new(
+            device,
+            Arc::new(remote.circuit),
+            remote.compiler,
+            remote.config,
+        )
+        .with_priority(remote.priority)
+        .with_tenant(remote.tenant);
+        let handle = service.submit(request);
+        let job = self.next_id;
+        self.next_id += 1;
+        self.jobs.insert(job, handle);
+        Response::Submitted { job }
+    }
+
+    fn result_response(result: crate::job::JobResult) -> Response {
+        match result {
+            Ok(outcome) => Response::Outcome((*outcome).clone()),
+            Err(error) => Response::CompileFailed(error),
+        }
+    }
+
+    /// Handles one request; the second value is `true` when the daemon
+    /// should shut down after responding.
+    ///
+    /// A job id is *consumed* by the response that delivers its terminal
+    /// result (`Wait`, or a `Poll` that observes completion): the handle —
+    /// and the `Arc<CompileOutcome>` it pins — is dropped immediately, so
+    /// a connection submitting millions of jobs holds memory proportional
+    /// to its *outstanding* jobs, not its lifetime total. A later
+    /// `Poll`/`Wait` on a consumed id is `Rejected`.
+    fn handle(&mut self, service: &CompileService, request: Request) -> (Response, bool) {
+        match request {
+            Request::Submit(remote) => (self.submit(service, *remote), false),
+            Request::Poll { job } => match self.jobs.get(&job) {
+                Some(handle) => match handle.try_poll() {
+                    Some(result) => {
+                        self.jobs.remove(&job);
+                        (Self::result_response(result), false)
+                    }
+                    None => (Response::Pending, false),
+                },
+                None => (Response::Rejected { reason: format!("unknown job id {job}") }, false),
+            },
+            Request::Wait { job } => match self.jobs.remove(&job) {
+                Some(handle) => (Self::result_response(handle.wait()), false),
+                None => (Response::Rejected { reason: format!("unknown job id {job}") }, false),
+            },
+            Request::Metrics => (Response::Metrics(service.metrics()), false),
+            Request::Shutdown => (Response::ShuttingDown, true),
+        }
+    }
+}
+
+/// Runs one session over an arbitrary byte stream pair until EOF, a
+/// `Shutdown` request, or an I/O error. Returns `true` if the peer asked
+/// the daemon to shut down.
+///
+/// # Errors
+///
+/// Propagates I/O failures; protocol violations (bad magic, undecodable
+/// payloads) surface as `InvalidData`.
+pub fn serve_connection(
+    service: &CompileService,
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+) -> std::io::Result<bool> {
+    let mut session = Session::default();
+    while let Some(payload) = read_frame(reader)? {
+        let request = decode_request(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let (response, shutdown) = session.handle(service, request);
+        write_frame(writer, &encode_response(&response))?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serves one session over this process's stdin/stdout (the child-process
+/// transport). Returns when the peer disconnects or sends `Shutdown`.
+///
+/// # Errors
+///
+/// Propagates I/O and protocol failures from [`serve_connection`].
+pub fn serve_stdio(service: &CompileService) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    serve_connection(service, &mut reader, &mut writer)?;
+    Ok(())
+}
+
+/// Binds `path` (removing a stale socket file first) and serves
+/// connections until some peer sends `Shutdown`. Each connection gets a
+/// handler thread; all share `service`.
+///
+/// # Errors
+///
+/// Propagates bind/accept failures. Per-connection I/O errors terminate
+/// only that connection.
+#[cfg(unix)]
+pub fn serve_unix(service: &Arc<CompileService>, path: &Path) -> std::io::Result<()> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    let _ = std::fs::remove_file(path); // stale socket from a dead daemon
+    let listener = UnixListener::bind(path)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        let (stream, _addr) = listener.accept()?;
+        if shutdown.load(Ordering::SeqCst) {
+            break; // the wake-up connection from a shutting-down handler
+        }
+        // Reap finished handlers so a long-lived daemon doesn't retain
+        // one JoinHandle per connection it ever served. Joining an
+        // is_finished() thread cannot block.
+        let mut still_running = Vec::new();
+        for handler in handlers.drain(..) {
+            if handler.is_finished() {
+                let _ = handler.join();
+            } else {
+                still_running.push(handler);
+            }
+        }
+        handlers = still_running;
+        let service = Arc::clone(service);
+        let shutdown = Arc::clone(&shutdown);
+        let wake_path = path.to_path_buf();
+        handlers.push(std::thread::spawn(move || {
+            let mut reader = match stream.try_clone() {
+                Ok(reader) => reader,
+                Err(_) => return,
+            };
+            let mut writer = stream;
+            if serve_connection(&service, &mut reader, &mut writer).unwrap_or(false) {
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it observes the flag.
+                let _ = UnixStream::connect(&wake_path);
+            }
+        }));
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_response, encode_request};
+    use ssync_baselines::CompilerKind;
+    use ssync_circuit::generators::qft;
+    use ssync_core::CompilerConfig;
+
+    /// Drives a whole conversation through in-memory buffers — the same
+    /// code path the daemon runs, without processes or sockets.
+    #[test]
+    fn a_buffered_session_submits_polls_and_waits() {
+        let service = CompileService::with_workers(1);
+        let config = CompilerConfig::default();
+        let mut input = Vec::new();
+        for request in [
+            Request::Submit(Box::new(RemoteRequest::new(
+                "G-2x2",
+                qft(10),
+                CompilerKind::SSync,
+                config,
+            ))),
+            Request::Wait { job: 0 },
+            Request::Poll { job: 0 },
+            Request::Poll { job: 99 },
+            Request::Metrics,
+            Request::Submit(Box::new(RemoteRequest::new(
+                "no-such-device",
+                qft(4),
+                CompilerKind::SSync,
+                config,
+            ))),
+            Request::Shutdown,
+        ] {
+            write_frame(&mut input, &encode_request(&request)).expect("write");
+        }
+
+        let mut output = Vec::new();
+        let asked_shutdown =
+            serve_connection(&service, &mut std::io::Cursor::new(&input), &mut output)
+                .expect("session runs");
+        assert!(asked_shutdown);
+
+        let mut cursor = std::io::Cursor::new(&output);
+        let mut responses = Vec::new();
+        while let Some(payload) = read_frame(&mut cursor).expect("frame") {
+            responses.push(decode_response(&payload).expect("decode"));
+        }
+        assert_eq!(responses.len(), 7);
+        assert!(matches!(responses[0], Response::Submitted { job: 0 }));
+        let Response::Outcome(outcome) = &responses[1] else {
+            panic!("wait must return the outcome, got {:?}", responses[1]);
+        };
+        assert_eq!(outcome.counts().two_qubit_gates, 90);
+        // Wait consumed job id 0, so a later poll is rejected (the daemon
+        // must not retain delivered outcomes per-connection forever).
+        assert!(matches!(&responses[2], Response::Rejected { .. }), "consumed job id");
+        assert!(matches!(&responses[3], Response::Rejected { .. }), "unknown job id");
+        let Response::Metrics(metrics) = &responses[4] else {
+            panic!("metrics response expected");
+        };
+        assert_eq!(metrics.jobs_submitted, 1);
+        assert!(matches!(&responses[5], Response::Rejected { .. }), "unknown device");
+        assert!(matches!(&responses[6], Response::ShuttingDown));
+    }
+}

@@ -2,9 +2,76 @@
 
 use crate::registry::RegisteredDevice;
 use ssync_baselines::CompilerKind;
-use ssync_circuit::Circuit;
+use ssync_circuit::{Circuit, StableHasher};
 use ssync_core::{CompileError, CompileOutcome, CompilerConfig};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Scheduling priority of a request. Levels are *strict*: a worker always
+/// drains every queued [`Priority::High`] job before touching
+/// [`Priority::Normal`], and `Normal` before [`Priority::Batch`]. Within a
+/// level, tenants share capacity through weighted deficit round-robin
+/// (see the pool module docs) — priority orders *classes* of work,
+/// fairness divides capacity *inside* a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Interactive / latency-sensitive requests; always served first.
+    High,
+    /// The default for ordinary submissions.
+    #[default]
+    Normal,
+    /// Bulk sweeps that should soak up idle capacity without delaying
+    /// anyone else.
+    Batch,
+}
+
+impl Priority {
+    /// All levels, most urgent first (the pool's drain order).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Batch];
+
+    /// The level's index into per-priority tables (0 = most urgent).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Label used in logs and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// An opaque tenant identity used for fair scheduling. The service never
+/// interprets the value beyond equality — derive it however the deployment
+/// identifies callers ([`TenantId::from_name`] hashes a string stably).
+/// Requests that don't set one share the [`TenantId::ANON`] bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TenantId(pub u64);
+
+impl TenantId {
+    /// The shared bucket for requests that never set a tenant.
+    pub const ANON: TenantId = TenantId(0);
+
+    /// A tenant id derived from a name with the workspace's stable FNV-1a
+    /// hash — the same name maps to the same id in every process.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = StableHasher::new();
+        h.write_str(name);
+        TenantId(h.finish())
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{:016x}", self.0)
+    }
+}
 
 /// One unit of service work: compile one circuit against one registered
 /// device with one compiler under one configuration. Requests are cheap to
@@ -22,17 +89,42 @@ pub struct CompileRequest {
     /// The evaluation configuration; its `weights` must match the ones the
     /// device was registered under.
     pub config: CompilerConfig,
+    /// Scheduling priority ([`Priority::Normal`] unless overridden).
+    pub priority: Priority,
+    /// The submitting tenant ([`TenantId::ANON`] unless overridden).
+    /// Purely a scheduling identity — it never affects compiled output or
+    /// cache keys, so tenants share cache entries.
+    pub tenant: TenantId,
 }
 
 impl CompileRequest {
-    /// Bundles a request.
+    /// Bundles a request at [`Priority::Normal`] for [`TenantId::ANON`].
     pub fn new(
         device: Arc<RegisteredDevice>,
         circuit: Arc<Circuit>,
         compiler: CompilerKind,
         config: CompilerConfig,
     ) -> Self {
-        CompileRequest { device, circuit, compiler, config }
+        CompileRequest {
+            device,
+            circuit,
+            compiler,
+            config,
+            priority: Priority::default(),
+            tenant: TenantId::ANON,
+        }
+    }
+
+    /// Returns a copy with a different scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns a copy attributed to `tenant` for fair scheduling.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 

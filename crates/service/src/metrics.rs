@@ -1,6 +1,7 @@
 //! Service observability: counters a deployment would scrape.
 
 use crate::cache::CacheStats;
+use crate::job::Priority;
 use std::time::Duration;
 
 /// Per-worker execution counters.
@@ -22,12 +23,25 @@ pub struct ServiceMetrics {
     /// Requests resolved (cache hits, coalesced waiters and executed
     /// compiles). Catches up with `jobs_submitted` at quiescence.
     pub jobs_completed: u64,
-    /// Requests that attached to an identical job already in flight
-    /// instead of queuing their own compile.
+    /// Requests that attached to an *identical* job already in flight
+    /// instead of queuing their own compile. Distinct from `cache.hits`:
+    /// a coalesced request found its twin still running, a cache hit found
+    /// it already finished.
     pub jobs_coalesced: u64,
+    /// Requests that, at submission, had an in-flight job for the **same
+    /// device and circuit but a different config or compiler** — the
+    /// near-duplicates that in-flight coalescing deliberately does *not*
+    /// merge today (see the pool module docs). A large value next to a
+    /// small `jobs_coalesced` quantifies what a near-duplicate planner
+    /// could save.
+    pub jobs_near_duplicate: u64,
+    /// Accepted requests per priority level, indexed by
+    /// [`Priority::index`] (High, Normal, Batch).
+    pub submitted_by_priority: [u64; 3],
     /// Jobs currently queued and not yet claimed by a worker.
     pub queue_depth: usize,
-    /// Result-cache counters (hits, misses, entries).
+    /// Result-cache counters (hits, misses, entries, bytes, evictions,
+    /// persistent-tier traffic).
     pub cache: CacheStats,
     /// Per-worker executed/stolen counts, indexed by worker.
     pub workers: Vec<WorkerMetrics>,
@@ -44,5 +58,10 @@ impl ServiceMetrics {
     /// Jobs that moved between workers through stealing, summed.
     pub fn jobs_stolen(&self) -> u64 {
         self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Accepted requests at one priority level.
+    pub fn submitted_at(&self, priority: Priority) -> u64 {
+        self.submitted_by_priority[priority.index()]
     }
 }

@@ -1,19 +1,32 @@
-//! The compile service: a work-stealing worker pool over the unified
-//! compiler entry point.
+//! The compile service: a work-stealing worker pool with priority classes
+//! and per-tenant fairness over the unified compiler entry point.
 //!
 //! ## Scheduling structure
 //!
 //! Hand-rolled on `std::sync` (no external runtime):
 //!
-//! * **Global injector** — an MPMC `VecDeque` that single [`submit`]s land
-//!   in; any worker drains it.
-//! * **Per-worker deques** — [`submit_batch`] deals jobs round-robin
-//!   across the workers' own deques, giving each worker an affine run of
-//!   work it pops LIFO-front from its own end.
+//! * **Priority injector** — the shared queue single [`submit`]s land in.
+//!   It is not one deque but a small set of [`Priority`] levels (High,
+//!   Normal, Batch), each holding **per-tenant deques** drained with
+//!   *weighted deficit round-robin*: every queued tenant accumulates
+//!   deficit at its configured weight (default 1.0,
+//!   [`set_tenant_weight`]) and pays 1.0 per job served, so one tenant's
+//!   10k-job sweep interleaves with — instead of starving — everyone
+//!   else's work at the same level. Levels are strict: any queued High job
+//!   is claimed before any Normal one, and Normal before Batch.
+//! * **Per-worker deques** — [`submit_batch`] deals *Normal-priority*
+//!   jobs round-robin across the workers' own deques, giving each worker
+//!   an affine run of work it pops LIFO-front from its own end. High and
+//!   Batch submissions always go through the injector (High so the next
+//!   free worker grabs them, Batch so they cannot bypass the fairness
+//!   queue).
 //! * **Stealing** — a worker whose deque and the injector are both empty
 //!   scans the other workers' deques and steals from the *back*, so
 //!   skewed batches (one giant circuit next to many small ones) rebalance
 //!   without any coordination from the submitter.
+//!
+//! A worker claims work in the order: High injector jobs → its own deque
+//! → Normal then Batch injector jobs → stealing.
 //!
 //! Sleeping is coordinated through one `Mutex<…>/Condvar` pair guarding a
 //! `queued` count: producers increment it under the lock *before* pushing
@@ -22,30 +35,75 @@
 //! while it is zero — so a wakeup can never be lost between "scanned
 //! empty" and "went to sleep".
 //!
+//! ## Deduplication, and its deliberate limit
+//!
 //! Identical requests are deduplicated twice over: completed outcomes are
 //! served from the [`ResultCache`], and a request identical to a job still
 //! *in flight* coalesces onto it — the submission gets a handle to the
 //! same pending state instead of queuing a second compile.
+//!
+//! **Near-duplicates are not coalesced.** Two requests for the same
+//! device and circuit under *different* configs (or compilers) run as two
+//! independent compiles, even though a planner could conceivably batch
+//! them onto one warm worker sharing the device artifact and circuit
+//! prep. That planner does not exist yet; to keep the gap measurable the
+//! service counts such submissions in
+//! [`ServiceMetrics::jobs_near_duplicate`] — compare it against
+//! `jobs_coalesced` to see what exact-duplicate coalescing misses.
 //!
 //! ## Determinism
 //!
 //! Workers race for *jobs*, never for *results*: each job's outcome is a
 //! pure function of its request, and every result lands in its own
 //! [`JobHandle`]. Output is therefore bit-identical to a sequential
-//! [`CompilerKind::compile_on`] loop at any worker count — the
-//! `service_equivalence` integration tests enforce exactly that at 1, 2
-//! and 8 workers.
+//! [`CompilerKind::compile_on`] loop at any worker count, any priority
+//! mix and any tenant labelling — priorities and fairness reorder *when*
+//! a job runs, never *what* it computes. The `service_equivalence`
+//! integration tests enforce exactly that.
+//!
+//! ## Example
+//!
+//! ```
+//! use ssync_baselines::CompilerKind;
+//! use ssync_circuit::generators::qft;
+//! use ssync_core::{CacheBounds, CompilerConfig};
+//! use ssync_service::{CompileRequest, CompileService, Priority, TenantId};
+//! use std::sync::Arc;
+//!
+//! let service = CompileService::builder()
+//!     .workers(2)
+//!     .cache_bounds(CacheBounds::with_max_entries(256))
+//!     .build();
+//! let config = CompilerConfig::default();
+//! let device = service.registry().get_or_build_named("G-2x2", config.weights).unwrap();
+//! // A bulk sweep runs at Batch priority under its own tenant ...
+//! let sweep = service.submit_batch((8..=10).map(|n| {
+//!     CompileRequest::new(Arc::clone(&device), Arc::new(qft(n)), CompilerKind::SSync, config)
+//!         .with_priority(Priority::Batch)
+//!         .with_tenant(TenantId::from_name("sweep"))
+//! }));
+//! // ... while an interactive request jumps every Batch job.
+//! let urgent = service.submit(
+//!     CompileRequest::new(Arc::clone(&device), Arc::new(qft(12)), CompilerKind::SSync, config)
+//!         .with_priority(Priority::High),
+//! );
+//! assert!(urgent.wait().is_ok());
+//! assert!(sweep.iter().all(|h| h.wait().is_ok()));
+//! assert_eq!(service.metrics().jobs_completed, 4);
+//! ```
 //!
 //! [`submit`]: CompileService::submit
 //! [`submit_batch`]: CompileService::submit_batch
+//! [`set_tenant_weight`]: CompileService::set_tenant_weight
+//! [`CompilerKind::compile_on`]: ssync_baselines::CompilerKind::compile_on
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::{CacheConfig, CacheKey, ResultCache};
 use crate::hash::config_hash;
-use crate::job::{CompileRequest, JobHandle, JobResult, JobState};
+use crate::job::{CompileRequest, JobHandle, JobResult, JobState, Priority, TenantId};
 use crate::metrics::{ServiceMetrics, WorkerMetrics};
 use crate::registry::DeviceRegistry;
 use ssync_circuit::{Circuit, Qubit};
-use ssync_core::{batch, CompileError, CompileScratch};
+use ssync_core::{batch, CacheBounds, CompileError, CompileScratch};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -79,6 +137,116 @@ struct PendingEntry {
     attached: Arc<AtomicU64>,
 }
 
+/// In-flight bookkeeping: the coalescing map plus a (device, circuit)
+/// pair count that detects near-duplicate submissions (same pair, new
+/// key) for the metrics.
+#[derive(Default)]
+struct PendingState {
+    jobs: HashMap<CacheKey, PendingEntry>,
+    pairs: HashMap<(u64, u64), u32>,
+}
+
+/// Minimum effective tenant weight: bounds how many DRR rotations a pop
+/// may need before some deficit reaches 1.0.
+const MIN_TENANT_WEIGHT: f64 = 1.0 / 16.0;
+
+/// One tenant's deque plus its deficit counter at one priority level.
+struct TenantQueue<T> {
+    deficit: f64,
+    jobs: VecDeque<T>,
+}
+
+/// One priority level: per-tenant queues and the round-robin ring of
+/// tenants that currently have work. Invariant: a tenant is in `ring`
+/// exactly once iff it is in `tenants`.
+struct Level<T> {
+    tenants: HashMap<TenantId, TenantQueue<T>>,
+    ring: VecDeque<TenantId>,
+}
+
+impl<T> Default for Level<T> {
+    fn default() -> Self {
+        Level { tenants: HashMap::new(), ring: VecDeque::new() }
+    }
+}
+
+impl<T> Level<T> {
+    fn push(&mut self, tenant: TenantId, item: T) {
+        match self.tenants.entry(tenant) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                slot.get_mut().jobs.push_back(item);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let mut jobs = VecDeque::new();
+                jobs.push_back(item);
+                slot.insert(TenantQueue { deficit: 0.0, jobs });
+                self.ring.push_back(tenant);
+            }
+        }
+    }
+
+    /// Weighted deficit round-robin: the front-of-ring tenant accumulates
+    /// `weight` per visit and pays 1.0 per job; when its deficit drops
+    /// below 1.0 (or its queue empties) the ring rotates. Deficit is not
+    /// banked across idle periods — a drained tenant re-enters at zero.
+    fn pop(&mut self, weights: &HashMap<TenantId, f64>) -> Option<T> {
+        while let Some(&tenant) = self.ring.front() {
+            let Some(queue) = self.tenants.get_mut(&tenant) else {
+                self.ring.pop_front();
+                continue;
+            };
+            if queue.jobs.is_empty() {
+                self.tenants.remove(&tenant);
+                self.ring.pop_front();
+                continue;
+            }
+            if queue.deficit < 1.0 {
+                let weight = weights.get(&tenant).copied().unwrap_or(1.0).max(MIN_TENANT_WEIGHT);
+                queue.deficit += weight;
+                if queue.deficit < 1.0 {
+                    self.ring.rotate_left(1);
+                    continue;
+                }
+            }
+            queue.deficit -= 1.0;
+            let item = queue.jobs.pop_front().expect("checked non-empty");
+            if queue.jobs.is_empty() {
+                self.tenants.remove(&tenant);
+                self.ring.pop_front();
+            } else if queue.deficit < 1.0 {
+                self.ring.rotate_left(1);
+            }
+            return Some(item);
+        }
+        None
+    }
+}
+
+/// The shared injector: one [`Level`] per [`Priority`], plus the tenant
+/// weight table. Levels are strict; fairness lives inside each level.
+struct Injector<T> {
+    levels: [Level<T>; 3],
+    weights: HashMap<TenantId, f64>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector { levels: Default::default(), weights: HashMap::new() }
+    }
+}
+
+impl<T> Injector<T> {
+    fn push(&mut self, priority: Priority, tenant: TenantId, item: T) {
+        self.levels[priority.index()].push(tenant, item);
+    }
+
+    fn pop(&mut self, priority: Priority) -> Option<T> {
+        // Split borrow: the level is mutated, the weight table only read.
+        let Injector { levels, weights } = self;
+        levels[priority.index()].pop(weights)
+    }
+}
+
 /// Producer/worker sleep coordination; see the module docs.
 #[derive(Debug, Default)]
 struct SleepState {
@@ -89,32 +257,53 @@ struct SleepState {
 }
 
 struct Shared {
-    injector: Mutex<VecDeque<Job>>,
+    injector: Mutex<Injector<Job>>,
+    /// High-priority jobs currently in the injector. Incremented *before*
+    /// the push (same never-ahead rule as `SleepState::queued`),
+    /// decremented on a successful High pop. Lets workers with affine
+    /// deque work skip the shared injector lock entirely while no High
+    /// job exists — the common case in a dealt batch.
+    high_pending: AtomicUsize,
     deques: Vec<Mutex<VecDeque<Job>>>,
     sleep: Mutex<SleepState>,
     wake: Condvar,
     cache: ResultCache,
     preps: Mutex<HashMap<u64, Arc<CircuitPrep>>>,
-    pending: Mutex<HashMap<CacheKey, PendingEntry>>,
+    pending: Mutex<PendingState>,
     submitted: AtomicU64,
+    submitted_by_priority: [AtomicU64; 3],
     completed: AtomicU64,
     coalesced: AtomicU64,
+    near_duplicate: AtomicU64,
     executed: Vec<AtomicU64>,
     stolen: Vec<AtomicU64>,
 }
 
 impl Shared {
-    /// Claims the next job for worker `me`: own deque front first, then
-    /// the injector, then the back of every other worker's deque.
+    /// Claims the next job for worker `me` in the priority-aware order:
+    /// High injector jobs, then the worker's own deque, then Normal and
+    /// Batch injector jobs, then the back of every other worker's deque.
     /// Returns the job and whether it was stolen.
     fn find_job(&self, me: usize) -> Option<(Job, bool)> {
+        // Fast path: only touch the shared injector for the High check
+        // when the counter says a High job may exist. A racing submit
+        // that lands after this load is caught by the locked re-check
+        // below (when the own deque is empty) or by the next claim.
+        if self.high_pending.load(Ordering::Acquire) > 0 {
+            if let Some(job) = self.pop_injector(Priority::High) {
+                self.claim();
+                return Some((job, false));
+            }
+        }
         if let Some(job) = self.deques[me].lock().expect("deque lock poisoned").pop_front() {
             self.claim();
             return Some((job, false));
         }
-        if let Some(job) = self.injector.lock().expect("injector lock poisoned").pop_front() {
-            self.claim();
-            return Some((job, false));
+        for priority in Priority::ALL {
+            if let Some(job) = self.pop_injector(priority) {
+                self.claim();
+                return Some((job, false));
+            }
         }
         let n = self.deques.len();
         for offset in 1..n {
@@ -125,6 +314,14 @@ impl Shared {
             }
         }
         None
+    }
+
+    fn pop_injector(&self, priority: Priority) -> Option<Job> {
+        let job = self.injector.lock().expect("injector lock poisoned").pop(priority)?;
+        if priority == Priority::High {
+            self.high_pending.fetch_sub(1, Ordering::Release);
+        }
+        Some(job)
     }
 
     fn claim(&self) {
@@ -139,6 +336,71 @@ impl Shared {
     /// `queued > 0` but finds the queues momentarily empty just rescans.
     fn announce(&self) {
         self.sleep.lock().expect("sleep lock poisoned").queued += 1;
+    }
+}
+
+/// Configures and starts a [`CompileService`]; obtained from
+/// [`CompileService::builder`].
+///
+/// ```
+/// use ssync_core::CacheBounds;
+/// use ssync_service::CompileService;
+///
+/// let service = CompileService::builder()
+///     .workers(2)
+///     .cache_bounds(CacheBounds::with_max_entries(1024))
+///     .build();
+/// assert_eq!(service.workers(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CompileServiceBuilder {
+    workers: usize,
+    /// `None` = never configured → fall back to the environment at build
+    /// time. An explicit [`CacheBounds::UNBOUNDED`] is honoured as-is.
+    bounds: Option<CacheBounds>,
+    persist_dir: Option<std::path::PathBuf>,
+}
+
+impl CompileServiceBuilder {
+    /// Sets the worker-thread count; `0` (the default) resolves through
+    /// [`batch::resolve_workers`] (the `SSYNC_BATCH_WORKERS` environment
+    /// variable, then the machine's available parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the result cache's entry/byte bounds — including an explicit
+    /// [`CacheBounds::UNBOUNDED`], which is honoured verbatim. Only when
+    /// this method (and [`CompileServiceBuilder::cache_config`]) was never
+    /// called does [`CompileServiceBuilder::build`] fall back to
+    /// [`CacheBounds::from_env`], i.e. the `SSYNC_CACHE_MAX_ENTRIES` /
+    /// `SSYNC_CACHE_MAX_BYTES` environment variables.
+    pub fn cache_bounds(mut self, bounds: CacheBounds) -> Self {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Enables the write-through persistent cache tier rooted at `dir`.
+    pub fn persist_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Replaces the whole cache configuration (bounds count as explicitly
+    /// configured, so the environment fallback is disabled).
+    pub fn cache_config(mut self, config: CacheConfig) -> Self {
+        self.bounds = Some(config.bounds);
+        self.persist_dir = config.persist_dir;
+        self
+    }
+
+    /// Starts the service.
+    pub fn build(self) -> CompileService {
+        let CompileServiceBuilder { workers, bounds, persist_dir } = self;
+        let cache =
+            CacheConfig { bounds: bounds.unwrap_or_else(CacheBounds::from_env), persist_dir };
+        CompileService::start(batch::resolve_workers(workers), cache)
     }
 }
 
@@ -168,30 +430,44 @@ impl Default for CompileService {
 }
 
 impl CompileService {
-    /// Starts a service with the resolved default worker count: the
+    /// Starts a service with the resolved default worker count (the
     /// `SSYNC_BATCH_WORKERS` environment variable when set, otherwise the
     /// machine's available parallelism — the same resolution chain batch
-    /// compilation uses ([`batch::resolve_workers`]).
+    /// compilation uses, [`batch::resolve_workers`]) and cache bounds from
+    /// [`CacheBounds::from_env`].
     pub fn new() -> Self {
-        Self::with_workers(batch::resolve_workers(0))
+        Self::builder().build()
+    }
+
+    /// A builder for explicit worker counts, cache bounds and the
+    /// persistent cache tier.
+    pub fn builder() -> CompileServiceBuilder {
+        CompileServiceBuilder::default()
     }
 
     /// Starts a service with exactly `workers` worker threads (clamped to
     /// at least 1), ignoring the environment — the constructor for tests
-    /// pinning worker-count independence.
+    /// pinning worker-count independence. The cache is unbounded.
     pub fn with_workers(workers: usize) -> Self {
+        Self::start(workers, CacheConfig::default())
+    }
+
+    fn start(workers: usize, cache: CacheConfig) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
-            injector: Mutex::new(VecDeque::new()),
+            injector: Mutex::new(Injector::default()),
+            high_pending: AtomicUsize::new(0),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             sleep: Mutex::new(SleepState::default()),
             wake: Condvar::new(),
-            cache: ResultCache::new(),
+            cache: ResultCache::with_config(cache),
             preps: Mutex::new(HashMap::new()),
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new(PendingState::default()),
             submitted: AtomicU64::new(0),
+            submitted_by_priority: Default::default(),
             completed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            near_duplicate: AtomicU64::new(0),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
@@ -229,19 +505,29 @@ impl CompileService {
         self.workers.len()
     }
 
-    /// Submits one request to the global injector and returns its handle.
-    /// If an identical request (same device fingerprint, circuit content,
-    /// output-affecting config and compiler) completed before, the handle
-    /// is fulfilled immediately from the [`ResultCache`] and no job is
-    /// queued.
+    /// Sets `tenant`'s fair-share weight (default 1.0): a tenant with
+    /// weight 2.0 receives twice the share of its priority level while
+    /// both are backlogged. Weights below 1/16 are clamped up at drain
+    /// time. Affects only scheduling order, never outputs.
+    pub fn set_tenant_weight(&self, tenant: TenantId, weight: f64) {
+        self.shared.injector.lock().expect("injector lock poisoned").weights.insert(tenant, weight);
+    }
+
+    /// Submits one request and returns its handle. The request carries its
+    /// [`Priority`] and [`TenantId`] (see [`CompileRequest::with_priority`]
+    /// / [`CompileRequest::with_tenant`]). If an identical request (same
+    /// device fingerprint, circuit content, output-affecting config and
+    /// compiler) completed before, the handle is fulfilled immediately
+    /// from the [`ResultCache`] and no job is queued.
     pub fn submit(&self, request: CompileRequest) -> JobHandle {
         self.submit_to(request, None)
     }
 
-    /// Submits a batch, dealing the cache-missing jobs round-robin across
-    /// the per-worker deques (stealing rebalances skew later). Handles
-    /// come back in request order; results are independent of the worker
-    /// count and of how the deal landed.
+    /// Submits a batch. Normal-priority cache-missing jobs are dealt
+    /// round-robin across the per-worker deques (stealing rebalances skew
+    /// later); High and Batch jobs go through the shared priority
+    /// injector. Handles come back in request order; results are
+    /// independent of the worker count and of how the deal landed.
     pub fn submit_batch(
         &self,
         requests: impl IntoIterator<Item = CompileRequest>,
@@ -250,8 +536,9 @@ impl CompileService {
         requests
             .into_iter()
             .map(|request| {
-                let target = self.round_robin.fetch_add(1, Ordering::Relaxed) % workers;
-                self.submit_to(request, Some(target))
+                let target = (request.priority == Priority::Normal)
+                    .then(|| self.round_robin.fetch_add(1, Ordering::Relaxed) % workers);
+                self.submit_to(request, target)
             })
             .collect()
     }
@@ -262,6 +549,12 @@ impl CompileService {
             jobs_submitted: self.shared.submitted.load(Ordering::Relaxed),
             jobs_completed: self.shared.completed.load(Ordering::Relaxed),
             jobs_coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            jobs_near_duplicate: self.shared.near_duplicate.load(Ordering::Relaxed),
+            submitted_by_priority: [
+                self.shared.submitted_by_priority[0].load(Ordering::Relaxed),
+                self.shared.submitted_by_priority[1].load(Ordering::Relaxed),
+                self.shared.submitted_by_priority[2].load(Ordering::Relaxed),
+            ],
             queue_depth: self.shared.sleep.lock().expect("sleep lock poisoned").queued,
             cache: self.shared.cache.stats(),
             workers: self
@@ -280,6 +573,7 @@ impl CompileService {
 
     fn submit_to(&self, request: CompileRequest, target: Option<usize>) -> JobHandle {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.submitted_by_priority[request.priority.index()].fetch_add(1, Ordering::Relaxed);
         let prep = self.prep_for(&request.circuit);
         let key = CacheKey {
             device_fingerprint: request.device.fingerprint(),
@@ -296,9 +590,10 @@ impl CompileService {
         // Coalesce onto an identical in-flight job, or register a new one.
         // Registration happens under the pending lock so two racing
         // identical submissions cannot both enqueue.
+        let pair = (key.device_fingerprint, key.circuit_hash);
         let (handle, state, attached) = {
             let mut pending = self.shared.pending.lock().expect("pending lock poisoned");
-            if let Some(entry) = pending.get(&key) {
+            if let Some(entry) = pending.jobs.get(&key) {
                 entry.attached.fetch_add(1, Ordering::Relaxed);
                 self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
                 return JobHandle { state: Arc::clone(&entry.state) };
@@ -314,23 +609,43 @@ impl CompileService {
                 self.shared.completed.fetch_add(1, Ordering::Relaxed);
                 return handle;
             }
+            // Same (device, circuit) already in flight under a different
+            // config/compiler: the near-duplicate coalescing deliberately
+            // skips — count it so the gap stays measurable.
+            if pending.pairs.get(&pair).copied().unwrap_or(0) > 0 {
+                self.shared.near_duplicate.fetch_add(1, Ordering::Relaxed);
+            }
             let (handle, state) = JobHandle::new();
             let attached = Arc::new(AtomicU64::new(1));
-            pending.insert(
+            pending.jobs.insert(
                 key,
                 PendingEntry { state: Arc::clone(&state), attached: Arc::clone(&attached) },
             );
+            *pending.pairs.entry(pair).or_insert(0) += 1;
             (handle, state, attached)
         };
+        let priority = request.priority;
+        let tenant = request.tenant;
         let job = Job { request, prep, key, state, attached };
         // Announce strictly before the push makes the job claimable; see
-        // `Shared::announce` for why this ordering is load-bearing.
+        // `Shared::announce` for why this ordering is load-bearing. The
+        // High counter follows the same increment-before-push rule so a
+        // racing pop can never drive it negative.
         self.shared.announce();
         match target {
             Some(worker) => {
                 self.shared.deques[worker].lock().expect("deque lock poisoned").push_back(job)
             }
-            None => self.shared.injector.lock().expect("injector lock poisoned").push_back(job),
+            None => {
+                if priority == Priority::High {
+                    self.shared.high_pending.fetch_add(1, Ordering::Release);
+                }
+                self.shared
+                    .injector
+                    .lock()
+                    .expect("injector lock poisoned")
+                    .push(priority, tenant, job)
+            }
         }
         self.shared.wake.notify_one();
         handle
@@ -404,7 +719,17 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
         // least one of the two, so nothing recompiles.
         shared.cache.insert(key, Arc::clone(outcome));
     }
-    shared.pending.lock().expect("pending lock poisoned").remove(&key);
+    {
+        let mut pending = shared.pending.lock().expect("pending lock poisoned");
+        pending.jobs.remove(&key);
+        let pair = (key.device_fingerprint, key.circuit_hash);
+        if let Some(count) = pending.pairs.get_mut(&pair) {
+            *count -= 1;
+            if *count == 0 {
+                pending.pairs.remove(&pair);
+            }
+        }
+    }
     // No further submissions can attach past this point; settle every
     // request sharing this job. Counters move before the fulfilment wakes
     // any waiter, so a caller that observed `wait()` returning sees its
@@ -613,5 +938,128 @@ mod tests {
         for handle in handles {
             assert!(handle.wait().is_ok(), "drop must finish outstanding work");
         }
+    }
+
+    #[test]
+    fn priorities_and_tenants_never_change_results() {
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(10));
+        let plain = CompileService::with_workers(2);
+        let expected = plain
+            .submit(request(&plain, &circuit, CompilerKind::SSync, &config))
+            .wait()
+            .expect("compiles");
+        let service = CompileService::with_workers(2);
+        service.set_tenant_weight(TenantId::from_name("sweeper"), 2.0);
+        for (priority, tenant) in [
+            (Priority::High, TenantId::from_name("interactive")),
+            (Priority::Batch, TenantId::from_name("sweeper")),
+            (Priority::Normal, TenantId::ANON),
+        ] {
+            // Later shapes are cache hits — which must themselves be the
+            // bit-identical outcome, so the assertions still bite.
+            let got = service
+                .submit(
+                    request(&service, &circuit, CompilerKind::SSync, &config)
+                        .with_priority(priority)
+                        .with_tenant(tenant),
+                )
+                .wait()
+                .expect("compiles");
+            assert_eq!(expected.program().ops(), got.program().ops(), "{priority:?}");
+            assert_eq!(expected.final_placement(), got.final_placement(), "{priority:?}");
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.submitted_at(Priority::High), 1);
+        assert_eq!(metrics.submitted_at(Priority::Normal), 1);
+        assert_eq!(metrics.submitted_at(Priority::Batch), 1);
+    }
+
+    #[test]
+    fn near_duplicates_are_counted_not_coalesced() {
+        let service = CompileService::with_workers(1);
+        let base = CompilerConfig::default();
+        let circuit = Arc::new(qft(16));
+        // Same device+circuit under three different configs, submitted
+        // back-to-back: with one worker at least the later ones find an
+        // earlier one still pending.
+        let handles: Vec<_> = [base, base.with_decay(0.01), base.with_decay(0.02)]
+            .iter()
+            .map(|cfg| service.submit(request(&service, &circuit, CompilerKind::SSync, cfg)))
+            .collect();
+        for handle in &handles {
+            handle.wait().expect("compiles");
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.jobs_coalesced, 0, "different configs never coalesce");
+        assert_eq!(metrics.jobs_executed(), 3, "all three compiled independently");
+        assert!(
+            metrics.jobs_near_duplicate >= 1,
+            "the measurable gap: near-duplicates were in flight together"
+        );
+    }
+
+    /// The DRR injector drains tenants fairly and priorities strictly;
+    /// tested on the raw structure so the order is fully deterministic.
+    #[test]
+    fn injector_is_strict_across_priorities_and_fair_within() {
+        let mut injector: Injector<&'static str> = Injector::default();
+        let (a, b) = (TenantId::from_name("a"), TenantId::from_name("b"));
+        injector.push(Priority::Batch, a, "batch-a1");
+        injector.push(Priority::Batch, a, "batch-a2");
+        injector.push(Priority::Normal, a, "norm-a1");
+        injector.push(Priority::High, b, "high-b1");
+        // Strict priority: High, then Normal, then Batch.
+        let mut order = Vec::new();
+        for priority in Priority::ALL {
+            while let Some(item) = injector.pop(priority) {
+                order.push(item);
+            }
+        }
+        assert_eq!(order, ["high-b1", "norm-a1", "batch-a1", "batch-a2"]);
+
+        // Fairness: tenant A's long backlog interleaves 1:1 with B's.
+        let mut injector: Injector<u32> = Injector::default();
+        for i in 0..6 {
+            injector.push(Priority::Batch, a, i); // 0..6 from A
+        }
+        for i in 10..13 {
+            injector.push(Priority::Batch, b, i); // 10..13 from B
+        }
+        let drained: Vec<u32> = std::iter::from_fn(|| injector.pop(Priority::Batch)).collect();
+        assert_eq!(drained, [0, 10, 1, 11, 2, 12, 3, 4, 5]);
+    }
+
+    /// A weight-2 tenant receives two slots per round while backlogged.
+    #[test]
+    fn tenant_weights_shift_the_interleave() {
+        let mut injector: Injector<u32> = Injector::default();
+        let (heavy, light) = (TenantId::from_name("heavy"), TenantId::from_name("light"));
+        injector.weights.insert(heavy, 2.0);
+        for i in 0..6 {
+            injector.push(Priority::Normal, heavy, i);
+        }
+        for i in 10..13 {
+            injector.push(Priority::Normal, light, i);
+        }
+        let drained: Vec<u32> = std::iter::from_fn(|| injector.pop(Priority::Normal)).collect();
+        assert_eq!(drained, [0, 1, 10, 2, 3, 11, 4, 5, 12]);
+    }
+
+    #[test]
+    fn builder_configures_workers_and_cache_bounds() {
+        let service = CompileService::builder()
+            .workers(2)
+            .cache_bounds(CacheBounds::with_max_entries(1))
+            .build();
+        assert_eq!(service.workers(), 2);
+        let config = CompilerConfig::default();
+        let a = Arc::new(qft(8));
+        let b = Arc::new(qft(9));
+        service.submit(request(&service, &a, CompilerKind::SSync, &config)).wait().unwrap();
+        service.submit(request(&service, &b, CompilerKind::SSync, &config)).wait().unwrap();
+        let stats = service.cache().stats();
+        assert_eq!(stats.entries, 1, "bounded cache holds one entry");
+        assert_eq!(stats.evictions, 1);
     }
 }

@@ -8,6 +8,26 @@
 //! later request shares the same `Arc`, and each entry carries a stable
 //! content [fingerprint](crate::hash::device_fingerprint) that keys the
 //! result cache.
+//!
+//! ```
+//! use ssync_arch::WeightConfig;
+//! use ssync_service::DeviceRegistry;
+//! use std::sync::Arc;
+//!
+//! let registry = DeviceRegistry::new();
+//! let weights = WeightConfig::default();
+//! // First request builds the paper's G-2x3 device ...
+//! let first = registry.get_or_build_named("G-2x3", weights).unwrap();
+//! // ... every later request shares the same artifact.
+//! let second = registry.get_or_build_named("G-2x3", weights).unwrap();
+//! assert!(Arc::ptr_eq(&first, &second));
+//! // Fingerprints depend on content only, so a rebuilt registry (or
+//! // another process) reproduces them exactly.
+//! assert_eq!(
+//!     first.fingerprint(),
+//!     DeviceRegistry::new().get_or_build_named("G-2x3", weights).unwrap().fingerprint(),
+//! );
+//! ```
 
 use crate::hash::device_fingerprint;
 use ssync_arch::{Device, QccdTopology, WeightConfig};

@@ -1,0 +1,489 @@
+//! The IPC wire protocol of `ssync-serviced`: framing and message types.
+//!
+//! ## Framing
+//!
+//! Every message travels as one frame over a byte stream (a Unix domain
+//! socket or a child process's stdin/stdout):
+//!
+//! ```text
+//! +----------+------------+-----------+------------------+
+//! | magic u32| version u32| length u32| payload (length) |
+//! +----------+------------+-----------+------------------+
+//!      "CYSS"     1          LE bytes    codec-encoded body
+//! ```
+//!
+//! All integers are little-endian. A frame whose magic or version doesn't
+//! match, or whose length exceeds [`MAX_FRAME_BYTES`], is a protocol
+//! error; a clean EOF *between* frames is a normal disconnect. Payloads
+//! are encoded with the [`crate::codec`] primitives (exact-bit floats,
+//! tag bytes, length-prefixed sequences) — the vendored `serde` is a
+//! marker-trait stand-in, so the wire structs here pair each message with
+//! explicit `encode`/`decode` functions instead of derives.
+//!
+//! ## Conversation
+//!
+//! The client sends [`Request`] frames and reads one [`Response`] frame
+//! per request, in order (the protocol is strictly request/response; the
+//! concurrency lives server-side in the
+//! [`CompileService`](crate::CompileService) pool):
+//!
+//! | request | response |
+//! |---|---|
+//! | `Submit(RemoteRequest)` | `Submitted { job }` or `Rejected` |
+//! | `Poll { job }` | `Pending`, `Outcome`, `CompileFailed` or `Rejected` |
+//! | `Wait { job }` | `Outcome`, `CompileFailed` or `Rejected` (blocks) |
+//! | `Metrics` | `Metrics(ServiceMetrics)` |
+//! | `Shutdown` | `ShuttingDown`, then the daemon exits |
+//!
+//! Job ids are per-connection and **single-delivery**: the response that
+//! carries a job's terminal result (`Wait`, or a `Poll` that observes
+//! completion) consumes the id, so a long-lived connection doesn't pin
+//! every outcome it ever received; a later `Poll`/`Wait` on a consumed id
+//! is `Rejected`. Devices are named: the server resolves
+//! [`RemoteRequest::device`] through its registry's paper-topology table
+//! ([`ssync_arch::QccdTopology::named`]), so the (potentially large)
+//! device artifact never crosses the wire — only the name does, exactly
+//! like the in-process API shares one registered `Arc`.
+
+use crate::codec::{self, ByteReader, ByteWriter, CodecError};
+use crate::job::{Priority, TenantId};
+use crate::metrics::{ServiceMetrics, WorkerMetrics};
+use ssync_baselines::CompilerKind;
+use ssync_circuit::Circuit;
+use ssync_core::{CompileError, CompileOutcome, CompilerConfig};
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Frame magic: `b"CYSS"` little-endian ("SSYC" on the wire).
+pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"SSYC");
+/// Protocol version; bumped whenever the codec field walk changes.
+pub const WIRE_VERSION: u32 = 1;
+/// Upper bound on a frame payload (a defence against corrupt length
+/// prefixes, not a practical limit — outcomes are kilobytes).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// One compile request as it crosses the wire: the device travels by
+/// *name* (resolved server-side through the registry), everything else by
+/// value.
+#[derive(Debug, Clone)]
+pub struct RemoteRequest {
+    /// Name of a paper topology (`"G-2x3"`, `"L-6"`, `"S-4"`, …) the
+    /// server registers on first use.
+    pub device: String,
+    /// The circuit to compile.
+    pub circuit: Circuit,
+    /// Which compiler to run.
+    pub compiler: CompilerKind,
+    /// The evaluation configuration (its `weights` pick the device
+    /// artifact variant, exactly as in-process).
+    pub config: CompilerConfig,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+}
+
+impl RemoteRequest {
+    /// A request at [`Priority::Normal`] for [`TenantId::ANON`].
+    pub fn new(
+        device: impl Into<String>,
+        circuit: Circuit,
+        compiler: CompilerKind,
+        config: CompilerConfig,
+    ) -> Self {
+        RemoteRequest {
+            device: device.into(),
+            circuit,
+            compiler,
+            config,
+            priority: Priority::default(),
+            tenant: TenantId::ANON,
+        }
+    }
+
+    /// Returns a copy with a different scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns a copy attributed to `tenant`.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+}
+
+/// A client→server message.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Queue a compile; answered with `Submitted` or `Rejected`. Boxed:
+    /// a request carries a whole circuit + config, dwarfing the other
+    /// variants.
+    Submit(Box<RemoteRequest>),
+    /// Non-blocking status check of a submitted job.
+    Poll {
+        /// The id from `Submitted`.
+        job: u64,
+    },
+    /// Block until the job finishes.
+    Wait {
+        /// The id from `Submitted`.
+        job: u64,
+    },
+    /// Fetch a metrics snapshot.
+    Metrics,
+    /// Ask the daemon to exit after responding.
+    Shutdown,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// The submission was queued under this per-connection job id.
+    Submitted {
+        /// Identifier to pass to `Poll` / `Wait`.
+        job: u64,
+    },
+    /// The polled job has not finished yet.
+    Pending,
+    /// The job finished successfully.
+    Outcome(CompileOutcome),
+    /// The job finished with a compile error.
+    CompileFailed(CompileError),
+    /// The request itself was invalid (unknown device name, unknown job
+    /// id, …).
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A metrics snapshot.
+    Metrics(ServiceMetrics),
+    /// Acknowledges `Shutdown`; the daemon exits after sending it.
+    ShuttingDown,
+}
+
+fn priority_tag(p: Priority) -> u8 {
+    p.index() as u8
+}
+
+fn priority_from_tag(tag: u8) -> Result<Priority, CodecError> {
+    Priority::ALL
+        .into_iter()
+        .find(|p| p.index() as u8 == tag)
+        .ok_or(CodecError::BadTag { what: "priority", tag })
+}
+
+/// Encodes a [`Request`] payload (no frame header).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match request {
+        Request::Submit(remote) => {
+            w.put_u8(0);
+            w.put_str(&remote.device);
+            codec::encode_circuit(&mut w, &remote.circuit);
+            w.put_u8(codec::compiler_kind_tag(remote.compiler));
+            codec::encode_config(&mut w, &remote.config);
+            w.put_u8(priority_tag(remote.priority));
+            w.put_u64(remote.tenant.0);
+        }
+        Request::Poll { job } => {
+            w.put_u8(1);
+            w.put_u64(*job);
+        }
+        Request::Wait { job } => {
+            w.put_u8(2);
+            w.put_u64(*job);
+        }
+        Request::Metrics => w.put_u8(3),
+        Request::Shutdown => w.put_u8(4),
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`Request`] payload written by [`encode_request`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let request = match r.get_u8()? {
+        0 => Request::Submit(Box::new(RemoteRequest {
+            device: r.get_str()?,
+            circuit: codec::decode_circuit(&mut r)?,
+            compiler: codec::compiler_kind_from_tag(r.get_u8()?)?,
+            config: codec::decode_config(&mut r)?,
+            priority: priority_from_tag(r.get_u8()?)?,
+            tenant: TenantId(r.get_u64()?),
+        })),
+        1 => Request::Poll { job: r.get_u64()? },
+        2 => Request::Wait { job: r.get_u64()? },
+        3 => Request::Metrics,
+        4 => Request::Shutdown,
+        tag => return Err(CodecError::BadTag { what: "request", tag }),
+    };
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid("trailing request bytes"));
+    }
+    Ok(request)
+}
+
+fn encode_metrics(w: &mut ByteWriter, m: &ServiceMetrics) {
+    w.put_u64(m.jobs_submitted);
+    w.put_u64(m.jobs_completed);
+    w.put_u64(m.jobs_coalesced);
+    w.put_u64(m.jobs_near_duplicate);
+    for v in m.submitted_by_priority {
+        w.put_u64(v);
+    }
+    w.put_usize(m.queue_depth);
+    w.put_u64(m.cache.hits);
+    w.put_u64(m.cache.misses);
+    w.put_usize(m.cache.entries);
+    w.put_usize(m.cache.bytes);
+    w.put_u64(m.cache.evictions);
+    w.put_u64(m.cache.persist_hits);
+    w.put_u64(m.cache.persist_stores);
+    w.put_usize(m.workers.len());
+    for worker in &m.workers {
+        w.put_u64(worker.executed);
+        w.put_u64(worker.stolen);
+    }
+    w.put_u64(m.uptime.as_nanos() as u64);
+}
+
+fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> {
+    Ok(ServiceMetrics {
+        jobs_submitted: r.get_u64()?,
+        jobs_completed: r.get_u64()?,
+        jobs_coalesced: r.get_u64()?,
+        jobs_near_duplicate: r.get_u64()?,
+        submitted_by_priority: [r.get_u64()?, r.get_u64()?, r.get_u64()?],
+        queue_depth: r.get_usize()?,
+        cache: crate::cache::CacheStats {
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            entries: r.get_usize()?,
+            bytes: r.get_usize()?,
+            evictions: r.get_u64()?,
+            persist_hits: r.get_u64()?,
+            persist_stores: r.get_u64()?,
+        },
+        workers: {
+            let n = r.get_len(16)?;
+            let mut workers = Vec::with_capacity(n);
+            for _ in 0..n {
+                workers.push(WorkerMetrics { executed: r.get_u64()?, stolen: r.get_u64()? });
+            }
+            workers
+        },
+        uptime: Duration::from_nanos(r.get_u64()?),
+    })
+}
+
+/// Encodes a [`Response`] payload (no frame header).
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match response {
+        Response::Submitted { job } => {
+            w.put_u8(0);
+            w.put_u64(*job);
+        }
+        Response::Pending => w.put_u8(1),
+        Response::Outcome(outcome) => {
+            w.put_u8(2);
+            codec::encode_outcome(&mut w, outcome);
+        }
+        Response::CompileFailed(error) => {
+            w.put_u8(3);
+            codec::encode_compile_error(&mut w, error);
+        }
+        Response::Rejected { reason } => {
+            w.put_u8(4);
+            w.put_str(reason);
+        }
+        Response::Metrics(metrics) => {
+            w.put_u8(5);
+            encode_metrics(&mut w, metrics);
+        }
+        Response::ShuttingDown => w.put_u8(6),
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`Response`] payload written by [`encode_response`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let response = match r.get_u8()? {
+        0 => Response::Submitted { job: r.get_u64()? },
+        1 => Response::Pending,
+        2 => Response::Outcome(codec::decode_outcome(&mut r)?),
+        3 => Response::CompileFailed(codec::decode_compile_error(&mut r)?),
+        4 => Response::Rejected { reason: r.get_str()? },
+        5 => Response::Metrics(decode_metrics(&mut r)?),
+        6 => Response::ShuttingDown,
+        tag => return Err(CodecError::BadTag { what: "response", tag }),
+    };
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid("trailing response bytes"));
+    }
+    Ok(response)
+}
+
+/// Writes one frame (header + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O failure; a payload over
+/// [`MAX_FRAME_BYTES`] is rejected up front (`InvalidData`) — writing it
+/// would produce a frame the peer must reject, and a payload past
+/// `u32::MAX` would truncate the length header and desynchronise the
+/// stream.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(protocol_error("payload exceeds MAX_FRAME_BYTES"));
+    }
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(&WIRE_MAGIC.to_le_bytes());
+    header[4..8].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    writer.write_all(&header)?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer disconnected).
+///
+/// # Errors
+///
+/// I/O failures, a truncated header/payload, a bad magic/version, or a
+/// length above [`MAX_FRAME_BYTES`] all surface as `std::io::Error`
+/// (`InvalidData` for protocol violations).
+pub fn read_frame(reader: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 12];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        let n = reader.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(protocol_error("truncated frame header"));
+        }
+        filled += n;
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let length = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    if magic != WIRE_MAGIC {
+        return Err(protocol_error("bad frame magic"));
+    }
+    if version != WIRE_VERSION {
+        return Err(protocol_error("unsupported protocol version"));
+    }
+    if length > MAX_FRAME_BYTES {
+        return Err(protocol_error("frame exceeds MAX_FRAME_BYTES"));
+    }
+    let mut payload = vec![0u8; length];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn protocol_error(message: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_circuit::generators::qft;
+
+    #[test]
+    fn requests_round_trip() {
+        let remote = RemoteRequest::new(
+            "G-2x3",
+            qft(8),
+            CompilerKind::Dai,
+            CompilerConfig::default().with_decay(0.01),
+        )
+        .with_priority(Priority::Batch)
+        .with_tenant(TenantId::from_name("sweep"));
+        for request in [
+            Request::Submit(Box::new(remote)),
+            Request::Poll { job: 7 },
+            Request::Wait { job: 9 },
+            Request::Metrics,
+            Request::Shutdown,
+        ] {
+            let bytes = encode_request(&request);
+            let decoded = decode_request(&bytes).expect("round-trips");
+            match (&request, &decoded) {
+                (Request::Submit(a), Request::Submit(b)) => {
+                    assert_eq!(a.device, b.device);
+                    assert_eq!(a.circuit, b.circuit);
+                    assert_eq!(a.compiler, b.compiler);
+                    assert_eq!(a.config, b.config);
+                    assert_eq!(a.priority, b.priority);
+                    assert_eq!(a.tenant, b.tenant);
+                }
+                (Request::Poll { job: a }, Request::Poll { job: b })
+                | (Request::Wait { job: a }, Request::Wait { job: b }) => assert_eq!(a, b),
+                (Request::Metrics, Request::Metrics) | (Request::Shutdown, Request::Shutdown) => {}
+                other => panic!("variant changed in transit: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_corruption() {
+        let payload = encode_request(&Request::Poll { job: 3 });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("write");
+        write_frame(&mut buf, &payload).expect("write");
+
+        let mut cursor = std::io::Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cursor).expect("frame 1"), Some(payload.clone()));
+        assert_eq!(read_frame(&mut cursor).expect("frame 2"), Some(payload.clone()));
+        assert_eq!(read_frame(&mut cursor).expect("clean EOF"), None);
+
+        // Bad magic.
+        let mut corrupt = buf.clone();
+        corrupt[0] ^= 0xFF;
+        assert!(read_frame(&mut std::io::Cursor::new(&corrupt)).is_err());
+        // Truncated header.
+        assert!(read_frame(&mut std::io::Cursor::new(&buf[..6])).is_err());
+        // Oversized length prefix.
+        let mut oversized = buf.clone();
+        oversized[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&mut std::io::Cursor::new(&oversized)).is_err());
+    }
+
+    #[test]
+    fn metrics_responses_round_trip() {
+        let metrics = ServiceMetrics {
+            jobs_submitted: 10,
+            jobs_completed: 9,
+            jobs_coalesced: 2,
+            jobs_near_duplicate: 3,
+            submitted_by_priority: [1, 5, 4],
+            queue_depth: 1,
+            cache: crate::cache::CacheStats {
+                hits: 4,
+                misses: 6,
+                entries: 5,
+                bytes: 12345,
+                evictions: 1,
+                persist_hits: 1,
+                persist_stores: 5,
+            },
+            workers: vec![
+                WorkerMetrics { executed: 5, stolen: 1 },
+                WorkerMetrics { executed: 4, stolen: 0 },
+            ],
+            uptime: Duration::from_millis(1234),
+        };
+        let bytes = encode_response(&Response::Metrics(metrics.clone()));
+        match decode_response(&bytes).expect("round-trips") {
+            Response::Metrics(decoded) => assert_eq!(metrics, decoded),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Smoke tests for the `ssync-serviced` IPC front-end: spawn the real
+//! daemon binary, push requests through the real client, and require the
+//! results to be bit-identical to direct in-process compilation. These
+//! are the tests CI's smoke job runs so the front-end cannot silently
+//! rot.
+
+use ssync_arch::{Device, QccdTopology};
+use ssync_baselines::CompilerKind;
+use ssync_circuit::generators::qft;
+use ssync_core::{CompileOutcome, CompilerConfig};
+use ssync_service::client::ServiceClient;
+use ssync_service::wire::RemoteRequest;
+use ssync_service::{Priority, TenantId};
+use std::process::{Child, Command, Stdio};
+
+const DAEMON: &str = env!("CARGO_BIN_EXE_ssync-serviced");
+
+/// Spawns the daemon in stdio mode and wires a client to its pipes.
+fn spawn_stdio_daemon(extra_args: &[&str]) -> (Child, ServiceClient) {
+    let mut child = Command::new(DAEMON)
+        .arg("--stdio")
+        .args(["--workers", "2"])
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ssync-serviced");
+    let writer = child.stdin.take().expect("piped stdin");
+    let reader = child.stdout.take().expect("piped stdout");
+    (child, ServiceClient::over(reader, writer))
+}
+
+fn assert_bit_identical(direct: &CompileOutcome, remote: &CompileOutcome, what: &str) {
+    assert_eq!(direct.program().ops(), remote.program().ops(), "ops diverge: {what}");
+    assert_eq!(direct.final_placement(), remote.final_placement(), "placement diverges: {what}");
+    assert_eq!(direct.scheduler_stats(), remote.scheduler_stats(), "stats diverge: {what}");
+    assert_eq!(
+        direct.report().success_rate.to_bits(),
+        remote.report().success_rate.to_bits(),
+        "report diverges: {what}"
+    );
+    assert_eq!(
+        direct.report().total_time_us.to_bits(),
+        remote.report().total_time_us.to_bits(),
+        "timing diverges: {what}"
+    );
+}
+
+/// One request through the spawned daemon, output bit-identical to
+/// `compile_on` — the ISSUE's acceptance path, exercised over real pipes
+/// and a real second process.
+#[test]
+fn stdio_round_trip_is_bit_identical_to_direct_compile() {
+    let config = CompilerConfig::default();
+    let circuit = qft(10);
+    let (mut child, mut client) = spawn_stdio_daemon(&[]);
+
+    let job = client
+        .submit(
+            &RemoteRequest::new("G-2x2", circuit.clone(), CompilerKind::SSync, config)
+                .with_priority(Priority::High)
+                .with_tenant(TenantId::from_name("smoke")),
+        )
+        .expect("submit");
+    let remote = client.wait(job).expect("wait").expect("compiles");
+
+    let device = Device::build(QccdTopology::named("G-2x2").unwrap(), config.weights);
+    let direct = CompilerKind::SSync.compile_on(&device, &circuit, &config).expect("compiles");
+    assert_bit_identical(&direct, &remote, "stdio round trip");
+
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.jobs_submitted, 1);
+    assert_eq!(metrics.jobs_completed, 1);
+    assert_eq!(metrics.submitted_at(Priority::High), 1);
+
+    client.shutdown().expect("shutdown");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exits cleanly after Shutdown");
+}
+
+/// Every compiler kind agrees with its direct counterpart through the
+/// daemon, and poll() eventually observes completion.
+#[test]
+fn all_compiler_kinds_agree_over_stdio() {
+    let config = CompilerConfig::default();
+    let circuit = qft(8);
+    let (mut child, mut client) = spawn_stdio_daemon(&[]);
+    let device = Device::build(QccdTopology::named("L-4").unwrap(), config.weights);
+
+    for kind in CompilerKind::ALL {
+        let job = client
+            .submit(&RemoteRequest::new("L-4", circuit.clone(), kind, config))
+            .expect("submit");
+        // Drive the non-blocking path at least once, then block.
+        let remote = match client.poll(job).expect("poll") {
+            Some(result) => result.expect("compiles"),
+            None => client.wait(job).expect("wait").expect("compiles"),
+        };
+        let direct = kind.compile_on(&device, &circuit, &config).expect("compiles");
+        assert_bit_identical(&direct, &remote, &format!("{kind:?}"));
+    }
+
+    client.shutdown().expect("shutdown");
+    assert!(child.wait().expect("daemon exits").success());
+}
+
+/// Compile errors and rejections cross the wire as themselves.
+#[test]
+fn errors_and_rejections_survive_the_wire() {
+    let config = CompilerConfig::default();
+    let (mut child, mut client) = spawn_stdio_daemon(&[]);
+
+    // L-2 (2 traps x 22 slots = 44) cannot hold qft(44) + 1 space.
+    let job = client
+        .submit(&RemoteRequest::new("L-2", qft(44), CompilerKind::SSync, config))
+        .expect("submit");
+    let result = client.wait(job).expect("wait");
+    assert!(
+        matches!(result, Err(ssync_core::CompileError::DeviceTooSmall { qubits: 44, slots: 44 })),
+        "got {result:?}"
+    );
+
+    let rejected =
+        client.submit(&RemoteRequest::new("no-such-device", qft(4), CompilerKind::SSync, config));
+    assert!(
+        matches!(rejected, Err(ssync_service::client::ClientError::Rejected(_))),
+        "unknown devices are rejected"
+    );
+
+    client.shutdown().expect("shutdown");
+    assert!(child.wait().expect("daemon exits").success());
+}
+
+/// The Unix-domain-socket transport serves the same conversation.
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_round_trips() {
+    let socket =
+        std::env::temp_dir().join(format!("ssync-serviced-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut child = Command::new(DAEMON)
+        .args(["--socket", socket.to_str().unwrap(), "--workers", "1"])
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ssync-serviced");
+
+    // The daemon needs a moment to bind.
+    let mut client = None;
+    for _ in 0..200 {
+        match ServiceClient::connect_unix(&socket) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+    let mut client = client.expect("daemon bound its socket within 2s");
+
+    let config = CompilerConfig::default();
+    let circuit = qft(9);
+    let job = client
+        .submit(&RemoteRequest::new("G-2x2", circuit.clone(), CompilerKind::SSync, config))
+        .expect("submit");
+    let remote = client.wait(job).expect("wait").expect("compiles");
+    let device = Device::build(QccdTopology::named("G-2x2").unwrap(), config.weights);
+    let direct = CompilerKind::SSync.compile_on(&device, &circuit, &config).expect("compiles");
+    assert_bit_identical(&direct, &remote, "unix socket round trip");
+
+    client.shutdown().expect("shutdown");
+    assert!(child.wait().expect("daemon exits").success());
+    let _ = std::fs::remove_file(&socket);
+}
+
+/// The persistent cache tier round-trips across two *processes*: a first
+/// daemon writes the outcome through to disk, a second daemon (sharing
+/// only the directory) serves it from the persistent tier without
+/// executing any compile, bit-identically.
+#[test]
+fn persistent_cache_round_trips_across_two_processes() {
+    let dir = std::env::temp_dir().join(format!("ssync-serviced-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().unwrap();
+    let config = CompilerConfig::default();
+    let circuit = qft(11);
+    let request = RemoteRequest::new("G-2x2", circuit.clone(), CompilerKind::SSync, config);
+
+    // Process 1 compiles and persists.
+    let (mut first, mut client) = spawn_stdio_daemon(&["--cache-dir", dir_arg]);
+    let job = client.submit(&request).expect("submit");
+    let original = client.wait(job).expect("wait").expect("compiles");
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.cache.persist_stores, 1, "outcome written through to disk");
+    assert_eq!(metrics.jobs_executed(), 1);
+    client.shutdown().expect("shutdown");
+    assert!(first.wait().expect("daemon exits").success());
+
+    // Process 2 starts cold and must not recompile.
+    let (mut second, mut client) = spawn_stdio_daemon(&["--cache-dir", dir_arg]);
+    let job = client.submit(&request).expect("submit");
+    let replayed = client.wait(job).expect("wait").expect("compiles");
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.cache.persist_hits, 1, "served from the persistent tier");
+    assert_eq!(metrics.jobs_executed(), 0, "no compile ran in the second process");
+    client.shutdown().expect("shutdown");
+    assert!(second.wait().expect("daemon exits").success());
+
+    assert_bit_identical(&original, &replayed, "cross-process persistence");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,97 @@
+//! Compile a circuit through the `ssync-serviced` IPC front-end.
+//!
+//! Spawns the daemon as a child process in `--stdio` mode, speaks the
+//! length-prefixed wire protocol through `ssync_service::client`, and
+//! verifies the remote outcome is **bit-identical** to compiling directly
+//! in-process with `compile_on` — the whole point of the service layer:
+//! it changes where a compile runs, never what it produces.
+//!
+//! ```sh
+//! cargo run --release -p ssync-examples --bin remote_compile
+//! ```
+//!
+//! The daemon binary is located next to this example (cargo puts every
+//! workspace binary in the same target directory); set `SSYNC_SERVICED`
+//! to point elsewhere.
+
+use ssync_arch::{Device, QccdTopology};
+use ssync_baselines::CompilerKind;
+use ssync_circuit::generators::qft;
+use ssync_core::CompilerConfig;
+use ssync_service::client::ServiceClient;
+use ssync_service::wire::RemoteRequest;
+use ssync_service::{Priority, TenantId};
+use std::process::{Command, Stdio};
+
+fn daemon_path() -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("SSYNC_SERVICED") {
+        return path.into();
+    }
+    let mut path = std::env::current_exe().expect("current_exe");
+    path.set_file_name("ssync-serviced");
+    path
+}
+
+fn main() {
+    let daemon = daemon_path();
+    let mut child = Command::new(&daemon)
+        .args(["--stdio", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            panic!(
+                "failed to spawn {} ({e}); build it first with \
+                 `cargo build -p ssync-service` or set SSYNC_SERVICED",
+                daemon.display()
+            )
+        });
+    let mut client = ServiceClient::over(
+        child.stdout.take().expect("piped stdout"),
+        child.stdin.take().expect("piped stdin"),
+    );
+
+    let config = CompilerConfig::default();
+    let circuit = qft(16);
+    let device_name = "G-2x3";
+    println!("compiling {} on {device_name} through {}", circuit.name(), daemon.display());
+
+    let job = client
+        .submit(
+            &RemoteRequest::new(device_name, circuit.clone(), CompilerKind::SSync, config)
+                .with_priority(Priority::High)
+                .with_tenant(TenantId::from_name("remote-example")),
+        )
+        .expect("submit over the wire");
+    let remote = client.wait(job).expect("wait over the wire").expect("compiles");
+
+    // The ground truth: the same compile, directly in this process.
+    let device = Device::build(QccdTopology::named(device_name).unwrap(), config.weights);
+    let direct = CompilerKind::SSync.compile_on(&device, &circuit, &config).expect("compiles");
+
+    assert_eq!(direct.program().ops(), remote.program().ops(), "op streams must match");
+    assert_eq!(direct.final_placement(), remote.final_placement(), "placements must match");
+    assert_eq!(
+        direct.report().success_rate.to_bits(),
+        remote.report().success_rate.to_bits(),
+        "reports must match bit-for-bit"
+    );
+
+    let counts = remote.counts();
+    println!("remote outcome: {} shuttles, {} swaps", counts.shuttles, counts.swap_gates);
+    println!("  success rate {:.4}", remote.report().success_rate);
+    println!("  bit-identical to direct compile_on: yes");
+
+    let metrics = client.metrics().expect("metrics");
+    println!(
+        "daemon metrics: {} submitted / {} completed, {} high-priority",
+        metrics.jobs_submitted,
+        metrics.jobs_completed,
+        metrics.submitted_at(Priority::High)
+    );
+
+    client.shutdown().expect("shutdown");
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exits cleanly");
+    println!("daemon shut down cleanly");
+}

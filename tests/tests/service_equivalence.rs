@@ -15,8 +15,8 @@ use ssync_circuit::generators::{
     bernstein_vazirani, cuccaro_adder, qaoa_nearest_neighbor, qft, random_two_qubit_circuit,
 };
 use ssync_circuit::Circuit;
-use ssync_core::{CompileOutcome, CompilerConfig};
-use ssync_service::{CompileRequest, CompileService, DeviceRegistry};
+use ssync_core::{CacheBounds, CompileOutcome, CompilerConfig};
+use ssync_service::{CompileRequest, CompileService, DeviceRegistry, Priority, TenantId};
 use std::sync::Arc;
 
 fn suite() -> Vec<Arc<Circuit>> {
@@ -156,6 +156,98 @@ fn cache_serves_identical_resubmissions_and_respects_config_changes() {
     // … while a parallelism-only change shares the cache entry.
     let same_output = submit(&config.with_batch_workers(5));
     assert!(Arc::ptr_eq(&first, &same_output), "batch_workers never changes output");
+}
+
+/// The priority/fairness golden test: tagging the full (device × circuit
+/// × compiler) product with a mix of priorities and tenants — including a
+/// reweighted tenant — reorders *when* jobs run but never changes a
+/// single bit of any output. Scheduling is pure policy.
+#[test]
+fn priority_and_tenant_scheduling_changes_ordering_never_output() {
+    let config = CompilerConfig::default();
+    let circuits = suite();
+
+    // Direct reference results, computed once, sequentially.
+    let reference_registry = DeviceRegistry::new();
+    let mut reference: Vec<(String, CompileOutcome)> = Vec::new();
+    for (name, topo) in device_topologies() {
+        let device = reference_registry.get_or_build(name, config.weights, || topo.clone());
+        for circuit in &circuits {
+            for kind in CompilerKind::ALL {
+                let outcome =
+                    run_compiler_on(kind, device.device(), circuit, &config).expect("compiles");
+                reference.push((format!("{kind:?} on {name} / {}", circuit.name()), outcome));
+            }
+        }
+    }
+
+    // The same product through the service, every job tagged: priorities
+    // cycle through High/Normal/Batch and each circuit belongs to its own
+    // tenant, one of them double-weighted.
+    for workers in [1usize, 4] {
+        let service = CompileService::with_workers(workers);
+        service.set_tenant_weight(TenantId::from_name("tenant-1"), 2.0);
+        let mut requests = Vec::new();
+        let mut tag = 0usize;
+        for (name, topo) in device_topologies() {
+            let device = service.registry().get_or_build(name, config.weights, || topo.clone());
+            for (c, circuit) in circuits.iter().enumerate() {
+                for kind in CompilerKind::ALL {
+                    requests.push(
+                        CompileRequest::new(Arc::clone(&device), Arc::clone(circuit), kind, config)
+                            .with_priority(Priority::ALL[tag % 3])
+                            .with_tenant(TenantId::from_name(&format!("tenant-{c}"))),
+                    );
+                    tag += 1;
+                }
+            }
+        }
+        let handles = service.submit_batch(requests);
+        assert_eq!(handles.len(), reference.len());
+        for ((what, expected), handle) in reference.iter().zip(&handles) {
+            let got = handle.wait().expect("compiles");
+            assert_same_outcome(&got, expected, &format!("{what}, {workers} workers, tagged"));
+        }
+        let metrics = service.metrics();
+        let by_priority: u64 = metrics.submitted_by_priority.iter().sum();
+        assert_eq!(by_priority, reference.len() as u64, "every submission was tagged");
+        assert!(metrics.submitted_at(Priority::High) > 0);
+        assert!(metrics.submitted_at(Priority::Batch) > 0);
+    }
+}
+
+/// A bounded cache under eviction pressure still never changes results:
+/// evicted entries simply recompile to the identical outcome.
+#[test]
+fn eviction_pressure_never_changes_results() {
+    let config = CompilerConfig::default();
+    let circuits = suite();
+    let service =
+        CompileService::builder().workers(2).cache_bounds(CacheBounds::with_max_entries(2)).build();
+    let device = service
+        .registry()
+        .get_or_build("evict-dev", config.weights, || QccdTopology::grid(2, 2, 6));
+    // Two passes over the suite: the second pass mostly misses (capacity 2
+    // << suite size) and recompiles.
+    for pass in 0..2 {
+        for circuit in &circuits {
+            let got = service
+                .submit(CompileRequest::new(
+                    Arc::clone(&device),
+                    Arc::clone(circuit),
+                    CompilerKind::SSync,
+                    config,
+                ))
+                .wait()
+                .expect("compiles");
+            let direct = run_compiler_on(CompilerKind::SSync, device.device(), circuit, &config)
+                .expect("compiles");
+            assert_same_outcome(&got, &direct, &format!("pass {pass} / {}", circuit.name()));
+        }
+    }
+    let stats = service.cache().stats();
+    assert!(stats.evictions > 0, "the bounded cache actually evicted");
+    assert!(stats.entries <= 2, "entry cap holds");
 }
 
 /// Registry fingerprints are stable across independent registries and
