@@ -17,6 +17,7 @@
 //! | `fig14` | Fig. 14 — hyper-parameter sensitivity |
 //! | `fig15` | Fig. 15 — compilation-time scalability |
 //! | `fig16` | Fig. 16 — optimality analysis |
+//! | `fig_qasm` | the `workloads/` OpenQASM corpus across all four compilers |
 //!
 //! Run them with `cargo run --release -p ssync-bench --bin fig08`. Set
 //! `SSYNC_BENCH_SCALE=small` to run reduced problem sizes (useful for smoke
@@ -28,6 +29,7 @@
 pub mod apps;
 pub mod comparison;
 pub mod harness;
+pub mod qasm_corpus;
 pub mod table;
 
 pub use apps::{fitting_cells, scaled_app, AppKind};

@@ -31,6 +31,14 @@ pub enum CompileError {
         /// Human-readable description of what went wrong.
         message: String,
     },
+    /// The request's deadline passed before a worker picked it up; the
+    /// compile was skipped entirely (queue time alone exceeded the
+    /// budget, so spending a worker on it would only delay live work).
+    DeadlineExceeded {
+        /// The deadline the request carried, in microseconds from
+        /// submission.
+        deadline_us: u64,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -48,6 +56,9 @@ impl fmt::Display for CompileError {
                 write!(f, "scheduling stalled with {remaining_gates} gates remaining")
             }
             CompileError::Internal { message } => write!(f, "internal compiler error: {message}"),
+            CompileError::DeadlineExceeded { deadline_us } => {
+                write!(f, "deadline of {deadline_us} µs expired before compilation started")
+            }
         }
     }
 }

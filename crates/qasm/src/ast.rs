@@ -1,0 +1,215 @@
+//! The abstract syntax tree the parser produces and the lowering consumes.
+//!
+//! The AST mirrors the OpenQASM 2.0 grammar closely: declarations, user
+//! gate definitions, and a statement list in program order. Parameter
+//! expressions are kept symbolic (with `pi` and gate-parameter references)
+//! and evaluated during lowering, where the parameter environment is
+//! known.
+
+use crate::error::SourcePos;
+
+/// A whole parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Every statement in source order.
+    pub statements: Vec<Statement>,
+}
+
+/// One top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `qreg name[size];`
+    QregDecl(RegDecl),
+    /// `creg name[size];`
+    CregDecl(RegDecl),
+    /// `gate name(params) args { body }`
+    GateDef(GateDef),
+    /// `opaque name(params) args;`
+    OpaqueDef(GateDef),
+    /// A gate application, e.g. `cx q[0], q[1];`
+    Apply(GateApply),
+    /// `barrier args;`
+    Barrier {
+        /// The qubit arguments the barrier spans.
+        args: Vec<Argument>,
+        /// Source position of the `barrier` keyword.
+        pos: SourcePos,
+    },
+    /// `measure q -> c;` (stripped during lowering, with a warning count).
+    Measure {
+        /// The measured qubit argument.
+        source: Argument,
+        /// Source position of the `measure` keyword.
+        pos: SourcePos,
+    },
+    /// `reset q;` (stripped during lowering, with a warning count).
+    Reset {
+        /// The reset qubit argument.
+        target: Argument,
+        /// Source position of the `reset` keyword.
+        pos: SourcePos,
+    },
+    /// `if (creg == n) <qop>;` — the guarded operation (a gate
+    /// application, measure or reset, per the OpenQASM 2.0 `qop` rule)
+    /// is stripped during lowering (classical control needs measurement
+    /// results the static compiler does not have), with a warning count.
+    Conditional {
+        /// The guarding classical register's name.
+        guard: String,
+        /// The guarded operation (`Apply`, `Measure` or `Reset`).
+        body: Box<Statement>,
+        /// Source position of the `if` keyword.
+        pos: SourcePos,
+    },
+}
+
+/// A register declaration: `name[size]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegDecl {
+    /// The register name.
+    pub name: String,
+    /// The declared number of bits/qubits.
+    pub size: usize,
+    /// Source position of the declaration.
+    pub pos: SourcePos,
+}
+
+/// A user `gate` (or `opaque`) definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateDef {
+    /// The gate name.
+    pub name: String,
+    /// Classical parameter names (may be empty).
+    pub params: Vec<String>,
+    /// Formal qubit argument names.
+    pub qubits: Vec<String>,
+    /// Body statements (empty for `opaque`). Only applications and
+    /// barriers are legal inside a body.
+    pub body: Vec<BodyStatement>,
+    /// Source position of the definition.
+    pub pos: SourcePos,
+}
+
+/// A statement inside a gate body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyStatement {
+    /// A gate application over the formal arguments.
+    Apply(GateApply),
+    /// A barrier over formal arguments (ignored inside bodies: the
+    /// expansion is inlined, so the fence collapses into program order).
+    Barrier(SourcePos),
+}
+
+/// One gate application: `name(params) arg, arg, ...;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateApply {
+    /// The gate name.
+    pub name: String,
+    /// Classical parameter expressions (empty when no parentheses).
+    pub params: Vec<Expr>,
+    /// Qubit arguments.
+    pub args: Vec<Argument>,
+    /// Source position of the gate name.
+    pub pos: SourcePos,
+}
+
+/// A qubit argument: a whole register (broadcast) or one element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Argument {
+    /// The register (or, inside gate bodies, formal argument) name.
+    pub register: String,
+    /// `Some(i)` for `name[i]`, `None` for the whole register.
+    pub index: Option<usize>,
+    /// Source position of the argument.
+    pub pos: SourcePos,
+}
+
+/// A constant parameter expression, evaluated during lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A numeric literal.
+    Number(f64),
+    /// The constant `pi`.
+    Pi,
+    /// A reference to an enclosing gate definition's parameter.
+    Param(String, SourcePos),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position of the operator.
+        pos: SourcePos,
+    },
+    /// A unary function call (`sin`, `cos`, `tan`, `exp`, `ln`, `sqrt`).
+    Call {
+        /// The function.
+        func: MathFn,
+        /// The argument.
+        arg: Box<Expr>,
+    },
+}
+
+/// A binary operator in a parameter expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^` (right-associative power)
+    Pow,
+}
+
+/// The unary math functions OpenQASM 2.0 allows in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MathFn {
+    /// `sin`
+    Sin,
+    /// `cos`
+    Cos,
+    /// `tan`
+    Tan,
+    /// `exp`
+    Exp,
+    /// `ln`
+    Ln,
+    /// `sqrt`
+    Sqrt,
+}
+
+impl MathFn {
+    /// Looks a function up by its QASM name.
+    pub fn from_name(name: &str) -> Option<MathFn> {
+        Some(match name {
+            "sin" => MathFn::Sin,
+            "cos" => MathFn::Cos,
+            "tan" => MathFn::Tan,
+            "exp" => MathFn::Exp,
+            "ln" => MathFn::Ln,
+            "sqrt" => MathFn::Sqrt,
+            _ => return None,
+        })
+    }
+
+    /// Applies the function.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            MathFn::Sin => x.sin(),
+            MathFn::Cos => x.cos(),
+            MathFn::Tan => x.tan(),
+            MathFn::Exp => x.exp(),
+            MathFn::Ln => x.ln(),
+            MathFn::Sqrt => x.sqrt(),
+        }
+    }
+}

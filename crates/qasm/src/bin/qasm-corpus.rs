@@ -1,0 +1,68 @@
+//! `qasm-corpus` — (re)generates the exported half of the `workloads/`
+//! corpus: one OpenQASM 2.0 file per circuit generator at small scale,
+//! produced by `ssync_qasm::export` and therefore guaranteed to re-import
+//! with an identical `content_hash` (verified before each file is
+//! written).
+//!
+//! ```sh
+//! cargo run -p ssync-qasm --bin qasm-corpus -- workloads
+//! ```
+//!
+//! Hand-written corpus files (`gatedefs.qasm`, `barriers.qasm`,
+//! `stdlib.qasm`) are left untouched: this binary only rewrites the
+//! generator exports.
+
+use ssync_circuit::generators;
+use ssync_circuit::Circuit;
+use std::process::ExitCode;
+
+/// The generator corpus: `(file stem, circuit)` at small scale, one per
+/// generator app. Sizes keep each file both quick to compile on every
+/// topology and small enough to read in a diff.
+fn corpus() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("qft_8", generators::qft(8)),
+        ("adder_4", generators::cuccaro_adder(4)),
+        ("bv_8", generators::bernstein_vazirani(8)),
+        ("qaoa_8", generators::qaoa_nearest_neighbor(8, 2)),
+        ("alt_8", generators::alt_ansatz(8, 2)),
+        ("heisenberg_6", generators::heisenberg_chain(6, 3)),
+    ]
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "workloads".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for (stem, circuit) in corpus() {
+        let text = ssync_qasm::export(&circuit);
+        // Refuse to write a file that would not round-trip.
+        match ssync_qasm::parse(&text) {
+            Ok(out) if out.circuit.content_hash() == circuit.content_hash() => {}
+            Ok(_) => {
+                eprintln!("{stem}: export does not round-trip its content hash");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("{stem}: exported text fails to parse: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let path = dir.join(format!("{stem}.qasm"));
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{} — {} qubits, {} gates ({} two-qubit)",
+            path.display(),
+            circuit.num_qubits(),
+            circuit.len(),
+            circuit.two_qubit_gate_count()
+        );
+    }
+    ExitCode::SUCCESS
+}

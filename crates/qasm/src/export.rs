@@ -1,0 +1,220 @@
+//! The inverse direction: [`Circuit`] → OpenQASM 2.0 source text.
+//!
+//! Exported programs are *exactly* re-importable: every gate in the IR
+//! maps to one QASM statement over a single flat register, and rotation
+//! angles print with Rust's shortest-round-trip `f64` formatting, so
+//! `parse(export(c))` reproduces `c`'s gate list bit for bit — the
+//! property the round-trip tests pin down via
+//! [`Circuit::content_hash`]. (The sole exception is NaN angles, which
+//! decimal text cannot carry payload-exactly; see [`fmt_angle`] — they
+//! still export as parseable text that re-imports as a NaN.)
+//!
+//! The emitted header includes `qelib1.inc` and, only when the circuit
+//! uses them, portable `gate` definitions for the two trapped-ion natives
+//! the standard library lacks (`ms`, `ryy`). This workspace's importer
+//! recognises both natively (the built-in table wins over user
+//! definitions), while other OpenQASM 2.0 consumers can inline the
+//! provided decompositions.
+
+use ssync_circuit::{Circuit, Gate};
+use std::fmt::Write;
+
+/// Renders one rotation angle. Finite values use Rust's shortest
+/// round-trip `f64` formatting (exact re-import). The IR does not forbid
+/// non-finite angles, so export must still emit *parseable* text for
+/// them: ±∞ prints as `±1e999` (the literal overflows to the exact
+/// infinity on parse) and NaN as `sqrt(-1)` (re-imports as a NaN; its
+/// payload bits — which carry no rotational meaning — are not
+/// preserved, so only NaN-angled circuits fall outside the exact
+/// `content_hash` round-trip guarantee).
+fn fmt_angle(t: f64) -> String {
+    if t.is_finite() {
+        format!("{t}")
+    } else if t.is_nan() {
+        "sqrt(-1)".to_string()
+    } else if t > 0.0 {
+        "1e999".to_string()
+    } else {
+        "-1e999".to_string()
+    }
+}
+
+/// Definition of `ms` emitted when the circuit contains one: the
+/// Mølmer–Sørensen gate is XX(π/2) up to global phase.
+const MS_DEF: &str = "gate ms a, b { rxx(pi/2) a, b; }";
+/// Definition of `ryy` emitted when the circuit contains one.
+const RYY_DEF: &str = "gate ryy(theta) a, b { rx(pi/2) a; rx(pi/2) b; cx a, b; \
+                       rz(theta) b; cx a, b; rx(-pi/2) a; rx(-pi/2) b; }";
+
+/// Renders `circuit` as a self-contained OpenQASM 2.0 program over one
+/// flat register `q[num_qubits]`.
+pub fn export(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    if !circuit.name().is_empty() {
+        // Informational only: the importer ignores comments and the
+        // content hash excludes names.
+        let _ = writeln!(out, "// circuit: {}", circuit.name());
+    }
+    let uses = |pred: fn(&Gate) -> bool| circuit.iter().any(pred);
+    if uses(|g| matches!(g, Gate::Ms(..))) {
+        out.push_str(MS_DEF);
+        out.push('\n');
+    }
+    if uses(|g| matches!(g, Gate::Ryy(..))) {
+        out.push_str(RYY_DEF);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for gate in circuit {
+        match *gate {
+            Gate::H(q) => {
+                let _ = writeln!(out, "h q[{}];", q.0);
+            }
+            Gate::X(q) => {
+                let _ = writeln!(out, "x q[{}];", q.0);
+            }
+            Gate::Rx(q, t) => {
+                let _ = writeln!(out, "rx({}) q[{}];", fmt_angle(t), q.0);
+            }
+            Gate::Ry(q, t) => {
+                let _ = writeln!(out, "ry({}) q[{}];", fmt_angle(t), q.0);
+            }
+            Gate::Rz(q, t) => {
+                let _ = writeln!(out, "rz({}) q[{}];", fmt_angle(t), q.0);
+            }
+            Gate::Cx(a, b) => {
+                let _ = writeln!(out, "cx q[{}], q[{}];", a.0, b.0);
+            }
+            Gate::Cz(a, b) => {
+                let _ = writeln!(out, "cz q[{}], q[{}];", a.0, b.0);
+            }
+            Gate::Cp(a, b, t) => {
+                let _ = writeln!(out, "cp({}) q[{}], q[{}];", fmt_angle(t), a.0, b.0);
+            }
+            Gate::Ms(a, b) => {
+                let _ = writeln!(out, "ms q[{}], q[{}];", a.0, b.0);
+            }
+            Gate::Rzz(a, b, t) => {
+                let _ = writeln!(out, "rzz({}) q[{}], q[{}];", fmt_angle(t), a.0, b.0);
+            }
+            Gate::Rxx(a, b, t) => {
+                let _ = writeln!(out, "rxx({}) q[{}], q[{}];", fmt_angle(t), a.0, b.0);
+            }
+            Gate::Ryy(a, b, t) => {
+                let _ = writeln!(out, "ryy({}) q[{}], q[{}];", fmt_angle(t), a.0, b.0);
+            }
+            Gate::Swap(a, b) => {
+                let _ = writeln!(out, "swap q[{}], q[{}];", a.0, b.0);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use ssync_circuit::Qubit;
+
+    #[test]
+    fn export_emits_a_parseable_header_and_gates() {
+        let mut c = Circuit::with_name(3, "demo");
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        c.rz(Qubit(2), 0.25);
+        let text = export(&c);
+        assert!(text.starts_with("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"));
+        assert!(text.contains("// circuit: demo"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("h q[0];"));
+        assert!(text.contains("cx q[0], q[1];"));
+        assert!(text.contains("rz(0.25) q[2];"));
+        assert!(!text.contains("gate ms"), "no ms used, no ms definition");
+    }
+
+    #[test]
+    fn nonstandard_gate_definitions_appear_only_when_used() {
+        let mut c = Circuit::new(2);
+        c.ms(Qubit(0), Qubit(1));
+        c.ryy(Qubit(0), Qubit(1), 1.5);
+        let text = export(&c);
+        assert!(text.contains("gate ms a, b"));
+        assert!(text.contains("gate ryy(theta) a, b"));
+    }
+
+    #[test]
+    fn every_gate_kind_round_trips_exactly() {
+        let mut c = Circuit::new(3);
+        let (a, b, d) = (Qubit(0), Qubit(1), Qubit(2));
+        c.h(a);
+        c.x(b);
+        c.rx(a, 0.1);
+        c.ry(b, -2.5);
+        c.rz(d, 1e-9);
+        c.cx(a, b);
+        c.cz(b, d);
+        c.cp(a, d, std::f64::consts::PI / 7.0);
+        c.ms(a, b);
+        c.rzz(b, d, 0.333_333_333_333_333_3);
+        c.rxx(a, d, -0.75);
+        c.ryy(a, b, 42.0);
+        c.swap(b, d);
+        let out = parse(&export(&c)).expect("re-imports");
+        assert_eq!(out.circuit.gates(), c.gates());
+        assert_eq!(out.circuit.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn awkward_angles_survive_the_text_round_trip() {
+        // Angles whose decimal expansions are maximally awkward: the
+        // shortest-round-trip printer must reproduce the exact bits.
+        let angles = [
+            std::f64::consts::PI,
+            -std::f64::consts::FRAC_PI_3,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+            0.1 + 0.2,
+            6.02214076e23_f64.recip(),
+        ];
+        let mut c = Circuit::new(1);
+        for &t in &angles {
+            c.rz(Qubit(0), t);
+        }
+        let out = parse(&export(&c)).expect("re-imports");
+        for (gate, &want) in out.circuit.iter().zip(&angles) {
+            let Gate::Rz(_, got) = gate else { panic!("rz expected") };
+            assert_eq!(got.to_bits(), want.to_bits(), "angle {want} changed in transit");
+        }
+    }
+
+    #[test]
+    fn non_finite_angles_export_parseable_text() {
+        // The IR never rejects non-finite angles, so export must still
+        // produce re-importable text: infinities round-trip exactly,
+        // NaN re-imports as a NaN (payload bits are not representable
+        // in decimal text).
+        let mut c = Circuit::new(1);
+        c.rz(Qubit(0), f64::INFINITY);
+        c.rz(Qubit(0), f64::NEG_INFINITY);
+        c.rz(Qubit(0), f64::NAN);
+        let text = export(&c);
+        assert!(text.contains("rz(1e999)"));
+        assert!(text.contains("rz(-1e999)"));
+        assert!(text.contains("rz(sqrt(-1))"));
+        let out = parse(&text).expect("re-imports");
+        let angles: Vec<f64> = out
+            .circuit
+            .iter()
+            .map(|g| match g {
+                Gate::Rz(_, t) => *t,
+                other => panic!("rz expected, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(angles[0], f64::INFINITY);
+        assert_eq!(angles[1], f64::NEG_INFINITY);
+        assert!(angles[2].is_nan());
+    }
+}

@@ -1,0 +1,364 @@
+//! The hand-rolled OpenQASM 2.0 tokenizer.
+//!
+//! Produces a flat token stream with a [`SourcePos`] per token. Line
+//! (`// ...`) and block (`/* ... */`) comments are skipped; real numbers
+//! keep their source *text* alongside the parsed value so diagnostics can
+//! quote them verbatim.
+
+use crate::error::{QasmError, QasmErrorKind, SourcePos};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier or keyword (`qreg`, `gate`, `measure`, gate names...).
+    Ident(String),
+    /// An unsigned integer literal.
+    Int(u64),
+    /// A real-number literal (kept with its source text for diagnostics).
+    Real(f64),
+    /// A double-quoted string literal (include file names).
+    Str(String),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `->` (measure target arrow)
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `==` (inside `if` conditions)
+    EqEq,
+}
+
+impl Token {
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(name) => format!("identifier '{name}'"),
+            Token::Int(v) => format!("integer {v}"),
+            Token::Real(v) => format!("number {v}"),
+            Token::Str(s) => format!("string \"{s}\""),
+            Token::Semicolon => "';'".into(),
+            Token::Comma => "','".into(),
+            Token::LParen => "'('".into(),
+            Token::RParen => "')'".into(),
+            Token::LBracket => "'['".into(),
+            Token::RBracket => "']'".into(),
+            Token::LBrace => "'{'".into(),
+            Token::RBrace => "'}'".into(),
+            Token::Arrow => "'->'".into(),
+            Token::Plus => "'+'".into(),
+            Token::Minus => "'-'".into(),
+            Token::Star => "'*'".into(),
+            Token::Slash => "'/'".into(),
+            Token::Caret => "'^'".into(),
+            Token::EqEq => "'=='".into(),
+        }
+    }
+}
+
+/// A token paired with the position of its first character.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts in the source.
+    pub pos: SourcePos,
+}
+
+/// Tokenizes a whole source string.
+///
+/// # Errors
+///
+/// Returns the first lexical error (unexpected character, unterminated
+/// comment/string, malformed number) with its position.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, QasmError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { chars: source.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn pos(&self) -> SourcePos {
+        SourcePos::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, QasmError> {
+        let mut tokens = Vec::new();
+        while let Some(c) = self.peek() {
+            let pos = self.pos();
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('/') => {
+                            while let Some(c) = self.bump() {
+                                if c == '\n' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some('*') => {
+                            self.bump();
+                            let mut closed = false;
+                            while let Some(c) = self.bump() {
+                                if c == '*' && self.peek() == Some('/') {
+                                    self.bump();
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                            if !closed {
+                                return Err(QasmError::new(
+                                    QasmErrorKind::UnterminatedToken("block comment"),
+                                    pos,
+                                ));
+                            }
+                        }
+                        _ => tokens.push(Spanned { token: Token::Slash, pos }),
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    let mut text = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('"') => break,
+                            Some(c) if c != '\n' => text.push(c),
+                            _ => {
+                                return Err(QasmError::new(
+                                    QasmErrorKind::UnterminatedToken("string literal"),
+                                    pos,
+                                ));
+                            }
+                        }
+                    }
+                    tokens.push(Spanned { token: Token::Str(text), pos });
+                }
+                c if c.is_ascii_digit() || c == '.' => {
+                    tokens.push(Spanned { token: self.number(pos)?, pos });
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Spanned { token: Token::Ident(name), pos });
+                }
+                '-' => {
+                    self.bump();
+                    if self.peek() == Some('>') {
+                        self.bump();
+                        tokens.push(Spanned { token: Token::Arrow, pos });
+                    } else {
+                        tokens.push(Spanned { token: Token::Minus, pos });
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        tokens.push(Spanned { token: Token::EqEq, pos });
+                    } else {
+                        return Err(QasmError::new(QasmErrorKind::UnexpectedChar('='), pos));
+                    }
+                }
+                _ => {
+                    self.bump();
+                    let token = match c {
+                        ';' => Token::Semicolon,
+                        ',' => Token::Comma,
+                        '(' => Token::LParen,
+                        ')' => Token::RParen,
+                        '[' => Token::LBracket,
+                        ']' => Token::RBracket,
+                        '{' => Token::LBrace,
+                        '}' => Token::RBrace,
+                        '+' => Token::Plus,
+                        '*' => Token::Star,
+                        '^' => Token::Caret,
+                        other => {
+                            return Err(QasmError::new(QasmErrorKind::UnexpectedChar(other), pos));
+                        }
+                    };
+                    tokens.push(Spanned { token, pos });
+                }
+            }
+        }
+        Ok(tokens)
+    }
+
+    /// Lexes an integer or real literal: digits, optional fraction,
+    /// optional exponent. A literal containing `.` or an exponent is a
+    /// real; otherwise it is an integer.
+    fn number(&mut self, pos: SourcePos) -> Result<Token, QasmError> {
+        let mut text = String::new();
+        let mut is_real = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() == Some('.') {
+            is_real = true;
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            is_real = true;
+            text.push('e');
+            self.bump();
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                text.push(self.peek().expect("peeked"));
+                self.bump();
+            }
+            let mut digits = 0usize;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                    digits += 1;
+                } else {
+                    break;
+                }
+            }
+            if digits == 0 {
+                return Err(QasmError::new(QasmErrorKind::MalformedNumber(text), pos));
+            }
+        }
+        if text == "." || text.is_empty() {
+            return Err(QasmError::new(QasmErrorKind::MalformedNumber(text), pos));
+        }
+        if is_real {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| QasmError::new(QasmErrorKind::MalformedNumber(text.clone()), pos))?;
+            Ok(Token::Real(value))
+        } else {
+            let value: u64 = text
+                .parse()
+                .map_err(|_| QasmError::new(QasmErrorKind::MalformedNumber(text.clone()), pos))?;
+            Ok(Token::Int(value))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<Token> {
+        tokenize(source).expect("lexes").into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_a_header_and_declaration() {
+        assert_eq!(
+            kinds("OPENQASM 2.0;\nqreg q[4];"),
+            vec![
+                Token::Ident("OPENQASM".into()),
+                Token::Real(2.0),
+                Token::Semicolon,
+                Token::Ident("qreg".into()),
+                Token::Ident("q".into()),
+                Token::LBracket,
+                Token::Int(4),
+                Token::RBracket,
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_comments_and_operators() {
+        let toks = kinds("rz(-1.5e-3) /* block */ q[0]; // line\ncx q[0], q[1];");
+        assert!(toks.contains(&Token::Real(1.5e-3)));
+        assert!(toks.contains(&Token::Minus));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Comma).count(), 1);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let toks = tokenize("h q[0];\n  cx q[0], q[1];").expect("lexes");
+        let cx = toks.iter().find(|s| s.token == Token::Ident("cx".into())).unwrap();
+        assert_eq!((cx.pos.line, cx.pos.col), (2, 3));
+    }
+
+    #[test]
+    fn arrow_and_eqeq_lex_as_single_tokens() {
+        assert!(kinds("measure q -> c;").contains(&Token::Arrow));
+        assert!(kinds("if (c == 1)").contains(&Token::EqEq));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = tokenize("h q[0];\n  @").unwrap_err();
+        assert_eq!(err.kind, QasmErrorKind::UnexpectedChar('@'));
+        assert_eq!((err.pos.line, err.pos.col), (2, 3));
+        assert!(tokenize("/* never closed").is_err());
+        assert!(tokenize("\"never closed").is_err());
+        assert!(tokenize("1.5e").is_err());
+    }
+}

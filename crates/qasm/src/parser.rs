@@ -1,0 +1,524 @@
+//! The recursive-descent OpenQASM 2.0 parser: token stream → [`Program`].
+//!
+//! The grammar follows the OpenQASM 2.0 paper (Cross et al. 2017):
+//!
+//! ```text
+//! program    := "OPENQASM" real ";" statement*
+//! statement  := include | qreg | creg | gatedef | opaque
+//!             | apply | barrier | measure | reset | if
+//! gatedef    := "gate" id params? ids "{" bodystmt* "}"
+//! apply      := id params? arglist ";"
+//! arglist    := argument ("," argument)*
+//! argument   := id ("[" int "]")?
+//! exp        := additive, with "^" binding tightest (right-assoc),
+//!               unary minus, parenthesised subexpressions and the
+//!               unary functions sin/cos/tan/exp/ln/sqrt
+//! ```
+//!
+//! `include "qelib1.inc";` is accepted and recorded (the standard library
+//! is built into the lowering — nothing is read from disk); any other
+//! include is an error, keeping the front-end hermetic.
+
+use crate::ast::{
+    Argument, BinOp, BodyStatement, Expr, GateApply, GateDef, MathFn, Program, RegDecl, Statement,
+};
+use crate::error::{QasmError, QasmErrorKind, SourcePos};
+use crate::lexer::{tokenize, Spanned, Token};
+
+/// Parses a full OpenQASM 2.0 source string into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its source position.
+pub fn parse_program(source: &str) -> Result<Program, QasmError> {
+    let tokens = tokenize(source)?;
+    Parser { tokens, at: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.at)
+    }
+
+    fn pos(&self) -> SourcePos {
+        self.peek().map_or_else(|| self.tokens.last().map(|s| s.pos).unwrap_or_default(), |s| s.pos)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let token = self.tokens.get(self.at).cloned();
+        self.at += 1;
+        token
+    }
+
+    fn found_description(&self) -> String {
+        self.peek().map_or_else(|| "end of input".to_string(), |s| s.token.describe())
+    }
+
+    fn expected(&self, expected: &'static str) -> QasmError {
+        QasmError::new(
+            QasmErrorKind::Expected { expected, found: self.found_description() },
+            self.pos(),
+        )
+    }
+
+    fn eat(&mut self, token: &Token, expected: &'static str) -> Result<SourcePos, QasmError> {
+        match self.peek() {
+            Some(spanned) if spanned.token == *token => {
+                let pos = spanned.pos;
+                self.at += 1;
+                Ok(pos)
+            }
+            _ => Err(self.expected(expected)),
+        }
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<(String, SourcePos), QasmError> {
+        match self.peek() {
+            Some(Spanned { token: Token::Ident(name), pos }) => {
+                let out = (name.clone(), *pos);
+                self.at += 1;
+                Ok(out)
+            }
+            _ => Err(self.expected(expected)),
+        }
+    }
+
+    fn integer(&mut self, expected: &'static str) -> Result<(u64, SourcePos), QasmError> {
+        match self.peek() {
+            Some(Spanned { token: Token::Int(v), pos }) => {
+                let out = (*v, *pos);
+                self.at += 1;
+                Ok(out)
+            }
+            _ => Err(self.expected(expected)),
+        }
+    }
+
+    fn program(mut self) -> Result<Program, QasmError> {
+        self.header()?;
+        let mut statements = Vec::new();
+        while self.peek().is_some() {
+            if let Some(statement) = self.statement()? {
+                statements.push(statement);
+            }
+        }
+        Ok(Program { statements })
+    }
+
+    /// `OPENQASM 2.0;` — mandatory, and only version 2.0 is supported.
+    fn header(&mut self) -> Result<(), QasmError> {
+        let pos = self.pos();
+        let bad = |found: String| QasmError::new(QasmErrorKind::BadHeader(found), pos);
+        match self.bump() {
+            Some(Spanned { token: Token::Ident(kw), .. }) if kw == "OPENQASM" => {}
+            other => {
+                return Err(
+                    bad(other.map_or_else(|| "end of input".into(), |s| s.token.describe())),
+                )
+            }
+        }
+        match self.bump() {
+            Some(Spanned { token: Token::Real(version), .. }) => {
+                if version != 2.0 {
+                    return Err(bad(format!("version {version}")));
+                }
+            }
+            other => {
+                return Err(
+                    bad(other.map_or_else(|| "end of input".into(), |s| s.token.describe())),
+                )
+            }
+        }
+        self.eat(&Token::Semicolon, "';' after the OPENQASM header")?;
+        Ok(())
+    }
+
+    /// One top-level statement; `Ok(None)` for includes (recorded as
+    /// accepted but producing no AST node).
+    fn statement(&mut self) -> Result<Option<Statement>, QasmError> {
+        let (keyword, pos) = match self.peek() {
+            Some(Spanned { token: Token::Ident(name), pos }) => (name.clone(), *pos),
+            _ => return Err(self.expected("a statement")),
+        };
+        match keyword.as_str() {
+            "include" => {
+                self.bump();
+                let file = match self.bump() {
+                    Some(Spanned { token: Token::Str(file), .. }) => file,
+                    _ => return Err(self.expected("an include file string")),
+                };
+                self.eat(&Token::Semicolon, "';' after include")?;
+                if file != "qelib1.inc" {
+                    return Err(QasmError::new(QasmErrorKind::UnsupportedInclude(file), pos));
+                }
+                Ok(None)
+            }
+            "qreg" | "creg" => {
+                self.bump();
+                let (name, _) = self.ident("a register name")?;
+                self.eat(&Token::LBracket, "'[' after the register name")?;
+                let (size, _) = self.integer("the register size")?;
+                self.eat(&Token::RBracket, "']' after the register size")?;
+                self.eat(&Token::Semicolon, "';' after the register declaration")?;
+                let decl = RegDecl { name, size: size as usize, pos };
+                Ok(Some(if keyword == "qreg" {
+                    Statement::QregDecl(decl)
+                } else {
+                    Statement::CregDecl(decl)
+                }))
+            }
+            "gate" => Ok(Some(Statement::GateDef(self.gate_def(pos)?))),
+            "opaque" => {
+                self.bump();
+                let mut def = self.gate_signature(pos)?;
+                self.eat(&Token::Semicolon, "';' after the opaque declaration")?;
+                def.body = Vec::new();
+                Ok(Some(Statement::OpaqueDef(def)))
+            }
+            "barrier" => {
+                self.bump();
+                let args = self.argument_list()?;
+                self.eat(&Token::Semicolon, "';' after barrier")?;
+                Ok(Some(Statement::Barrier { args, pos }))
+            }
+            "measure" => {
+                self.bump();
+                let source = self.argument()?;
+                self.eat(&Token::Arrow, "'->' after the measured qubit")?;
+                let _target = self.argument()?;
+                self.eat(&Token::Semicolon, "';' after measure")?;
+                Ok(Some(Statement::Measure { source, pos }))
+            }
+            "reset" => {
+                self.bump();
+                let target = self.argument()?;
+                self.eat(&Token::Semicolon, "';' after reset")?;
+                Ok(Some(Statement::Reset { target, pos }))
+            }
+            "if" => {
+                self.bump();
+                self.eat(&Token::LParen, "'(' after if")?;
+                let (guard, _) = self.ident("a classical register name")?;
+                self.eat(&Token::EqEq, "'==' in the if condition")?;
+                self.integer("an integer in the if condition")?;
+                self.eat(&Token::RParen, "')' after the if condition")?;
+                // The guarded statement is any qop: uop | measure | reset.
+                let body = match self.peek() {
+                    Some(Spanned { token: Token::Ident(kw), pos }) if kw == "measure" => {
+                        let pos = *pos;
+                        self.bump();
+                        let source = self.argument()?;
+                        self.eat(&Token::Arrow, "'->' after the measured qubit")?;
+                        let _target = self.argument()?;
+                        self.eat(&Token::Semicolon, "';' after measure")?;
+                        Statement::Measure { source, pos }
+                    }
+                    Some(Spanned { token: Token::Ident(kw), pos }) if kw == "reset" => {
+                        let pos = *pos;
+                        self.bump();
+                        let target = self.argument()?;
+                        self.eat(&Token::Semicolon, "';' after reset")?;
+                        Statement::Reset { target, pos }
+                    }
+                    _ => Statement::Apply(self.gate_apply()?),
+                };
+                Ok(Some(Statement::Conditional { guard, body: Box::new(body), pos }))
+            }
+            _ => Ok(Some(Statement::Apply(self.gate_apply()?))),
+        }
+    }
+
+    /// `gate name(params)? formals { body }`
+    fn gate_def(&mut self, pos: SourcePos) -> Result<GateDef, QasmError> {
+        self.bump(); // "gate"
+        let mut def = self.gate_signature(pos)?;
+        self.eat(&Token::LBrace, "'{' opening the gate body")?;
+        let mut body = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Spanned { token: Token::RBrace, .. }) => {
+                    self.bump();
+                    break;
+                }
+                Some(Spanned { token: Token::Ident(name), pos }) if name == "barrier" => {
+                    let pos = *pos;
+                    self.bump();
+                    self.argument_list()?;
+                    self.eat(&Token::Semicolon, "';' after barrier")?;
+                    body.push(BodyStatement::Barrier(pos));
+                }
+                Some(Spanned { token: Token::Ident(_), .. }) => {
+                    body.push(BodyStatement::Apply(self.gate_apply()?));
+                }
+                _ => return Err(self.expected("a gate application or '}'")),
+            }
+        }
+        def.body = body;
+        Ok(def)
+    }
+
+    /// `name(params)? formals` — shared by `gate` and `opaque`.
+    fn gate_signature(&mut self, pos: SourcePos) -> Result<GateDef, QasmError> {
+        let (name, _) = self.ident("a gate name")?;
+        let mut params = Vec::new();
+        if matches!(self.peek(), Some(Spanned { token: Token::LParen, .. })) {
+            self.bump();
+            if !matches!(self.peek(), Some(Spanned { token: Token::RParen, .. })) {
+                loop {
+                    let (param, _) = self.ident("a parameter name")?;
+                    params.push(param);
+                    if matches!(self.peek(), Some(Spanned { token: Token::Comma, .. })) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat(&Token::RParen, "')' closing the parameter list")?;
+        }
+        let mut qubits = Vec::new();
+        loop {
+            let (qubit, _) = self.ident("a formal qubit name")?;
+            qubits.push(qubit);
+            if matches!(self.peek(), Some(Spanned { token: Token::Comma, .. })) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(GateDef { name, params, qubits, body: Vec::new(), pos })
+    }
+
+    /// `name(exprs)? args ;`
+    fn gate_apply(&mut self) -> Result<GateApply, QasmError> {
+        let (name, pos) = self.ident("a gate name")?;
+        let mut params = Vec::new();
+        if matches!(self.peek(), Some(Spanned { token: Token::LParen, .. })) {
+            self.bump();
+            if !matches!(self.peek(), Some(Spanned { token: Token::RParen, .. })) {
+                loop {
+                    params.push(self.expr()?);
+                    if matches!(self.peek(), Some(Spanned { token: Token::Comma, .. })) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat(&Token::RParen, "')' closing the parameter list")?;
+        }
+        let args = self.argument_list()?;
+        self.eat(&Token::Semicolon, "';' after the gate application")?;
+        Ok(GateApply { name, params, args, pos })
+    }
+
+    fn argument_list(&mut self) -> Result<Vec<Argument>, QasmError> {
+        let mut args = vec![self.argument()?];
+        while matches!(self.peek(), Some(Spanned { token: Token::Comma, .. })) {
+            self.bump();
+            args.push(self.argument()?);
+        }
+        Ok(args)
+    }
+
+    fn argument(&mut self) -> Result<Argument, QasmError> {
+        let (register, pos) = self.ident("a register name")?;
+        let index = if matches!(self.peek(), Some(Spanned { token: Token::LBracket, .. })) {
+            self.bump();
+            let (index, _) = self.integer("a register index")?;
+            self.eat(&Token::RBracket, "']' after the register index")?;
+            Some(index as usize)
+        } else {
+            None
+        };
+        Ok(Argument { register, index, pos })
+    }
+
+    // ----- expressions -------------------------------------------------
+
+    /// additive := multiplicative (("+"|"-") multiplicative)*
+    fn expr(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.term()?;
+        loop {
+            let (op, pos) = match self.peek() {
+                Some(Spanned { token: Token::Plus, pos }) => (BinOp::Add, *pos),
+                Some(Spanned { token: Token::Minus, pos }) => (BinOp::Sub, *pos),
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    /// multiplicative := power (("*"|"/") power)*
+    fn term(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.power()?;
+        loop {
+            let (op, pos) = match self.peek() {
+                Some(Spanned { token: Token::Star, pos }) => (BinOp::Mul, *pos),
+                Some(Spanned { token: Token::Slash, pos }) => (BinOp::Div, *pos),
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.power()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    /// power := unary ("^" power)?   (right-associative)
+    fn power(&mut self) -> Result<Expr, QasmError> {
+        let lhs = self.unary()?;
+        if let Some(Spanned { token: Token::Caret, pos }) = self.peek() {
+            let pos = *pos;
+            self.bump();
+            let rhs = self.power()?;
+            return Ok(Expr::Binary {
+                op: BinOp::Pow,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, QasmError> {
+        if matches!(self.peek(), Some(Spanned { token: Token::Minus, .. })) {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, QasmError> {
+        match self.peek().cloned() {
+            Some(Spanned { token: Token::Int(v), .. }) => {
+                self.bump();
+                Ok(Expr::Number(v as f64))
+            }
+            Some(Spanned { token: Token::Real(v), .. }) => {
+                self.bump();
+                Ok(Expr::Number(v))
+            }
+            Some(Spanned { token: Token::LParen, .. }) => {
+                self.bump();
+                let inner = self.expr()?;
+                self.eat(&Token::RParen, "')' closing the expression")?;
+                Ok(inner)
+            }
+            Some(Spanned { token: Token::Ident(name), pos }) => {
+                self.bump();
+                if name == "pi" {
+                    return Ok(Expr::Pi);
+                }
+                if let Some(func) = MathFn::from_name(&name) {
+                    self.eat(&Token::LParen, "'(' after the function name")?;
+                    let arg = self.expr()?;
+                    self.eat(&Token::RParen, "')' closing the function call")?;
+                    return Ok(Expr::Call { func, arg: Box::new(arg) });
+                }
+                Ok(Expr::Param(name, pos))
+            }
+            _ => Err(self.expected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_applications() {
+        let program = parse_program(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\nh q[0];\ncx q[0], q[1];",
+        )
+        .expect("parses");
+        assert_eq!(program.statements.len(), 4);
+        match &program.statements[2] {
+            Statement::Apply(apply) => {
+                assert_eq!(apply.name, "h");
+                assert_eq!(apply.args[0].index, Some(0));
+            }
+            other => panic!("expected an application, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_gate_definitions_with_params() {
+        let program = parse_program(
+            "OPENQASM 2.0;\nqreg q[2];\n\
+             gate foo(theta, phi) a, b { rz(theta) a; cx a, b; rz(-phi/2) b; }\n\
+             foo(pi/4, 0.5) q[0], q[1];",
+        )
+        .expect("parses");
+        let Statement::GateDef(def) = &program.statements[1] else {
+            panic!("expected a gate definition");
+        };
+        assert_eq!(def.params, vec!["theta", "phi"]);
+        assert_eq!(def.qubits, vec!["a", "b"]);
+        assert_eq!(def.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let program =
+            parse_program("OPENQASM 2.0;\nqreg q[1];\nrz(1 + 2 * 3 ^ 2) q[0];").expect("parses");
+        let Statement::Apply(apply) = &program.statements[1] else { panic!("apply") };
+        // 1 + (2 * (3^2)): the top node must be the '+'.
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = &apply.params[0] else {
+            panic!("expected '+' at the top: {:?}", apply.params[0]);
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_measure_reset_barrier_and_if() {
+        let program = parse_program(
+            "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nbarrier q;\nmeasure q[0] -> c[0];\n\
+             reset q[1];\nif (c == 1) x q[1];",
+        )
+        .expect("parses");
+        assert!(matches!(program.statements[2], Statement::Barrier { .. }));
+        assert!(matches!(program.statements[3], Statement::Measure { .. }));
+        assert!(matches!(program.statements[4], Statement::Reset { .. }));
+        assert!(matches!(program.statements[5], Statement::Conditional { .. }));
+    }
+
+    #[test]
+    fn header_is_mandatory() {
+        let err = parse_program("qreg q[1];").unwrap_err();
+        assert!(matches!(err.kind, QasmErrorKind::BadHeader(_)));
+        let err = parse_program("OPENQASM 3.0;\n").unwrap_err();
+        assert!(matches!(err.kind, QasmErrorKind::BadHeader(_)));
+    }
+
+    #[test]
+    fn non_stdlib_includes_are_rejected() {
+        let err = parse_program("OPENQASM 2.0;\ninclude \"other.inc\";").unwrap_err();
+        assert!(matches!(err.kind, QasmErrorKind::UnsupportedInclude(_)));
+    }
+
+    #[test]
+    fn missing_semicolon_reports_position() {
+        let err = parse_program("OPENQASM 2.0;\nqreg q[2];\nh q[0]\ncx q[0], q[1];").unwrap_err();
+        // The parser notices at the 'cx' on line 4.
+        assert_eq!(err.pos.line, 4);
+        assert!(matches!(err.kind, QasmErrorKind::Expected { .. }));
+    }
+
+    #[test]
+    fn opaque_declarations_parse() {
+        let program = parse_program("OPENQASM 2.0;\nqreg q[2];\nopaque ms a, b;\nms q[0], q[1];")
+            .expect("parses");
+        assert!(matches!(&program.statements[1], Statement::OpaqueDef(def) if def.name == "ms"));
+    }
+}

@@ -18,6 +18,10 @@
 //! * `--cache-dir DIR` — enable the persistent cache tier: outcomes are
 //!   written through to `DIR` and loaded back on a miss, sharing compiles
 //!   across daemon restarts and between processes.
+//! * `--cache-dir-max-bytes N` / `--cache-dir-max-age-secs N` — garbage-
+//!   collect the persistent directory at startup (oldest-mtime-first)
+//!   down to a byte/age budget (default: the `SSYNC_CACHE_DIR_MAX_*`
+//!   environment variables, else unbounded).
 //!
 //! The daemon exits on a `Shutdown` request, or on EOF in stdio mode.
 
@@ -32,11 +36,14 @@ struct Options {
     workers: usize,
     bounds: CacheBounds,
     cache_dir: Option<std::path::PathBuf>,
+    cache_dir_max_bytes: Option<u64>,
+    cache_dir_max_age_secs: Option<u64>,
 }
 
 fn usage() -> &'static str {
     "usage: ssync-serviced (--stdio | --socket PATH) [--workers N] \
-     [--cache-max-entries N] [--cache-max-bytes N] [--cache-dir DIR]"
+     [--cache-max-entries N] [--cache-max-bytes N] [--cache-dir DIR] \
+     [--cache-dir-max-bytes N] [--cache-dir-max-age-secs N]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -46,6 +53,8 @@ fn parse_args() -> Result<Options, String> {
         workers: 0,
         bounds: CacheBounds::from_env(),
         cache_dir: None,
+        cache_dir_max_bytes: None,
+        cache_dir_max_age_secs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +82,19 @@ fn parse_args() -> Result<Options, String> {
                 options.bounds.max_bytes = (n > 0).then_some(n);
             }
             "--cache-dir" => options.cache_dir = Some(value("--cache-dir")?.into()),
+            // `0` means unbounded, like the SSYNC_CACHE_DIR_MAX_* env vars.
+            "--cache-dir-max-bytes" => {
+                let n: u64 = value("--cache-dir-max-bytes")?
+                    .parse()
+                    .map_err(|_| "--cache-dir-max-bytes expects an integer".to_string())?;
+                options.cache_dir_max_bytes = (n > 0).then_some(n);
+            }
+            "--cache-dir-max-age-secs" => {
+                let n: u64 = value("--cache-dir-max-age-secs")?
+                    .parse()
+                    .map_err(|_| "--cache-dir-max-age-secs expects an integer".to_string())?;
+                options.cache_dir_max_age_secs = (n > 0).then_some(n);
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -95,6 +117,12 @@ fn main() -> ExitCode {
         CompileService::builder().workers(options.workers).cache_bounds(options.bounds);
     if let Some(dir) = &options.cache_dir {
         builder = builder.persist_dir(dir);
+    }
+    if let Some(bytes) = options.cache_dir_max_bytes {
+        builder = builder.persist_max_bytes(bytes);
+    }
+    if let Some(secs) = options.cache_dir_max_age_secs {
+        builder = builder.persist_max_age(std::time::Duration::from_secs(secs));
     }
     let service = Arc::new(builder.build());
     eprintln!(

@@ -101,7 +101,9 @@ impl CompiledWeight for CompileOutcome {
 }
 
 /// Full configuration of a [`ResultCache`]: capacity bounds for the
-/// in-memory tier and the optional persistent directory tier.
+/// in-memory tier and the optional persistent directory tier, including
+/// the startup garbage collection that keeps the directory bounded on
+/// disk.
 #[derive(Debug, Clone, Default)]
 pub struct CacheConfig {
     /// Entry / byte caps of the in-memory tier ([`CacheBounds::UNBOUNDED`]
@@ -109,6 +111,18 @@ pub struct CacheConfig {
     pub bounds: CacheBounds,
     /// Directory for the write-through persistent tier; `None` disables it.
     pub persist_dir: Option<PathBuf>,
+    /// Byte budget for `persist_dir`, enforced **at startup** by deleting
+    /// `.outcome` files oldest-mtime-first until the directory fits.
+    /// `None` (the default) leaves the directory unbounded — the
+    /// pre-GC behaviour. The `SSYNC_CACHE_DIR_MAX_BYTES` environment
+    /// variable supplies this through
+    /// [`CacheConfig::persist_gc_from_env`].
+    pub persist_max_bytes: Option<u64>,
+    /// Age budget for `persist_dir`: `.outcome` files whose mtime is
+    /// older than this are deleted at startup regardless of the byte
+    /// budget. `SSYNC_CACHE_DIR_MAX_AGE_SECS` supplies it through
+    /// [`CacheConfig::persist_gc_from_env`].
+    pub persist_max_age: Option<std::time::Duration>,
 }
 
 impl CacheConfig {
@@ -126,6 +140,37 @@ impl CacheConfig {
     /// Returns a copy with the persistent tier rooted at `dir`.
     pub fn with_persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns a copy with a startup byte budget for the persistent tier.
+    pub fn with_persist_max_bytes(mut self, bytes: u64) -> Self {
+        self.persist_max_bytes = Some(bytes);
+        self
+    }
+
+    /// Returns a copy with a startup age budget for the persistent tier.
+    pub fn with_persist_max_age(mut self, age: std::time::Duration) -> Self {
+        self.persist_max_age = Some(age);
+        self
+    }
+
+    /// Fills *unset* GC budgets from the environment:
+    /// `SSYNC_CACHE_DIR_MAX_BYTES` (bytes) and
+    /// `SSYNC_CACHE_DIR_MAX_AGE_SECS` (seconds). Missing, unparsable or
+    /// zero values leave the axis unbounded, mirroring
+    /// [`CacheBounds::from_env`].
+    pub fn persist_gc_from_env(mut self) -> Self {
+        fn axis(var: &str) -> Option<u64> {
+            std::env::var(var).ok()?.trim().parse::<u64>().ok().filter(|&n| n > 0)
+        }
+        if self.persist_max_bytes.is_none() {
+            self.persist_max_bytes = axis("SSYNC_CACHE_DIR_MAX_BYTES");
+        }
+        if self.persist_max_age.is_none() {
+            self.persist_max_age =
+                axis("SSYNC_CACHE_DIR_MAX_AGE_SECS").map(std::time::Duration::from_secs);
+        }
         self
     }
 }
@@ -148,6 +193,9 @@ pub struct CacheStats {
     pub persist_hits: u64,
     /// Entries successfully written through to the persistent tier.
     pub persist_stores: u64,
+    /// `.outcome` files deleted by the startup garbage collection of the
+    /// persistent tier (byte/age budgets, oldest-mtime-first).
+    pub persist_gc_deleted: u64,
 }
 
 impl CacheStats {
@@ -196,6 +244,7 @@ pub struct ResultCache {
     evictions: AtomicU64,
     persist_hits: AtomicU64,
     persist_stores: AtomicU64,
+    persist_gc_deleted: AtomicU64,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -222,8 +271,19 @@ impl ResultCache {
     }
 
     /// An empty cache with the full configuration, including the optional
-    /// persistent tier.
+    /// persistent tier. When the persistent tier carries a byte or age
+    /// budget, the directory is garbage-collected **now** (startup is the
+    /// one moment the tier is quiescent): files older than the age budget
+    /// go first, then oldest-mtime-first deletion until the byte budget
+    /// holds. Deletions are counted in
+    /// [`CacheStats::persist_gc_deleted`].
     pub fn with_config(config: CacheConfig) -> Self {
+        let gc_deleted = match &config.persist_dir {
+            Some(dir) if config.persist_max_bytes.is_some() || config.persist_max_age.is_some() => {
+                gc_persist_dir(dir, config.persist_max_bytes, config.persist_max_age)
+            }
+            _ => 0,
+        };
         ResultCache {
             inner: Mutex::new(Inner::default()),
             config,
@@ -232,6 +292,7 @@ impl ResultCache {
             evictions: AtomicU64::new(0),
             persist_hits: AtomicU64::new(0),
             persist_stores: AtomicU64::new(0),
+            persist_gc_deleted: AtomicU64::new(gc_deleted),
         }
     }
 
@@ -425,8 +486,59 @@ impl ResultCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             persist_hits: self.persist_hits.load(Ordering::Relaxed),
             persist_stores: self.persist_stores.load(Ordering::Relaxed),
+            persist_gc_deleted: self.persist_gc_deleted.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Enforces the persistent tier's byte/age budgets on `dir` by deleting
+/// `.outcome` files: everything older than `max_age` first, then
+/// oldest-mtime-first (ties broken by file name, so the order — and
+/// therefore which files survive — is deterministic) until the remaining
+/// total is within `max_bytes`. Returns how many files were deleted. A
+/// missing or unreadable directory deletes nothing; files that vanish
+/// mid-scan are skipped.
+fn gc_persist_dir(dir: &Path, max_bytes: Option<u64>, max_age: Option<std::time::Duration>) -> u64 {
+    use std::time::SystemTime;
+
+    let Ok(listing) = std::fs::read_dir(dir) else { return 0 };
+    let mut files: Vec<(SystemTime, PathBuf, u64)> = listing
+        .filter_map(|entry| {
+            let entry = entry.ok()?;
+            let path = entry.path();
+            if path.extension().is_none_or(|ext| ext != "outcome") {
+                return None;
+            }
+            let meta = entry.metadata().ok()?;
+            Some((meta.modified().ok()?, path, meta.len()))
+        })
+        .collect();
+    files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    let now = SystemTime::now();
+    let mut deleted = 0u64;
+    let mut keep = Vec::with_capacity(files.len());
+    for (mtime, path, len) in files {
+        let too_old =
+            max_age.is_some_and(|budget| now.duration_since(mtime).is_ok_and(|age| age > budget));
+        if too_old && std::fs::remove_file(&path).is_ok() {
+            deleted += 1;
+        } else {
+            keep.push((path, len));
+        }
+    }
+    if let Some(budget) = max_bytes {
+        let mut total: u64 = keep.iter().map(|(_, len)| len).sum();
+        for (path, len) in keep {
+            if total <= budget {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                deleted += 1;
+                total -= len;
+            }
+        }
+    }
+    deleted
 }
 
 /// Every hit pushes a fresh queue record and leaves the old one stale, so
@@ -704,6 +816,62 @@ mod tests {
         assert_eq!(fresh.stats().misses, 1);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_gc_enforces_byte_and_age_budgets_oldest_first() {
+        let dir = std::env::temp_dir().join(format!("ssync-cache-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Write four entries through a first (unbounded) cache, spacing
+        // mtimes so "oldest" is unambiguous.
+        let outcome = some_outcome();
+        let writer = ResultCache::with_config(CacheConfig::default().with_persist_dir(&dir));
+        let keys: Vec<CacheKey> = (0..4).map(key_n).collect();
+        for key in &keys {
+            writer.insert(*key, Arc::clone(&outcome));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let file_len = std::fs::metadata(dir.join(keys[0].file_name())).expect("written").len();
+
+        // A byte budget of ~2 files deletes the two oldest at startup.
+        let gc = ResultCache::with_config(
+            CacheConfig::default()
+                .with_persist_dir(&dir)
+                .with_persist_max_bytes(2 * file_len + file_len / 2),
+        );
+        assert_eq!(gc.stats().persist_gc_deleted, 2);
+        assert!(!dir.join(keys[0].file_name()).exists(), "oldest deleted first");
+        assert!(!dir.join(keys[1].file_name()).exists());
+        assert!(dir.join(keys[2].file_name()).exists(), "newest survive");
+        assert!(dir.join(keys[3].file_name()).exists());
+        // The survivors still serve hits.
+        assert!(gc.get(&keys[3]).is_some());
+        assert!(gc.get(&keys[0]).is_none());
+
+        // A zero age budget wipes whatever remains.
+        let wipe = ResultCache::with_config(
+            CacheConfig::default()
+                .with_persist_dir(&dir)
+                .with_persist_max_age(std::time::Duration::from_secs(0)),
+        );
+        assert_eq!(wipe.stats().persist_gc_deleted, 2);
+        assert!(!dir.join(keys[3].file_name()).exists());
+
+        // No budgets, no GC (the historical behaviour).
+        let plain = ResultCache::with_config(CacheConfig::default().with_persist_dir(&dir));
+        assert_eq!(plain.stats().persist_gc_deleted, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_gc_env_fallback_fills_only_unset_axes() {
+        // Explicit values are never overwritten by the env helper (the
+        // variables are unset in the test environment, so unset axes
+        // simply stay None).
+        let config = CacheConfig::default().with_persist_max_bytes(123).persist_gc_from_env();
+        assert_eq!(config.persist_max_bytes, Some(123));
     }
 
     #[test]

@@ -27,7 +27,8 @@
 
 use crate::codec::CodecError;
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame, RemoteRequest, Request, Response,
+    decode_response, encode_request, read_frame, write_frame, RemoteQasmRequest, RemoteRequest,
+    Request, Response,
 };
 use ssync_core::{CompileError, CompileOutcome};
 use std::io::{Read, Write};
@@ -140,6 +141,31 @@ impl ServiceClient {
         match self.round_trip(&Request::Submit(Box::new(request.clone())))? {
             Response::Submitted { job } => Ok(RemoteJob(job)),
             _ => Err(ClientError::UnexpectedResponse("submit expected Submitted")),
+        }
+    }
+
+    /// Submits raw OpenQASM 2.0 source (wire v2): the daemon parses,
+    /// lowers and compiles it server-side, bit-identically to parsing
+    /// locally and calling [`ServiceClient::submit`] with the circuit.
+    /// Alongside the job id, the returned
+    /// [`ParseReport`](ssync_qasm::ParseReport) tells the caller what
+    /// the server-side lowering stripped (measurements, resets,
+    /// conditionals) — check
+    /// [`stripped_anything`](ssync_qasm::ParseReport::stripped_anything)
+    /// to warn users that the compiled circuit is not the full program
+    /// they sent.
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec failures, or [`ClientError::Rejected`] carrying
+    /// the parse diagnostic (`line:col: ...`) or an unknown device name.
+    pub fn submit_qasm(
+        &mut self,
+        request: &RemoteQasmRequest,
+    ) -> Result<(RemoteJob, ssync_qasm::ParseReport), ClientError> {
+        match self.round_trip(&Request::SubmitQasm(Box::new(request.clone())))? {
+            Response::QasmSubmitted { job, report } => Ok((RemoteJob(job), report)),
+            _ => Err(ClientError::UnexpectedResponse("submit_qasm expected QasmSubmitted")),
         }
     }
 

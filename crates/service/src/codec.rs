@@ -636,6 +636,10 @@ pub fn encode_compile_error(w: &mut ByteWriter, e: &CompileError) {
             w.put_u8(3);
             w.put_str(message);
         }
+        CompileError::DeadlineExceeded { deadline_us } => {
+            w.put_u8(4);
+            w.put_u64(*deadline_us);
+        }
     }
 }
 
@@ -646,6 +650,7 @@ pub fn decode_compile_error(r: &mut ByteReader<'_>) -> Result<CompileError, Code
         1 => CompileError::DisconnectedTopology,
         2 => CompileError::SchedulingStalled { remaining_gates: r.get_usize()? },
         3 => CompileError::Internal { message: r.get_str()? },
+        4 => CompileError::DeadlineExceeded { deadline_us: r.get_u64()? },
         tag => return Err(CodecError::BadTag { what: "compile error", tag }),
     })
 }
@@ -720,6 +725,7 @@ mod tests {
             CompileError::DisconnectedTopology,
             CompileError::SchedulingStalled { remaining_gates: 3 },
             CompileError::Internal { message: "worker panicked".into() },
+            CompileError::DeadlineExceeded { deadline_us: 1500 },
         ] {
             let mut w = ByteWriter::new();
             encode_compile_error(&mut w, &err);

@@ -21,8 +21,10 @@
 use crate::job::JobHandle;
 use crate::pool::CompileService;
 use crate::wire::{
-    decode_request, encode_response, read_frame, write_frame, RemoteRequest, Request, Response,
+    decode_request, encode_response, read_frame, write_frame, RemoteQasmRequest, RemoteRequest,
+    Request, Response,
 };
+use ssync_circuit::Circuit;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -38,19 +40,59 @@ struct Session {
 
 impl Session {
     fn submit(&mut self, service: &CompileService, remote: RemoteRequest) -> Response {
-        let Some(device) =
-            service.registry().get_or_build_named(&remote.device, remote.config.weights)
-        else {
-            return Response::Rejected { reason: format!("unknown device '{}'", remote.device) };
+        let RemoteRequest { device, circuit, compiler, config, priority, tenant } = remote;
+        self.submit_circuit(service, &device, circuit, compiler, config, priority, tenant, None)
+    }
+
+    /// The wire-v2 ingestion path: parse the QASM source server-side,
+    /// then submit the lowered circuit exactly like `Submit`. Parse and
+    /// lowering failures come back as `Rejected` carrying the
+    /// `line:col` diagnostic, so the client sees the same message a
+    /// local `ssync_qasm::parse` would produce; acceptance answers with
+    /// `QasmSubmitted`, which carries the lowering's `ParseReport` so
+    /// the caller learns what was stripped.
+    fn submit_qasm(&mut self, service: &CompileService, remote: RemoteQasmRequest) -> Response {
+        let RemoteQasmRequest { device, source, compiler, config, priority, tenant, deadline_us } =
+            remote;
+        let parsed = match ssync_qasm::parse(&source) {
+            Ok(out) => out,
+            Err(e) => return Response::Rejected { reason: format!("qasm parse error: {e}") },
         };
-        let request = crate::job::CompileRequest::new(
-            device,
-            Arc::new(remote.circuit),
-            remote.compiler,
-            remote.config,
-        )
-        .with_priority(remote.priority)
-        .with_tenant(remote.tenant);
+        match self.submit_circuit(
+            service,
+            &device,
+            parsed.circuit,
+            compiler,
+            config,
+            priority,
+            tenant,
+            deadline_us,
+        ) {
+            Response::Submitted { job } => Response::QasmSubmitted { job, report: parsed.report },
+            other => other,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_circuit(
+        &mut self,
+        service: &CompileService,
+        device: &str,
+        circuit: Circuit,
+        compiler: ssync_baselines::CompilerKind,
+        config: ssync_core::CompilerConfig,
+        priority: crate::job::Priority,
+        tenant: crate::job::TenantId,
+        deadline_us: Option<u64>,
+    ) -> Response {
+        let Some(device) = service.registry().get_or_build_named(device, config.weights) else {
+            return Response::Rejected { reason: format!("unknown device '{device}'") };
+        };
+        let mut request =
+            crate::job::CompileRequest::new(device, Arc::new(circuit), compiler, config)
+                .with_priority(priority)
+                .with_tenant(tenant);
+        request.deadline_us = deadline_us;
         let handle = service.submit(request);
         let job = self.next_id;
         self.next_id += 1;
@@ -77,6 +119,7 @@ impl Session {
     fn handle(&mut self, service: &CompileService, request: Request) -> (Response, bool) {
         match request {
             Request::Submit(remote) => (self.submit(service, *remote), false),
+            Request::SubmitQasm(remote) => (self.submit_qasm(service, *remote), false),
             Request::Poll { job } => match self.jobs.get(&job) {
                 Some(handle) => match handle.try_poll() {
                     Some(result) => {
@@ -258,5 +301,69 @@ mod tests {
         assert_eq!(metrics.jobs_submitted, 1);
         assert!(matches!(&responses[5], Response::Rejected { .. }), "unknown device");
         assert!(matches!(&responses[6], Response::ShuttingDown));
+    }
+
+    /// The v2 ingestion path through the same buffered session: QASM
+    /// source in, a compiled outcome identical to the local parse +
+    /// submit path out, and a parse failure surfacing as `Rejected` with
+    /// the line:column diagnostic.
+    #[test]
+    fn a_buffered_session_ingests_qasm_source() {
+        let service = CompileService::with_workers(1);
+        let config = CompilerConfig::default();
+        let circuit = qft(10);
+        let source = ssync_qasm::export(&circuit);
+        let mut input = Vec::new();
+        for request in [
+            Request::SubmitQasm(Box::new(RemoteQasmRequest::new(
+                "G-2x2",
+                source.clone(),
+                CompilerKind::SSync,
+                config,
+            ))),
+            Request::Wait { job: 0 },
+            Request::SubmitQasm(Box::new(RemoteQasmRequest::new(
+                "G-2x2",
+                "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n",
+                CompilerKind::SSync,
+                config,
+            ))),
+            Request::Shutdown,
+        ] {
+            write_frame(&mut input, &encode_request(&request)).expect("write");
+        }
+
+        let mut output = Vec::new();
+        serve_connection(&service, &mut std::io::Cursor::new(&input), &mut output)
+            .expect("session runs");
+        let mut cursor = std::io::Cursor::new(&output);
+        let mut responses = Vec::new();
+        while let Some(payload) = read_frame(&mut cursor).expect("frame") {
+            responses.push(decode_response(&payload).expect("decode"));
+        }
+        let Response::QasmSubmitted { job: 0, report } = &responses[0] else {
+            panic!("expected QasmSubmitted, got {:?}", responses[0]);
+        };
+        assert!(!report.stripped_anything(), "an exported circuit strips nothing");
+        let Response::Outcome(remote) = &responses[1] else {
+            panic!("wait must return the outcome, got {:?}", responses[1]);
+        };
+        // Identical to parsing locally and compiling in-process.
+        let direct = service
+            .submit(crate::CompileRequest::new(
+                service.registry().get_or_build_named("G-2x2", config.weights).unwrap(),
+                Arc::new(ssync_qasm::parse(&source).unwrap().circuit),
+                CompilerKind::SSync,
+                config,
+            ))
+            .wait()
+            .expect("compiles");
+        assert_eq!(direct.program().ops(), remote.program().ops());
+        assert_eq!(direct.final_placement(), remote.final_placement());
+        let Response::Rejected { reason } = &responses[2] else {
+            panic!("bad qasm must be rejected, got {:?}", responses[2]);
+        };
+        assert!(reason.contains("qasm parse error"), "{reason}");
+        assert!(reason.contains("3:1"), "diagnostic carries line:col: {reason}");
     }
 }

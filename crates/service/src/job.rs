@@ -95,6 +95,15 @@ pub struct CompileRequest {
     /// Purely a scheduling identity — it never affects compiled output or
     /// cache keys, so tenants share cache entries.
     pub tenant: TenantId,
+    /// Optional completion budget in microseconds from submission. When a
+    /// worker claims the job *after* this much time has passed, the job
+    /// completes with [`CompileError::DeadlineExceeded`] instead of
+    /// occupying the worker — queue time already blew the budget, so the
+    /// caller has moved on. `None` (the default) never expires. The
+    /// deadline affects only *whether* a compile runs, never its output,
+    /// and expired jobs are not cached; a deadline-carrying request is
+    /// still served from the cache when the outcome already exists.
+    pub deadline_us: Option<u64>,
 }
 
 impl CompileRequest {
@@ -112,6 +121,7 @@ impl CompileRequest {
             config,
             priority: Priority::default(),
             tenant: TenantId::ANON,
+            deadline_us: None,
         }
     }
 
@@ -124,6 +134,13 @@ impl CompileRequest {
     /// Returns a copy attributed to `tenant` for fair scheduling.
     pub fn with_tenant(mut self, tenant: TenantId) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// Returns a copy that expires `deadline_us` microseconds after
+    /// submission (see [`CompileRequest::deadline_us`]).
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
         self
     }
 }

@@ -35,6 +35,10 @@ pub struct ServiceMetrics {
     /// small `jobs_coalesced` quantifies what a near-duplicate planner
     /// could save.
     pub jobs_near_duplicate: u64,
+    /// Requests whose [`deadline_us`](crate::CompileRequest::deadline_us)
+    /// expired before a worker claimed them; each completed with
+    /// `CompileError::DeadlineExceeded` without running a compile.
+    pub jobs_deadline_expired: u64,
     /// Accepted requests per priority level, indexed by
     /// [`Priority::index`] (High, Normal, Batch).
     pub submitted_by_priority: [u64; 3],

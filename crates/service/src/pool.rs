@@ -122,13 +122,18 @@ struct CircuitPrep {
 
 /// One queued unit of work. `attached` counts the submissions sharing this
 /// job's `state` (1 plus any identical requests coalesced onto it while it
-/// was in flight).
+/// was in flight). `registered` records whether the job holds a pending
+/// (coalescing) entry that must be retired on completion —
+/// deadline-carrying jobs never register (their expiry must not leak to a
+/// coalesced waiter). `submitted` anchors the deadline clock.
 struct Job {
     request: CompileRequest,
     prep: Arc<CircuitPrep>,
     key: CacheKey,
     state: Arc<JobState>,
     attached: Arc<AtomicU64>,
+    registered: bool,
+    submitted: Instant,
 }
 
 /// A not-yet-completed job identical submissions coalesce onto.
@@ -275,6 +280,7 @@ struct Shared {
     completed: AtomicU64,
     coalesced: AtomicU64,
     near_duplicate: AtomicU64,
+    deadline_expired: AtomicU64,
     executed: Vec<AtomicU64>,
     stolen: Vec<AtomicU64>,
 }
@@ -359,6 +365,8 @@ pub struct CompileServiceBuilder {
     /// time. An explicit [`CacheBounds::UNBOUNDED`] is honoured as-is.
     bounds: Option<CacheBounds>,
     persist_dir: Option<std::path::PathBuf>,
+    persist_max_bytes: Option<u64>,
+    persist_max_age: Option<std::time::Duration>,
 }
 
 impl CompileServiceBuilder {
@@ -387,19 +395,49 @@ impl CompileServiceBuilder {
         self
     }
 
+    /// Byte budget for the persistent cache directory, enforced at
+    /// startup by deleting `.outcome` files oldest-mtime-first (see
+    /// [`CacheConfig`]). When never set, [`CompileServiceBuilder::build`]
+    /// falls back to the `SSYNC_CACHE_DIR_MAX_BYTES` environment
+    /// variable.
+    pub fn persist_max_bytes(mut self, bytes: u64) -> Self {
+        self.persist_max_bytes = Some(bytes);
+        self
+    }
+
+    /// Age budget for the persistent cache directory (startup GC). The
+    /// environment fallback is `SSYNC_CACHE_DIR_MAX_AGE_SECS`.
+    pub fn persist_max_age(mut self, age: std::time::Duration) -> Self {
+        self.persist_max_age = Some(age);
+        self
+    }
+
     /// Replaces the whole cache configuration (bounds count as explicitly
     /// configured, so the environment fallback is disabled).
     pub fn cache_config(mut self, config: CacheConfig) -> Self {
         self.bounds = Some(config.bounds);
         self.persist_dir = config.persist_dir;
+        self.persist_max_bytes = config.persist_max_bytes;
+        self.persist_max_age = config.persist_max_age;
         self
     }
 
     /// Starts the service.
     pub fn build(self) -> CompileService {
-        let CompileServiceBuilder { workers, bounds, persist_dir } = self;
-        let cache =
-            CacheConfig { bounds: bounds.unwrap_or_else(CacheBounds::from_env), persist_dir };
+        let CompileServiceBuilder {
+            workers,
+            bounds,
+            persist_dir,
+            persist_max_bytes,
+            persist_max_age,
+        } = self;
+        let cache = CacheConfig {
+            bounds: bounds.unwrap_or_else(CacheBounds::from_env),
+            persist_dir,
+            persist_max_bytes,
+            persist_max_age,
+        }
+        .persist_gc_from_env();
         CompileService::start(batch::resolve_workers(workers), cache)
     }
 }
@@ -468,6 +506,7 @@ impl CompileService {
             completed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             near_duplicate: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
@@ -550,6 +589,7 @@ impl CompileService {
             jobs_completed: self.shared.completed.load(Ordering::Relaxed),
             jobs_coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             jobs_near_duplicate: self.shared.near_duplicate.load(Ordering::Relaxed),
+            jobs_deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
             submitted_by_priority: [
                 self.shared.submitted_by_priority[0].load(Ordering::Relaxed),
                 self.shared.submitted_by_priority[1].load(Ordering::Relaxed),
@@ -585,6 +625,27 @@ impl CompileService {
             let (handle, state) = JobHandle::new();
             state.fulfil(Ok(cached));
             self.shared.completed.fetch_add(1, Ordering::Relaxed);
+            return handle;
+        }
+        // Deadline-carrying requests bypass coalescing in both directions:
+        // they never attach to an in-flight twin (whose completion may
+        // come after the deadline, which the attached handle could not
+        // express) and never register as attachable (their expiry must
+        // not surface on a deadline-free waiter). Cache hits above still
+        // apply — a finished outcome costs nothing to hand out.
+        if request.deadline_us.is_some() {
+            let (handle, state) = JobHandle::new();
+            let attached = Arc::new(AtomicU64::new(1));
+            let job = Job {
+                prep,
+                key,
+                state,
+                attached,
+                registered: false,
+                submitted: Instant::now(),
+                request,
+            };
+            self.enqueue(job, target);
             return handle;
         }
         // Coalesce onto an identical in-flight job, or register a new one.
@@ -624,9 +685,23 @@ impl CompileService {
             *pending.pairs.entry(pair).or_insert(0) += 1;
             (handle, state, attached)
         };
-        let priority = request.priority;
-        let tenant = request.tenant;
-        let job = Job { request, prep, key, state, attached };
+        let job = Job {
+            request,
+            prep,
+            key,
+            state,
+            attached,
+            registered: true,
+            submitted: Instant::now(),
+        };
+        self.enqueue(job, target);
+        handle
+    }
+
+    /// Publishes a built job to a worker deque or the priority injector.
+    fn enqueue(&self, job: Job, target: Option<usize>) {
+        let priority = job.request.priority;
+        let tenant = job.request.tenant;
         // Announce strictly before the push makes the job claimable; see
         // `Shared::announce` for why this ordering is load-bearing. The
         // High counter follows the same increment-before-push rule so a
@@ -648,7 +723,6 @@ impl CompileService {
             }
         }
         self.shared.wake.notify_one();
-        handle
     }
 
     /// The shared per-circuit preparation, deduplicated by content hash so
@@ -705,21 +779,33 @@ fn worker_loop(shared: &Shared, me: usize) {
 }
 
 fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
-    let Job { request, prep, key, state, attached } = job;
-    let result = run_compile(&request, &prep, scratch).unwrap_or_else(|panic_message| {
-        // A panicking compile must not take the worker (and every queued
-        // tenant behind it) down; surface it on the one affected handle
-        // and drop the possibly-inconsistent scratch.
-        *scratch = CompileScratch::default();
-        Err(CompileError::Internal { message: panic_message })
-    });
+    let Job { request, prep, key, state, attached, registered, submitted } = job;
+    // An expired deadline settles the job without a compile: the claim
+    // itself is the only worker time spent. `deadline_us == 0` always
+    // expires, which the tests use for determinism.
+    let expired =
+        request.deadline_us.filter(|&d| submitted.elapsed() >= std::time::Duration::from_micros(d));
+    let ran_compile = expired.is_none();
+    let result = match expired {
+        Some(deadline_us) => {
+            shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            Err(CompileError::DeadlineExceeded { deadline_us })
+        }
+        None => run_compile(&request, &prep, scratch).unwrap_or_else(|panic_message| {
+            // A panicking compile must not take the worker (and every
+            // queued tenant behind it) down; surface it on the one
+            // affected handle and drop the possibly-inconsistent scratch.
+            *scratch = CompileScratch::default();
+            Err(CompileError::Internal { message: panic_message })
+        }),
+    };
     if let Ok(outcome) = &result {
         // Insert into the cache *before* retiring the pending entry:
         // identical submissions racing this completion find the job in at
         // least one of the two, so nothing recompiles.
         shared.cache.insert(key, Arc::clone(outcome));
     }
-    {
+    if registered {
         let mut pending = shared.pending.lock().expect("pending lock poisoned");
         pending.jobs.remove(&key);
         let pair = (key.device_fingerprint, key.circuit_hash);
@@ -733,8 +819,11 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
     // No further submissions can attach past this point; settle every
     // request sharing this job. Counters move before the fulfilment wakes
     // any waiter, so a caller that observed `wait()` returning sees its
-    // own job in the metrics.
-    shared.executed[me].fetch_add(1, Ordering::Relaxed);
+    // own job in the metrics. Expired jobs never ran a compile, so the
+    // per-worker executed counter (the "compiles run" metric) skips them.
+    if ran_compile {
+        shared.executed[me].fetch_add(1, Ordering::Relaxed);
+    }
     shared.completed.fetch_add(attached.load(Ordering::Relaxed), Ordering::Relaxed);
     state.fulfil(result);
 }
@@ -1044,6 +1133,78 @@ mod tests {
         }
         let drained: Vec<u32> = std::iter::from_fn(|| injector.pop(Priority::Normal)).collect();
         assert_eq!(drained, [0, 1, 10, 2, 3, 11, 4, 5, 12]);
+    }
+
+    #[test]
+    fn expired_deadlines_skip_the_compile_and_count() {
+        let service = CompileService::with_workers(1);
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(10));
+        // A zero-microsecond deadline has always expired by claim time.
+        let handle = service
+            .submit(request(&service, &circuit, CompilerKind::SSync, &config).with_deadline_us(0));
+        assert!(matches!(handle.wait(), Err(CompileError::DeadlineExceeded { deadline_us: 0 })));
+        let metrics = service.metrics();
+        assert_eq!(metrics.jobs_deadline_expired, 1);
+        assert_eq!(metrics.jobs_executed(), 0, "no worker ran a compile");
+        assert_eq!(metrics.jobs_completed, 1, "the job still completed");
+        assert!(service.cache().is_empty(), "expired jobs are not cached");
+        // The worker survives and serves the next (deadline-free) job.
+        let good = service.submit(request(&service, &circuit, CompilerKind::SSync, &config));
+        assert!(good.wait().is_ok());
+    }
+
+    #[test]
+    fn generous_deadlines_compile_bit_identically() {
+        let service = CompileService::with_workers(2);
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(10));
+        let plain = service
+            .submit(request(&service, &circuit, CompilerKind::SSync, &config))
+            .wait()
+            .expect("compiles");
+        // An hour-long deadline cannot expire; the request is served from
+        // the cache (deadlines never bypass completed outcomes).
+        let relaxed = service
+            .submit(
+                request(&service, &circuit, CompilerKind::SSync, &config)
+                    .with_deadline_us(3_600_000_000),
+            )
+            .wait()
+            .expect("compiles");
+        assert!(Arc::ptr_eq(&plain, &relaxed), "cache serves deadline requests");
+        assert_eq!(service.metrics().jobs_deadline_expired, 0);
+
+        // And on a cold cache, the deadline path produces the same bits.
+        let cold = CompileService::with_workers(2);
+        let fresh = cold
+            .submit(
+                request(&cold, &circuit, CompilerKind::SSync, &config)
+                    .with_deadline_us(3_600_000_000),
+            )
+            .wait()
+            .expect("compiles");
+        assert_eq!(plain.program().ops(), fresh.program().ops());
+        assert_eq!(plain.final_placement(), fresh.final_placement());
+    }
+
+    #[test]
+    fn deadline_requests_do_not_poison_coalescing() {
+        let service = CompileService::with_workers(1);
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(14));
+        // An expired-deadline request submitted first (cold cache, so it
+        // cannot be served as a hit) must not leak its DeadlineExceeded
+        // to the identical plain requests behind it: deadline jobs never
+        // register as coalescable.
+        let doomed = service
+            .submit(request(&service, &circuit, CompilerKind::SSync, &config).with_deadline_us(0));
+        let first = service.submit(request(&service, &circuit, CompilerKind::SSync, &config));
+        let second = service.submit(request(&service, &circuit, CompilerKind::SSync, &config));
+        assert!(matches!(doomed.wait(), Err(CompileError::DeadlineExceeded { .. })));
+        assert!(first.wait().is_ok());
+        assert!(second.wait().is_ok());
+        assert_eq!(service.metrics().jobs_deadline_expired, 1);
     }
 
     #[test]

@@ -30,10 +30,26 @@
 //! | request | response |
 //! |---|---|
 //! | `Submit(RemoteRequest)` | `Submitted { job }` or `Rejected` |
+//! | `SubmitQasm(RemoteQasmRequest)` | `QasmSubmitted { job, report }` or `Rejected` (v2) |
 //! | `Poll { job }` | `Pending`, `Outcome`, `CompileFailed` or `Rejected` |
 //! | `Wait { job }` | `Outcome`, `CompileFailed` or `Rejected` (blocks) |
 //! | `Metrics` | `Metrics(ServiceMetrics)` |
 //! | `Shutdown` | `ShuttingDown`, then the daemon exits |
+//!
+//! ## Version 2
+//!
+//! v2 adds **wire-level circuit ingestion**: `SubmitQasm` carries raw
+//! OpenQASM 2.0 source text (plus device name, compiler, config,
+//! priority/tenant and an optional deadline) under a *new, backward-
+//! compatible request tag* — every v1 tag and its payload encoding are
+//! unchanged, and [`read_frame`] accepts frames stamped with either
+//! version, so a v2 daemon understands everything a v1 peer can say.
+//! The daemon parses the source with `ssync-qasm` and compiles the
+//! lowered circuit exactly as if the client had parsed locally and
+//! submitted the [`Circuit`]; parse errors come back as `Rejected` with
+//! the `line:col` diagnostic. The only payload that grew is `Metrics`
+//! (the deadline/GC counters are appended), which is why outgoing
+//! frames are stamped v2.
 //!
 //! Job ids are per-connection and **single-delivery**: the response that
 //! carries a job's terminal result (`Wait`, or a `Poll` that observes
@@ -56,8 +72,13 @@ use std::time::Duration;
 
 /// Frame magic: `b"CYSS"` little-endian ("SSYC" on the wire).
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"SSYC");
-/// Protocol version; bumped whenever the codec field walk changes.
-pub const WIRE_VERSION: u32 = 1;
+/// Protocol version written on outgoing frames; bumped whenever the
+/// codec field walk changes. v2 added `SubmitQasm` and the extended
+/// metrics payload; [`read_frame`] still accepts
+/// [`MIN_WIRE_VERSION`]-tagged frames from older peers.
+pub const WIRE_VERSION: u32 = 2;
+/// Oldest protocol version [`read_frame`] accepts.
+pub const MIN_WIRE_VERSION: u32 = 1;
 /// Upper bound on a frame payload (a defence against corrupt length
 /// prefixes, not a practical limit — outcomes are kilobytes).
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
@@ -114,6 +135,69 @@ impl RemoteRequest {
     }
 }
 
+/// A compile request whose circuit travels as **raw OpenQASM 2.0 source
+/// text** (wire v2): the daemon parses and lowers it server-side, so any
+/// QASM-producing client — with no knowledge of the workspace's circuit
+/// IR or its binary encoding — can feed the service.
+#[derive(Debug, Clone)]
+pub struct RemoteQasmRequest {
+    /// Name of a paper topology the server registers on first use.
+    pub device: String,
+    /// The OpenQASM 2.0 program to parse, lower and compile.
+    pub source: String,
+    /// Which compiler to run.
+    pub compiler: CompilerKind,
+    /// The evaluation configuration.
+    pub config: CompilerConfig,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Optional deadline in microseconds from submission (see
+    /// [`crate::CompileRequest::deadline_us`]).
+    pub deadline_us: Option<u64>,
+}
+
+impl RemoteQasmRequest {
+    /// A request at [`Priority::Normal`] for [`TenantId::ANON`] with no
+    /// deadline.
+    pub fn new(
+        device: impl Into<String>,
+        source: impl Into<String>,
+        compiler: CompilerKind,
+        config: CompilerConfig,
+    ) -> Self {
+        RemoteQasmRequest {
+            device: device.into(),
+            source: source.into(),
+            compiler,
+            config,
+            priority: Priority::default(),
+            tenant: TenantId::ANON,
+            deadline_us: None,
+        }
+    }
+
+    /// Returns a copy with a different scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns a copy attributed to `tenant`.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Returns a copy expiring `deadline_us` microseconds after the
+    /// daemon accepts it.
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+}
+
 /// A client→server message.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -121,6 +205,9 @@ pub enum Request {
     /// a request carries a whole circuit + config, dwarfing the other
     /// variants.
     Submit(Box<RemoteRequest>),
+    /// Queue a compile of raw QASM source (wire v2); answered with
+    /// `Submitted`, or `Rejected` carrying the parse diagnostic.
+    SubmitQasm(Box<RemoteQasmRequest>),
     /// Non-blocking status check of a submitted job.
     Poll {
         /// The id from `Submitted`.
@@ -161,6 +248,17 @@ pub enum Response {
     Metrics(ServiceMetrics),
     /// Acknowledges `Shutdown`; the daemon exits after sending it.
     ShuttingDown,
+    /// A QASM submission was parsed and queued (wire v2). Carries the
+    /// lowering's [`ParseReport`](ssync_qasm::ParseReport) so the remote
+    /// caller learns what was stripped (measurements, resets,
+    /// conditionals) exactly as a local `ssync_qasm::parse` would tell
+    /// it.
+    QasmSubmitted {
+        /// Identifier to pass to `Poll` / `Wait`.
+        job: u64,
+        /// What the server-side lowering stripped or counted.
+        report: ssync_qasm::ParseReport,
+    },
 }
 
 fn priority_tag(p: Priority) -> u8 {
@@ -197,6 +295,22 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Metrics => w.put_u8(3),
         Request::Shutdown => w.put_u8(4),
+        Request::SubmitQasm(remote) => {
+            w.put_u8(5);
+            w.put_str(&remote.device);
+            w.put_str(&remote.source);
+            w.put_u8(codec::compiler_kind_tag(remote.compiler));
+            codec::encode_config(&mut w, &remote.config);
+            w.put_u8(priority_tag(remote.priority));
+            w.put_u64(remote.tenant.0);
+            match remote.deadline_us {
+                Some(deadline) => {
+                    w.put_u8(1);
+                    w.put_u64(deadline);
+                }
+                None => w.put_u8(0),
+            }
+        }
     }
     w.into_bytes()
 }
@@ -217,6 +331,19 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
         2 => Request::Wait { job: r.get_u64()? },
         3 => Request::Metrics,
         4 => Request::Shutdown,
+        5 => Request::SubmitQasm(Box::new(RemoteQasmRequest {
+            device: r.get_str()?,
+            source: r.get_str()?,
+            compiler: codec::compiler_kind_from_tag(r.get_u8()?)?,
+            config: codec::decode_config(&mut r)?,
+            priority: priority_from_tag(r.get_u8()?)?,
+            tenant: TenantId(r.get_u64()?),
+            deadline_us: match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_u64()?),
+                tag => return Err(CodecError::BadTag { what: "deadline option", tag }),
+            },
+        })),
         tag => return Err(CodecError::BadTag { what: "request", tag }),
     };
     if !r.is_exhausted() {
@@ -230,6 +357,7 @@ fn encode_metrics(w: &mut ByteWriter, m: &ServiceMetrics) {
     w.put_u64(m.jobs_completed);
     w.put_u64(m.jobs_coalesced);
     w.put_u64(m.jobs_near_duplicate);
+    w.put_u64(m.jobs_deadline_expired);
     for v in m.submitted_by_priority {
         w.put_u64(v);
     }
@@ -241,6 +369,7 @@ fn encode_metrics(w: &mut ByteWriter, m: &ServiceMetrics) {
     w.put_u64(m.cache.evictions);
     w.put_u64(m.cache.persist_hits);
     w.put_u64(m.cache.persist_stores);
+    w.put_u64(m.cache.persist_gc_deleted);
     w.put_usize(m.workers.len());
     for worker in &m.workers {
         w.put_u64(worker.executed);
@@ -255,6 +384,7 @@ fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> 
         jobs_completed: r.get_u64()?,
         jobs_coalesced: r.get_u64()?,
         jobs_near_duplicate: r.get_u64()?,
+        jobs_deadline_expired: r.get_u64()?,
         submitted_by_priority: [r.get_u64()?, r.get_u64()?, r.get_u64()?],
         queue_depth: r.get_usize()?,
         cache: crate::cache::CacheStats {
@@ -265,6 +395,7 @@ fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> 
             evictions: r.get_u64()?,
             persist_hits: r.get_u64()?,
             persist_stores: r.get_u64()?,
+            persist_gc_deleted: r.get_u64()?,
         },
         workers: {
             let n = r.get_len(16)?;
@@ -304,6 +435,15 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             encode_metrics(&mut w, metrics);
         }
         Response::ShuttingDown => w.put_u8(6),
+        Response::QasmSubmitted { job, report } => {
+            w.put_u8(7);
+            w.put_u64(*job);
+            w.put_usize(report.measurements_stripped);
+            w.put_usize(report.resets_stripped);
+            w.put_usize(report.conditionals_stripped);
+            w.put_usize(report.barriers);
+            w.put_usize(report.gates_inlined);
+        }
     }
     w.into_bytes()
 }
@@ -319,6 +459,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
         4 => Response::Rejected { reason: r.get_str()? },
         5 => Response::Metrics(decode_metrics(&mut r)?),
         6 => Response::ShuttingDown,
+        7 => Response::QasmSubmitted {
+            job: r.get_u64()?,
+            report: ssync_qasm::ParseReport {
+                measurements_stripped: r.get_usize()?,
+                resets_stripped: r.get_usize()?,
+                conditionals_stripped: r.get_usize()?,
+                barriers: r.get_usize()?,
+                gates_inlined: r.get_usize()?,
+            },
+        },
         tag => return Err(CodecError::BadTag { what: "response", tag }),
     };
     if !r.is_exhausted() {
@@ -376,7 +526,7 @@ pub fn read_frame(reader: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     if magic != WIRE_MAGIC {
         return Err(protocol_error("bad frame magic"));
     }
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(protocol_error("unsupported protocol version"));
     }
     if length > MAX_FRAME_BYTES {
@@ -406,8 +556,18 @@ mod tests {
         )
         .with_priority(Priority::Batch)
         .with_tenant(TenantId::from_name("sweep"));
+        let qasm = RemoteQasmRequest::new(
+            "L-4",
+            "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n",
+            CompilerKind::SSync,
+            CompilerConfig::default(),
+        )
+        .with_priority(Priority::High)
+        .with_tenant(TenantId::from_name("wire-v2"))
+        .with_deadline_us(250_000);
         for request in [
             Request::Submit(Box::new(remote)),
+            Request::SubmitQasm(Box::new(qasm)),
             Request::Poll { job: 7 },
             Request::Wait { job: 9 },
             Request::Metrics,
@@ -424,11 +584,39 @@ mod tests {
                     assert_eq!(a.priority, b.priority);
                     assert_eq!(a.tenant, b.tenant);
                 }
+                (Request::SubmitQasm(a), Request::SubmitQasm(b)) => {
+                    assert_eq!(a.device, b.device);
+                    assert_eq!(a.source, b.source);
+                    assert_eq!(a.compiler, b.compiler);
+                    assert_eq!(a.config, b.config);
+                    assert_eq!(a.priority, b.priority);
+                    assert_eq!(a.tenant, b.tenant);
+                    assert_eq!(a.deadline_us, b.deadline_us);
+                }
                 (Request::Poll { job: a }, Request::Poll { job: b })
                 | (Request::Wait { job: a }, Request::Wait { job: b }) => assert_eq!(a, b),
                 (Request::Metrics, Request::Metrics) | (Request::Shutdown, Request::Shutdown) => {}
                 other => panic!("variant changed in transit: {other:?}"),
             }
+        }
+    }
+
+    /// A frame stamped with the previous protocol version still reads:
+    /// v1 request tags are a strict subset of v2's, so a v2 daemon
+    /// understands a v1 peer.
+    #[test]
+    fn v1_stamped_frames_are_accepted() {
+        let payload = encode_request(&Request::Poll { job: 3 });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("write");
+        buf[4..8].copy_from_slice(&MIN_WIRE_VERSION.to_le_bytes());
+        let read = read_frame(&mut std::io::Cursor::new(&buf)).expect("v1 accepted");
+        assert_eq!(read, Some(payload));
+        // ... but version 0 and future versions are rejected.
+        for bad in [0u32, WIRE_VERSION + 1] {
+            let mut corrupt = buf.clone();
+            corrupt[4..8].copy_from_slice(&bad.to_le_bytes());
+            assert!(read_frame(&mut std::io::Cursor::new(&corrupt)).is_err(), "version {bad}");
         }
     }
 
@@ -457,12 +645,32 @@ mod tests {
     }
 
     #[test]
+    fn qasm_submitted_responses_round_trip() {
+        let report = ssync_qasm::ParseReport {
+            measurements_stripped: 3,
+            resets_stripped: 1,
+            conditionals_stripped: 2,
+            barriers: 4,
+            gates_inlined: 7,
+        };
+        let bytes = encode_response(&Response::QasmSubmitted { job: 11, report });
+        match decode_response(&bytes).expect("round-trips") {
+            Response::QasmSubmitted { job, report: decoded } => {
+                assert_eq!(job, 11);
+                assert_eq!(decoded, report);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
     fn metrics_responses_round_trip() {
         let metrics = ServiceMetrics {
             jobs_submitted: 10,
             jobs_completed: 9,
             jobs_coalesced: 2,
             jobs_near_duplicate: 3,
+            jobs_deadline_expired: 1,
             submitted_by_priority: [1, 5, 4],
             queue_depth: 1,
             cache: crate::cache::CacheStats {
@@ -473,6 +681,7 @@ mod tests {
                 evictions: 1,
                 persist_hits: 1,
                 persist_stores: 5,
+                persist_gc_deleted: 2,
             },
             workers: vec![
                 WorkerMetrics { executed: 5, stolen: 1 },

@@ -9,7 +9,7 @@ use ssync_baselines::CompilerKind;
 use ssync_circuit::generators::qft;
 use ssync_core::{CompileOutcome, CompilerConfig};
 use ssync_service::client::ServiceClient;
-use ssync_service::wire::RemoteRequest;
+use ssync_service::wire::{RemoteQasmRequest, RemoteRequest};
 use ssync_service::{Priority, TenantId};
 use std::process::{Child, Command, Stdio};
 
@@ -100,6 +100,80 @@ fn all_compiler_kinds_agree_over_stdio() {
         let direct = kind.compile_on(&device, &circuit, &config).expect("compiles");
         assert_bit_identical(&direct, &remote, &format!("{kind:?}"));
     }
+
+    client.shutdown().expect("shutdown");
+    assert!(child.wait().expect("daemon exits").success());
+}
+
+/// The ISSUE-5 acceptance path: raw QASM source submitted over the wire
+/// (v2 `SubmitQasm`) compiles in the daemon bit-identically to parsing
+/// the same source locally and calling `compile_on`; a corpus file from
+/// `workloads/` rides along; parse failures surface as rejections with
+/// the diagnostic; and an expired deadline crosses the wire as
+/// `DeadlineExceeded`.
+#[test]
+fn qasm_submission_is_bit_identical_to_local_parse_and_compile() {
+    let config = CompilerConfig::default();
+    let (mut child, mut client) = spawn_stdio_daemon(&[]);
+
+    // An exported circuit plus a checked-in corpus file.
+    let exported = ssync_qasm::export(&qft(10));
+    let corpus = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../workloads/gatedefs.qasm"),
+    )
+    .expect("corpus file checked in");
+    for (what, source) in [("exported qft", &exported), ("workloads/gatedefs.qasm", &corpus)] {
+        let (job, report) = client
+            .submit_qasm(
+                &RemoteQasmRequest::new("G-2x3", source.clone(), CompilerKind::SSync, config)
+                    .with_tenant(TenantId::from_name("qasm-smoke")),
+            )
+            .expect("submit_qasm");
+        // The stripping report crosses the wire: the corpus file measures
+        // four bits, the exported circuit strips nothing.
+        if what == "workloads/gatedefs.qasm" {
+            assert_eq!(report.measurements_stripped, 4, "{what}");
+            assert!(report.gates_inlined > 0, "{what}");
+        } else {
+            assert!(!report.stripped_anything(), "{what}");
+        }
+        let remote = client.wait(job).expect("wait").expect("compiles");
+
+        let circuit = ssync_qasm::parse(source).expect("parses locally").circuit;
+        let device = Device::build(QccdTopology::named("G-2x3").unwrap(), config.weights);
+        let direct = CompilerKind::SSync.compile_on(&device, &circuit, &config).expect("compiles");
+        assert_bit_identical(&direct, &remote, what);
+    }
+
+    // A malformed program is rejected with the parser's diagnostic.
+    let rejected = client.submit_qasm(&RemoteQasmRequest::new(
+        "G-2x3",
+        "OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n",
+        CompilerKind::SSync,
+        config,
+    ));
+    match rejected {
+        Err(ssync_service::client::ClientError::Rejected(reason)) => {
+            assert!(reason.contains("qasm parse error"), "{reason}");
+            assert!(reason.contains("takes 2 qubit arguments"), "{reason}");
+        }
+        other => panic!("expected a rejection, got {other:?}"),
+    }
+
+    // A pre-expired deadline crosses the wire as the typed error.
+    let (job, _report) = client
+        .submit_qasm(
+            &RemoteQasmRequest::new("G-2x3", exported, CompilerKind::Dai, config)
+                .with_deadline_us(0),
+        )
+        .expect("submit_qasm");
+    let result = client.wait(job).expect("wait");
+    assert!(
+        matches!(result, Err(ssync_core::CompileError::DeadlineExceeded { deadline_us: 0 })),
+        "got {result:?}"
+    );
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.jobs_deadline_expired, 1);
 
     client.shutdown().expect("shutdown");
     assert!(child.wait().expect("daemon exits").success());

@@ -19,7 +19,7 @@ use ssync_baselines::CompilerKind;
 use ssync_circuit::generators::qft;
 use ssync_core::CompilerConfig;
 use ssync_service::client::ServiceClient;
-use ssync_service::wire::RemoteRequest;
+use ssync_service::wire::{RemoteQasmRequest, RemoteRequest};
 use ssync_service::{Priority, TenantId};
 use std::process::{Command, Stdio};
 
@@ -81,6 +81,30 @@ fn main() {
     println!("remote outcome: {} shuttles, {} swaps", counts.shuttles, counts.swap_gates);
     println!("  success rate {:.4}", remote.report().success_rate);
     println!("  bit-identical to direct compile_on: yes");
+
+    // The wire-v2 QASM path: ship raw OpenQASM 2.0 source text and let
+    // the daemon parse + lower + compile it. Proven bit-identical to
+    // parsing locally and compiling in-process.
+    let source = ssync_qasm::export(&circuit);
+    println!("re-submitting {} as {} bytes of OpenQASM 2.0 source", circuit.name(), source.len());
+    let (job, report) = client
+        .submit_qasm(
+            &RemoteQasmRequest::new(device_name, source.clone(), CompilerKind::SSync, config)
+                .with_tenant(TenantId::from_name("remote-example")),
+        )
+        .expect("submit qasm over the wire");
+    assert!(!report.stripped_anything(), "an exported circuit strips nothing");
+    let from_qasm = client.wait(job).expect("wait over the wire").expect("compiles");
+    let local_parse = ssync_qasm::parse(&source).expect("parses locally").circuit;
+    let direct_qasm =
+        CompilerKind::SSync.compile_on(&device, &local_parse, &config).expect("compiles");
+    assert_eq!(
+        direct_qasm.program().ops(),
+        from_qasm.program().ops(),
+        "qasm path must match local parse + compile_on"
+    );
+    assert_eq!(direct_qasm.final_placement(), from_qasm.final_placement());
+    println!("  daemon-parsed QASM bit-identical to local parse + compile_on: yes");
 
     let metrics = client.metrics().expect("metrics");
     println!(

@@ -1,0 +1,204 @@
+//! The QASM front-end's workspace-level guarantees:
+//!
+//! 1. **Round-trip** — `parse(export(c))` preserves `content_hash` for
+//!    every generator app and for random circuits over the full gate
+//!    set (property-based).
+//! 2. **Golden corpus** — every checked-in `workloads/*.qasm` file
+//!    parses, and compiles under **all four** `CompilerKind`s, with the
+//!    compile-service output bit-identical to direct `compile_on`.
+
+use proptest::prelude::*;
+use ssync_baselines::CompilerKind;
+use ssync_circuit::generators::{self, random_two_qubit_circuit};
+use ssync_circuit::{Circuit, Gate, Qubit};
+use ssync_core::CompilerConfig;
+use ssync_qasm::{export, parse};
+use ssync_service::{CompileRequest, CompileService};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn assert_round_trip(circuit: &Circuit) {
+    let text = export(circuit);
+    let out = parse(&text).unwrap_or_else(|e| panic!("{} fails to re-import: {e}", circuit.name()));
+    assert_eq!(
+        out.circuit.content_hash(),
+        circuit.content_hash(),
+        "{} changed through export→import",
+        circuit.name()
+    );
+    assert_eq!(out.circuit.gates(), circuit.gates(), "{}", circuit.name());
+    assert_eq!(out.circuit.num_qubits(), circuit.num_qubits(), "{}", circuit.name());
+}
+
+/// Every generator application round-trips at several sizes (the
+/// acceptance criterion's deterministic half).
+#[test]
+fn all_generator_apps_round_trip_content_hashes() {
+    let circuits = [
+        generators::qft(8),
+        generators::qft(16),
+        generators::cuccaro_adder(4),
+        generators::cuccaro_adder(8),
+        generators::bernstein_vazirani(8),
+        generators::bernstein_vazirani_with_secret(&[
+            true, false, true, true, false, false, true, true, false, true,
+        ]),
+        generators::qaoa_nearest_neighbor(8, 2),
+        generators::qaoa_random_graph(8, 2, 0.5, 7),
+        generators::alt_ansatz(8, 2),
+        generators::heisenberg_chain(6, 3),
+    ];
+    for circuit in &circuits {
+        assert_round_trip(circuit);
+    }
+}
+
+/// A circuit drawing every gate kind with adversarial angles.
+fn gate_soup(qubits: usize, gates: usize, seed: u64) -> Circuit {
+    let mut c = Circuit::with_name(qubits, format!("soup_{qubits}_{gates}_{seed}"));
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+    for _ in 0..gates {
+        let a = Qubit((next() % qubits as u64) as u32);
+        let mut b = Qubit((next() % qubits as u64) as u32);
+        if b == a {
+            b = Qubit((a.0 + 1) % qubits as u32);
+        }
+        // Angles spanning signs, magnitudes and awkward expansions.
+        let angle = match next() % 6 {
+            0 => f64::from_bits(0x3FF0_0000_0000_0000 | (next() >> 12)), // [1, 2)
+            1 => -(next() as f64) / (u64::MAX as f64) * std::f64::consts::PI,
+            2 => (next() as f64).recip(),
+            3 => 1.0 / 3.0 * (next() % 100) as f64,
+            4 => 0.1 + 0.2 + (next() % 10) as f64,
+            _ => (next() % 1_000_000) as f64 * 1e-9,
+        };
+        let gate = match next() % 13 {
+            0 => Gate::H(a),
+            1 => Gate::X(a),
+            2 => Gate::Rx(a, angle),
+            3 => Gate::Ry(a, angle),
+            4 => Gate::Rz(a, angle),
+            5 => Gate::Cx(a, b),
+            6 => Gate::Cz(a, b),
+            7 => Gate::Cp(a, b, angle),
+            8 => Gate::Ms(a, b),
+            9 => Gate::Rzz(a, b, angle),
+            10 => Gate::Rxx(a, b, angle),
+            11 => Gate::Ryy(a, b, angle),
+            _ => Gate::Swap(a, b),
+        };
+        c.push(gate);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random circuits over the full gate set (all 13 kinds, adversarial
+    /// float angles) round-trip exactly.
+    #[test]
+    fn random_gate_soup_round_trips(
+        qubits in 2usize..24,
+        gates in 0usize..120,
+        seed in 0u64..1_000_000,
+    ) {
+        assert_round_trip(&gate_soup(qubits, gates, seed));
+    }
+
+    /// The generator used by the batch/service golden tests round-trips
+    /// at every size it is drawn at.
+    #[test]
+    fn random_two_qubit_circuits_round_trip(
+        qubits in 2usize..20,
+        gates in 0usize..80,
+        seed in 0u64..1_000,
+    ) {
+        assert_round_trip(&random_two_qubit_circuit(qubits, gates, seed));
+    }
+}
+
+fn workloads_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../workloads")
+}
+
+fn corpus() -> Vec<(String, Circuit)> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(workloads_dir())
+        .expect("workloads/ checked in")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "qasm"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 9, "corpus must keep its six exports + three hand-written files");
+    paths
+        .into_iter()
+        .map(|path| {
+            let name = path.file_stem().unwrap().to_str().unwrap().to_string();
+            let source = std::fs::read_to_string(&path).expect("readable corpus file");
+            let out = ssync_qasm::parse_named(&source, &name)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (name, out.circuit)
+        })
+        .collect()
+}
+
+/// Golden: every corpus file parses, exports back out, and re-imports
+/// with an unchanged hash (export is total over parsed circuits).
+#[test]
+fn every_corpus_file_parses_and_round_trips() {
+    for (name, circuit) in corpus() {
+        assert!(!circuit.is_empty(), "{name} lowered to an empty circuit");
+        assert_round_trip(&circuit);
+    }
+}
+
+/// Golden: every corpus file compiles under all four compiler kinds on a
+/// device that forces real routing, and the compile-service output is
+/// bit-identical to direct `compile_on` — the service changes *where* a
+/// parsed workload compiles, never *what* it produces.
+#[test]
+fn corpus_compiles_under_all_kinds_service_equals_direct() {
+    let config = CompilerConfig::default();
+    let service = CompileService::with_workers(2);
+    // Small traps (capacity 4) so even 6–10-qubit workloads shuttle.
+    let registered = service
+        .registry()
+        .get_or_build("tiny-G-2x2c4", config.weights, || ssync_arch::QccdTopology::grid(2, 2, 4));
+    let circuits: Vec<(String, Arc<Circuit>)> =
+        corpus().into_iter().map(|(name, c)| (name, Arc::new(c))).collect();
+    let requests = circuits.iter().flat_map(|(_, circuit)| {
+        CompilerKind::ALL.into_iter().map(|kind| {
+            CompileRequest::new(Arc::clone(&registered), Arc::clone(circuit), kind, config)
+        })
+    });
+    let handles = service.submit_batch(requests);
+    for ((name, circuit), chunk) in circuits.iter().zip(handles.chunks(CompilerKind::ALL.len())) {
+        for (kind, handle) in CompilerKind::ALL.into_iter().zip(chunk) {
+            let via_service = handle
+                .wait()
+                .unwrap_or_else(|e| panic!("{name} under {kind:?} fails to compile: {e}"));
+            let direct = kind
+                .compile_on(registered.device(), circuit, &config)
+                .expect("direct compile succeeds");
+            assert_eq!(
+                direct.program().ops(),
+                via_service.program().ops(),
+                "{name} under {kind:?}: service ops diverge from compile_on"
+            );
+            assert_eq!(
+                direct.final_placement(),
+                via_service.final_placement(),
+                "{name} under {kind:?}: placements diverge"
+            );
+            assert_eq!(
+                direct.report().success_rate.to_bits(),
+                via_service.report().success_rate.to_bits(),
+                "{name} under {kind:?}: reports diverge"
+            );
+        }
+    }
+}

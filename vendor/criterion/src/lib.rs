@@ -4,14 +4,18 @@
 //! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
 //! `criterion_group!`, `criterion_main!`) as a plain wall-clock harness:
 //! each benchmark runs a warm-up pass plus `sample_size` timed samples and
-//! reports the per-iteration mean and minimum.
+//! reports the per-iteration mean, **median** and minimum alongside the
+//! sample count. The median is the robust location estimate — one
+//! descheduled sample skews the mean but leaves the median untouched —
+//! so trajectory comparisons across commits should prefer it.
 //!
 //! Environment knobs (used by CI):
 //!
 //! * `SSYNC_BENCH_QUICK=1` — clamp every benchmark to 3 samples.
 //! * `SSYNC_BENCH_JSON=<path>` — additionally dump all results as a JSON
-//!   array of `{"name": ..., "mean_ns": ..., "min_ns": ..., "samples": ...}`
-//!   objects (the format committed in `BENCH_scheduling.json`).
+//!   array of `{"name": ..., "mean_ns": ..., "median_ns": ...,
+//!   "min_ns": ..., "samples": ...}` objects (the format committed in
+//!   `BENCH_scheduling.json`).
 
 use std::fmt;
 use std::fs;
@@ -30,10 +34,25 @@ pub struct BenchResult {
     pub name: String,
     /// Mean wall-clock nanoseconds per iteration.
     pub mean_ns: f64,
+    /// Median wall-clock nanoseconds per iteration (midpoint average for
+    /// even sample counts) — robust against scheduler-noise outliers.
+    pub median_ns: f64,
     /// Fastest sample in nanoseconds per iteration.
     pub min_ns: f64,
     /// Number of timed samples.
     pub samples: usize,
+}
+
+/// Median of a sample set (midpoint average for even counts). The slice
+/// is sorted in place.
+fn median_of(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are never NaN"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
 }
 
 /// Identifier of a parameterised benchmark (`function/parameter`).
@@ -82,6 +101,24 @@ fn quick_mode() -> bool {
     std::env::var("SSYNC_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
+/// Aggregates one benchmark's samples into a printed [`BenchResult`];
+/// `None` when nothing was timed.
+fn summarize(name: String, samples_ns: &[f64]) -> Option<BenchResult> {
+    if samples_ns.is_empty() {
+        return None;
+    }
+    let n = samples_ns.len();
+    let mean = samples_ns.iter().sum::<f64>() / n as f64;
+    let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let median = median_of(&mut samples_ns.to_vec());
+    let result = BenchResult { name, mean_ns: mean, median_ns: median, min_ns: min, samples: n };
+    println!(
+        "{:<56} mean {:>12.1} ns  median {:>12.1} ns  min {:>12.1} ns  ({} samples)",
+        result.name, result.mean_ns, result.median_ns, result.min_ns, result.samples
+    );
+    Some(result)
+}
+
 /// A named group of benchmarks sharing a sample size.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
@@ -127,23 +164,9 @@ impl<'a> BenchmarkGroup<'a> {
     pub fn finish(&mut self) {}
 
     fn record(&mut self, id: String, bencher: &Bencher) {
-        if bencher.samples_ns.is_empty() {
-            return;
+        if let Some(result) = summarize(format!("{}/{}", self.name, id), &bencher.samples_ns) {
+            self.criterion.results.push(result);
         }
-        let n = bencher.samples_ns.len();
-        let mean = bencher.samples_ns.iter().sum::<f64>() / n as f64;
-        let min = bencher.samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
-        let result = BenchResult {
-            name: format!("{}/{}", self.name, id),
-            mean_ns: mean,
-            min_ns: min,
-            samples: n,
-        };
-        println!(
-            "{:<56} mean {:>12.1} ns  min {:>12.1} ns  ({} samples)",
-            result.name, result.mean_ns, result.min_ns, result.samples
-        );
-        self.criterion.results.push(result);
     }
 }
 
@@ -161,20 +184,11 @@ impl Criterion {
 
     /// Runs a standalone benchmark outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, routine: F) {
-        let name = id.to_string();
         let sample_size = if quick_mode() { 3 } else { 10 };
         let mut bencher = Bencher { sample_size, samples_ns: Vec::new() };
         let mut routine = routine;
         routine(&mut bencher);
-        if !bencher.samples_ns.is_empty() {
-            let n = bencher.samples_ns.len();
-            let mean = bencher.samples_ns.iter().sum::<f64>() / n as f64;
-            let min = bencher.samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
-            let result = BenchResult { name, mean_ns: mean, min_ns: min, samples: n };
-            println!(
-                "{:<56} mean {:>12.1} ns  min {:>12.1} ns  ({} samples)",
-                result.name, result.mean_ns, result.min_ns, result.samples
-            );
+        if let Some(result) = summarize(id.to_string(), &bencher.samples_ns) {
             self.results.push(result);
         }
     }
@@ -195,9 +209,11 @@ impl Criterion {
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 < self.results.len() { "," } else { "" };
             out.push_str(&format!(
-                "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+                "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
                 r.name.replace('"', "'"),
                 r.mean_ns,
+                r.median_ns,
                 r.min_ns,
                 r.samples,
                 comma
@@ -252,6 +268,18 @@ mod tests {
         assert_eq!(c.results()[0].name, "g/f");
         assert_eq!(c.results()[1].name, "g/h/3");
         assert!(c.results()[0].mean_ns >= 0.0);
+        assert!(c.results()[0].median_ns >= c.results()[0].min_ns);
+        assert_eq!(c.results()[0].samples, 2);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        assert_eq!(median_of(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_of(&mut [5.0]), 5.0);
+        // One descheduled 100× sample moves the mean, not the median.
+        let mut noisy = [10.0, 11.0, 9.0, 1000.0, 10.0];
+        assert_eq!(median_of(&mut noisy), 10.0);
     }
 
     #[test]

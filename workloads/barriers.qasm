@@ -1,0 +1,24 @@
+// Hand-written corpus entry: barriers as dependency fences.
+// A GHZ ladder with barriers separating preparation, entanglement and
+// un-computation; the fence collapses into program order on the
+// per-qubit dependency DAG (see docs/WORKLOADS.md).
+OPENQASM 2.0;
+include "qelib1.inc";
+
+qreg q[6];
+creg c[6];
+
+h q[0];
+barrier q[0], q[1];
+cx q[0], q[1];
+cx q[1], q[2];
+barrier q;
+cx q[2], q[3];
+cx q[3], q[4];
+cx q[4], q[5];
+barrier q[3], q[4], q[5];
+// Un-compute the upper half under its own fence.
+cx q[4], q[5];
+cx q[3], q[4];
+barrier q;
+measure q -> c;

@@ -1,0 +1,51 @@
+// Hand-written corpus entry: user gate definitions inlined recursively.
+// A Cuccaro-style MAJ/UMA ripple-carry step built from nested
+// subroutines (no includes beyond the standard library), plus a
+// parameterised two-level rotation macro.
+OPENQASM 2.0;
+include "qelib1.inc";
+
+qreg cin[1];
+qreg a[3];
+qreg b[3];
+qreg cout[1];
+creg result[4];
+
+// majority / unmajority-and-add: the classic adder building blocks.
+gate maj a, b, c {
+  cx c, b;
+  cx c, a;
+  ccx a, b, c;
+}
+gate uma a, b, c {
+  ccx a, b, c;
+  cx c, a;
+  cx a, b;
+}
+
+// A two-level macro: wiggle() calls twist(), which calls the stdlib.
+gate twist(theta) x, y {
+  rz(theta / 2) x;
+  cx x, y;
+  rz(-theta / 2) y;
+}
+gate wiggle(theta, phi) x, y {
+  twist(theta) x, y;
+  twist(phi) y, x;
+}
+
+maj cin[0], b[0], a[0];
+maj a[0], b[1], a[1];
+maj a[1], b[2], a[2];
+cx a[2], cout[0];
+uma a[1], b[2], a[2];
+uma a[0], b[1], a[1];
+uma cin[0], b[0], a[0];
+
+wiggle(pi / 3, -pi / 7) a[0], b[0];
+wiggle(0.25, 2 ^ -2) a[1], b[1];
+
+measure b[0] -> result[0];
+measure b[1] -> result[1];
+measure b[2] -> result[2];
+measure cout[0] -> result[3];

@@ -1,0 +1,52 @@
+// Hand-written corpus entry: the qelib1 standard-library surface.
+// Exercises u1/u2/u3 lowering, phase-family gates, controlled
+// decompositions, Toffoli/Fredkin networks, register broadcasting,
+// expression arithmetic, and measure/reset/if stripping.
+OPENQASM 2.0;
+include "qelib1.inc";
+
+qreg q[4];
+qreg anc[2];
+creg c[4];
+
+// Single-qubit zoo (broadcast over the whole register where sensible).
+h q;
+id q[0];
+x q[1];
+y q[2];
+z q[3];
+s q[0];
+sdg q[1];
+t q[2];
+tdg q[3];
+sx q[0];
+u1(pi / 8) q[1];
+u2(0, pi) q[2];
+u3(pi / 2, -pi / 4, pi / 4) q[3];
+rx(0.1) q[0];
+ry(-0.2) q[1];
+rz(sin(pi / 6)) q[2];
+
+// Two-qubit zoo.
+cx q[0], q[1];
+cz q[1], q[2];
+cy q[2], q[3];
+ch q[0], q[2];
+cp(pi / 16) q[1], q[3];
+cu1(-pi / 16) q[0], q[3];
+crx(0.3) q[0], q[1];
+cry(0.4) q[1], q[2];
+crz(0.5) q[2], q[3];
+cu3(pi / 5, 0.1, -0.1) q[0], q[2];
+swap q[1], q[2];
+rxx(pi / 2) q[0], q[3];
+rzz(1.0 / 3.0) q[1], q[3];
+
+// Three-qubit networks onto the ancillas.
+ccx q[0], q[1], anc[0];
+cswap q[2], anc[0], anc[1];
+
+// Classical plumbing the lowering strips (with warning counters).
+reset anc[0];
+measure q -> c;
+if (c == 3) x anc[1];
