@@ -39,6 +39,19 @@ pub enum CompileError {
         /// submission.
         deadline_us: u64,
     },
+    /// The service shed this request at admission instead of queueing it
+    /// unboundedly: the backlog exceeded the watermark configured for the
+    /// request's priority class (lower-priority classes shed first, so
+    /// interactive traffic degrades last), or a per-connection /
+    /// per-tenant in-flight cap was hit. The request never entered a
+    /// queue; retrying after the hinted delay is expected to succeed once
+    /// the backlog drains.
+    Overloaded {
+        /// Advisory client back-off, in milliseconds. A hint, not a
+        /// promise — clients should add jitter and widen it on repeated
+        /// rejections (see `ServiceClient::submit_with_backoff`).
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -59,6 +72,9 @@ impl fmt::Display for CompileError {
             CompileError::DeadlineExceeded { deadline_us } => {
                 write!(f, "deadline of {deadline_us} µs expired before compilation started")
             }
+            CompileError::Overloaded { retry_after_ms } => {
+                write!(f, "service overloaded; retry after ~{retry_after_ms} ms")
+            }
         }
     }
 }
@@ -77,6 +93,7 @@ mod tests {
         assert!(CompileError::SchedulingStalled { remaining_gates: 3 }
             .to_string()
             .contains("3 gates"));
+        assert!(CompileError::Overloaded { retry_after_ms: 40 }.to_string().contains("40 ms"));
     }
 
     #[test]

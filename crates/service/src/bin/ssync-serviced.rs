@@ -1,14 +1,15 @@
 //! `ssync-serviced` — the standalone compile daemon.
 //!
 //! Wraps a [`ssync_service::CompileService`] in the wire protocol of
-//! `ssync_service::wire` over one of two transports:
+//! `ssync_service::wire` over one of three transports:
 //!
 //! ```text
 //! ssync-serviced --stdio                          # frames on stdin/stdout
 //! ssync-serviced --socket /tmp/ssync.sock         # Unix domain socket
+//! ssync-serviced --tcp 127.0.0.1:7878             # hardened TCP listener
 //! ```
 //!
-//! Options:
+//! General options:
 //!
 //! * `--workers N` — worker threads (default: `SSYNC_BATCH_WORKERS` or
 //!   the machine's parallelism).
@@ -22,47 +23,105 @@
 //!   collect the persistent directory at startup (oldest-mtime-first)
 //!   down to a byte/age budget (default: the `SSYNC_CACHE_DIR_MAX_*`
 //!   environment variables, else unbounded).
+//! * `--janitor-interval-secs N` — run the persistent-tier GC
+//!   periodically on a background janitor thread, not just at startup
+//!   (requires `--cache-dir` and at least one `--cache-dir-max-*`
+//!   budget).
 //!
-//! The daemon exits on a `Shutdown` request, or on EOF in stdio mode.
+//! TCP hardening options (see `ssync_service::front::FrontConfig`):
+//!
+//! * `--auth-token SECRET` — require the shared token on a `Hello`
+//!   handshake before any other request (default: the
+//!   `SSYNC_AUTH_TOKEN` environment variable, else open). Prefer the
+//!   environment variable: argv is world-readable on most systems.
+//! * `--idle-timeout-secs N` — per-read socket timeout; idle/half-open
+//!   peers are disconnected (default 300, `0` = never).
+//! * `--frame-budget-secs N` — whole-frame time budget, the slow-loris
+//!   defence (default 30, `0` = unbounded).
+//! * `--max-inflight-per-conn N` / `--max-inflight-per-tenant N` —
+//!   admission caps on outstanding jobs (`0` = uncapped, the default).
+//! * `--queue-watermark N` — queue-depth ceiling for load shedding;
+//!   Batch sheds at half of it, Normal at three quarters, High at the
+//!   full mark (`0` = never shed, the default).
+//! * `--retry-after-ms N` — the advisory back-off carried in
+//!   `Overloaded` rejections (default 50).
+//! * `--port-file PATH` — write the bound address to `PATH` after
+//!   listening starts; with `--tcp 127.0.0.1:0` this is how peers learn
+//!   the OS-assigned port.
+//!
+//! The daemon exits on a `Shutdown` request, or on EOF in stdio mode. A
+//! `Shutdown` on the TCP transport *drains*: the listener stops
+//! accepting, in-flight jobs finish and stay collectable until their
+//! peers disconnect, and a final metrics snapshot is flushed to stderr
+//! before the process ends.
 
 use ssync_core::CacheBounds;
-use ssync_service::{front, CompileService};
+use ssync_service::{front, CompileService, FrontConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Options {
     stdio: bool,
     socket: Option<std::path::PathBuf>,
+    tcp: Option<String>,
     workers: usize,
     bounds: CacheBounds,
     cache_dir: Option<std::path::PathBuf>,
     cache_dir_max_bytes: Option<u64>,
     cache_dir_max_age_secs: Option<u64>,
+    janitor_interval_secs: Option<u64>,
+    auth_token: Option<String>,
+    idle_timeout_secs: u64,
+    frame_budget_secs: u64,
+    max_inflight_per_conn: Option<usize>,
+    max_inflight_per_tenant: Option<usize>,
+    queue_watermark: Option<usize>,
+    retry_after_ms: u64,
+    port_file: Option<std::path::PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: ssync-serviced (--stdio | --socket PATH) [--workers N] \
+    "usage: ssync-serviced (--stdio | --socket PATH | --tcp ADDR) [--workers N] \
      [--cache-max-entries N] [--cache-max-bytes N] [--cache-dir DIR] \
-     [--cache-dir-max-bytes N] [--cache-dir-max-age-secs N]"
+     [--cache-dir-max-bytes N] [--cache-dir-max-age-secs N] \
+     [--janitor-interval-secs N] [--auth-token SECRET] [--idle-timeout-secs N] \
+     [--frame-budget-secs N] [--max-inflight-per-conn N] \
+     [--max-inflight-per-tenant N] [--queue-watermark N] [--retry-after-ms N] \
+     [--port-file PATH]"
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         stdio: false,
         socket: None,
+        tcp: None,
         workers: 0,
         bounds: CacheBounds::from_env(),
         cache_dir: None,
         cache_dir_max_bytes: None,
         cache_dir_max_age_secs: None,
+        janitor_interval_secs: None,
+        auth_token: std::env::var("SSYNC_AUTH_TOKEN").ok().filter(|t| !t.is_empty()),
+        idle_timeout_secs: 300,
+        frame_budget_secs: 30,
+        max_inflight_per_conn: None,
+        max_inflight_per_tenant: None,
+        queue_watermark: None,
+        retry_after_ms: 50,
+        port_file: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value =
             |what: &str| args.next().ok_or_else(|| format!("{what} needs a value\n{}", usage()));
+        let parse_u64 = |what: &str, raw: String| -> Result<u64, String> {
+            raw.parse().map_err(|_| format!("{what} expects an integer"))
+        };
         match arg.as_str() {
             "--stdio" => options.stdio = true,
             "--socket" => options.socket = Some(value("--socket")?.into()),
+            "--tcp" => options.tcp = Some(value("--tcp")?),
             "--workers" => {
                 options.workers = value("--workers")?
                     .parse()
@@ -84,25 +143,70 @@ fn parse_args() -> Result<Options, String> {
             "--cache-dir" => options.cache_dir = Some(value("--cache-dir")?.into()),
             // `0` means unbounded, like the SSYNC_CACHE_DIR_MAX_* env vars.
             "--cache-dir-max-bytes" => {
-                let n: u64 = value("--cache-dir-max-bytes")?
-                    .parse()
-                    .map_err(|_| "--cache-dir-max-bytes expects an integer".to_string())?;
+                let n = parse_u64("--cache-dir-max-bytes", value("--cache-dir-max-bytes")?)?;
                 options.cache_dir_max_bytes = (n > 0).then_some(n);
             }
             "--cache-dir-max-age-secs" => {
-                let n: u64 = value("--cache-dir-max-age-secs")?
-                    .parse()
-                    .map_err(|_| "--cache-dir-max-age-secs expects an integer".to_string())?;
+                let n = parse_u64("--cache-dir-max-age-secs", value("--cache-dir-max-age-secs")?)?;
                 options.cache_dir_max_age_secs = (n > 0).then_some(n);
             }
+            "--janitor-interval-secs" => {
+                let n = parse_u64("--janitor-interval-secs", value("--janitor-interval-secs")?)?;
+                options.janitor_interval_secs = (n > 0).then_some(n);
+            }
+            "--auth-token" => options.auth_token = Some(value("--auth-token")?),
+            "--idle-timeout-secs" => {
+                options.idle_timeout_secs =
+                    parse_u64("--idle-timeout-secs", value("--idle-timeout-secs")?)?;
+            }
+            "--frame-budget-secs" => {
+                options.frame_budget_secs =
+                    parse_u64("--frame-budget-secs", value("--frame-budget-secs")?)?;
+            }
+            "--max-inflight-per-conn" => {
+                let n = parse_u64("--max-inflight-per-conn", value("--max-inflight-per-conn")?)?;
+                options.max_inflight_per_conn = (n > 0).then_some(n as usize);
+            }
+            "--max-inflight-per-tenant" => {
+                let n =
+                    parse_u64("--max-inflight-per-tenant", value("--max-inflight-per-tenant")?)?;
+                options.max_inflight_per_tenant = (n > 0).then_some(n as usize);
+            }
+            "--queue-watermark" => {
+                let n = parse_u64("--queue-watermark", value("--queue-watermark")?)?;
+                options.queue_watermark = (n > 0).then_some(n as usize);
+            }
+            "--retry-after-ms" => {
+                options.retry_after_ms = parse_u64("--retry-after-ms", value("--retry-after-ms")?)?;
+            }
+            "--port-file" => options.port_file = Some(value("--port-file")?.into()),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
     }
-    if options.stdio == options.socket.is_some() {
+    let transports = usize::from(options.stdio)
+        + usize::from(options.socket.is_some())
+        + usize::from(options.tcp.is_some());
+    if transports != 1 {
         return Err(format!("pick exactly one transport\n{}", usage()));
     }
     Ok(options)
+}
+
+impl Options {
+    fn front_config(&self) -> FrontConfig {
+        FrontConfig {
+            auth_token: self.auth_token.clone(),
+            read_timeout: (self.idle_timeout_secs > 0)
+                .then(|| Duration::from_secs(self.idle_timeout_secs)),
+            frame_budget: (self.frame_budget_secs > 0)
+                .then(|| Duration::from_secs(self.frame_budget_secs)),
+            max_inflight_per_conn: self.max_inflight_per_conn,
+            max_inflight_per_tenant: self.max_inflight_per_tenant,
+            queue_watermark: self.queue_watermark,
+            retry_after_ms: self.retry_after_ms,
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -125,18 +229,39 @@ fn main() -> ExitCode {
         builder = builder.persist_max_age(std::time::Duration::from_secs(secs));
     }
     let service = Arc::new(builder.build());
+    let _janitor =
+        options.janitor_interval_secs.map(|secs| service.spawn_janitor(Duration::from_secs(secs)));
     eprintln!(
-        "[ssync-serviced] serving with {} workers (cache: {:?}, persist: {:?})",
+        "[ssync-serviced] serving with {} workers (cache: {:?}, persist: {:?}, janitor: {:?}, auth: {})",
         service.workers(),
         service.cache().config().bounds,
         options.cache_dir,
+        options.janitor_interval_secs,
+        if options.auth_token.is_some() { "token" } else { "open" },
     );
     let result = if options.stdio {
         front::serve_stdio(&service)
+    } else if let Some(addr) = &options.tcp {
+        serve_tcp(&service, &options, addr)
     } else {
         let path = options.socket.as_deref().expect("validated by parse_args");
         front::serve_unix(&service, path)
     };
+    // Drain is complete: flush a final metrics snapshot so an operator
+    // (or a supervisor scraping stderr) sees what the lifetime did.
+    let metrics = service.metrics();
+    eprintln!(
+        "[ssync-serviced] final metrics: submitted={} completed={} shed={} unauthorized={} \
+         timed_out={} janitor_runs={} cache_hits={} queue_depth={}",
+        metrics.jobs_submitted,
+        metrics.jobs_completed,
+        metrics.rejected_overloaded,
+        metrics.rejected_unauthorized,
+        metrics.conns_timed_out,
+        metrics.janitor_gc_runs,
+        metrics.cache.hits,
+        metrics.queue_depth,
+    );
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(error) => {
@@ -144,4 +269,19 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Binds the TCP listener, publishes the bound address to `--port-file`
+/// (written atomically-enough via rename so a polling parent never reads
+/// a half-written line), and runs the hardened accept loop.
+fn serve_tcp(service: &Arc<CompileService>, options: &Options, addr: &str) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    eprintln!("[ssync-serviced] listening on tcp://{local}");
+    if let Some(path) = &options.port_file {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{local}\n"))?;
+        std::fs::rename(&tmp, path)?;
+    }
+    front::serve_tcp(service, listener, options.front_config())
 }

@@ -278,13 +278,7 @@ impl ResultCache {
     /// holds. Deletions are counted in
     /// [`CacheStats::persist_gc_deleted`].
     pub fn with_config(config: CacheConfig) -> Self {
-        let gc_deleted = match &config.persist_dir {
-            Some(dir) if config.persist_max_bytes.is_some() || config.persist_max_age.is_some() => {
-                gc_persist_dir(dir, config.persist_max_bytes, config.persist_max_age)
-            }
-            _ => 0,
-        };
-        ResultCache {
+        let cache = ResultCache {
             inner: Mutex::new(Inner::default()),
             config,
             hits: AtomicU64::new(0),
@@ -292,13 +286,41 @@ impl ResultCache {
             evictions: AtomicU64::new(0),
             persist_hits: AtomicU64::new(0),
             persist_stores: AtomicU64::new(0),
-            persist_gc_deleted: AtomicU64::new(gc_deleted),
-        }
+            persist_gc_deleted: AtomicU64::new(0),
+        };
+        cache.run_persist_gc();
+        cache
     }
 
     /// The active configuration.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// Runs the persistent-tier garbage collection **now** against the
+    /// configured byte/age budgets — the same sweep the constructor runs
+    /// at startup, callable periodically (the daemon's janitor thread)
+    /// so a long-lived process keeps its directory bounded instead of
+    /// only trimming it at boot. Deletion is safe while other processes
+    /// share the directory: writers publish via tmp + rename (GC skips
+    /// the dot-prefixed tmp files), and a reader losing a file mid-race
+    /// simply sees a miss. Returns how many files were deleted (also
+    /// added to [`CacheStats::persist_gc_deleted`]); a cache with no
+    /// persistent tier or no budgets deletes nothing.
+    pub fn run_persist_gc(&self) -> u64 {
+        let deleted = match &self.config.persist_dir {
+            Some(dir)
+                if self.config.persist_max_bytes.is_some()
+                    || self.config.persist_max_age.is_some() =>
+            {
+                gc_persist_dir(dir, self.config.persist_max_bytes, self.config.persist_max_age)
+            }
+            _ => 0,
+        };
+        if deleted > 0 {
+            self.persist_gc_deleted.fetch_add(deleted, Ordering::Relaxed);
+        }
+        deleted
     }
 
     /// Looks `key` up, counting the outcome as a hit or miss. An in-memory

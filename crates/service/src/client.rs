@@ -9,6 +9,26 @@
 //! server-side in the pool; spin up more connections for parallel
 //! waiting.
 //!
+//! ## TCP, auth and the backoff contract
+//!
+//! [`ServiceClient::connect_tcp`] dials a hardened TCP listener (see
+//! [`front::serve_tcp`](crate::front::serve_tcp)) and performs the
+//! `Hello`/`Welcome` handshake, presenting the shared token if the
+//! deployment requires one. A TCP client remembers its endpoint, so
+//! transient transport failures can be healed by a **transparent
+//! reconnect** during [`ServiceClient::submit_with_backoff`].
+//!
+//! When the server sheds a submit with
+//! [`ssync_core::CompileError::Overloaded`],
+//! the client surfaces it as [`ClientError::Overloaded`] carrying the
+//! server's `retry_after_ms` hint. [`ServiceClient::submit_with_backoff`]
+//! implements the retry contract a well-behaved client owes the service:
+//! bounded exponential backoff (doubling from
+//! [`BackoffPolicy::initial_ms`] up to [`BackoffPolicy::max_ms`]) with
+//! deterministic jitter, never sleeping less than the server's hint, and
+//! giving up — with the last underlying error attached — once the next
+//! sleep would cross [`BackoffPolicy::deadline`].
+//!
 //! ```no_run
 //! use ssync_baselines::CompilerKind;
 //! use ssync_circuit::generators::qft;
@@ -32,6 +52,7 @@ use crate::wire::{
 };
 use ssync_core::{CompileError, CompileOutcome};
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 /// What can go wrong talking to a remote service.
 #[derive(Debug)]
@@ -52,6 +73,21 @@ pub enum ClientError {
     ),
     /// The connection closed before a response arrived.
     Disconnected,
+    /// The server shed the submission at admission
+    /// ([`CompileError::Overloaded`]); retry after the hinted delay, or
+    /// let [`ServiceClient::submit_with_backoff`] do it.
+    Overloaded {
+        /// The server's advisory back-off, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// [`ServiceClient::submit_with_backoff`] ran out of deadline while
+    /// the failure stayed transient.
+    RetriesExhausted {
+        /// Submit attempts made before giving up.
+        attempts: u32,
+        /// The transient error the final attempt observed.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -64,6 +100,12 @@ impl std::fmt::Display for ClientError {
                 write!(f, "unexpected response variant: {what}")
             }
             ClientError::Disconnected => write!(f, "server disconnected"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "service overloaded; retry after ~{retry_after_ms} ms")
+            }
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -88,11 +130,88 @@ impl From<CodecError> for ClientError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RemoteJob(pub u64);
 
+/// The retry schedule [`ServiceClient::submit_with_backoff`] follows on
+/// transient failures (`Overloaded`, transport errors): exponential
+/// backoff doubling from [`initial_ms`](BackoffPolicy::initial_ms) and
+/// capped at [`max_ms`](BackoffPolicy::max_ms), plus deterministic
+/// jitter of up to half the current backoff (seeded xorshift — the
+/// workspace vendors no RNG crate, and a seeded sequence keeps tests
+/// reproducible). A sleep never undercuts the server's `retry_after_ms`
+/// hint, and the whole loop gives up once the next sleep would cross
+/// [`deadline`](BackoffPolicy::deadline).
+#[derive(Debug, Clone)]
+pub struct BackoffPolicy {
+    /// First retry delay, in milliseconds.
+    pub initial_ms: u64,
+    /// Ceiling on the exponential backoff, in milliseconds.
+    pub max_ms: u64,
+    /// Overall budget across all attempts (measured from the first
+    /// attempt; the first attempt itself always runs).
+    pub deadline: Duration,
+    /// Seed for the deterministic jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            initial_ms: 10,
+            max_ms: 2_000,
+            deadline: Duration::from_secs(30),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Returns a copy with a different overall deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Returns a copy with a different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One xorshift64 step: fast, seedable, plenty for decorrelating retry
+/// storms (this is jitter, not cryptography).
+fn xorshift64(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// The next sleep, in milliseconds: `backoff_ms` plus jitter of up to
+/// half of it, floored at the server's `retry_after_ms` hint so a client
+/// never comes back earlier than the service asked.
+fn next_wait_ms(backoff_ms: u64, hint_ms: Option<u64>, rng: &mut u64) -> u64 {
+    let jitter = xorshift64(rng) % (backoff_ms / 2 + 1);
+    (backoff_ms + jitter).max(hint_ms.unwrap_or(0))
+}
+
+/// How to re-establish a TCP session: the resolved address and the token
+/// to present in the `Hello` handshake.
+#[derive(Debug, Clone)]
+struct TcpEndpoint {
+    addr: std::net::SocketAddr,
+    token: Option<String>,
+}
+
 /// A synchronous connection to an `ssync-serviced` daemon over any byte
-/// stream pair (a Unix socket, or a child process's stdio).
+/// stream pair (a Unix socket, a TCP connection, or a child process's
+/// stdio).
 pub struct ServiceClient {
     reader: Box<dyn Read + Send>,
     writer: Box<dyn Write + Send>,
+    /// `Some` for TCP clients: lets transient transport failures heal by
+    /// dialling the endpoint again (job ids do not survive a reconnect —
+    /// they are per-connection server state).
+    endpoint: Option<TcpEndpoint>,
 }
 
 impl std::fmt::Debug for ServiceClient {
@@ -105,7 +224,7 @@ impl ServiceClient {
     /// A client over an explicit reader/writer pair — e.g. a spawned
     /// daemon's stdout/stdin (see `examples/remote_compile.rs`).
     pub fn over(reader: impl Read + Send + 'static, writer: impl Write + Send + 'static) -> Self {
-        ServiceClient { reader: Box::new(reader), writer: Box::new(writer) }
+        ServiceClient { reader: Box::new(reader), writer: Box::new(writer), endpoint: None }
     }
 
     /// Connects to a daemon listening on a Unix domain socket.
@@ -118,6 +237,67 @@ impl ServiceClient {
         let stream = std::os::unix::net::UnixStream::connect(path)?;
         let reader = stream.try_clone()?;
         Ok(Self::over(reader, stream))
+    }
+
+    /// Connects to a daemon's TCP listener and performs the
+    /// `Hello`/`Welcome` handshake, presenting `token` if the deployment
+    /// requires one (an empty token is sent otherwise — harmless against
+    /// an open listener, and it doubles as a protocol-version probe).
+    /// The endpoint is remembered so
+    /// [`submit_with_backoff`](ServiceClient::submit_with_backoff) can
+    /// transparently reconnect after transport failures.
+    ///
+    /// # Errors
+    ///
+    /// Connect/transport failures, [`ClientError::Rejected`] when the
+    /// server refuses the token, or
+    /// [`ClientError::UnexpectedResponse`] if the peer is not an
+    /// `ssync-serviced` TCP front-end.
+    pub fn connect_tcp(
+        addr: impl std::net::ToSocketAddrs,
+        token: Option<&str>,
+    ) -> Result<Self, ClientError> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ))
+        })?;
+        let endpoint = TcpEndpoint { addr, token: token.map(String::from) };
+        let mut client = Self::dial(&endpoint)?;
+        client.endpoint = Some(endpoint);
+        Ok(client)
+    }
+
+    /// Opens a fresh TCP session to `endpoint` and runs the handshake.
+    fn dial(endpoint: &TcpEndpoint) -> Result<Self, ClientError> {
+        let stream = std::net::TcpStream::connect(endpoint.addr)?;
+        let _ = stream.set_nodelay(true); // request/response protocol
+        let reader = stream.try_clone()?;
+        let mut client = Self::over(reader, stream);
+        let hello = Request::Hello { token: endpoint.token.clone().unwrap_or_default() };
+        match client.round_trip(&hello)? {
+            Response::Welcome { .. } => Ok(client),
+            _ => Err(ClientError::UnexpectedResponse("hello expected Welcome")),
+        }
+    }
+
+    /// Replaces a (presumed dead) TCP session with a fresh one to the
+    /// remembered endpoint. `false` when this client has no endpoint
+    /// (stdio/Unix transports) or the dial itself failed — the caller's
+    /// backoff loop treats that as one more transient failure.
+    fn reconnect(&mut self) -> bool {
+        let Some(endpoint) = self.endpoint.clone() else {
+            return false;
+        };
+        match Self::dial(&endpoint) {
+            Ok(fresh) => {
+                self.reader = fresh.reader;
+                self.writer = fresh.writer;
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -140,7 +320,96 @@ impl ServiceClient {
     pub fn submit(&mut self, request: &RemoteRequest) -> Result<RemoteJob, ClientError> {
         match self.round_trip(&Request::Submit(Box::new(request.clone())))? {
             Response::Submitted { job } => Ok(RemoteJob(job)),
+            Response::CompileFailed(CompileError::Overloaded { retry_after_ms }) => {
+                Err(ClientError::Overloaded { retry_after_ms })
+            }
             _ => Err(ClientError::UnexpectedResponse("submit expected Submitted")),
+        }
+    }
+
+    /// [`submit`](ServiceClient::submit) with the retry contract: on
+    /// `Overloaded` or a transport failure, sleep per `policy` (bounded
+    /// exponential backoff, deterministic jitter, never undercutting the
+    /// server's `retry_after_ms` hint), transparently reconnect TCP
+    /// sessions, and try again — until acceptance, a permanent error, or
+    /// the policy's deadline.
+    ///
+    /// A retried submit is **at-least-once**: if the transport died after
+    /// the server accepted but before the `Submitted` frame arrived, the
+    /// retry compiles the request again — the result cache and in-flight
+    /// coalescing make the duplicate cheap, and job ids from before a
+    /// reconnect are invalid anyway (they are per-connection state).
+    ///
+    /// # Errors
+    ///
+    /// Permanent errors ([`ClientError::Rejected`], codec failures)
+    /// propagate immediately; exhausting the deadline returns
+    /// [`ClientError::RetriesExhausted`] wrapping the last transient
+    /// error.
+    pub fn submit_with_backoff(
+        &mut self,
+        request: &RemoteRequest,
+        policy: &BackoffPolicy,
+    ) -> Result<RemoteJob, ClientError> {
+        self.retry_with_backoff(policy, |client| client.submit(request))
+    }
+
+    /// [`submit_qasm`](ServiceClient::submit_qasm) under the same retry
+    /// contract as [`submit_with_backoff`](ServiceClient::submit_with_backoff).
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_with_backoff`](ServiceClient::submit_with_backoff);
+    /// parse rejections are permanent and propagate immediately.
+    pub fn submit_qasm_with_backoff(
+        &mut self,
+        request: &RemoteQasmRequest,
+        policy: &BackoffPolicy,
+    ) -> Result<(RemoteJob, ssync_qasm::ParseReport), ClientError> {
+        self.retry_with_backoff(policy, |client| client.submit_qasm(request))
+    }
+
+    /// The shared retry loop: classifies each failure as transient
+    /// (retry) or permanent (propagate), heals transport failures with a
+    /// reconnect when an endpoint is known, and enforces the deadline.
+    fn retry_with_backoff<T>(
+        &mut self,
+        policy: &BackoffPolicy,
+        mut attempt: impl FnMut(&mut Self) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let started = Instant::now();
+        let mut backoff_ms = policy.initial_ms.max(1);
+        let mut rng = policy.seed | 1; // xorshift must not start at 0
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let error = match attempt(self) {
+                Ok(value) => return Ok(value),
+                Err(e) => e,
+            };
+            let hint_ms = match &error {
+                ClientError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+                ClientError::Io(_) | ClientError::Disconnected => {
+                    // A dead connection stays dead for stdio/Unix
+                    // clients; only an endpoint-aware client can retry.
+                    if self.endpoint.is_none() {
+                        return Err(error);
+                    }
+                    None
+                }
+                _ => return Err(error),
+            };
+            let wait = Duration::from_millis(next_wait_ms(backoff_ms, hint_ms, &mut rng));
+            if started.elapsed() + wait > policy.deadline {
+                return Err(ClientError::RetriesExhausted { attempts, last: Box::new(error) });
+            }
+            std::thread::sleep(wait);
+            if matches!(error, ClientError::Io(_) | ClientError::Disconnected) {
+                // Failure here is fine: the next attempt surfaces it and
+                // the loop keeps backing off until the deadline.
+                self.reconnect();
+            }
+            backoff_ms = (backoff_ms * 2).min(policy.max_ms);
         }
     }
 
@@ -165,6 +434,9 @@ impl ServiceClient {
     ) -> Result<(RemoteJob, ssync_qasm::ParseReport), ClientError> {
         match self.round_trip(&Request::SubmitQasm(Box::new(request.clone())))? {
             Response::QasmSubmitted { job, report } => Ok((RemoteJob(job), report)),
+            Response::CompileFailed(CompileError::Overloaded { retry_after_ms }) => {
+                Err(ClientError::Overloaded { retry_after_ms })
+            }
             _ => Err(ClientError::UnexpectedResponse("submit_qasm expected QasmSubmitted")),
         }
     }
@@ -228,5 +500,25 @@ impl ServiceClient {
             Response::ShuttingDown => Ok(()),
             _ => Err(ClientError::UnexpectedResponse("shutdown expected ShuttingDown")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_honors_the_hint() {
+        let mut a = 42u64 | 1;
+        let mut b = 42u64 | 1;
+        let schedule_a: Vec<u64> = (0..16).map(|_| next_wait_ms(100, None, &mut a)).collect();
+        let schedule_b: Vec<u64> = (0..16).map(|_| next_wait_ms(100, None, &mut b)).collect();
+        assert_eq!(schedule_a, schedule_b, "same seed, same schedule");
+        for wait in &schedule_a {
+            assert!((100..=150).contains(wait), "backoff + at most half jitter, got {wait}");
+        }
+        assert!(schedule_a.windows(2).any(|w| w[0] != w[1]), "jitter actually varies");
+        let mut rng = 7u64;
+        assert!(next_wait_ms(10, Some(500), &mut rng) >= 500, "server hint floors the sleep");
     }
 }

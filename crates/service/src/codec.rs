@@ -640,6 +640,10 @@ pub fn encode_compile_error(w: &mut ByteWriter, e: &CompileError) {
             w.put_u8(4);
             w.put_u64(*deadline_us);
         }
+        CompileError::Overloaded { retry_after_ms } => {
+            w.put_u8(5);
+            w.put_u64(*retry_after_ms);
+        }
     }
 }
 
@@ -651,6 +655,7 @@ pub fn decode_compile_error(r: &mut ByteReader<'_>) -> Result<CompileError, Code
         2 => CompileError::SchedulingStalled { remaining_gates: r.get_usize()? },
         3 => CompileError::Internal { message: r.get_str()? },
         4 => CompileError::DeadlineExceeded { deadline_us: r.get_u64()? },
+        5 => CompileError::Overloaded { retry_after_ms: r.get_u64()? },
         tag => return Err(CodecError::BadTag { what: "compile error", tag }),
     })
 }
@@ -726,6 +731,7 @@ mod tests {
             CompileError::SchedulingStalled { remaining_gates: 3 },
             CompileError::Internal { message: "worker panicked".into() },
             CompileError::DeadlineExceeded { deadline_us: 1500 },
+            CompileError::Overloaded { retry_after_ms: 25 },
         ] {
             let mut w = ByteWriter::new();
             encode_compile_error(&mut w, &err);

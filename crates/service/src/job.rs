@@ -45,6 +45,20 @@ impl Priority {
             Priority::Batch => "batch",
         }
     }
+
+    /// The queue depth at which the front-end sheds requests of this
+    /// priority, given the configured overload `watermark`: `Batch` sheds
+    /// at half the watermark, `Normal` at three quarters, `High` only at
+    /// the full watermark. Making the shed point a pure function of queue
+    /// depth is what guarantees "Batch first, High last" degradation — no
+    /// races, no per-class bookkeeping.
+    pub fn admission_threshold(self, watermark: usize) -> usize {
+        match self {
+            Priority::High => watermark,
+            Priority::Normal => watermark - watermark / 4,
+            Priority::Batch => watermark / 2,
+        }
+    }
 }
 
 /// An opaque tenant identity used for fair scheduling. The service never

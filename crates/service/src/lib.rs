@@ -72,8 +72,9 @@ pub mod registry;
 pub mod wire;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, CompiledWeight, ResultCache};
-pub use client::ServiceClient;
+pub use client::{BackoffPolicy, ServiceClient};
+pub use front::FrontConfig;
 pub use job::{CompileRequest, JobHandle, JobResult, Priority, TenantId};
 pub use metrics::{ServiceMetrics, WorkerMetrics};
-pub use pool::{CompileService, CompileServiceBuilder};
+pub use pool::{CompileService, CompileServiceBuilder, Janitor};
 pub use registry::{DeviceRegistry, RegisteredDevice};

@@ -44,6 +44,22 @@ pub struct ServiceMetrics {
     pub submitted_by_priority: [u64; 3],
     /// Jobs currently queued and not yet claimed by a worker.
     pub queue_depth: usize,
+    /// Requests shed at admission with
+    /// [`CompileError::Overloaded`](ssync_core::CompileError::Overloaded)
+    /// — the queue-depth watermark or an in-flight cap was breached
+    /// (front-end admission control; see the `front` module docs).
+    pub rejected_overloaded: u64,
+    /// Connections rejected by the front-end's shared-token auth check
+    /// (wrong or missing token on the hello frame).
+    pub rejected_unauthorized: u64,
+    /// Connections the front-end closed because a read timed out — idle
+    /// peers, half-open sockets, and slow-loris partial frames.
+    pub conns_timed_out: u64,
+    /// Periodic persistent-tier garbage collections run by the janitor
+    /// thread (each run may delete any number of `.outcome` files; the
+    /// deletions themselves land in
+    /// [`CacheStats::persist_gc_deleted`](crate::CacheStats)).
+    pub janitor_gc_runs: u64,
     /// Result-cache counters (hits, misses, entries, bytes, evictions,
     /// persistent-tier traffic).
     pub cache: CacheStats,

@@ -281,6 +281,10 @@ struct Shared {
     coalesced: AtomicU64,
     near_duplicate: AtomicU64,
     deadline_expired: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_unauthorized: AtomicU64,
+    conns_timed_out: AtomicU64,
+    janitor_gc_runs: AtomicU64,
     executed: Vec<AtomicU64>,
     stolen: Vec<AtomicU64>,
 }
@@ -507,6 +511,10 @@ impl CompileService {
             coalesced: AtomicU64::new(0),
             near_duplicate: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_unauthorized: AtomicU64::new(0),
+            conns_timed_out: AtomicU64::new(0),
+            janitor_gc_runs: AtomicU64::new(0),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
@@ -542,6 +550,78 @@ impl CompileService {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs currently published to some queue and not yet claimed by a
+    /// worker — the instantaneous backlog the front-end's admission
+    /// control compares against its watermark. Cheap enough to call per
+    /// request (one short mutex hold).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.sleep.lock().expect("sleep lock poisoned").queued
+    }
+
+    /// Counts one request shed at admission with
+    /// [`CompileError::Overloaded`]; called by front-ends enforcing the
+    /// queue-depth watermark / in-flight caps so the rejection shows up
+    /// in [`ServiceMetrics::rejected_overloaded`].
+    pub fn note_rejected_overloaded(&self) {
+        self.shared.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection rejected by the shared-token auth check
+    /// ([`ServiceMetrics::rejected_unauthorized`]).
+    pub fn note_rejected_unauthorized(&self) {
+        self.shared.rejected_unauthorized.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection closed on a read timeout — idle, half-open
+    /// or slow-loris peers ([`ServiceMetrics::conns_timed_out`]).
+    pub fn note_conn_timed_out(&self) {
+        self.shared.conns_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs the result cache's persistent-tier garbage collection now
+    /// (see [`ResultCache::run_persist_gc`]) and counts the run in
+    /// [`ServiceMetrics::janitor_gc_runs`]. The janitor thread calls
+    /// this periodically so a long-lived daemon's cache directory stays
+    /// within its byte/age budgets instead of only being trimmed at
+    /// startup. Returns how many `.outcome` files were deleted.
+    pub fn run_persist_gc(&self) -> u64 {
+        let deleted = self.shared.cache.run_persist_gc();
+        self.shared.janitor_gc_runs.fetch_add(1, Ordering::Relaxed);
+        deleted
+    }
+
+    /// Spawns the cache **janitor**: a background thread that calls
+    /// [`CompileService::run_persist_gc`] every `interval` until the
+    /// returned [`Janitor`] is dropped (the drop joins the thread, so it
+    /// cannot outlive the `Arc<CompileService>` it holds). One run
+    /// happens immediately at spawn, making short-interval tests
+    /// deterministic about "at least one run".
+    pub fn spawn_janitor(self: &Arc<Self>, interval: std::time::Duration) -> Janitor {
+        let service = Arc::clone(self);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let signal = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ssync-service-janitor".into())
+            .spawn(move || {
+                service.run_persist_gc();
+                let (flag, wake) = &*signal;
+                let mut stopped = flag.lock().expect("janitor lock poisoned");
+                loop {
+                    let (guard, timeout) =
+                        wake.wait_timeout(stopped, interval).expect("janitor lock poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        service.run_persist_gc();
+                    }
+                }
+            })
+            .expect("spawn janitor thread");
+        Janitor { stop, handle: Some(handle) }
     }
 
     /// Sets `tenant`'s fair-share weight (default 1.0): a tenant with
@@ -596,6 +676,10 @@ impl CompileService {
                 self.shared.submitted_by_priority[2].load(Ordering::Relaxed),
             ],
             queue_depth: self.shared.sleep.lock().expect("sleep lock poisoned").queued,
+            rejected_overloaded: self.shared.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_unauthorized: self.shared.rejected_unauthorized.load(Ordering::Relaxed),
+            conns_timed_out: self.shared.conns_timed_out.load(Ordering::Relaxed),
+            janitor_gc_runs: self.shared.janitor_gc_runs.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
             workers: self
                 .shared
@@ -736,6 +820,31 @@ impl CompileService {
                 .entry(hash)
                 .or_insert_with(|| Arc::new(CircuitPrep { hash, first_use: OnceLock::new() })),
         )
+    }
+}
+
+/// Handle to the janitor thread spawned by
+/// [`CompileService::spawn_janitor`]; dropping it stops and joins the
+/// thread.
+pub struct Janitor {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Janitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Janitor").finish_non_exhaustive()
+    }
+}
+
+impl Drop for Janitor {
+    fn drop(&mut self) {
+        let (flag, wake) = &*self.stop;
+        *flag.lock().expect("janitor lock poisoned") = true;
+        wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 

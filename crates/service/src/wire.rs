@@ -29,6 +29,7 @@
 //!
 //! | request | response |
 //! |---|---|
+//! | `Hello { token }` | `Welcome` or `Rejected` (v3; required first on authed TCP) |
 //! | `Submit(RemoteRequest)` | `Submitted { job }` or `Rejected` |
 //! | `SubmitQasm(RemoteQasmRequest)` | `QasmSubmitted { job, report }` or `Rejected` (v2) |
 //! | `Poll { job }` | `Pending`, `Outcome`, `CompileFailed` or `Rejected` |
@@ -50,6 +51,17 @@
 //! the `line:col` diagnostic. The only payload that grew is `Metrics`
 //! (the deadline/GC counters are appended), which is why outgoing
 //! frames are stamped v2.
+//!
+//! ## Version 3
+//!
+//! v3 adds the **hardened front-end**: a `Hello { token }` handshake
+//! (new request tag, required first on an auth-configured TCP listener,
+//! answered by `Welcome`), the `CompileError::Overloaded` tag the
+//! admission controller rejects with when queue depth breaches its
+//! watermark, and four appended `Metrics` counters
+//! (`rejected_overloaded`, `rejected_unauthorized`, `conns_timed_out`,
+//! `janitor_gc_runs`). Every v1/v2 tag and payload encoding is
+//! unchanged.
 //!
 //! Job ids are per-connection and **single-delivery**: the response that
 //! carries a job's terminal result (`Wait`, or a `Poll` that observes
@@ -74,9 +86,11 @@ use std::time::Duration;
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"SSYC");
 /// Protocol version written on outgoing frames; bumped whenever the
 /// codec field walk changes. v2 added `SubmitQasm` and the extended
-/// metrics payload; [`read_frame`] still accepts
+/// metrics payload; v3 added the `Hello` auth handshake, the
+/// `Overloaded` compile-error tag and the front-end/janitor metrics
+/// counters. [`read_frame`] still accepts
 /// [`MIN_WIRE_VERSION`]-tagged frames from older peers.
-pub const WIRE_VERSION: u32 = 2;
+pub const WIRE_VERSION: u32 = 3;
 /// Oldest protocol version [`read_frame`] accepts.
 pub const MIN_WIRE_VERSION: u32 = 1;
 /// Upper bound on a frame payload (a defence against corrupt length
@@ -201,6 +215,18 @@ impl RemoteQasmRequest {
 /// A client→server message.
 #[derive(Debug, Clone)]
 pub enum Request {
+    /// The connection handshake (wire v3). On a TCP front-end configured
+    /// with a shared auth token this MUST be the first frame and carry
+    /// the matching token, or the connection is rejected and closed
+    /// (counted in `ServiceMetrics::rejected_unauthorized`). On
+    /// un-authed transports a `Hello` is accepted (and answered with
+    /// `Welcome`) but never required, so clients can handshake
+    /// unconditionally.
+    Hello {
+        /// The shared secret; compared in full against the server's
+        /// configured token. Empty when the client has none.
+        token: String,
+    },
     /// Queue a compile; answered with `Submitted` or `Rejected`. Boxed:
     /// a request carries a whole circuit + config, dwarfing the other
     /// variants.
@@ -227,6 +253,12 @@ pub enum Request {
 /// A server→client message.
 #[derive(Debug, Clone)]
 pub enum Response {
+    /// Accepts a `Hello` (wire v3); carries the server's protocol
+    /// version so clients can log what they are talking to.
+    Welcome {
+        /// The server's [`WIRE_VERSION`].
+        version: u32,
+    },
     /// The submission was queued under this per-connection job id.
     Submitted {
         /// Identifier to pass to `Poll` / `Wait`.
@@ -295,6 +327,10 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Metrics => w.put_u8(3),
         Request::Shutdown => w.put_u8(4),
+        Request::Hello { token } => {
+            w.put_u8(6);
+            w.put_str(token);
+        }
         Request::SubmitQasm(remote) => {
             w.put_u8(5);
             w.put_str(&remote.device);
@@ -344,6 +380,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
                 tag => return Err(CodecError::BadTag { what: "deadline option", tag }),
             },
         })),
+        6 => Request::Hello { token: r.get_str()? },
         tag => return Err(CodecError::BadTag { what: "request", tag }),
     };
     if !r.is_exhausted() {
@@ -362,6 +399,10 @@ fn encode_metrics(w: &mut ByteWriter, m: &ServiceMetrics) {
         w.put_u64(v);
     }
     w.put_usize(m.queue_depth);
+    w.put_u64(m.rejected_overloaded);
+    w.put_u64(m.rejected_unauthorized);
+    w.put_u64(m.conns_timed_out);
+    w.put_u64(m.janitor_gc_runs);
     w.put_u64(m.cache.hits);
     w.put_u64(m.cache.misses);
     w.put_usize(m.cache.entries);
@@ -387,6 +428,10 @@ fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> 
         jobs_deadline_expired: r.get_u64()?,
         submitted_by_priority: [r.get_u64()?, r.get_u64()?, r.get_u64()?],
         queue_depth: r.get_usize()?,
+        rejected_overloaded: r.get_u64()?,
+        rejected_unauthorized: r.get_u64()?,
+        conns_timed_out: r.get_u64()?,
+        janitor_gc_runs: r.get_u64()?,
         cache: crate::cache::CacheStats {
             hits: r.get_u64()?,
             misses: r.get_u64()?,
@@ -435,6 +480,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             encode_metrics(&mut w, metrics);
         }
         Response::ShuttingDown => w.put_u8(6),
+        Response::Welcome { version } => {
+            w.put_u8(8);
+            w.put_u32(*version);
+        }
         Response::QasmSubmitted { job, report } => {
             w.put_u8(7);
             w.put_u64(*job);
@@ -469,6 +518,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
                 gates_inlined: r.get_usize()?,
             },
         },
+        8 => Response::Welcome { version: r.get_u32()? },
         tag => return Err(CodecError::BadTag { what: "response", tag }),
     };
     if !r.is_exhausted() {
@@ -508,6 +558,45 @@ pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<(
 /// length above [`MAX_FRAME_BYTES`] all surface as `std::io::Error`
 /// (`InvalidData` for protocol violations).
 pub fn read_frame(reader: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    read_frame_deadline(reader, None)
+}
+
+/// [`read_frame`] with an optional **whole-frame budget**: once a frame's
+/// first byte arrives, the rest must arrive within `frame_budget` or the
+/// read fails with `ErrorKind::TimedOut`.
+///
+/// Per-read socket timeouts alone cannot bound a *slow-loris* peer that
+/// trickles one byte per almost-timeout — every byte resets the OS
+/// timer, pinning a handler thread forever. The budget check runs after
+/// every partial read, so a trickling frame is cut off no matter how the
+/// bytes are paced. Callers supply the per-read timeout on the transport
+/// (e.g. `TcpStream::set_read_timeout`, which surfaces as
+/// `WouldBlock`/`TimedOut` errors here and covers fully idle peers); the
+/// budget bounds the sum.
+///
+/// # Errors
+///
+/// Everything [`read_frame`] raises, plus `TimedOut` when the budget is
+/// exhausted mid-frame. The [`MAX_FRAME_BYTES`] guard is enforced on the
+/// decoded length header **before the payload buffer is allocated** — a
+/// forged multi-gigabyte length prefix is rejected without reserving a
+/// byte (regression-tested in the fault-injection harness).
+pub fn read_frame_deadline(
+    reader: &mut impl Read,
+    frame_budget: Option<Duration>,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut started: Option<std::time::Instant> = None;
+    let check_budget = |started: &Option<std::time::Instant>| -> std::io::Result<()> {
+        if let (Some(started), Some(budget)) = (started, frame_budget) {
+            if started.elapsed() > budget {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "frame read exceeded its time budget",
+                ));
+            }
+        }
+        Ok(())
+    };
     let mut header = [0u8; 12];
     let mut filled = 0usize;
     while filled < header.len() {
@@ -518,7 +607,13 @@ pub fn read_frame(reader: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
             }
             return Err(protocol_error("truncated frame header"));
         }
+        if filled == 0 {
+            // The budget clock starts at the frame's first byte, so an
+            // idle-but-healthy connection is not penalised for waiting.
+            started = Some(std::time::Instant::now());
+        }
         filled += n;
+        check_budget(&started)?;
     }
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
@@ -529,11 +624,21 @@ pub fn read_frame(reader: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(protocol_error("unsupported protocol version"));
     }
+    // Guard BEFORE the allocation below: the length header is
+    // attacker-controlled, and `vec![0u8; 4 GiB]` must never run.
     if length > MAX_FRAME_BYTES {
         return Err(protocol_error("frame exceeds MAX_FRAME_BYTES"));
     }
     let mut payload = vec![0u8; length];
-    reader.read_exact(&mut payload)?;
+    let mut filled = 0usize;
+    while filled < length {
+        let n = reader.read(&mut payload[filled..])?;
+        if n == 0 {
+            return Err(protocol_error("truncated frame payload"));
+        }
+        filled += n;
+        check_budget(&started)?;
+    }
     Ok(Some(payload))
 }
 
@@ -568,6 +673,7 @@ mod tests {
         for request in [
             Request::Submit(Box::new(remote)),
             Request::SubmitQasm(Box::new(qasm)),
+            Request::Hello { token: "super-secret".into() },
             Request::Poll { job: 7 },
             Request::Wait { job: 9 },
             Request::Metrics,
@@ -593,6 +699,7 @@ mod tests {
                     assert_eq!(a.tenant, b.tenant);
                     assert_eq!(a.deadline_us, b.deadline_us);
                 }
+                (Request::Hello { token: a }, Request::Hello { token: b }) => assert_eq!(a, b),
                 (Request::Poll { job: a }, Request::Poll { job: b })
                 | (Request::Wait { job: a }, Request::Wait { job: b }) => assert_eq!(a, b),
                 (Request::Metrics, Request::Metrics) | (Request::Shutdown, Request::Shutdown) => {}
@@ -645,6 +752,52 @@ mod tests {
     }
 
     #[test]
+    fn welcome_responses_round_trip() {
+        let bytes = encode_response(&Response::Welcome { version: WIRE_VERSION });
+        match decode_response(&bytes).expect("round-trips") {
+            Response::Welcome { version } => assert_eq!(version, WIRE_VERSION),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    /// The frame-budget reader cuts off a trickling (slow-loris) peer:
+    /// bytes arriving one at a time never finish a frame inside the
+    /// budget, and the read fails with `TimedOut` instead of pinning the
+    /// caller forever.
+    #[test]
+    fn frame_budget_cuts_off_a_trickling_reader() {
+        struct Trickle {
+            bytes: Vec<u8>,
+            pos: usize,
+            delay: Duration,
+        }
+        impl std::io::Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.bytes.len() || buf.is_empty() {
+                    return Ok(0);
+                }
+                std::thread::sleep(self.delay);
+                buf[0] = self.bytes[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let payload = encode_request(&Request::Poll { job: 1 });
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).expect("write");
+        let mut trickle =
+            Trickle { bytes: framed.clone(), pos: 0, delay: Duration::from_millis(8) };
+        let err = read_frame_deadline(&mut trickle, Some(Duration::from_millis(20)))
+            .expect_err("a trickling frame must time out");
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        // The same bytes read fine when they arrive inside the budget.
+        let mut quick = Trickle { bytes: framed, pos: 0, delay: Duration::from_millis(0) };
+        let read = read_frame_deadline(&mut quick, Some(Duration::from_secs(5)))
+            .expect("fast frames pass");
+        assert_eq!(read, Some(payload));
+    }
+
+    #[test]
     fn qasm_submitted_responses_round_trip() {
         let report = ssync_qasm::ParseReport {
             measurements_stripped: 3,
@@ -673,6 +826,10 @@ mod tests {
             jobs_deadline_expired: 1,
             submitted_by_priority: [1, 5, 4],
             queue_depth: 1,
+            rejected_overloaded: 7,
+            rejected_unauthorized: 2,
+            conns_timed_out: 3,
+            janitor_gc_runs: 11,
             cache: crate::cache::CacheStats {
                 hits: 4,
                 misses: 6,

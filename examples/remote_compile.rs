@@ -4,7 +4,10 @@
 //! length-prefixed wire protocol through `ssync_service::client`, and
 //! verifies the remote outcome is **bit-identical** to compiling directly
 //! in-process with `compile_on` — the whole point of the service layer:
-//! it changes where a compile runs, never what it produces.
+//! it changes where a compile runs, never what it produces. A second leg
+//! restarts the daemon as a hardened TCP listener (`--tcp 127.0.0.1:0`
+//! with an auth token and `--port-file` discovery) and repeats the proof
+//! over a real socket with the retrying `submit_with_backoff` client.
 //!
 //! ```sh
 //! cargo run --release -p ssync-examples --bin remote_compile
@@ -118,4 +121,51 @@ fn main() {
     let status = child.wait().expect("daemon exit");
     assert!(status.success(), "daemon exits cleanly");
     println!("daemon shut down cleanly");
+
+    // ---- The TCP leg: same conversation, hardened network transport ----
+    let dir = std::env::temp_dir().join(format!("ssync-remote-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let port_file = dir.join("port");
+    let mut child = Command::new(&daemon)
+        .args(["--tcp", "127.0.0.1:0", "--workers", "2"])
+        .args(["--auth-token", "example-secret"])
+        .args(["--port-file", port_file.to_str().unwrap()])
+        .spawn()
+        .expect("spawn tcp daemon");
+    let mut addr = None;
+    for _ in 0..500 {
+        if let Ok(contents) = std::fs::read_to_string(&port_file) {
+            addr = Some(contents.trim().to_string());
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let addr = addr.expect("daemon published its port within 5s");
+    println!("daemon listening on tcp://{addr} (token-authenticated)");
+
+    let mut client =
+        ServiceClient::connect_tcp(addr.as_str(), Some("example-secret")).expect("handshake");
+    // submit_with_backoff is the production call: on an `Overloaded`
+    // shed or a dropped connection it backs off (honouring the server's
+    // retry hint) and transparently reconnects. Against this idle daemon
+    // it simply succeeds on the first attempt.
+    let job = client
+        .submit_with_backoff(
+            &RemoteRequest::new(device_name, circuit.clone(), CompilerKind::SSync, config)
+                .with_tenant(TenantId::from_name("remote-example")),
+            &ssync_service::BackoffPolicy::default(),
+        )
+        .expect("submit over tcp");
+    let over_tcp = client.wait(job).expect("wait over tcp").expect("compiles");
+    assert_eq!(direct.program().ops(), over_tcp.program().ops(), "tcp leg must match");
+    assert_eq!(direct.final_placement(), over_tcp.final_placement());
+    println!("  tcp outcome bit-identical to direct compile_on: yes");
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "tcp daemon drains cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("tcp daemon drained cleanly");
 }
