@@ -5,6 +5,7 @@ use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::idealized::IdealizationMode;
 use crate::initial;
+use crate::par_score::ScoringTelemetry;
 use crate::scheduler::{Scheduler, SchedulerScratch, SchedulerStats};
 use ssync_arch::{Device, Placement, QccdTopology, TrapRouter};
 use ssync_circuit::Circuit;
@@ -30,6 +31,7 @@ pub struct CompileOutcome {
     report: ExecutionReport,
     final_placement: Placement,
     scheduler_stats: SchedulerStats,
+    scoring_telemetry: ScoringTelemetry,
     compile_time: Duration,
 }
 
@@ -48,6 +50,7 @@ impl CompileOutcome {
             report,
             final_placement,
             scheduler_stats: SchedulerStats::default(),
+            scoring_telemetry: ScoringTelemetry::default(),
             compile_time,
         }
     }
@@ -63,7 +66,14 @@ impl CompileOutcome {
         scheduler_stats: SchedulerStats,
         compile_time: Duration,
     ) -> Self {
-        CompileOutcome { program, report, final_placement, scheduler_stats, compile_time }
+        CompileOutcome {
+            program,
+            report,
+            final_placement,
+            scheduler_stats,
+            scoring_telemetry: ScoringTelemetry::default(),
+            compile_time,
+        }
     }
 
     /// The hardware-compatible operation stream.
@@ -89,6 +99,14 @@ impl CompileOutcome {
     /// Search statistics of the generic-swap scheduler.
     pub fn scheduler_stats(&self) -> SchedulerStats {
         self.scheduler_stats
+    }
+
+    /// Candidate-scoring telemetry of the scheduler run that produced this
+    /// outcome (zeros for baseline compilers, for outcomes rebuilt by a
+    /// codec, and for cache hits — the counters describe *work performed*,
+    /// not the result, so they are deliberately not persisted).
+    pub fn scoring_telemetry(&self) -> ScoringTelemetry {
+        self.scoring_telemetry
     }
 
     /// Wall-clock compilation time (the Fig. 15 quantity).
@@ -266,11 +284,19 @@ impl SSyncCompiler {
             Scheduler::with_scratch(device, &self.config, std::mem::take(&mut scratch.scheduler));
         let result = scheduler.run(circuit, placement);
         let scheduler_stats = scheduler.stats();
+        let scoring_telemetry = scheduler.scoring_telemetry();
         scratch.scheduler = scheduler.into_scratch();
         let (program, final_placement) = result?;
         let compile_time = start.elapsed();
         let report = self.tracer().evaluate(&program);
-        Ok(CompileOutcome { program, report, final_placement, scheduler_stats, compile_time })
+        Ok(CompileOutcome {
+            program,
+            report,
+            final_placement,
+            scheduler_stats,
+            scoring_telemetry,
+            compile_time,
+        })
     }
 
     /// Compiles every circuit of `circuits` against one shared `device`,
@@ -319,8 +345,18 @@ impl SSyncCompiler {
         circuits: &[C],
         workers: usize,
     ) -> Vec<Result<CompileOutcome, CompileError>> {
+        // Budget intra-compile scoring threads against the batch fan-out:
+        // `workers × scoring_threads` must not oversubscribe the host.
+        // Pinning the budgeted value (even when it is 1) also keeps each
+        // worker from re-consulting `SSYNC_SCORE_THREADS` unbudgeted.
+        // Output is unaffected — scoring threads never change results.
+        let scoring = crate::par_score::budget_scoring_threads(
+            crate::par_score::resolve_scoring_threads(self.config.scoring_threads),
+            workers.clamp(1, circuits.len().max(1)),
+        );
+        let compiler = SSyncCompiler::new(self.config.with_scoring_threads(scoring));
         batch::parallel_map_with(workers, circuits, CompileScratch::default, |scratch, _, c| {
-            self.compile_on_with_scratch(device, c.borrow(), scratch)
+            compiler.compile_on_with_scratch(device, c.borrow(), scratch)
         })
     }
 }

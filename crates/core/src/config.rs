@@ -78,6 +78,14 @@ pub struct CompilerConfig {
     /// means "auto" (the machine's available parallelism). The
     /// `SSYNC_BATCH_WORKERS` environment variable overrides either.
     pub batch_workers: usize,
+    /// Scoring threads used *inside* one scheduler run (parallel
+    /// candidate evaluation). A positive count is used as-is — the
+    /// service pool pins a budgeted value per worker through this field —
+    /// while `0` ("auto") defers to the `SSYNC_SCORE_THREADS` environment
+    /// variable and finally to 1 (serial). Never affects compiled output:
+    /// the scheduler is bit-identical at every thread count, which is why
+    /// the cache key hash and the wire codec both skip this field.
+    pub scoring_threads: usize,
 }
 
 impl Default for CompilerConfig {
@@ -97,6 +105,7 @@ impl Default for CompilerConfig {
             max_stall_iterations: 48,
             executable_bonus: 2.0,
             batch_workers: 0,
+            scoring_threads: 0,
         }
     }
 }
@@ -131,6 +140,14 @@ impl CompilerConfig {
     /// (`0` restores "auto").
     pub fn with_batch_workers(mut self, workers: usize) -> Self {
         self.batch_workers = workers;
+        self
+    }
+
+    /// Returns a copy with an explicit intra-compile scoring-thread count
+    /// (`0` restores "auto": `SSYNC_SCORE_THREADS`, else serial). Output
+    /// is bit-identical at any value.
+    pub fn with_scoring_threads(mut self, threads: usize) -> Self {
+        self.scoring_threads = threads;
         self
     }
 }

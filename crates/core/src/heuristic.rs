@@ -382,6 +382,69 @@ impl ScoreCache {
     }
 }
 
+/// A worker-local memo of space-readiness values, valid for one scoring
+/// pass (one placement snapshot) at a time.
+///
+/// The readiness term of `HeuristicScorer::pair_route_score` asks "how
+/// far is the nearest empty slot from this entry port?". Under a
+/// hypothetical swap whose endpoints both lie *outside* the port's trap,
+/// the answer is provably identical to the no-swap answer — the swap
+/// cannot change that trap's occupancy pattern — so the value can be
+/// computed once per (pass, port) and reused across every candidate of
+/// the pass. Each scoring worker (the serial path counts as one) owns one
+/// shard; shards never merge and never need invalidation messages:
+/// [`ScoreShard::begin_pass`] bumps an epoch that lazily invalidates every
+/// slot, and the backing buffers persist across passes and compiles so the
+/// steady state allocates nothing. Values read through the memo are
+/// bit-identical to a fresh `HeuristicScorer::space_readiness` call,
+/// which keeps sharded scoring inside the scheduler's golden determinism
+/// contract.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreShard {
+    stamp: Vec<u64>,
+    value: Vec<f64>,
+    epoch: u64,
+    hits: u64,
+}
+
+impl ScoreShard {
+    /// Starts a new scoring pass: every memoised value becomes stale.
+    /// Call whenever the placement the pass scores against may have
+    /// changed (the scheduler calls it once per candidate pass).
+    pub fn begin_pass(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Memo hits accumulated since the last [`ScoreShard::take_hits`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Returns and resets the accumulated memo-hit counter.
+    pub fn take_hits(&mut self) -> u64 {
+        std::mem::take(&mut self.hits)
+    }
+
+    #[inline]
+    fn lookup(&mut self, slot: usize) -> Option<f64> {
+        if self.stamp.get(slot) == Some(&self.epoch) {
+            self.hits += 1;
+            return Some(self.value[slot]);
+        }
+        None
+    }
+
+    #[inline]
+    fn store(&mut self, slot: usize, v: f64) {
+        if slot >= self.stamp.len() {
+            self.stamp.resize(slot + 1, 0);
+            self.value.resize(slot + 1, 0.0);
+        }
+        self.stamp[slot] = self.epoch;
+        self.value[slot] = v;
+    }
+}
+
 /// Per-iteration scoring pass over the frontier and look-ahead gates.
 ///
 /// Built once per scheduler iteration by [`HeuristicScorer::prepare_pass`]
@@ -496,6 +559,31 @@ impl<'a> HeuristicScorer<'a> {
         placement: &Placement,
         swap: &GenericSwap,
     ) -> f64 {
+        self.score_swap_impl(scratch, placement, swap, None)
+    }
+
+    /// [`HeuristicScorer::score_swap_prepared`] routing readiness lookups
+    /// through a worker-local [`ScoreShard`] memo. Bit-identical to the
+    /// unsharded call (the memo only serves values the swap provably
+    /// cannot perturb); the scheduler's serial and parallel scoring paths
+    /// both use this entry point.
+    pub fn score_swap_sharded(
+        &self,
+        scratch: &ScoringScratch,
+        shard: &mut ScoreShard,
+        placement: &Placement,
+        swap: &GenericSwap,
+    ) -> f64 {
+        self.score_swap_impl(scratch, placement, swap, Some(shard))
+    }
+
+    fn score_swap_impl(
+        &self,
+        scratch: &ScoringScratch,
+        placement: &Placement,
+        swap: &GenericSwap,
+        mut shard: Option<&mut ScoreShard>,
+    ) -> f64 {
         let occ_a = placement.occupant(swap.a);
         let occ_b = placement.occupant(swap.b);
         let pen_after = self.penalty_with(placement, swap, scratch.full_traps) as f64;
@@ -518,6 +606,7 @@ impl<'a> HeuristicScorer<'a> {
                 pattern_preserving,
                 swap_ta,
                 swap_tb,
+                shard.as_deref_mut(),
             );
             let term = t.decay * score;
             if term < best_gate_term {
@@ -544,6 +633,7 @@ impl<'a> HeuristicScorer<'a> {
                     pattern_preserving,
                     swap_ta,
                     swap_tb,
+                    shard.as_deref_mut(),
                 );
             }
             0.5 * sum / lookahead.len() as f64
@@ -571,6 +661,7 @@ impl<'a> HeuristicScorer<'a> {
         pattern_preserving: bool,
         swap_ta: TrapId,
         swap_tb: TrapId,
+        shard: Option<&mut ScoreShard>,
     ) -> f64 {
         let slots_unchanged = s1 == t.s1 && s2 == t.s2;
         let readiness_unchanged = pattern_preserving
@@ -582,8 +673,135 @@ impl<'a> HeuristicScorer<'a> {
         if slots_unchanged && readiness_unchanged {
             t.route + pen_after
         } else {
-            self.pair_route_score(placement, Some(swap), s1, s2) + pen_after
+            match shard {
+                Some(sh) => {
+                    self.pair_route_score_memo(sh, placement, swap, swap_ta, swap_tb, s1, s2)
+                        + pen_after
+                }
+                None => self.pair_route_score(placement, Some(swap), s1, s2) + pen_after,
+            }
         }
+    }
+
+    /// [`HeuristicScorer::pair_route_score`] under a hypothetical swap,
+    /// serving readiness values from `shard` whenever the swap provably
+    /// cannot change them. A swap only perturbs the occupancy pattern of
+    /// the traps holding its endpoints, so for any entry port outside
+    /// `swap_ta`/`swap_tb` the with-swap readiness equals the no-swap
+    /// readiness — that value is memoised per pass and shared across every
+    /// candidate the worker scores. Ports inside the swap's traps are
+    /// recomputed directly, keeping the result bit-identical to
+    /// [`HeuristicScorer::pair_route_score`].
+    #[allow(clippy::too_many_arguments)]
+    fn pair_route_score_memo(
+        &self,
+        shard: &mut ScoreShard,
+        placement: &Placement,
+        swap: &GenericSwap,
+        swap_ta: TrapId,
+        swap_tb: TrapId,
+        s1: SlotId,
+        s2: SlotId,
+    ) -> f64 {
+        let inner = self.config.weights.inner_weight;
+        let mut score = self.slot_distance(s1, s2);
+        let ta = self.graph.slot_trap(s1);
+        let tb = self.graph.slot_trap(s2);
+        if ta != tb {
+            let mut readiness = f64::INFINITY;
+            if let Some(next) = self.router.next_hop(ta, tb) {
+                let entry = self.graph.topology().port_slot(next, ta);
+                readiness = readiness
+                    .min(self.readiness_memo(shard, placement, swap, swap_ta, swap_tb, entry));
+            }
+            if let Some(next) = self.router.next_hop(tb, ta) {
+                let entry = self.graph.topology().port_slot(next, tb);
+                readiness = readiness
+                    .min(self.readiness_memo(shard, placement, swap, swap_ta, swap_tb, entry));
+            }
+            if readiness.is_finite() {
+                score += inner * readiness;
+            }
+        }
+        score
+    }
+
+    /// One readiness term through the shard memo: direct recomputation
+    /// when `port`'s trap is one of the swap's endpoint traps (the swap
+    /// may have changed the pattern), the memoised no-swap value
+    /// otherwise.
+    fn readiness_memo(
+        &self,
+        shard: &mut ScoreShard,
+        placement: &Placement,
+        swap: &GenericSwap,
+        swap_ta: TrapId,
+        swap_tb: TrapId,
+        port: SlotId,
+    ) -> f64 {
+        let trap = self.graph.slot_trap(port);
+        if trap == swap_ta || trap == swap_tb {
+            return self.space_readiness(placement, Some(swap), port);
+        }
+        if let Some(v) = shard.lookup(port.index()) {
+            return v;
+        }
+        let v = self.space_readiness(placement, None, port);
+        shard.store(port.index(), v);
+        v
+    }
+
+    /// [`HeuristicScorer::gate_score`] serving its readiness terms from a
+    /// worker-local [`ScoreShard`] memo — used by the stall-fallback
+    /// frontier loop, where many gates share the same entry ports.
+    /// Bit-identical to [`HeuristicScorer::gate_score`] (no hypothetical
+    /// swap is involved, so every port is memoisable).
+    pub fn gate_score_sharded(
+        &self,
+        shard: &mut ScoreShard,
+        placement: &Placement,
+        gate: &Gate,
+    ) -> f64 {
+        let Some((q1, q2)) = gate.two_qubit_pair() else {
+            return 0.0;
+        };
+        let (Some(s1), Some(s2)) = (placement.slot_of(q1), placement.slot_of(q2)) else {
+            return f64::INFINITY;
+        };
+        let inner = self.config.weights.inner_weight;
+        let mut score = self.slot_distance(s1, s2);
+        let ta = self.graph.slot_trap(s1);
+        let tb = self.graph.slot_trap(s2);
+        if ta != tb {
+            let mut readiness = f64::INFINITY;
+            if let Some(next) = self.router.next_hop(ta, tb) {
+                let entry = self.graph.topology().port_slot(next, ta);
+                readiness = readiness.min(self.readiness_none_memo(shard, placement, entry));
+            }
+            if let Some(next) = self.router.next_hop(tb, ta) {
+                let entry = self.graph.topology().port_slot(next, tb);
+                readiness = readiness.min(self.readiness_none_memo(shard, placement, entry));
+            }
+            if readiness.is_finite() {
+                score += inner * readiness;
+            }
+        }
+        score + placement.full_trap_count() as f64
+    }
+
+    /// The memoised no-swap readiness of one entry port.
+    fn readiness_none_memo(
+        &self,
+        shard: &mut ScoreShard,
+        placement: &Placement,
+        port: SlotId,
+    ) -> f64 {
+        if let Some(v) = shard.lookup(port.index()) {
+            return v;
+        }
+        let v = self.space_readiness(placement, None, port);
+        shard.store(port.index(), v);
+        v
     }
 
     /// [`HeuristicScorer::penalty_after`] with the current full-trap count

@@ -68,12 +68,16 @@ mod heuristic;
 mod idealized;
 pub mod initial;
 pub mod mechanics;
+pub mod par_score;
 mod scheduler;
 
 pub use compiler::{CompileOutcome, CompileScratch, SSyncCompiler};
 pub use config::{CacheBounds, CompilerConfig, InitialMapping};
 pub use error::CompileError;
 pub use generic_swap::{GenericSwap, GenericSwapKind};
-pub use heuristic::{DecayTracker, HeuristicScorer, ScoreCache, ScoringScratch};
+pub use heuristic::{DecayTracker, HeuristicScorer, ScoreCache, ScoreShard, ScoringScratch};
 pub use idealized::IdealizationMode;
+pub use par_score::{
+    budget_scoring_threads, resolve_scoring_threads, ScoringTelemetry, SCORE_THREADS_ENV,
+};
 pub use scheduler::{Scheduler, SchedulerScratch, SchedulerStats};

@@ -1,0 +1,444 @@
+//! Deterministic intra-compile parallelism: the scoring crew behind
+//! [`crate::Scheduler`]'s parallel candidate-evaluation path.
+//!
+//! One circuit-compile is the service pool's unit of work, so a single
+//! large compile bounds tail latency no matter how many pool workers sit
+//! idle. This module parallelises *inside* a compile: after
+//! `prepare_pass` has hoisted the per-iteration state, the candidate set
+//! is scored in contiguous index slices by a crew of helper threads, each
+//! with its own [`ScoreShard`] readiness memo, and the winners are merged
+//! with a total order on `(score, candidate index)` — so the chosen swap
+//! is bit-identical at any thread count, which the golden tests against
+//! `Scheduler::run_reference` and the `scoring_determinism` corpus tests
+//! enforce.
+//!
+//! Why a *persistent* crew instead of per-pass `std::thread::scope`
+//! fan-out: a scheduler iteration costs single-digit microseconds, so a
+//! per-pass spawn (tens of microseconds) would erase the win. The crew is
+//! spawned once per [`crate::Scheduler::run`] and parked on a condvar
+//! between passes; the main thread publishes each pass through two
+//! `RwLock`s (placement snapshot + pass data), wakes the crew, scores
+//! shard 0 itself, and spin-waits on an atomic countdown for the rest.
+//! Phases strictly alternate — the main thread only takes the write locks
+//! while every helper is parked, and helpers only take read locks after
+//! observing the generation bump — so the locks never contend.
+//!
+//! The comparator lives here too (`better_candidate`) because
+//! determinism at any shard count *requires* it: the historical
+//! `score < best - 1e-12` epsilon rule is not transitive, so reducing
+//! shard-local winners can disagree with a serial left-to-right scan.
+//! A strict total order (`f64::total_cmp`, ties to the lower candidate
+//! index) makes the reduction associative — and is NaN-safe, unlike the
+//! `partial_cmp(..).unwrap_or(Equal)` it replaces in the fallback loop.
+
+use crate::config::CompilerConfig;
+use crate::generic_swap::GenericSwap;
+use crate::heuristic::{HeuristicScorer, ScoreShard, ScoringScratch};
+use ssync_arch::{DistanceMatrix, Placement, SlotGraph, TrapRouter};
+use ssync_circuit::Gate;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+
+/// Environment variable overriding the per-compile scoring thread count.
+pub const SCORE_THREADS_ENV: &str = "SSYNC_SCORE_THREADS";
+
+/// Resolves the number of scoring threads a scheduler run uses: a
+/// positive configured count wins (so the service pool can pin a budgeted
+/// value per worker), then a positive `SSYNC_SCORE_THREADS`, then 1 —
+/// parallel scoring is opt-in, unlike batch fan-out, because every
+/// compile in a saturated pool spawning `available_parallelism` helpers
+/// would oversubscribe the host by `workers×`.
+///
+/// Note the precedence deliberately differs from
+/// [`crate::batch::resolve_workers`], where the env var wins: a scoring
+/// budget computed by the pool must not be overridable per-process, while
+/// `scoring_threads = 0` ("auto") lets the env var drive every test and
+/// bench uniformly.
+pub fn resolve_scoring_threads(configured: usize) -> usize {
+    if configured >= 1 {
+        return configured;
+    }
+    std::env::var(SCORE_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Caps a requested scoring-thread count so that `pool_workers`
+/// concurrent compiles never oversubscribe the host:
+/// `min(requested, max(1, available_parallelism / pool_workers))`.
+/// The service pool applies this to every job it executes.
+pub fn budget_scoring_threads(requested: usize, pool_workers: usize) -> usize {
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    requested.max(1).min((host / pool_workers.max(1)).max(1))
+}
+
+/// Counters describing the candidate-scoring work of one scheduler run.
+///
+/// Deliberately separate from [`crate::SchedulerStats`]: the golden
+/// equivalence tests assert stats equality between `run` and
+/// `run_reference`, while these counters legitimately depend on the
+/// scoring backend (the reference path reports zeros).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoringTelemetry {
+    /// Candidate generic swaps (plus fallback frontier gates) scored.
+    pub candidates_scored: u64,
+    /// Non-empty score shards dispatched (serial passes count one each).
+    pub score_shards_spawned: u64,
+    /// Readiness values served from a [`ScoreShard`] memo instead of
+    /// being recomputed.
+    pub score_cache_shard_hits: u64,
+}
+
+impl ScoringTelemetry {
+    /// Accumulates another run's counters into `self`.
+    pub fn merge(&mut self, other: &ScoringTelemetry) {
+        self.candidates_scored += other.candidates_scored;
+        self.score_shards_spawned += other.score_shards_spawned;
+        self.score_cache_shard_hits += other.score_cache_shard_hits;
+    }
+}
+
+/// `true` if `(score, idx)` beats the current best under the shared total
+/// order: strictly lower score first (`f64::total_cmp`, so NaN sorts
+/// deterministically instead of poisoning the comparison), lower
+/// candidate index on exact ties. Both the serial scan and the shard
+/// reduction use this single comparator — the order is total, so the
+/// shard-local-winner reduction is associative and the final pick is
+/// independent of the shard count.
+#[inline]
+pub(crate) fn better_candidate(score: f64, idx: usize, best: Option<(f64, usize)>) -> bool {
+    match best {
+        None => true,
+        Some((best_score, best_idx)) => match score.total_cmp(&best_score) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => idx < best_idx,
+            std::cmp::Ordering::Greater => false,
+        },
+    }
+}
+
+/// What one scoring pass evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PassPhase {
+    /// Score `candidates` with `score_swap_sharded` over the prepared
+    /// scoring scratch.
+    Candidates,
+    /// Score `gates` (the stall-fallback frontier) with
+    /// `gate_score_sharded`.
+    FallbackGates,
+}
+
+/// The read-only inputs of one scoring pass, published by the main thread
+/// before it wakes the crew. The buffers are swapped in and out of the
+/// scheduler's scratch (never cloned), so steady-state passes allocate
+/// nothing.
+#[derive(Debug)]
+pub(crate) struct PassData {
+    pub phase: PassPhase,
+    pub scoring: ScoringScratch,
+    pub candidates: Vec<GenericSwap>,
+    pub gates: Vec<Gate>,
+}
+
+impl PassData {
+    pub(crate) fn len(&self) -> usize {
+        match self.phase {
+            PassPhase::Candidates => self.candidates.len(),
+            PassPhase::FallbackGates => self.gates.len(),
+        }
+    }
+}
+
+/// One shard's contribution to a pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardResult {
+    /// The shard-local winner under [`better_candidate`], as
+    /// `(score, global candidate index)`; `None` for an empty slice.
+    pub best: Option<(f64, usize)>,
+    /// Memo hits this shard accumulated during the pass.
+    pub hits: u64,
+}
+
+/// State shared between the scheduler's main loop and its scoring crew
+/// for the duration of one `run`.
+pub(crate) struct CrewShared {
+    /// The live placement. The main thread holds the write lock through
+    /// every mutation phase (gate execution, swap application, fallback
+    /// routing) and releases it only while the crew scores.
+    pub placement: RwLock<Placement>,
+    /// The current pass's inputs (swapped with scheduler scratch).
+    pub pass: RwLock<PassData>,
+    /// Per-shard results; index 0 belongs to the main thread and is
+    /// written directly, helpers publish under their slot's mutex.
+    pub results: Vec<Mutex<ShardResult>>,
+    /// Helpers still scoring the current pass.
+    pending: AtomicUsize,
+    /// Tells parked helpers to exit (end of run, or main-thread unwind).
+    stop: AtomicBool,
+    /// Set by a helper whose scoring closure panicked.
+    poisoned: AtomicBool,
+    /// Pass generation counter; helpers park until it advances.
+    wake: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl CrewShared {
+    pub(crate) fn new(placement: Placement, num_shards: usize) -> Self {
+        CrewShared {
+            placement: RwLock::new(placement),
+            pass: RwLock::new(PassData {
+                phase: PassPhase::Candidates,
+                scoring: ScoringScratch::default(),
+                candidates: Vec::new(),
+                gates: Vec::new(),
+            }),
+            results: (0..num_shards).map(|_| Mutex::new(ShardResult::default())).collect(),
+            pending: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            wake: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wakes every helper for the pass just published. Caller must have
+    /// dropped its `placement` / `pass` guards first.
+    pub(crate) fn dispatch(&self) {
+        self.pending.store(self.results.len() - 1, Ordering::Release);
+        {
+            let mut gen = self.wake.lock().expect("crew wake lock");
+            *gen += 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits for every helper to finish the current pass. Spin-waits: the
+    /// helpers' shards are the same size as the slice the main thread
+    /// just scored itself, so the residual wait is microseconds at most.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a fresh panic) when a helper's scoring panicked —
+    /// matching the serial path, where the same panic would surface on
+    /// this thread.
+    pub(crate) fn wait(&self) {
+        let mut spins = 0u32;
+        while self.pending.load(Ordering::Acquire) != 0 {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!("a parallel scoring worker panicked");
+        }
+    }
+
+    /// Releases the crew: parked helpers wake and exit their loop. Safe
+    /// to call more than once; called by [`StopGuard`] on scope exit and
+    /// on main-thread unwind (without it, a panicking scheduler would
+    /// deadlock joining helpers parked forever).
+    pub(crate) fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        drop(self.wake.lock().expect("crew wake lock"));
+        self.cv.notify_all();
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Shuts the crew down when dropped — the unwind-safety net keeping a
+/// main-thread panic from deadlocking the scope join on parked helpers.
+pub(crate) struct StopGuard<'a>(pub &'a CrewShared);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Scores this shard's contiguous slice of the pass: shard `k` of `n`
+/// takes candidate indices `[k·⌈len/n⌉, (k+1)·⌈len/n⌉)`. Slicing by
+/// index keeps every score attached to its global candidate id, which is
+/// what makes the [`better_candidate`] reduction order-independent.
+pub(crate) fn score_shard(
+    scorer: &HeuristicScorer<'_>,
+    pass: &PassData,
+    placement: &Placement,
+    shard_idx: usize,
+    num_shards: usize,
+    shard: &mut ScoreShard,
+) -> ShardResult {
+    let n = pass.len();
+    let chunk = n.div_ceil(num_shards.max(1)).max(1);
+    let lo = (shard_idx * chunk).min(n);
+    let hi = ((shard_idx + 1) * chunk).min(n);
+    let mut best: Option<(f64, usize)> = None;
+    if lo < hi {
+        shard.begin_pass();
+        match pass.phase {
+            PassPhase::Candidates => {
+                for (i, swap) in pass.candidates[lo..hi].iter().enumerate() {
+                    let i = lo + i;
+                    let score = scorer.score_swap_sharded(&pass.scoring, shard, placement, swap);
+                    if better_candidate(score, i, best) {
+                        best = Some((score, i));
+                    }
+                }
+            }
+            PassPhase::FallbackGates => {
+                for (i, gate) in pass.gates[lo..hi].iter().enumerate() {
+                    let i = lo + i;
+                    let score = scorer.gate_score_sharded(shard, placement, gate);
+                    if better_candidate(score, i, best) {
+                        best = Some((score, i));
+                    }
+                }
+            }
+        }
+    }
+    ShardResult { best, hits: shard.take_hits() }
+}
+
+/// The helper-thread loop: park until the generation advances, score this
+/// shard's slice of the published pass against the placement snapshot,
+/// publish the result, repeat until shutdown. Each helper owns one
+/// [`ScoreShard`] for the whole run, so its memo allocations persist
+/// across iterations.
+pub(crate) fn crew_worker(
+    shared: &CrewShared,
+    shard_idx: usize,
+    num_shards: usize,
+    graph: &SlotGraph,
+    router: &TrapRouter,
+    config: &CompilerConfig,
+    dist: &DistanceMatrix,
+) {
+    let scorer = HeuristicScorer::with_distance_matrix(graph, router, config, dist);
+    let mut shard = ScoreShard::default();
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut gen = shared.wake.lock().expect("crew wake lock");
+            while *gen == seen && !shared.stopped() {
+                gen = shared.cv.wait(gen).expect("crew wake lock");
+            }
+            if shared.stopped() {
+                return;
+            }
+            seen = *gen;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let placement = shared.placement.read().expect("crew placement lock");
+            let pass = shared.pass.read().expect("crew pass lock");
+            score_shard(&scorer, &pass, &placement, shard_idx, num_shards, &mut shard)
+        }));
+        let poisoned = match outcome {
+            Ok(result) => {
+                *shared.results[shard_idx].lock().expect("crew result lock") = result;
+                false
+            }
+            Err(_) => {
+                shared.poisoned.store(true, Ordering::Release);
+                true
+            }
+        };
+        // Decrement last: the main thread reads the result slot only
+        // after the countdown reaches zero.
+        shared.pending.fetch_sub(1, Ordering::AcqRel);
+        if poisoned {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn better_candidate_orders_by_score_then_index() {
+        assert!(better_candidate(1.0, 5, None));
+        assert!(better_candidate(1.0, 5, Some((2.0, 0))));
+        assert!(!better_candidate(2.0, 0, Some((1.0, 5))));
+        // Exact tie: the lower candidate index wins.
+        assert!(better_candidate(1.0, 2, Some((1.0, 3))));
+        assert!(!better_candidate(1.0, 3, Some((1.0, 2))));
+    }
+
+    #[test]
+    fn better_candidate_is_nan_safe() {
+        // NaN sorts above every real score under total_cmp: a NaN
+        // candidate never displaces a finite one, and two NaNs tie by
+        // index — no unwrap, no order-dependence.
+        assert!(!better_candidate(f64::NAN, 0, Some((1.0, 5))));
+        assert!(better_candidate(1.0, 5, Some((f64::NAN, 0))));
+        assert!(better_candidate(f64::NAN, 1, Some((f64::NAN, 2))));
+        assert!(better_candidate(f64::INFINITY, 1, Some((f64::NAN, 0))));
+    }
+
+    #[test]
+    fn shard_reduction_matches_serial_scan() {
+        // Reducing shard-local winners in shard order must equal a full
+        // left-to-right scan for any shard count — the property the
+        // epsilon comparator lacked.
+        let scores = [3.0, 1.0, 4.0, 1.0, 5.0, 1.0, 2.0, 6.0];
+        let mut serial: Option<(f64, usize)> = None;
+        for (i, &s) in scores.iter().enumerate() {
+            if better_candidate(s, i, serial) {
+                serial = Some((s, i));
+            }
+        }
+        for shards in 1..=scores.len() {
+            let chunk = scores.len().div_ceil(shards);
+            let mut merged: Option<(f64, usize)> = None;
+            for k in 0..shards {
+                let lo = (k * chunk).min(scores.len());
+                let hi = ((k + 1) * chunk).min(scores.len());
+                let mut local: Option<(f64, usize)> = None;
+                for (i, &s) in scores.iter().enumerate().take(hi).skip(lo) {
+                    if better_candidate(s, i, local) {
+                        local = Some((s, i));
+                    }
+                }
+                if let Some((s, i)) = local {
+                    if better_candidate(s, i, merged) {
+                        merged = Some((s, i));
+                    }
+                }
+            }
+            assert_eq!(merged, serial, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_config_over_env() {
+        // An explicit positive count is a pinned budget: it must win even
+        // when the env var is set (the pool relies on this).
+        assert_eq!(resolve_scoring_threads(3), 3);
+        if std::env::var(SCORE_THREADS_ENV).is_err() {
+            assert_eq!(resolve_scoring_threads(0), 1);
+        } else {
+            assert!(resolve_scoring_threads(0) >= 1);
+        }
+    }
+
+    #[test]
+    fn budget_never_oversubscribes_and_never_hits_zero() {
+        let host = std::thread::available_parallelism().map_or(1, usize::from);
+        assert_eq!(budget_scoring_threads(1, 8), 1);
+        assert!(budget_scoring_threads(64, 1) <= 64.max(host));
+        assert!(budget_scoring_threads(8, 10_000) >= 1);
+        assert!(budget_scoring_threads(0, 0) >= 1);
+        // With as many pool workers as cores, each compile gets one
+        // scoring thread no matter what it asked for.
+        assert_eq!(budget_scoring_threads(8, host), 1);
+    }
+}

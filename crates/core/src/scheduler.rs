@@ -1,11 +1,17 @@
 //! The generic-swap based shuttling scheduler (Algorithm 1 of the paper).
 //!
-//! Two implementations live here:
+//! Three implementations live here:
 //!
 //! * [`Scheduler::run`] — the optimized hot path: per-trap candidate
 //!   enumeration, incrementally maintained frontier / look-ahead gate
 //!   lists, a precomputed [`DistanceMatrix`], cached per-gate base scores
 //!   and reusable scratch buffers (the inner loop allocates nothing).
+//!   When [`CompilerConfig::scoring_threads`] (or `SSYNC_SCORE_THREADS`)
+//!   resolves above one, `run` dispatches to a parallel twin that scores
+//!   each candidate pass across a persistent crew of helper threads (see
+//!   [`crate::par_score`]) — output stays bit-identical at any thread
+//!   count because serial and parallel paths share one total-order
+//!   comparator on `(score, candidate index)`.
 //! * [`Scheduler::run_reference`] — the straightforward transcription of
 //!   Algorithm 1 (global candidate enumeration, fresh collections every
 //!   iteration, per-call distance recomputation). It exists as the golden
@@ -17,8 +23,12 @@
 use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::generic_swap::{GenericSwap, GenericSwapKind};
-use crate::heuristic::{DecayTracker, HeuristicScorer, ScoreCache, ScoringScratch};
+use crate::heuristic::{DecayTracker, HeuristicScorer, ScoreCache, ScoreShard, ScoringScratch};
 use crate::mechanics::Mechanics;
+use crate::par_score::{
+    better_candidate, crew_worker, resolve_scoring_threads, score_shard, CrewShared, PassPhase,
+    ScoringTelemetry, StopGuard,
+};
 use ssync_arch::{Device, DistanceMatrix, Placement, SlotGraph, SlotId, TrapId, TrapRouter};
 use ssync_circuit::{Circuit, DependencyDag, Gate, LookaheadScratch, NodeId};
 use ssync_sim::{CompiledProgram, ScheduledOp};
@@ -51,6 +61,22 @@ impl Default for RecentSwaps {
 }
 
 const RECENT_CAP: usize = 6;
+
+/// Hard ceiling on scoring threads per compile — a misconfigured knob
+/// must not spawn hundreds of helpers (output is identical at any count,
+/// so clamping is always safe).
+const MAX_SCORE_THREADS: usize = 64;
+
+/// Circuits with fewer two-qubit gates than this run serially even when
+/// parallel scoring is enabled: their candidate passes are too small to
+/// amortise spawning a crew. Output is unaffected — serial and parallel
+/// paths are bit-identical by construction.
+const MIN_PARALLEL_GATES: usize = 8;
+
+/// Candidate passes smaller than this are scored inline by the main
+/// thread without waking the (already spawned) crew: a condvar round-trip
+/// costs more than scoring a handful of candidates.
+const MIN_PARALLEL_CANDIDATES: usize = 24;
 
 impl RecentSwaps {
     fn push(&mut self, pair: (SlotId, SlotId)) {
@@ -87,10 +113,12 @@ pub struct SchedulerScratch {
     edge_epoch: u64,
     edge_list: Vec<u32>,
     candidates: Vec<GenericSwap>,
-    fallback_scores: Vec<f64>,
     drain_scratch: Vec<NodeId>,
     executed_ids: Vec<NodeId>,
     scoring: ScoringScratch,
+    /// The main thread's readiness memo (shard 0 of every scoring pass;
+    /// the only shard on the serial path).
+    shard: ScoreShard,
 }
 
 impl SchedulerScratch {
@@ -116,6 +144,7 @@ pub struct Scheduler<'a> {
     router: &'a TrapRouter,
     config: &'a CompilerConfig,
     stats: SchedulerStats,
+    telemetry: ScoringTelemetry,
     /// All-pairs slot distances, shared from the [`Device`] artifact.
     dist: &'a DistanceMatrix,
     /// Edge indices of the static graph touching each trap (either
@@ -167,6 +196,7 @@ impl<'a> Scheduler<'a> {
             router: device.router(),
             config,
             stats: SchedulerStats::default(),
+            telemetry: ScoringTelemetry::default(),
             dist: device.distance_matrix(),
             trap_edges: device.trap_edge_index(),
             scratch,
@@ -184,6 +214,16 @@ impl<'a> Scheduler<'a> {
         self.stats
     }
 
+    /// Scoring telemetry of the last [`Scheduler::run`]: candidates
+    /// scored, shards dispatched, readiness-memo hits. Deliberately not
+    /// part of [`SchedulerStats`] — it describes the scoring *backend*
+    /// (and so differs between serial and parallel runs), while the stats
+    /// are part of the golden output contract.
+    /// [`Scheduler::run_reference`] reports zeros.
+    pub fn scoring_telemetry(&self) -> ScoringTelemetry {
+        self.telemetry
+    }
+
     /// The precomputed all-pairs slot distance matrix.
     pub fn distance_matrix(&self) -> &DistanceMatrix {
         self.dist
@@ -197,6 +237,13 @@ impl<'a> Scheduler<'a> {
     /// Single-qubit gates are emitted up-front: they never constrain
     /// routing and only contribute (near-unity) fidelity.
     ///
+    /// When [`CompilerConfig::scoring_threads`] (or the
+    /// `SSYNC_SCORE_THREADS` environment variable, see
+    /// [`resolve_scoring_threads`]) resolves above one and the circuit is
+    /// big enough to amortise a crew spawn, candidate scoring fans out
+    /// over helper threads — the produced program, final placement and
+    /// [`SchedulerStats`] are **bit-identical** at every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`CompileError::SchedulingStalled`] if the iteration budget
@@ -205,9 +252,25 @@ impl<'a> Scheduler<'a> {
     pub fn run(
         &mut self,
         circuit: &Circuit,
+        placement: Placement,
+    ) -> Result<(CompiledProgram, Placement), CompileError> {
+        let threads = resolve_scoring_threads(self.config.scoring_threads).min(MAX_SCORE_THREADS);
+        if threads <= 1 || circuit.two_qubit_gate_count() < MIN_PARALLEL_GATES {
+            self.run_serial(circuit, placement)
+        } else {
+            self.run_parallel(circuit, placement, threads)
+        }
+    }
+
+    /// The single-threaded hot path (also the backend for circuits too
+    /// small to amortise a crew spawn).
+    fn run_serial(
+        &mut self,
+        circuit: &Circuit,
         mut placement: Placement,
     ) -> Result<(CompiledProgram, Placement), CompileError> {
         self.stats = SchedulerStats::default();
+        self.telemetry = ScoringTelemetry::default();
         let mut program =
             CompiledProgram::new(circuit.num_qubits(), self.graph.topology().num_traps());
         for gate in circuit.iter() {
@@ -280,18 +343,24 @@ impl<'a> Scheduler<'a> {
                     &self.scratch.frontier,
                     &self.scratch.lookahead,
                 );
-                let mut best: Option<(f64, GenericSwap)> = None;
-                for swap in &self.scratch.candidates {
-                    let score = scorer.score_swap_prepared(&self.scratch.scoring, &placement, swap);
-                    let better = match best {
-                        None => true,
-                        Some((b, _)) => score < b - 1e-12,
-                    };
-                    if better {
-                        best = Some((score, *swap));
+                self.scratch.shard.begin_pass();
+                let mut best: Option<(f64, usize)> = None;
+                for (i, swap) in self.scratch.candidates.iter().enumerate() {
+                    let score = scorer.score_swap_sharded(
+                        &self.scratch.scoring,
+                        &mut self.scratch.shard,
+                        &placement,
+                        swap,
+                    );
+                    if better_candidate(score, i, best) {
+                        best = Some((score, i));
                     }
                 }
-                if let Some((_, swap)) = best {
+                self.telemetry.candidates_scored += self.scratch.candidates.len() as u64;
+                self.telemetry.score_shards_spawned += 1;
+                self.telemetry.score_cache_shard_hits += self.scratch.shard.take_hits();
+                if let Some((_, idx)) = best {
+                    let swap = self.scratch.candidates[idx];
                     self.apply_swap(&swap, &mut placement, &mut program, &mut decay, &mechanics);
                     bump_swap_epochs(&mut cache, self.graph, &swap);
                     recent.push((swap.a, swap.b));
@@ -304,25 +373,23 @@ impl<'a> Scheduler<'a> {
             stall += 1;
             if !applied || stall > self.config.max_stall_iterations {
                 // Safety net: route the cheapest frontier gate directly,
-                // scoring each frontier gate exactly once.
-                self.scratch.fallback_scores.clear();
-                for (_, gate) in &self.scratch.frontier {
-                    self.scratch.fallback_scores.push(scorer.gate_score(&placement, gate));
-                }
-                let mut best_idx = 0usize;
-                for i in 1..self.scratch.fallback_scores.len() {
-                    let cmp = self.scratch.fallback_scores[i]
-                        .partial_cmp(&self.scratch.fallback_scores[best_idx])
-                        .unwrap_or(std::cmp::Ordering::Equal);
-                    if cmp == std::cmp::Ordering::Less {
-                        best_idx = i;
+                // scoring each frontier gate exactly once through the
+                // readiness memo (gates routing through a shared entry
+                // port reuse its readiness scan).
+                self.scratch.shard.begin_pass();
+                let mut best_gate: Option<(f64, usize)> = None;
+                for (i, (_, gate)) in self.scratch.frontier.iter().enumerate() {
+                    let score =
+                        scorer.gate_score_sharded(&mut self.scratch.shard, &placement, gate);
+                    if better_candidate(score, i, best_gate) {
+                        best_gate = Some((score, i));
                     }
                 }
-                let gate = self
-                    .scratch
-                    .frontier
-                    .get(best_idx)
-                    .map(|&(_, g)| g)
+                self.telemetry.candidates_scored += self.scratch.frontier.len() as u64;
+                self.telemetry.score_shards_spawned += 1;
+                self.telemetry.score_cache_shard_hits += self.scratch.shard.take_hits();
+                let gate = best_gate
+                    .map(|(_, i)| self.scratch.frontier[i].1)
                     .expect("frontier is non-empty while the DAG is incomplete");
                 let (q1, q2) = gate.two_qubit_pair().expect("frontier gates are two-qubit");
                 let dest = placement.trap_of(q2).expect("qubit placed");
@@ -345,6 +412,264 @@ impl<'a> Scheduler<'a> {
         }
 
         Ok((program, placement))
+    }
+
+    /// The parallel twin of [`Scheduler::run_serial`]: the same Algorithm 1
+    /// loop, with every scoring pass fanned out over a persistent crew of
+    /// `threads - 1` helper threads (the main thread always scores shard
+    /// 0). The two loop bodies must stay in lockstep — the corpus
+    /// determinism tests and the golden `run_reference` equivalence pin
+    /// them to bit-identical output.
+    ///
+    /// Concurrency protocol (see [`crate::par_score`] for the types):
+    /// the placement lives in a `RwLock` for the whole run. The main
+    /// thread holds the write lock through every mutation phase, publishes
+    /// each scoring pass by swapping the prepared scratch into a shared
+    /// `PassData` cell, *releases* the write lock, wakes the crew, scores
+    /// its own shard, and spin-waits for the countdown. Helpers only take
+    /// read locks after observing the generation bump, so the locks are
+    /// never contended; phases strictly alternate.
+    fn run_parallel(
+        &mut self,
+        circuit: &Circuit,
+        placement: Placement,
+        threads: usize,
+    ) -> Result<(CompiledProgram, Placement), CompileError> {
+        self.stats = SchedulerStats::default();
+        self.telemetry = ScoringTelemetry::default();
+        let mut program =
+            CompiledProgram::new(circuit.num_qubits(), self.graph.topology().num_traps());
+        for gate in circuit.iter() {
+            if !gate.is_two_qubit() {
+                let q = gate.qubits()[0];
+                program.push(ScheduledOp::SingleQubitGate { qubit: q });
+            }
+        }
+
+        let mut dag = DependencyDag::from_circuit(circuit);
+        let mechanics = Mechanics::new(self.graph, self.router);
+        let mut cache = ScoreCache::new(dag.len(), self.graph.topology().num_traps());
+        let mut decay = DecayTracker::new(
+            circuit.num_qubits(),
+            self.config.decay_delta,
+            self.config.decay_reset_interval,
+        );
+        let mut recent = RecentSwaps::default();
+        let mut stall = 0usize;
+        let budget = 10_000 + 400 * dag.len();
+        let mut gate_lists_stale = true;
+
+        let shared = CrewShared::new(placement, threads);
+        // Plain `&'a` refs, copied out so the helper closures don't
+        // capture `self` (which the main loop mutably borrows).
+        let (graph, router, config, dist) = (self.graph, self.router, self.config, self.dist);
+
+        let run_result: Result<(), CompileError> = std::thread::scope(|scope| {
+            // Dropped on every exit path (including unwinds): parks the
+            // crew permanently so the scope join can't deadlock.
+            let _stop = StopGuard(&shared);
+            for k in 1..threads {
+                let shared = &shared;
+                scope.spawn(move || crew_worker(shared, k, threads, graph, router, config, dist));
+            }
+
+            while !dag.is_complete() {
+                self.stats.iterations += 1;
+                if self.stats.iterations > budget {
+                    return Err(CompileError::SchedulingStalled {
+                        remaining_gates: dag.remaining(),
+                    });
+                }
+
+                let mut placement = shared.placement.write().expect("placement lock");
+                let executed =
+                    self.execute_ready(&mut dag, &mut placement, &mut program, &mechanics);
+                if executed > 0 {
+                    stall = 0;
+                    gate_lists_stale = true;
+                    continue;
+                }
+                if dag.is_complete() {
+                    break;
+                }
+
+                if gate_lists_stale {
+                    self.rebuild_gate_lists(&dag);
+                    gate_lists_stale = false;
+                }
+                self.collect_relevant_traps(&placement);
+                self.collect_candidates(&placement, Some(&recent));
+                if self.scratch.candidates.is_empty() {
+                    self.collect_candidates(&placement, None);
+                }
+
+                let scorer =
+                    HeuristicScorer::with_distance_matrix(graph, router, config, self.dist);
+                let mut applied = false;
+                if !self.scratch.candidates.is_empty() {
+                    scorer.prepare_pass(
+                        &mut self.scratch.scoring,
+                        &mut cache,
+                        &placement,
+                        &decay,
+                        &self.scratch.frontier,
+                        &self.scratch.lookahead,
+                    );
+                    let n = self.scratch.candidates.len();
+                    self.telemetry.candidates_scored += n as u64;
+                    let best = if n < MIN_PARALLEL_CANDIDATES {
+                        // Too small to pay a crew wake-up: score inline,
+                        // exactly like the serial path.
+                        self.scratch.shard.begin_pass();
+                        let mut best: Option<(f64, usize)> = None;
+                        for (i, swap) in self.scratch.candidates.iter().enumerate() {
+                            let score = scorer.score_swap_sharded(
+                                &self.scratch.scoring,
+                                &mut self.scratch.shard,
+                                &placement,
+                                swap,
+                            );
+                            if better_candidate(score, i, best) {
+                                best = Some((score, i));
+                            }
+                        }
+                        self.telemetry.score_shards_spawned += 1;
+                        self.telemetry.score_cache_shard_hits += self.scratch.shard.take_hits();
+                        best
+                    } else {
+                        // Publish the pass, release the placement lock,
+                        // fan out.
+                        {
+                            let mut pass = shared.pass.write().expect("pass lock");
+                            pass.phase = PassPhase::Candidates;
+                            std::mem::swap(&mut pass.scoring, &mut self.scratch.scoring);
+                            std::mem::swap(&mut pass.candidates, &mut self.scratch.candidates);
+                        }
+                        drop(placement);
+                        let best = self.score_pass_with_crew(&shared, &scorer, threads, n);
+                        // Take the buffers back and re-acquire the
+                        // placement for the mutation phase.
+                        {
+                            let mut pass = shared.pass.write().expect("pass lock");
+                            std::mem::swap(&mut pass.scoring, &mut self.scratch.scoring);
+                            std::mem::swap(&mut pass.candidates, &mut self.scratch.candidates);
+                        }
+                        placement = shared.placement.write().expect("placement lock");
+                        best
+                    };
+                    if let Some((_, idx)) = best {
+                        let swap = self.scratch.candidates[idx];
+                        self.apply_swap(
+                            &swap,
+                            &mut placement,
+                            &mut program,
+                            &mut decay,
+                            &mechanics,
+                        );
+                        bump_swap_epochs(&mut cache, self.graph, &swap);
+                        recent.push((swap.a, swap.b));
+                        self.stats.heuristic_swaps += 1;
+                        applied = true;
+                    }
+                }
+
+                decay.tick();
+                stall += 1;
+                if !applied || stall > self.config.max_stall_iterations {
+                    // Stall-fallback: score the frontier gates, sharded
+                    // the same way as the candidate pass.
+                    let n = self.scratch.frontier.len();
+                    self.telemetry.candidates_scored += n as u64;
+                    let best_gate = if n < MIN_PARALLEL_CANDIDATES {
+                        self.scratch.shard.begin_pass();
+                        let mut best: Option<(f64, usize)> = None;
+                        for (i, (_, gate)) in self.scratch.frontier.iter().enumerate() {
+                            let score = scorer.gate_score_sharded(
+                                &mut self.scratch.shard,
+                                &placement,
+                                gate,
+                            );
+                            if better_candidate(score, i, best) {
+                                best = Some((score, i));
+                            }
+                        }
+                        self.telemetry.score_shards_spawned += 1;
+                        self.telemetry.score_cache_shard_hits += self.scratch.shard.take_hits();
+                        best
+                    } else {
+                        {
+                            let mut pass = shared.pass.write().expect("pass lock");
+                            pass.phase = PassPhase::FallbackGates;
+                            pass.gates.clear();
+                            pass.gates.extend(self.scratch.frontier.iter().map(|&(_, g)| g));
+                        }
+                        drop(placement);
+                        let best = self.score_pass_with_crew(&shared, &scorer, threads, n);
+                        placement = shared.placement.write().expect("placement lock");
+                        best
+                    };
+                    let gate = best_gate
+                        .map(|(_, i)| self.scratch.frontier[i].1)
+                        .expect("frontier is non-empty while the DAG is incomplete");
+                    let (q1, q2) = gate.two_qubit_pair().expect("frontier gates are two-qubit");
+                    let dest = placement.trap_of(q2).expect("qubit placed");
+                    if placement.trap_free_slots(dest) == 0 {
+                        mechanics.make_space(&mut placement, &mut program, dest, 1, &[q1, q2]);
+                    }
+                    let dest = placement.trap_of(q2).expect("qubit placed");
+                    if !mechanics.move_qubit_to_trap(&mut placement, &mut program, q1, dest) {
+                        return Err(CompileError::SchedulingStalled {
+                            remaining_gates: dag.remaining(),
+                        });
+                    }
+                    self.stats.fallback_routed_gates += 1;
+                    stall = 0;
+                    recent.clear();
+                    cache.bump_all();
+                }
+            }
+            Ok(())
+        });
+        run_result?;
+
+        let placement = shared.placement.into_inner().expect("placement lock");
+        Ok((program, placement))
+    }
+
+    /// Runs one published scoring pass over the crew: wakes the helpers,
+    /// scores shard 0 on the calling thread, waits for the countdown and
+    /// merges the shard winners in shard order under the shared total
+    /// order. Caller must have published `PassData` and released the
+    /// placement write lock.
+    fn score_pass_with_crew(
+        &mut self,
+        shared: &CrewShared,
+        scorer: &HeuristicScorer<'_>,
+        threads: usize,
+        pass_len: usize,
+    ) -> Option<(f64, usize)> {
+        shared.dispatch();
+        let own = {
+            let placement = shared.placement.read().expect("placement lock");
+            let pass = shared.pass.read().expect("pass lock");
+            score_shard(scorer, &pass, &placement, 0, threads, &mut self.scratch.shard)
+        };
+        shared.wait();
+
+        let chunk = pass_len.div_ceil(threads).max(1);
+        self.telemetry.score_shards_spawned += pass_len.div_ceil(chunk) as u64;
+        self.telemetry.score_cache_shard_hits += own.hits;
+        let mut best = own.best;
+        for slot in &shared.results[1..] {
+            let r = slot.lock().expect("result lock");
+            if let Some((score, idx)) = r.best {
+                if better_candidate(score, idx, best) {
+                    best = Some((score, idx));
+                }
+            }
+            self.telemetry.score_cache_shard_hits += r.hits;
+        }
+        best
     }
 
     /// Rebuilds the cached frontier and look-ahead `(id, gate)` lists from
@@ -457,6 +782,7 @@ impl<'a> Scheduler<'a> {
         mut placement: Placement,
     ) -> Result<(CompiledProgram, Placement), CompileError> {
         self.stats = SchedulerStats::default();
+        self.telemetry = ScoringTelemetry::default();
         let mut program =
             CompiledProgram::new(circuit.num_qubits(), self.graph.topology().num_traps());
         for gate in circuit.iter() {
@@ -508,18 +834,17 @@ impl<'a> Scheduler<'a> {
 
             let mut applied = false;
             if !candidates.is_empty() {
-                let mut best: Option<(f64, GenericSwap)> = None;
-                for swap in candidates {
+                // Same total order as the hot path: strict `total_cmp`
+                // on the score, candidate index on ties (the enumeration
+                // order is the static edge order on both paths).
+                let mut best: Option<(f64, GenericSwap, usize)> = None;
+                for (i, swap) in candidates.into_iter().enumerate() {
                     let score = scorer.score_swap(&placement, &decay, &frontier, &lookahead, &swap);
-                    let better = match best {
-                        None => true,
-                        Some((b, _)) => score < b - 1e-12,
-                    };
-                    if better {
-                        best = Some((score, swap));
+                    if better_candidate(score, i, best.map(|(s, _, bi)| (s, bi))) {
+                        best = Some((score, swap, i));
                     }
                 }
-                if let Some((_, swap)) = best {
+                if let Some((_, swap, _)) = best {
                     self.apply_swap(&swap, &mut placement, &mut program, &mut decay, &mechanics);
                     recent_swaps.push_back((swap.a, swap.b));
                     while recent_swaps.len() > RECENT_CAP {
@@ -533,16 +858,19 @@ impl<'a> Scheduler<'a> {
             decay.tick();
             stall += 1;
             if !applied || stall > self.config.max_stall_iterations {
-                // Safety net: route the cheapest frontier gate directly.
-                let gate = frontier
-                    .iter()
-                    .min_by(|a, b| {
-                        scorer
-                            .gate_score(&placement, a)
-                            .partial_cmp(&scorer.gate_score(&placement, b))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .copied()
+                // Safety net: route the cheapest frontier gate directly,
+                // under the same NaN-safe `(score, index)` total order as
+                // the hot path (`min_by` with a `partial_cmp` fallback to
+                // `Equal` would mis-order NaN scores).
+                let mut best_gate: Option<(f64, usize)> = None;
+                for (i, gate) in frontier.iter().enumerate() {
+                    let score = scorer.gate_score(&placement, gate);
+                    if better_candidate(score, i, best_gate) {
+                        best_gate = Some((score, i));
+                    }
+                }
+                let gate = best_gate
+                    .map(|(_, i)| frontier[i])
                     .expect("frontier is non-empty while the DAG is incomplete");
                 let (q1, q2) = gate.two_qubit_pair().expect("frontier gates are two-qubit");
                 let dest = placement.trap_of(q2).expect("qubit placed");

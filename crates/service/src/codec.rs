@@ -338,9 +338,12 @@ pub fn decode_circuit(r: &mut ByteReader<'_>) -> Result<Circuit, CodecError> {
 // Compiler configuration.
 // ---------------------------------------------------------------------------
 
-/// Encodes every [`CompilerConfig`] field (including `batch_workers`,
-/// which the cache key hash deliberately skips — the wire layer transports
-/// the config verbatim; only the cache decides what is output-affecting).
+/// Encodes every [`CompilerConfig`] field except `scoring_threads`
+/// (including `batch_workers`, which the cache key hash deliberately
+/// skips — the wire layer transports the config verbatim; only the cache
+/// decides what is output-affecting). `scoring_threads` stays off the
+/// wire entirely: it is a server-side resource budget, not part of the
+/// request (see [`decode_config`]).
 pub fn encode_config(w: &mut ByteWriter, c: &CompilerConfig) {
     w.put_f64(c.weights.inner_weight);
     w.put_f64(c.weights.shuttle_weight);
@@ -405,6 +408,12 @@ pub fn decode_config(r: &mut ByteReader<'_>) -> Result<CompilerConfig, CodecErro
         max_stall_iterations: r.get_usize()?,
         executable_bonus: r.get_f64()?,
         batch_workers: r.get_usize()?,
+        // Deliberately not wire-encoded: intra-compile scoring threads
+        // are a *server-side* resource decision (the pool budgets them
+        // against its worker count), never output-affecting, and a remote
+        // client must not be able to dictate server thread usage. Decoded
+        // configs land on "auto" and the executing pool pins the budget.
+        scoring_threads: 0,
     })
 }
 

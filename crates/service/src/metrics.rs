@@ -60,6 +60,18 @@ pub struct ServiceMetrics {
     /// deletions themselves land in
     /// [`CacheStats::persist_gc_deleted`](crate::CacheStats)).
     pub janitor_gc_runs: u64,
+    /// Generic-swap candidates scored by the intra-compile scheduler
+    /// across every compile this pool executed (cache hits and rebuilt
+    /// outcomes contribute nothing — these count work performed here).
+    pub candidates_scored: u64,
+    /// Scoring shards dispatched by those schedulers; equals the number
+    /// of scoring passes when compiles run serially, and grows with the
+    /// pool's [`scoring_threads`](crate::CompileService::scoring_threads)
+    /// budget when passes are split across a crew.
+    pub score_shards_spawned: u64,
+    /// Per-shard route-readiness memo hits during candidate scoring — the
+    /// intra-pass locality the sharded memo recovers.
+    pub score_cache_shard_hits: u64,
     /// Result-cache counters (hits, misses, entries, bytes, evictions,
     /// persistent-tier traffic).
     pub cache: CacheStats,

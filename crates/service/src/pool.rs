@@ -103,7 +103,10 @@ use crate::job::{CompileRequest, JobHandle, JobResult, JobState, Priority, Tenan
 use crate::metrics::{ServiceMetrics, WorkerMetrics};
 use crate::registry::DeviceRegistry;
 use ssync_circuit::{Circuit, Qubit};
-use ssync_core::{batch, CacheBounds, CompileError, CompileScratch};
+use ssync_core::{
+    batch, budget_scoring_threads, resolve_scoring_threads, CacheBounds, CompileError,
+    CompileScratch,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -263,6 +266,12 @@ struct SleepState {
 
 struct Shared {
     injector: Mutex<Injector<Job>>,
+    /// Effective intra-compile scoring-thread count every worker pins into
+    /// the config it executes (see [`CompileService::scoring_threads`]).
+    /// Computed once at start: the requested count (builder →
+    /// `SSYNC_SCORE_THREADS` → 1) budgeted against the pool size so
+    /// `workers × scoring_threads` never oversubscribes the host.
+    scoring_threads: usize,
     /// High-priority jobs currently in the injector. Incremented *before*
     /// the push (same never-ahead rule as `SleepState::queued`),
     /// decremented on a successful High pop. Lets workers with affine
@@ -285,6 +294,9 @@ struct Shared {
     rejected_unauthorized: AtomicU64,
     conns_timed_out: AtomicU64,
     janitor_gc_runs: AtomicU64,
+    candidates_scored: AtomicU64,
+    score_shards_spawned: AtomicU64,
+    score_cache_shard_hits: AtomicU64,
     executed: Vec<AtomicU64>,
     stolen: Vec<AtomicU64>,
 }
@@ -365,6 +377,10 @@ impl Shared {
 #[derive(Debug, Clone, Default)]
 pub struct CompileServiceBuilder {
     workers: usize,
+    /// Requested intra-compile scoring threads; `0` = auto
+    /// (`SSYNC_SCORE_THREADS`, then serial). Budgeted against the worker
+    /// count at build time — see [`CompileService::scoring_threads`].
+    scoring_threads: usize,
     /// `None` = never configured → fall back to the environment at build
     /// time. An explicit [`CacheBounds::UNBOUNDED`] is honoured as-is.
     bounds: Option<CacheBounds>,
@@ -379,6 +395,19 @@ impl CompileServiceBuilder {
     /// variable, then the machine's available parallelism).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Requests `threads` intra-compile scoring threads per worker; `0`
+    /// (the default) resolves through the `SSYNC_SCORE_THREADS`
+    /// environment variable and falls back to 1 (serial). The request is
+    /// *budgeted*, not obeyed verbatim: at build time it is capped at
+    /// `available_parallelism / workers` so a saturated pool never
+    /// oversubscribes the host — an 8-worker daemon on an 8-core box runs
+    /// every compile serially no matter what was asked for. Scoring
+    /// threads never change compiled output (or cache keys).
+    pub fn scoring_threads(mut self, threads: usize) -> Self {
+        self.scoring_threads = threads;
         self
     }
 
@@ -430,6 +459,7 @@ impl CompileServiceBuilder {
     pub fn build(self) -> CompileService {
         let CompileServiceBuilder {
             workers,
+            scoring_threads,
             bounds,
             persist_dir,
             persist_max_bytes,
@@ -442,7 +472,7 @@ impl CompileServiceBuilder {
             persist_max_age,
         }
         .persist_gc_from_env();
-        CompileService::start(batch::resolve_workers(workers), cache)
+        CompileService::start(batch::resolve_workers(workers), cache, scoring_threads)
     }
 }
 
@@ -491,13 +521,16 @@ impl CompileService {
     /// at least 1), ignoring the environment — the constructor for tests
     /// pinning worker-count independence. The cache is unbounded.
     pub fn with_workers(workers: usize) -> Self {
-        Self::start(workers, CacheConfig::default())
+        Self::start(workers, CacheConfig::default(), 0)
     }
 
-    fn start(workers: usize, cache: CacheConfig) -> Self {
+    fn start(workers: usize, cache: CacheConfig, scoring_threads: usize) -> Self {
         let workers = workers.max(1);
+        let scoring_threads =
+            budget_scoring_threads(resolve_scoring_threads(scoring_threads), workers);
         let shared = Arc::new(Shared {
             injector: Mutex::new(Injector::default()),
+            scoring_threads,
             high_pending: AtomicUsize::new(0),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             sleep: Mutex::new(SleepState::default()),
@@ -515,6 +548,9 @@ impl CompileService {
             rejected_unauthorized: AtomicU64::new(0),
             conns_timed_out: AtomicU64::new(0),
             janitor_gc_runs: AtomicU64::new(0),
+            candidates_scored: AtomicU64::new(0),
+            score_shards_spawned: AtomicU64::new(0),
+            score_cache_shard_hits: AtomicU64::new(0),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
@@ -550,6 +586,16 @@ impl CompileService {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Effective intra-compile scoring-thread count pinned into every
+    /// executed job's config: the builder's request (or
+    /// `SSYNC_SCORE_THREADS` when left at 0) capped at
+    /// `available_parallelism / workers`, never below 1. Pinning happens
+    /// at execution time, after the cache key is computed, so the budget
+    /// is invisible to caching and to compiled output.
+    pub fn scoring_threads(&self) -> usize {
+        self.shared.scoring_threads
     }
 
     /// Jobs currently published to some queue and not yet claimed by a
@@ -680,6 +726,9 @@ impl CompileService {
             rejected_unauthorized: self.shared.rejected_unauthorized.load(Ordering::Relaxed),
             conns_timed_out: self.shared.conns_timed_out.load(Ordering::Relaxed),
             janitor_gc_runs: self.shared.janitor_gc_runs.load(Ordering::Relaxed),
+            candidates_scored: self.shared.candidates_scored.load(Ordering::Relaxed),
+            score_shards_spawned: self.shared.score_shards_spawned.load(Ordering::Relaxed),
+            score_cache_shard_hits: self.shared.score_cache_shard_hits.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
             workers: self
                 .shared
@@ -900,15 +949,24 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
             shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
             Err(CompileError::DeadlineExceeded { deadline_us })
         }
-        None => run_compile(&request, &prep, scratch).unwrap_or_else(|panic_message| {
-            // A panicking compile must not take the worker (and every
-            // queued tenant behind it) down; surface it on the one
-            // affected handle and drop the possibly-inconsistent scratch.
-            *scratch = CompileScratch::default();
-            Err(CompileError::Internal { message: panic_message })
-        }),
+        None => run_compile(&request, &prep, shared.scoring_threads, scratch).unwrap_or_else(
+            |panic_message| {
+                // A panicking compile must not take the worker (and every
+                // queued tenant behind it) down; surface it on the one
+                // affected handle and drop the possibly-inconsistent
+                // scratch.
+                *scratch = CompileScratch::default();
+                Err(CompileError::Internal { message: panic_message })
+            },
+        ),
     };
     if let Ok(outcome) = &result {
+        // Scoring-work telemetry counts compiles actually run here: cache
+        // hits and codec-rebuilt outcomes report zeros by design.
+        let scoring = outcome.scoring_telemetry();
+        shared.candidates_scored.fetch_add(scoring.candidates_scored, Ordering::Relaxed);
+        shared.score_shards_spawned.fetch_add(scoring.score_shards_spawned, Ordering::Relaxed);
+        shared.score_cache_shard_hits.fetch_add(scoring.score_cache_shard_hits, Ordering::Relaxed);
         // Insert into the cache *before* retiring the pending entry:
         // identical submissions racing this completion find the job in at
         // least one of the two, so nothing recompiles.
@@ -938,25 +996,25 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
 }
 
 /// Runs one compile, catching panics; `Err` carries the panic message.
+/// The pool's budgeted `scoring_threads` is pinned into the config here —
+/// *after* the cache key was computed from the request's own config — so
+/// the server-side thread budget never leaks into cache identity, and a
+/// remote client's config can never dictate server thread usage.
 fn run_compile(
     request: &CompileRequest,
     prep: &CircuitPrep,
+    scoring_threads: usize,
     scratch: &mut CompileScratch,
 ) -> Result<JobResult, String> {
     let first_use = request
         .compiler
         .uses_first_use_order()
         .then(|| prep.first_use.get_or_init(|| request.circuit.first_use_order()).as_slice());
+    let config = request.config.with_scoring_threads(scoring_threads);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         request
             .compiler
-            .compile_on_with(
-                request.device.device(),
-                &request.circuit,
-                &request.config,
-                first_use,
-                scratch,
-            )
+            .compile_on_with(request.device.device(), &request.circuit, &config, first_use, scratch)
             .map(Arc::new)
     }))
     .map_err(|payload| {
@@ -1314,6 +1372,69 @@ mod tests {
         assert!(first.wait().is_ok());
         assert!(second.wait().is_ok());
         assert_eq!(service.metrics().jobs_deadline_expired, 1);
+    }
+
+    #[test]
+    fn scoring_threads_are_budgeted_and_counted() {
+        // The builder's request is budgeted against the pool size: the
+        // effective value is at least 1 and never exceeds the request.
+        let service = CompileService::builder().workers(2).scoring_threads(8).build();
+        let effective = service.scoring_threads();
+        assert!((1..=8).contains(&effective), "budgeted to {effective}");
+        let config = CompilerConfig::default();
+        // Capacity-8 traps force qft(12) to actually route (the paper
+        // topologies' capacity-22 traps would swallow it whole and score
+        // nothing).
+        let device = service
+            .registry()
+            .get_or_build("tight", config.weights, || QccdTopology::grid(2, 2, 8));
+        let circuit = Arc::new(qft(12));
+        let outcome = service
+            .submit(CompileRequest::new(
+                Arc::clone(&device),
+                Arc::clone(&circuit),
+                CompilerKind::SSync,
+                config,
+            ))
+            .wait()
+            .expect("compiles");
+        let metrics = service.metrics();
+        assert!(metrics.candidates_scored > 0, "the S-SYNC scheduler scored candidates");
+        assert!(metrics.score_shards_spawned > 0);
+        assert_eq!(metrics.candidates_scored, outcome.scoring_telemetry().candidates_scored);
+        // A cache hit re-serves the outcome without scoring anything.
+        service
+            .submit(CompileRequest::new(device, circuit, CompilerKind::SSync, config))
+            .wait()
+            .expect("hits");
+        assert_eq!(service.metrics().candidates_scored, metrics.candidates_scored);
+    }
+
+    #[test]
+    fn pool_scoring_budget_never_changes_results() {
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(12));
+        let compile = |threads: usize| {
+            let service = CompileService::builder().workers(1).scoring_threads(threads).build();
+            let device = service
+                .registry()
+                .get_or_build("tight", config.weights, || QccdTopology::grid(2, 2, 8));
+            service
+                .submit(CompileRequest::new(
+                    device,
+                    Arc::clone(&circuit),
+                    CompilerKind::SSync,
+                    config,
+                ))
+                .wait()
+                .expect("compiles")
+        };
+        let expected = compile(1);
+        for threads in [2, 8] {
+            let got = compile(threads);
+            assert_eq!(expected.program().ops(), got.program().ops(), "threads={threads}");
+            assert_eq!(expected.final_placement(), got.final_placement(), "threads={threads}");
+        }
     }
 
     #[test]

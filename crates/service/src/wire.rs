@@ -63,6 +63,20 @@
 //! `janitor_gc_runs`). Every v1/v2 tag and payload encoding is
 //! unchanged.
 //!
+//! ## Version 4
+//!
+//! v4 appends three **intra-compile scoring counters** to the `Metrics`
+//! payload (`candidates_scored`, `score_shards_spawned`,
+//! `score_cache_shard_hits`), after `uptime` — previously the final
+//! field. The decoder reads them only when payload bytes remain, so a
+//! v4 client decodes a v1–v3 daemon's shorter payload cleanly (the
+//! counters come back zero) and every older tag and encoding is
+//! unchanged. The scheduler's `scoring_threads` knob deliberately stays
+//! **off the wire**: thread budgeting is a server-side resource
+//! decision (`--score-threads` / `SSYNC_SCORE_THREADS`), never
+//! something a remote client dictates — and it cannot affect compiled
+//! output anyway.
+//!
 //! Job ids are per-connection and **single-delivery**: the response that
 //! carries a job's terminal result (`Wait`, or a `Poll` that observes
 //! completion) consumes the id, so a long-lived connection doesn't pin
@@ -88,9 +102,10 @@ pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"SSYC");
 /// codec field walk changes. v2 added `SubmitQasm` and the extended
 /// metrics payload; v3 added the `Hello` auth handshake, the
 /// `Overloaded` compile-error tag and the front-end/janitor metrics
-/// counters. [`read_frame`] still accepts
+/// counters; v4 appended the intra-compile scoring counters to
+/// `Metrics`. [`read_frame`] still accepts
 /// [`MIN_WIRE_VERSION`]-tagged frames from older peers.
-pub const WIRE_VERSION: u32 = 3;
+pub const WIRE_VERSION: u32 = 4;
 /// Oldest protocol version [`read_frame`] accepts.
 pub const MIN_WIRE_VERSION: u32 = 1;
 /// Upper bound on a frame payload (a defence against corrupt length
@@ -417,10 +432,15 @@ fn encode_metrics(w: &mut ByteWriter, m: &ServiceMetrics) {
         w.put_u64(worker.stolen);
     }
     w.put_u64(m.uptime.as_nanos() as u64);
+    // v4 tail: appended after what was the final v3 field so v1–v3
+    // decoders (which stop at `uptime`) never see them.
+    w.put_u64(m.candidates_scored);
+    w.put_u64(m.score_shards_spawned);
+    w.put_u64(m.score_cache_shard_hits);
 }
 
 fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> {
-    Ok(ServiceMetrics {
+    let mut metrics = ServiceMetrics {
         jobs_submitted: r.get_u64()?,
         jobs_completed: r.get_u64()?,
         jobs_coalesced: r.get_u64()?,
@@ -432,6 +452,9 @@ fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> 
         rejected_unauthorized: r.get_u64()?,
         conns_timed_out: r.get_u64()?,
         janitor_gc_runs: r.get_u64()?,
+        candidates_scored: 0,
+        score_shards_spawned: 0,
+        score_cache_shard_hits: 0,
         cache: crate::cache::CacheStats {
             hits: r.get_u64()?,
             misses: r.get_u64()?,
@@ -451,7 +474,15 @@ fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> 
             workers
         },
         uptime: Duration::from_nanos(r.get_u64()?),
-    })
+    };
+    // The v4 scoring counters live past the v3 end of the payload; a
+    // shorter (v1–v3) payload simply leaves them zero.
+    if !r.is_exhausted() {
+        metrics.candidates_scored = r.get_u64()?;
+        metrics.score_shards_spawned = r.get_u64()?;
+        metrics.score_cache_shard_hits = r.get_u64()?;
+    }
+    Ok(metrics)
 }
 
 /// Encodes a [`Response`] payload (no frame header).
@@ -830,6 +861,9 @@ mod tests {
             rejected_unauthorized: 2,
             conns_timed_out: 3,
             janitor_gc_runs: 11,
+            candidates_scored: 4242,
+            score_shards_spawned: 99,
+            score_cache_shard_hits: 1717,
             cache: crate::cache::CacheStats {
                 hits: 4,
                 misses: 6,
@@ -849,6 +883,21 @@ mod tests {
         let bytes = encode_response(&Response::Metrics(metrics.clone()));
         match decode_response(&bytes).expect("round-trips") {
             Response::Metrics(decoded) => assert_eq!(metrics, decoded),
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // A v1–v3 peer's payload ends at `uptime`: dropping the v4 tail
+        // (three appended u64s) must still decode, with the scoring
+        // counters zeroed — the backward-compatibility contract.
+        let truncated = &bytes[..bytes.len() - 24];
+        match decode_response(truncated).expect("v3-length payload decodes") {
+            Response::Metrics(decoded) => {
+                assert_eq!(decoded.candidates_scored, 0);
+                assert_eq!(decoded.score_shards_spawned, 0);
+                assert_eq!(decoded.score_cache_shard_hits, 0);
+                assert_eq!(decoded.jobs_submitted, metrics.jobs_submitted);
+                assert_eq!(decoded.uptime, metrics.uptime);
+            }
             other => panic!("wrong variant: {other:?}"),
         }
     }

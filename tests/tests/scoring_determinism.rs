@@ -1,0 +1,177 @@
+//! Determinism contract of the parallel candidate scorer.
+//!
+//! The scheduler's scoring crew (`CompilerConfig::scoring_threads`) must
+//! be invisible in every output: compiled programs, final placements and
+//! `SchedulerStats` are **bit-identical** at any thread count — to each
+//! other, to the serial path, and to the straight-line Algorithm 1
+//! transcription (`Scheduler::run_reference`). These tests pin that
+//! contract across the checked-in workloads corpus, every `CompilerKind`,
+//! random circuits/devices, and the stall-fallback path the crew also
+//! shards.
+
+use proptest::prelude::*;
+use ssync_arch::{Device, QccdTopology};
+use ssync_baselines::CompilerKind;
+use ssync_circuit::generators::random_two_qubit_circuit;
+use ssync_circuit::Circuit;
+use ssync_core::{initial, CompilerConfig, Scheduler};
+use std::path::PathBuf;
+
+/// Thread counts every test sweeps: serial, the smallest crew, and a
+/// crew larger than any pass is wide on the small corpus devices.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn corpus() -> Vec<(String, Circuit)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../workloads");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("workloads/ checked in")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "qasm"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let name = path.file_stem().expect("file name").to_string_lossy().into_owned();
+            let source = std::fs::read_to_string(&path).expect("readable corpus file");
+            let out = ssync_qasm::parse_named(&source, &name)
+                .unwrap_or_else(|e| panic!("{name} fails to parse: {e}"));
+            (name, out.circuit)
+        })
+        .collect()
+}
+
+/// Runs the scheduler at every thread count (plus the reference
+/// transcription) from one initial placement and asserts every run is
+/// bit-identical: ops, stats and final placement.
+fn assert_thread_invariant(
+    label: &str,
+    circuit: &Circuit,
+    topo: &QccdTopology,
+    base: &CompilerConfig,
+) {
+    let device = Device::build(topo.clone(), base.weights);
+    let placement = initial::build_placement(circuit, &device, base);
+
+    let reference = {
+        let mut scheduler = Scheduler::new(&device, base);
+        let (program, final_placement) =
+            scheduler.run_reference(circuit, placement.clone()).expect("reference completes");
+        (program, scheduler.stats(), final_placement)
+    };
+
+    for threads in THREADS {
+        let config = base.with_scoring_threads(threads);
+        let mut scheduler = Scheduler::new(&device, &config);
+        let (program, final_placement) =
+            scheduler.run(circuit, placement.clone()).expect("scheduler completes");
+        assert_eq!(
+            program.ops(),
+            reference.0.ops(),
+            "{label}: ops diverge from reference at scoring_threads={threads}"
+        );
+        assert_eq!(
+            scheduler.stats(),
+            reference.1,
+            "{label}: stats diverge at scoring_threads={threads}"
+        );
+        assert_eq!(
+            final_placement, reference.2,
+            "{label}: final placement diverges at scoring_threads={threads}"
+        );
+        final_placement.validate().expect("final placement is consistent");
+    }
+}
+
+/// Every corpus workload, compiled on a tight grid that forces routing:
+/// bit-identical at 1, 2 and 8 scoring threads and to the reference.
+#[test]
+fn corpus_is_bit_identical_at_every_thread_count() {
+    let topo = QccdTopology::grid(2, 2, 4);
+    for (name, circuit) in corpus() {
+        if circuit.num_qubits() + 1 > topo.total_capacity() || circuit.two_qubit_gate_count() == 0 {
+            continue;
+        }
+        assert_thread_invariant(&name, &circuit, &topo, &CompilerConfig::default());
+    }
+}
+
+/// The full compiler entry (`CompilerKind::compile_on`) is thread-count
+/// invariant for every kind: S-SYNC exercises the crew, the greedy
+/// baselines ignore the knob — either way the outputs match serial
+/// bit-for-bit.
+#[test]
+fn every_compiler_kind_is_thread_count_invariant() {
+    let circuit = random_two_qubit_circuit(12, 60, 7);
+    let base = CompilerConfig::default();
+    let device = Device::build(QccdTopology::grid(2, 2, 5), base.weights);
+    for kind in CompilerKind::ALL {
+        let serial =
+            kind.compile_on(&device, &circuit, &base.with_scoring_threads(1)).expect("compiles");
+        for threads in [2, 8] {
+            let config = base.with_scoring_threads(threads);
+            let got = kind.compile_on(&device, &circuit, &config).expect("compiles");
+            assert_eq!(
+                serial.program().ops(),
+                got.program().ops(),
+                "{kind:?} ops diverge at scoring_threads={threads}"
+            );
+            assert_eq!(
+                serial.final_placement(),
+                got.final_placement(),
+                "{kind:?} placement diverges at scoring_threads={threads}"
+            );
+            assert_eq!(
+                serial.report(),
+                got.report(),
+                "{kind:?} evaluation diverges at scoring_threads={threads}"
+            );
+        }
+    }
+}
+
+/// `max_stall_iterations = 0` drives the scheduler into the deterministic
+/// fallback router almost immediately on a tight device, so the sharded
+/// frontier-gate loop (not just the candidate loop) is exercised — and
+/// must match the serial and reference fallback gate choice exactly.
+#[test]
+fn stall_fallback_path_is_thread_count_invariant() {
+    let config = CompilerConfig { max_stall_iterations: 0, ..CompilerConfig::default() };
+    let topo = QccdTopology::grid(2, 2, 4);
+    let mut fallback_seen = false;
+    for seed in 0..6u64 {
+        let circuit = random_two_qubit_circuit(12, 70, seed);
+        let device = Device::build(topo.clone(), config.weights);
+        let placement = initial::build_placement(&circuit, &device, &config);
+        let mut scheduler = Scheduler::new(&device, &config);
+        scheduler.run(&circuit, placement).expect("completes");
+        fallback_seen |= scheduler.stats().fallback_routed_gates > 0;
+        assert_thread_invariant(&format!("stall seed {seed}"), &circuit, &topo, &config);
+    }
+    assert!(fallback_seen, "no run engaged the fallback router — the test lost its teeth");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random circuits on random devices: 2- and 8-thread runs are
+    /// bit-identical to serial and to the reference transcription.
+    #[test]
+    fn random_circuits_are_bit_identical_at_any_thread_count(
+        traps in 2usize..4,
+        capacity in 4usize..6,
+        qubits in 6usize..12,
+        gates in 10usize..60,
+        seed in 0u64..1_000,
+    ) {
+        let topo = QccdTopology::grid(2, traps, capacity);
+        prop_assume!(topo.total_capacity() > qubits + 1);
+        let circuit = random_two_qubit_circuit(qubits, gates, seed);
+        assert_thread_invariant(
+            &format!("random seed {seed}"),
+            &circuit,
+            &topo,
+            &CompilerConfig::default(),
+        );
+    }
+}

@@ -14,8 +14,11 @@
 //! * `SSYNC_BENCH_QUICK=1` — clamp every benchmark to 3 samples.
 //! * `SSYNC_BENCH_JSON=<path>` — additionally dump all results as a JSON
 //!   array of `{"name": ..., "mean_ns": ..., "median_ns": ...,
-//!   "min_ns": ..., "samples": ...}` objects (the format committed in
-//!   `BENCH_scheduling.json`).
+//!   "p99_ns": ..., "min_ns": ..., "samples": ...}` objects (the format
+//!   committed in `BENCH_scheduling.json`). The p99 is the
+//!   nearest-rank 99th percentile of the samples — with the default 10
+//!   samples it equals the maximum, a tail indicator rather than a
+//!   precise quantile.
 
 use std::fmt;
 use std::fs;
@@ -37,6 +40,9 @@ pub struct BenchResult {
     /// Median wall-clock nanoseconds per iteration (midpoint average for
     /// even sample counts) — robust against scheduler-noise outliers.
     pub median_ns: f64,
+    /// Nearest-rank 99th-percentile sample in nanoseconds per iteration
+    /// (the maximum for sample counts under 100) — the latency tail.
+    pub p99_ns: f64,
     /// Fastest sample in nanoseconds per iteration.
     pub min_ns: f64,
     /// Number of timed samples.
@@ -53,6 +59,15 @@ fn median_of(samples: &mut [f64]) -> f64 {
     } else {
         (samples[n / 2 - 1] + samples[n / 2]) / 2.0
     }
+}
+
+/// Nearest-rank 99th percentile. The slice is sorted in place; for fewer
+/// than 100 samples this is simply the maximum.
+fn p99_of(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are never NaN"));
+    let n = samples.len();
+    let rank = ((n as f64 * 0.99).ceil() as usize).clamp(1, n);
+    samples[rank - 1]
 }
 
 /// Identifier of a parameterised benchmark (`function/parameter`).
@@ -111,10 +126,18 @@ fn summarize(name: String, samples_ns: &[f64]) -> Option<BenchResult> {
     let mean = samples_ns.iter().sum::<f64>() / n as f64;
     let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
     let median = median_of(&mut samples_ns.to_vec());
-    let result = BenchResult { name, mean_ns: mean, median_ns: median, min_ns: min, samples: n };
+    let p99 = p99_of(&mut samples_ns.to_vec());
+    let result = BenchResult {
+        name,
+        mean_ns: mean,
+        median_ns: median,
+        p99_ns: p99,
+        min_ns: min,
+        samples: n,
+    };
     println!(
-        "{:<56} mean {:>12.1} ns  median {:>12.1} ns  min {:>12.1} ns  ({} samples)",
-        result.name, result.mean_ns, result.median_ns, result.min_ns, result.samples
+        "{:<56} mean {:>12.1} ns  median {:>12.1} ns  p99 {:>12.1} ns  min {:>12.1} ns  ({} samples)",
+        result.name, result.mean_ns, result.median_ns, result.p99_ns, result.min_ns, result.samples
     );
     Some(result)
 }
@@ -210,10 +233,11 @@ impl Criterion {
             let comma = if i + 1 < self.results.len() { "," } else { "" };
             out.push_str(&format!(
                 "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
-                 \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+                 \"p99_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
                 r.name.replace('"', "'"),
                 r.mean_ns,
                 r.median_ns,
+                r.p99_ns,
                 r.min_ns,
                 r.samples,
                 comma
@@ -269,7 +293,18 @@ mod tests {
         assert_eq!(c.results()[1].name, "g/h/3");
         assert!(c.results()[0].mean_ns >= 0.0);
         assert!(c.results()[0].median_ns >= c.results()[0].min_ns);
+        assert!(c.results()[0].p99_ns >= c.results()[0].median_ns);
         assert_eq!(c.results()[0].samples, 2);
+    }
+
+    #[test]
+    fn p99_is_the_nearest_rank_tail() {
+        // Under 100 samples the nearest-rank p99 is the maximum.
+        assert_eq!(p99_of(&mut [3.0, 1.0, 2.0]), 3.0);
+        assert_eq!(p99_of(&mut [5.0]), 5.0);
+        // At exactly 100 samples it is the 99th sorted value.
+        let mut hundred: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(p99_of(&mut hundred), 99.0);
     }
 
     #[test]
