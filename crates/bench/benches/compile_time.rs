@@ -398,6 +398,61 @@ fn bench_cache_eviction(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of request tracing on the compile service. `tracing_on` is the
+/// default configuration (spans, stage histograms and the trace journal
+/// all live); `tracing_off` flips the service-wide telemetry switch
+/// before any submission. Both modes run the identical mixed workload
+/// through a fresh two-worker service per iteration, and before anything
+/// is timed one run of each mode is compared outcome-by-outcome: tracing
+/// must not change a single compiled op, placement, or scheduler stat.
+/// The two groups land side by side in `BENCH_scheduling.json`, so the
+/// recorded overhead bound is `tracing_on / tracing_off`.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use ssync_service::{CompileRequest, CompileService};
+    use std::sync::Arc;
+
+    let config = CompilerConfig::default();
+    let topology = QccdTopology::grid(2, 2, 8);
+    let circuits: Vec<Arc<_>> = [(AppKind::Qft, 12usize), (AppKind::Bv, 12), (AppKind::Adder, 12)]
+        .into_iter()
+        .map(|(app, n)| Arc::new(scaled_app(app, n)))
+        .collect();
+    let jobs = circuits.len() * CompilerKind::ALL.len();
+
+    let run = |tracing: bool| {
+        let service = CompileService::with_workers(2);
+        service.telemetry().set_enabled(tracing);
+        let device = service.registry().get_or_build("tight", config.weights, || topology.clone());
+        let handles = service.submit_batch(circuits.iter().flat_map(|circuit| {
+            CompilerKind::ALL.map(|kind| {
+                CompileRequest::new(Arc::clone(&device), Arc::clone(circuit), kind, config)
+            })
+        }));
+        handles.iter().map(|h| h.wait().expect("compiles")).collect::<Vec<_>>()
+    };
+
+    // Bit-identical gate, outside the timed region: tracing is pure
+    // observation and must never leak into compilation results.
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.len(), off.len());
+    for (a, b) in on.iter().zip(off.iter()) {
+        assert_eq!(a.program().ops(), b.program().ops(), "tracing changed compiled ops");
+        assert_eq!(a.final_placement(), b.final_placement(), "tracing changed placement");
+        assert_eq!(a.scheduler_stats(), b.scheduler_stats(), "tracing changed scheduler stats");
+    }
+    drop((on, off));
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    for (label, tracing) in [("tracing_on", true), ("tracing_off", false)] {
+        group.bench_function(BenchmarkId::new(label, format!("{jobs}jobs")), |b| {
+            b.iter(|| run(tracing).len())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compile_time,
@@ -407,6 +462,7 @@ criterion_group!(
     bench_batch_throughput,
     bench_device_build,
     bench_service_throughput,
-    bench_cache_eviction
+    bench_cache_eviction,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -90,6 +90,16 @@ pub struct ScoringTelemetry {
     /// Readiness values served from a [`ScoreShard`] memo instead of
     /// being recomputed.
     pub score_cache_shard_hits: u64,
+    /// Times the per-qubit gate lists were rebuilt after the frontier
+    /// went stale (lazy rebuilds, so this counts actual work done).
+    pub frontier_rebuilds: u64,
+    /// Times the scheduler entered the stall-fallback path (no candidate
+    /// swap made progress for `max_stall_iterations` rounds).
+    pub stall_fallback_entries: u64,
+    /// Wall time spent inside scoring passes, in nanoseconds. Timing is
+    /// observation-only and never feeds back into candidate choice, so it
+    /// cannot perturb the schedule.
+    pub scoring_time_ns: u64,
 }
 
 impl ScoringTelemetry {
@@ -98,6 +108,9 @@ impl ScoringTelemetry {
         self.candidates_scored += other.candidates_scored;
         self.score_shards_spawned += other.score_shards_spawned;
         self.score_cache_shard_hits += other.score_cache_shard_hits;
+        self.frontier_rebuilds += other.frontier_rebuilds;
+        self.stall_fallback_entries += other.stall_fallback_entries;
+        self.scoring_time_ns = self.scoring_time_ns.saturating_add(other.scoring_time_ns);
     }
 }
 

@@ -33,6 +33,7 @@ use ssync_arch::{Device, DistanceMatrix, Placement, SlotGraph, SlotId, TrapId, T
 use ssync_circuit::{Circuit, DependencyDag, Gate, LookaheadScratch, NodeId};
 use ssync_sim::{CompiledProgram, ScheduledOp};
 use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
 
 /// Statistics the scheduler collects about its own search.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -343,6 +344,7 @@ impl<'a> Scheduler<'a> {
                     &self.scratch.frontier,
                     &self.scratch.lookahead,
                 );
+                let pass_started = Instant::now();
                 self.scratch.shard.begin_pass();
                 let mut best: Option<(f64, usize)> = None;
                 for (i, swap) in self.scratch.candidates.iter().enumerate() {
@@ -359,6 +361,7 @@ impl<'a> Scheduler<'a> {
                 self.telemetry.candidates_scored += self.scratch.candidates.len() as u64;
                 self.telemetry.score_shards_spawned += 1;
                 self.telemetry.score_cache_shard_hits += self.scratch.shard.take_hits();
+                self.telemetry.scoring_time_ns += pass_started.elapsed().as_nanos() as u64;
                 if let Some((_, idx)) = best {
                     let swap = self.scratch.candidates[idx];
                     self.apply_swap(&swap, &mut placement, &mut program, &mut decay, &mechanics);
@@ -376,6 +379,8 @@ impl<'a> Scheduler<'a> {
                 // scoring each frontier gate exactly once through the
                 // readiness memo (gates routing through a shared entry
                 // port reuse its readiness scan).
+                self.telemetry.stall_fallback_entries += 1;
+                let pass_started = Instant::now();
                 self.scratch.shard.begin_pass();
                 let mut best_gate: Option<(f64, usize)> = None;
                 for (i, (_, gate)) in self.scratch.frontier.iter().enumerate() {
@@ -388,6 +393,7 @@ impl<'a> Scheduler<'a> {
                 self.telemetry.candidates_scored += self.scratch.frontier.len() as u64;
                 self.telemetry.score_shards_spawned += 1;
                 self.telemetry.score_cache_shard_hits += self.scratch.shard.take_hits();
+                self.telemetry.scoring_time_ns += pass_started.elapsed().as_nanos() as u64;
                 let gate = best_gate
                     .map(|(_, i)| self.scratch.frontier[i].1)
                     .expect("frontier is non-empty while the DAG is incomplete");
@@ -517,6 +523,7 @@ impl<'a> Scheduler<'a> {
                     );
                     let n = self.scratch.candidates.len();
                     self.telemetry.candidates_scored += n as u64;
+                    let pass_started = Instant::now();
                     let best = if n < MIN_PARALLEL_CANDIDATES {
                         // Too small to pay a crew wake-up: score inline,
                         // exactly like the serial path.
@@ -557,6 +564,7 @@ impl<'a> Scheduler<'a> {
                         placement = shared.placement.write().expect("placement lock");
                         best
                     };
+                    self.telemetry.scoring_time_ns += pass_started.elapsed().as_nanos() as u64;
                     if let Some((_, idx)) = best {
                         let swap = self.scratch.candidates[idx];
                         self.apply_swap(
@@ -578,8 +586,10 @@ impl<'a> Scheduler<'a> {
                 if !applied || stall > self.config.max_stall_iterations {
                     // Stall-fallback: score the frontier gates, sharded
                     // the same way as the candidate pass.
+                    self.telemetry.stall_fallback_entries += 1;
                     let n = self.scratch.frontier.len();
                     self.telemetry.candidates_scored += n as u64;
+                    let pass_started = Instant::now();
                     let best_gate = if n < MIN_PARALLEL_CANDIDATES {
                         self.scratch.shard.begin_pass();
                         let mut best: Option<(f64, usize)> = None;
@@ -608,6 +618,7 @@ impl<'a> Scheduler<'a> {
                         placement = shared.placement.write().expect("placement lock");
                         best
                     };
+                    self.telemetry.scoring_time_ns += pass_started.elapsed().as_nanos() as u64;
                     let gate = best_gate
                         .map(|(_, i)| self.scratch.frontier[i].1)
                         .expect("frontier is non-empty while the DAG is incomplete");
@@ -675,6 +686,7 @@ impl<'a> Scheduler<'a> {
     /// Rebuilds the cached frontier and look-ahead `(id, gate)` lists from
     /// the DAG. Called only when gates retired since the last rebuild.
     fn rebuild_gate_lists(&mut self, dag: &DependencyDag) {
+        self.telemetry.frontier_rebuilds += 1;
         self.scratch.frontier.clear();
         self.scratch.frontier.extend(dag.frontier().iter().map(|&id| (id, dag.gate(id))));
         dag.lookahead_ids_into(

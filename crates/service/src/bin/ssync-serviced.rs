@@ -54,14 +54,26 @@
 //!   listening starts; with `--tcp 127.0.0.1:0` this is how peers learn
 //!   the OS-assigned port.
 //!
+//! Observability options (see `docs/OBSERVABILITY.md`):
+//!
+//! * `--slow-request-ms N` — emit a JSONL trace line on stderr for every
+//!   request whose end-to-end time reaches `N` milliseconds (`0` logs
+//!   every request; absent = disabled). Each line carries the trace id
+//!   the client saw in its `Submitted` response plus per-stage timings.
+//! * `--metrics-text PATH` — write the full metrics + latency-histogram
+//!   snapshot to `PATH` in Prometheus-style text exposition every
+//!   ~500 ms (atomically, via rename), and once more after drain. The
+//!   same bytes answer the wire `GetStats` request.
+//!
 //! The daemon exits on a `Shutdown` request, or on EOF in stdio mode. A
 //! `Shutdown` on the TCP transport *drains*: the listener stops
 //! accepting, in-flight jobs finish and stay collectable until their
 //! peers disconnect, and a final metrics snapshot is flushed to stderr
-//! before the process ends.
+//! (rendered by the same text-exposition writer) before the process
+//! ends.
 
 use ssync_core::CacheBounds;
-use ssync_service::{front, CompileService, FrontConfig};
+use ssync_service::{front, render_text, CompileService, FrontConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -85,6 +97,8 @@ struct Options {
     queue_watermark: Option<usize>,
     retry_after_ms: u64,
     port_file: Option<std::path::PathBuf>,
+    slow_request_ms: Option<u64>,
+    metrics_text: Option<std::path::PathBuf>,
 }
 
 fn usage() -> &'static str {
@@ -95,7 +109,7 @@ fn usage() -> &'static str {
      [--janitor-interval-secs N] [--auth-token SECRET] [--idle-timeout-secs N] \
      [--frame-budget-secs N] [--max-inflight-per-conn N] \
      [--max-inflight-per-tenant N] [--queue-watermark N] [--retry-after-ms N] \
-     [--port-file PATH]"
+     [--port-file PATH] [--slow-request-ms N] [--metrics-text PATH]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -118,6 +132,8 @@ fn parse_args() -> Result<Options, String> {
         queue_watermark: None,
         retry_after_ms: 50,
         port_file: None,
+        slow_request_ms: None,
+        metrics_text: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -195,6 +211,13 @@ fn parse_args() -> Result<Options, String> {
                 options.retry_after_ms = parse_u64("--retry-after-ms", value("--retry-after-ms")?)?;
             }
             "--port-file" => options.port_file = Some(value("--port-file")?.into()),
+            // `0` is meaningful here (log every request), so the flag's
+            // mere presence enables slow-request logging.
+            "--slow-request-ms" => {
+                options.slow_request_ms =
+                    Some(parse_u64("--slow-request-ms", value("--slow-request-ms")?)?);
+            }
+            "--metrics-text" => options.metrics_text = Some(value("--metrics-text")?.into()),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -246,8 +269,20 @@ fn main() -> ExitCode {
         builder = builder.persist_max_age(std::time::Duration::from_secs(secs));
     }
     let service = Arc::new(builder.build());
+    service.telemetry().set_slow_threshold(options.slow_request_ms.map(Duration::from_millis));
     let _janitor =
         options.janitor_interval_secs.map(|secs| service.spawn_janitor(Duration::from_secs(secs)));
+    if let Some(path) = &options.metrics_text {
+        // Periodic scrape file: a detached flusher rewrites it every
+        // ~500 ms for the daemon's lifetime (it dies with the process),
+        // and the drain path below writes the final snapshot.
+        let service = Arc::clone(&service);
+        let path = path.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(500));
+            let _ = write_metrics_text(&service, &path);
+        });
+    }
     eprintln!(
         "[ssync-serviced] serving with {} workers x {} scoring threads (cache: {:?}, persist: {:?}, janitor: {:?}, auth: {})",
         service.workers(),
@@ -265,21 +300,17 @@ fn main() -> ExitCode {
         let path = options.socket.as_deref().expect("validated by parse_args");
         front::serve_unix(&service, path)
     };
-    // Drain is complete: flush a final metrics snapshot so an operator
-    // (or a supervisor scraping stderr) sees what the lifetime did.
-    let metrics = service.metrics();
-    eprintln!(
-        "[ssync-serviced] final metrics: submitted={} completed={} shed={} unauthorized={} \
-         timed_out={} janitor_runs={} cache_hits={} queue_depth={}",
-        metrics.jobs_submitted,
-        metrics.jobs_completed,
-        metrics.rejected_overloaded,
-        metrics.rejected_unauthorized,
-        metrics.conns_timed_out,
-        metrics.janitor_gc_runs,
-        metrics.cache.hits,
-        metrics.queue_depth,
-    );
+    // Drain is complete: flush a final snapshot so an operator (or a
+    // supervisor scraping stderr) sees what the lifetime did — rendered
+    // by the same text-exposition writer that answers `GetStats` and
+    // fills `--metrics-text`, so every surface agrees.
+    eprintln!("[ssync-serviced] final metrics:");
+    eprint!("{}", render_text(&service.metrics(), &service.telemetry().snapshot()));
+    if let Some(path) = &options.metrics_text {
+        if let Err(error) = write_metrics_text(&service, path) {
+            eprintln!("[ssync-serviced] final --metrics-text write failed: {error}");
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(error) => {
@@ -287,6 +318,16 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Renders the current metrics + telemetry snapshot and swaps it into
+/// `path` via a tmp-file rename, so a scraper never reads a half-written
+/// exposition.
+fn write_metrics_text(service: &CompileService, path: &std::path::Path) -> std::io::Result<()> {
+    let text = render_text(&service.metrics(), &service.telemetry().snapshot());
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Binds the TCP listener, publishes the bound address to `--port-file`

@@ -318,8 +318,23 @@ impl ServiceClient {
     /// Transport/codec failures, or [`ClientError::Rejected`] for an
     /// unknown device name.
     pub fn submit(&mut self, request: &RemoteRequest) -> Result<RemoteJob, ClientError> {
+        self.submit_traced(request).map(|(job, _trace_id)| job)
+    }
+
+    /// [`submit`](ServiceClient::submit), additionally returning the
+    /// server-assigned **trace id** (wire v5) identifying this request's
+    /// end-to-end trace in the daemon's journal and slow-request log.
+    /// Zero when the daemon predates tracing.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](ServiceClient::submit).
+    pub fn submit_traced(
+        &mut self,
+        request: &RemoteRequest,
+    ) -> Result<(RemoteJob, u64), ClientError> {
         match self.round_trip(&Request::Submit(Box::new(request.clone())))? {
-            Response::Submitted { job } => Ok(RemoteJob(job)),
+            Response::Submitted { job, trace_id } => Ok((RemoteJob(job), trace_id)),
             Response::CompileFailed(CompileError::Overloaded { retry_after_ms }) => {
                 Err(ClientError::Overloaded { retry_after_ms })
             }
@@ -432,8 +447,24 @@ impl ServiceClient {
         &mut self,
         request: &RemoteQasmRequest,
     ) -> Result<(RemoteJob, ssync_qasm::ParseReport), ClientError> {
+        self.submit_qasm_traced(request).map(|(job, report, _trace_id)| (job, report))
+    }
+
+    /// [`submit_qasm`](ServiceClient::submit_qasm), additionally
+    /// returning the server-assigned trace id (wire v5; zero when the
+    /// daemon predates tracing).
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_qasm`](ServiceClient::submit_qasm).
+    pub fn submit_qasm_traced(
+        &mut self,
+        request: &RemoteQasmRequest,
+    ) -> Result<(RemoteJob, ssync_qasm::ParseReport, u64), ClientError> {
         match self.round_trip(&Request::SubmitQasm(Box::new(request.clone())))? {
-            Response::QasmSubmitted { job, report } => Ok((RemoteJob(job), report)),
+            Response::QasmSubmitted { job, report, trace_id } => {
+                Ok((RemoteJob(job), report, trace_id))
+            }
             Response::CompileFailed(CompileError::Overloaded { retry_after_ms }) => {
                 Err(ClientError::Overloaded { retry_after_ms })
             }
@@ -487,6 +518,21 @@ impl ServiceClient {
         match self.round_trip(&Request::Metrics)? {
             Response::Metrics(metrics) => Ok(metrics),
             _ => Err(ClientError::UnexpectedResponse("metrics expected Metrics")),
+        }
+    }
+
+    /// Fetches the daemon's metrics and latency histograms rendered as
+    /// Prometheus-style text exposition (wire v5) — the same bytes the
+    /// daemon's `--metrics-text` flag writes to disk.
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec failures; a pre-v5 daemon answers the unknown tag
+    /// with a codec error, which surfaces here.
+    pub fn stats_text(&mut self) -> Result<String, ClientError> {
+        match self.round_trip(&Request::GetStats)? {
+            Response::StatsText { text } => Ok(text),
+            _ => Err(ClientError::UnexpectedResponse("stats expected StatsText")),
         }
     }
 

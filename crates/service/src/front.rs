@@ -54,19 +54,21 @@
 
 use crate::job::{JobHandle, Priority, TenantId};
 use crate::pool::CompileService;
+use crate::telemetry::{render_text, Stage};
 use crate::wire::{
     decode_request, encode_response, read_frame_deadline, write_frame, RemoteQasmRequest,
     RemoteRequest, Request, Response, WIRE_VERSION,
 };
 use ssync_circuit::Circuit;
 use ssync_core::CompileError;
+use ssync_telemetry::Span;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hardening knobs for a network-facing listener. The default
 /// configuration is fully permissive (no auth, no timeouts, no caps) —
@@ -164,24 +166,32 @@ enum Control {
 }
 
 /// Per-connection state: the handles of every job this peer submitted
-/// (with the tenant each was attributed to, for gate release) and whether
-/// the peer has authenticated.
+/// (with the tenant each was attributed to, for gate release, and its
+/// trace span, for the delivery event) and whether the peer has
+/// authenticated.
 struct Session {
     gate: Arc<Gate>,
-    jobs: HashMap<u64, (JobHandle, TenantId)>,
+    jobs: HashMap<u64, (JobHandle, TenantId, Span)>,
     next_id: u64,
     authed: bool,
+    /// The span of a job whose terminal result the response being
+    /// written delivers; the session loop records the write as a
+    /// `delivery` event on it after the frame goes out.
+    delivered: Option<Span>,
 }
 
 impl Session {
     fn new(gate: Arc<Gate>) -> Self {
         let authed = gate.config.auth_token.is_none();
-        Session { gate, jobs: HashMap::new(), next_id: 0, authed }
+        Session { gate, jobs: HashMap::new(), next_id: 0, authed, delivered: None }
     }
 
     fn submit(&mut self, service: &CompileService, remote: RemoteRequest) -> Response {
         let RemoteRequest { device, circuit, compiler, config, priority, tenant } = remote;
-        self.submit_circuit(service, &device, circuit, compiler, config, priority, tenant, None)
+        let span = service.telemetry().begin_trace();
+        self.submit_circuit(
+            service, &device, circuit, compiler, config, priority, tenant, None, span,
+        )
     }
 
     /// The wire-v2 ingestion path: parse the QASM source server-side,
@@ -194,10 +204,17 @@ impl Session {
     fn submit_qasm(&mut self, service: &CompileService, remote: RemoteQasmRequest) -> Response {
         let RemoteQasmRequest { device, source, compiler, config, priority, tenant, deadline_us } =
             remote;
+        // The trace starts *before* the parse so the parse stage lands
+        // on the same timeline as queueing and compiling.
+        let span = service.telemetry().begin_trace();
+        let parse_started = Instant::now();
         let parsed = match ssync_qasm::parse(&source) {
             Ok(out) => out,
             Err(e) => return Response::Rejected { reason: format!("qasm parse error: {e}") },
         };
+        let parse_time = parse_started.elapsed();
+        service.telemetry().span_record(&span, "parse", parse_time);
+        service.telemetry().record(Stage::Parse, priority, compiler, parse_time);
         match self.submit_circuit(
             service,
             &device,
@@ -207,8 +224,11 @@ impl Session {
             priority,
             tenant,
             deadline_us,
+            span,
         ) {
-            Response::Submitted { job } => Response::QasmSubmitted { job, report: parsed.report },
+            Response::Submitted { job, trace_id } => {
+                Response::QasmSubmitted { job, report: parsed.report, trace_id }
+            }
             other => other,
         }
     }
@@ -256,6 +276,7 @@ impl Session {
         priority: crate::job::Priority,
         tenant: crate::job::TenantId,
         deadline_us: Option<u64>,
+        span: Span,
     ) -> Response {
         if let Some(refusal) = self.admit(service, priority, tenant) {
             return refusal;
@@ -268,19 +289,22 @@ impl Session {
                 .with_priority(priority)
                 .with_tenant(tenant);
         request.deadline_us = deadline_us;
-        let handle = service.submit(request);
+        let trace_id = span.trace_id();
+        let handle = service.submit_with_span(request, span.clone(), None);
         let job = self.next_id;
         self.next_id += 1;
         self.gate.acquire_tenant(tenant);
-        self.jobs.insert(job, (handle, tenant));
-        Response::Submitted { job }
+        self.jobs.insert(job, (handle, tenant, span));
+        Response::Submitted { job, trace_id }
     }
 
-    /// Drops a delivered job id and returns its tenant's in-flight slot.
-    fn finish(&mut self, job: u64) {
-        if let Some((_, tenant)) = self.jobs.remove(&job) {
-            self.gate.release_tenant(tenant);
-        }
+    /// Drops a delivered job id, returns its tenant's in-flight slot,
+    /// and hands back the job's span so the caller can stamp the
+    /// delivery event on it.
+    fn finish(&mut self, job: u64) -> Option<Span> {
+        let (_, tenant, span) = self.jobs.remove(&job)?;
+        self.gate.release_tenant(tenant);
+        Some(span)
     }
 
     fn result_response(result: crate::job::JobResult) -> Response {
@@ -323,9 +347,9 @@ impl Session {
             Request::Submit(remote) => (self.submit(service, *remote), Control::Continue),
             Request::SubmitQasm(remote) => (self.submit_qasm(service, *remote), Control::Continue),
             Request::Poll { job } => match self.jobs.get(&job) {
-                Some((handle, _tenant)) => match handle.try_poll() {
+                Some((handle, _tenant, _span)) => match handle.try_poll() {
                     Some(result) => {
-                        self.finish(job);
+                        self.delivered = self.finish(job);
                         (Self::result_response(result), Control::Continue)
                     }
                     None => (Response::Pending, Control::Continue),
@@ -336,8 +360,9 @@ impl Session {
                 ),
             },
             Request::Wait { job } => match self.jobs.remove(&job) {
-                Some((handle, tenant)) => {
+                Some((handle, tenant, span)) => {
                     self.gate.release_tenant(tenant);
+                    self.delivered = Some(span);
                     (Self::result_response(handle.wait()), Control::Continue)
                 }
                 None => (
@@ -346,6 +371,12 @@ impl Session {
                 ),
             },
             Request::Metrics => (Response::Metrics(service.metrics()), Control::Continue),
+            Request::GetStats => (
+                Response::StatsText {
+                    text: render_text(&service.metrics(), &service.telemetry().snapshot()),
+                },
+                Control::Continue,
+            ),
             Request::Shutdown => {
                 // Flip to draining *before* the acknowledgement is
                 // written: a peer that has seen `ShuttingDown` must never
@@ -362,7 +393,7 @@ impl Drop for Session {
     /// tenants' in-flight slots — otherwise a flapping client would
     /// ratchet its tenant towards a permanent `Overloaded`.
     fn drop(&mut self) {
-        for (_, (_, tenant)) in self.jobs.drain() {
+        for (_, (_, tenant, _span)) in self.jobs.drain() {
             self.gate.release_tenant(tenant);
         }
     }
@@ -382,7 +413,15 @@ fn serve_session(
         let request = decode_request(&payload)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let (response, control) = session.handle(service, request);
+        let write_started = Instant::now();
         write_frame(writer, &encode_response(&response))?;
+        // A terminal result just went out: stamp the serialisation +
+        // write as the trace's delivery event. The span is already
+        // finished (the end-to-end histogram is unaffected); the journal
+        // holds it live, so the event shows up in later trace reads.
+        if let Some(span) = session.delivered.take() {
+            service.telemetry().span_record(&span, "delivery", write_started.elapsed());
+        }
         match control {
             Control::Continue => {}
             Control::Shutdown => return Ok(true),
@@ -628,7 +667,7 @@ mod tests {
             responses.push(decode_response(&payload).expect("decode"));
         }
         assert_eq!(responses.len(), 7);
-        assert!(matches!(responses[0], Response::Submitted { job: 0 }));
+        assert!(matches!(responses[0], Response::Submitted { job: 0, .. }));
         let Response::Outcome(outcome) = &responses[1] else {
             panic!("wait must return the outcome, got {:?}", responses[1]);
         };
@@ -683,7 +722,7 @@ mod tests {
         while let Some(payload) = crate::wire::read_frame(&mut cursor).expect("frame") {
             responses.push(decode_response(&payload).expect("decode"));
         }
-        let Response::QasmSubmitted { job: 0, report } = &responses[0] else {
+        let Response::QasmSubmitted { job: 0, report, .. } = &responses[0] else {
             panic!("expected QasmSubmitted, got {:?}", responses[0]);
         };
         assert!(!report.stripped_anything(), "an exported circuit strips nothing");
@@ -751,7 +790,7 @@ mod tests {
             ],
         );
         assert!(matches!(responses[0], Response::Welcome { version: WIRE_VERSION }));
-        assert!(matches!(responses[1], Response::Submitted { job: 0 }));
+        assert!(matches!(responses[1], Response::Submitted { job: 0, .. }));
         assert!(matches!(&responses[2], Response::Outcome(_)));
 
         // Without a configured token, Hello still answers Welcome (a
@@ -795,15 +834,15 @@ mod tests {
                 submit(3), // slot freed by the delivery above
             ],
         );
-        assert!(matches!(responses[0], Response::Submitted { job: 0 }));
-        assert!(matches!(responses[1], Response::Submitted { job: 1 }));
+        assert!(matches!(responses[0], Response::Submitted { job: 0, .. }));
+        assert!(matches!(responses[1], Response::Submitted { job: 1, .. }));
         let Response::CompileFailed(CompileError::Overloaded { retry_after_ms }) = &responses[2]
         else {
             panic!("over-cap submit must shed, got {:?}", responses[2]);
         };
         assert_eq!(*retry_after_ms, 17, "the configured hint travels");
         assert!(matches!(&responses[3], Response::Outcome(_)));
-        assert!(matches!(responses[4], Response::Submitted { job: 2 }));
+        assert!(matches!(responses[4], Response::Submitted { job: 2, .. }));
         assert_eq!(service.metrics().rejected_overloaded, 1);
     }
 

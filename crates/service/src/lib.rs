@@ -69,6 +69,7 @@ mod job;
 mod metrics;
 mod pool;
 pub mod registry;
+pub mod telemetry;
 pub mod wire;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, CompiledWeight, ResultCache};
@@ -78,3 +79,4 @@ pub use job::{CompileRequest, JobHandle, JobResult, Priority, TenantId};
 pub use metrics::{ServiceMetrics, WorkerMetrics};
 pub use pool::{CompileService, CompileServiceBuilder, Janitor};
 pub use registry::{DeviceRegistry, RegisteredDevice};
+pub use telemetry::{render_text, ServiceTelemetry, Stage, StageSnapshot, TelemetrySnapshot};

@@ -61,8 +61,14 @@ pub struct ServiceMetrics {
     /// [`CacheStats::persist_gc_deleted`](crate::CacheStats)).
     pub janitor_gc_runs: u64,
     /// Generic-swap candidates scored by the intra-compile scheduler
-    /// across every compile this pool executed (cache hits and rebuilt
-    /// outcomes contribute nothing — these count work performed here).
+    /// across every compile this pool executed. **Deliberately zero for
+    /// work not performed here**: cache hits never ran a scheduler, and
+    /// outcomes rebuilt from the persistent tier's codec decode with
+    /// zeroed scoring telemetry (`CompileOutcome::from_saved_parts`), so
+    /// neither contributes. A pool that served everything from cache
+    /// reports 0 regardless of how much scoring the original compiles
+    /// did — the `persist_tier_outcomes_report_zero_scoring_counters`
+    /// test pins this.
     pub candidates_scored: u64,
     /// Scoring shards dispatched by those schedulers; equals the number
     /// of scoring passes when compiles run serially, and grows with the
@@ -72,6 +78,13 @@ pub struct ServiceMetrics {
     /// Per-shard route-readiness memo hits during candidate scoring — the
     /// intra-pass locality the sharded memo recovers.
     pub score_cache_shard_hits: u64,
+    /// Request traces finished by the telemetry layer (wire v5; decodes as
+    /// zero from peers that predate it).
+    pub traces_recorded: u64,
+    /// Traces at or above the daemon's slow-request threshold, each
+    /// emitted as a JSONL line on stderr (wire v5; zero when the
+    /// threshold is disabled or the peer predates it).
+    pub slow_requests: u64,
     /// Result-cache counters (hits, misses, entries, bytes, evictions,
     /// persistent-tier traffic).
     pub cache: CacheStats,

@@ -102,11 +102,13 @@ use crate::hash::config_hash;
 use crate::job::{CompileRequest, JobHandle, JobResult, JobState, Priority, TenantId};
 use crate::metrics::{ServiceMetrics, WorkerMetrics};
 use crate::registry::DeviceRegistry;
+use crate::telemetry::{kind_slug, ServiceTelemetry, Stage};
 use ssync_circuit::{Circuit, Qubit};
 use ssync_core::{
     batch, budget_scoring_threads, resolve_scoring_threads, CacheBounds, CompileError,
     CompileScratch,
 };
+use ssync_telemetry::Span;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -137,6 +139,9 @@ struct Job {
     attached: Arc<AtomicU64>,
     registered: bool,
     submitted: Instant,
+    /// The request's trace span; the worker records queue-wait, compile
+    /// and cache-write stages on it and finishes it at fulfilment.
+    span: Span,
 }
 
 /// A not-yet-completed job identical submissions coalesce onto.
@@ -299,6 +304,7 @@ struct Shared {
     score_cache_shard_hits: AtomicU64,
     executed: Vec<AtomicU64>,
     stolen: Vec<AtomicU64>,
+    telemetry: ServiceTelemetry,
 }
 
 impl Shared {
@@ -553,6 +559,7 @@ impl CompileService {
             score_cache_shard_hits: AtomicU64::new(0),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            telemetry: ServiceTelemetry::new(),
         });
         let handles = (0..workers)
             .map(|me| {
@@ -688,6 +695,22 @@ impl CompileService {
         self.submit_to(request, None)
     }
 
+    /// [`CompileService::submit`], additionally returning the request's
+    /// trace [`Span`] so the caller can read the server-assigned trace id,
+    /// attach its own events (the wire front-end records response
+    /// delivery) and inspect the timeline afterwards.
+    pub fn submit_traced(&self, request: CompileRequest) -> (JobHandle, Span) {
+        let span = self.shared.telemetry.begin_trace();
+        let handle = self.submit_with_span(request, span.clone(), None);
+        (handle, span)
+    }
+
+    /// The telemetry hub: per-stage latency histograms, the recent-trace
+    /// journal and the slow-request threshold.
+    pub fn telemetry(&self) -> &ServiceTelemetry {
+        &self.shared.telemetry
+    }
+
     /// Submits a batch. Normal-priority cache-missing jobs are dealt
     /// round-robin across the per-worker deques (stealing rebalances skew
     /// later); High and Batch jobs go through the shared priority
@@ -729,6 +752,8 @@ impl CompileService {
             candidates_scored: self.shared.candidates_scored.load(Ordering::Relaxed),
             score_shards_spawned: self.shared.score_shards_spawned.load(Ordering::Relaxed),
             score_cache_shard_hits: self.shared.score_cache_shard_hits.load(Ordering::Relaxed),
+            traces_recorded: self.shared.telemetry.traces_recorded(),
+            slow_requests: self.shared.telemetry.slow_requests(),
             cache: self.shared.cache.stats(),
             workers: self
                 .shared
@@ -745,8 +770,28 @@ impl CompileService {
     }
 
     fn submit_to(&self, request: CompileRequest, target: Option<usize>) -> JobHandle {
+        let span = self.shared.telemetry.begin_trace();
+        self.submit_with_span(request, span, target)
+    }
+
+    /// Submission under a caller-created span (the front-end starts the
+    /// span *before* parsing QASM so the parse stage lands on the same
+    /// trace). Requests resolved at submission — cache hits and coalesced
+    /// attachments — finish their trace immediately with an `outcome`
+    /// attribute saying so; queued requests hand the span to the worker.
+    pub(crate) fn submit_with_span(
+        &self,
+        request: CompileRequest,
+        span: Span,
+        target: Option<usize>,
+    ) -> JobHandle {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.submitted_by_priority[request.priority.index()].fetch_add(1, Ordering::Relaxed);
+        let telemetry = &self.shared.telemetry;
+        let priority = request.priority;
+        let kind = request.compiler;
+        telemetry.span_attr(&span, "priority", priority.label());
+        telemetry.span_attr(&span, "compiler", kind_slug(kind));
         let prep = self.prep_for(&request.circuit);
         let key = CacheKey {
             device_fingerprint: request.device.fingerprint(),
@@ -754,10 +799,17 @@ impl CompileService {
             config_hash: config_hash(&request.config),
             compiler: request.compiler,
         };
-        if let Some(cached) = self.shared.cache.get(&key) {
+        let lookup_started = Instant::now();
+        let cached = self.shared.cache.get(&key);
+        let lookup = lookup_started.elapsed();
+        telemetry.span_record(&span, "cache_lookup", lookup);
+        telemetry.record(Stage::CacheLookup, priority, kind, lookup);
+        if let Some(cached) = cached {
             let (handle, state) = JobHandle::new();
             state.fulfil(Ok(cached));
             self.shared.completed.fetch_add(1, Ordering::Relaxed);
+            telemetry.span_attr(&span, "outcome", "cache_hit");
+            telemetry.finish_request(&span, priority, kind);
             return handle;
         }
         // Deadline-carrying requests bypass coalescing in both directions:
@@ -777,6 +829,7 @@ impl CompileService {
                 registered: false,
                 submitted: Instant::now(),
                 request,
+                span,
             };
             self.enqueue(job, target);
             return handle;
@@ -790,6 +843,10 @@ impl CompileService {
             if let Some(entry) = pending.jobs.get(&key) {
                 entry.attached.fetch_add(1, Ordering::Relaxed);
                 self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                // The attached submission's own trace ends here; the
+                // in-flight twin's span keeps the compile timeline.
+                telemetry.span_attr(&span, "outcome", "coalesced");
+                telemetry.finish_request(&span, priority, kind);
                 return JobHandle { state: Arc::clone(&entry.state) };
             }
             // Re-check the cache under the pending lock: a worker retires
@@ -801,6 +858,8 @@ impl CompileService {
                 let (handle, state) = JobHandle::new();
                 state.fulfil(Ok(cached));
                 self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                telemetry.span_attr(&span, "outcome", "cache_hit");
+                telemetry.finish_request(&span, priority, kind);
                 return handle;
             }
             // Same (device, circuit) already in flight under a different
@@ -826,6 +885,7 @@ impl CompileService {
             attached,
             registered: true,
             submitted: Instant::now(),
+            span,
         };
         self.enqueue(job, target);
         handle
@@ -937,7 +997,12 @@ fn worker_loop(shared: &Shared, me: usize) {
 }
 
 fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
-    let Job { request, prep, key, state, attached, registered, submitted } = job;
+    let Job { request, prep, key, state, attached, registered, submitted, span } = job;
+    let priority = request.priority;
+    let kind = request.compiler;
+    let queue_wait = submitted.elapsed();
+    shared.telemetry.span_record(&span, "queue_wait", queue_wait);
+    shared.telemetry.record(Stage::QueueWait, priority, kind, queue_wait);
     // An expired deadline settles the job without a compile: the claim
     // itself is the only worker time spent. `deadline_us == 0` always
     // expires, which the tests use for determinism.
@@ -949,16 +1014,22 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
             shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
             Err(CompileError::DeadlineExceeded { deadline_us })
         }
-        None => run_compile(&request, &prep, shared.scoring_threads, scratch).unwrap_or_else(
-            |panic_message| {
-                // A panicking compile must not take the worker (and every
-                // queued tenant behind it) down; surface it on the one
-                // affected handle and drop the possibly-inconsistent
-                // scratch.
-                *scratch = CompileScratch::default();
-                Err(CompileError::Internal { message: panic_message })
-            },
-        ),
+        None => {
+            let compile_started = Instant::now();
+            let result = run_compile(&request, &prep, shared.scoring_threads, scratch)
+                .unwrap_or_else(|panic_message| {
+                    // A panicking compile must not take the worker (and
+                    // every queued tenant behind it) down; surface it on
+                    // the one affected handle and drop the
+                    // possibly-inconsistent scratch.
+                    *scratch = CompileScratch::default();
+                    Err(CompileError::Internal { message: panic_message })
+                });
+            let compile_time = compile_started.elapsed();
+            shared.telemetry.span_record(&span, "compile", compile_time);
+            shared.telemetry.record(Stage::Compile, priority, kind, compile_time);
+            result
+        }
     };
     if let Ok(outcome) = &result {
         // Scoring-work telemetry counts compiles actually run here: cache
@@ -967,10 +1038,13 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
         shared.candidates_scored.fetch_add(scoring.candidates_scored, Ordering::Relaxed);
         shared.score_shards_spawned.fetch_add(scoring.score_shards_spawned, Ordering::Relaxed);
         shared.score_cache_shard_hits.fetch_add(scoring.score_cache_shard_hits, Ordering::Relaxed);
+        shared.telemetry.note_scheduler_phases(&scoring);
         // Insert into the cache *before* retiring the pending entry:
         // identical submissions racing this completion find the job in at
         // least one of the two, so nothing recompiles.
+        let write_started = Instant::now();
         shared.cache.insert(key, Arc::clone(outcome));
+        shared.telemetry.span_record(&span, "cache_write", write_started.elapsed());
     }
     if registered {
         let mut pending = shared.pending.lock().expect("pending lock poisoned");
@@ -991,6 +1065,13 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
     if ran_compile {
         shared.executed[me].fetch_add(1, Ordering::Relaxed);
     }
+    let outcome_label = match (&result, ran_compile) {
+        (_, false) => "deadline_expired",
+        (Ok(_), true) => "compiled",
+        (Err(_), true) => "compile_failed",
+    };
+    shared.telemetry.span_attr(&span, "outcome", outcome_label);
+    shared.telemetry.finish_request(&span, priority, kind);
     shared.completed.fetch_add(attached.load(Ordering::Relaxed), Ordering::Relaxed);
     state.fulfil(result);
 }
@@ -1452,5 +1533,44 @@ mod tests {
         let stats = service.cache().stats();
         assert_eq!(stats.entries, 1, "bounded cache holds one entry");
         assert_eq!(stats.evictions, 1);
+    }
+
+    /// Pins the `candidates_scored` documentation contract: the counter
+    /// counts scoring work performed by *this* pool, so a pool that
+    /// serves a request from the persistent tier — whose outcome is
+    /// rebuilt by the codec with zeroed scoring telemetry
+    /// (`CompileOutcome::from_saved_parts`) — reports zero even though
+    /// the original compile scored thousands of candidates. The request
+    /// still finishes a trace (it is a cache hit, observed end to end).
+    #[test]
+    fn persist_tier_outcomes_report_zero_scoring_counters() {
+        let dir = std::env::temp_dir().join(format!("ssync-pool-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CompilerConfig::default();
+        // Capacity-8 traps force qft(12) to actually route and score
+        // (as in `scoring_threads_are_budgeted_and_counted`).
+        let circuit = Arc::new(qft(12));
+        let tight = |service: &CompileService| {
+            let device = service
+                .registry()
+                .get_or_build("tight", config.weights, || QccdTopology::grid(2, 2, 8));
+            CompileRequest::new(device, Arc::clone(&circuit), CompilerKind::SSync, config)
+        };
+
+        let warm = CompileService::builder().workers(1).persist_dir(&dir).build();
+        let original = warm.submit(tight(&warm)).wait().expect("compiles");
+        assert!(warm.metrics().candidates_scored > 0, "a real compile scores candidates");
+
+        let cold = CompileService::builder().workers(1).persist_dir(&dir).build();
+        let replayed = cold.submit(tight(&cold)).wait().expect("persist-tier hit");
+        let metrics = cold.metrics();
+        assert_eq!(metrics.cache.persist_hits, 1, "served from the persistent tier");
+        assert_eq!(metrics.jobs_executed(), 0, "no compile ran in the cold pool");
+        assert_eq!(metrics.candidates_scored, 0, "scoring not performed here is not counted");
+        assert_eq!(metrics.score_shards_spawned, 0);
+        assert_eq!(metrics.score_cache_shard_hits, 0);
+        assert_eq!(metrics.traces_recorded, 1, "the cache hit still traces end to end");
+        assert_eq!(original.program().ops(), replayed.program().ops());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

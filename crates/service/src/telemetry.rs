@@ -1,0 +1,576 @@
+//! Service-side observability: per-stage latency histograms, request
+//! trace spans, the recent-trace journal, the slow-request log, and the
+//! Prometheus-style text exposition.
+//!
+//! ## What is measured
+//!
+//! Every request is followed from admission to response delivery by a
+//! [`Span`] (see `ssync-telemetry`), and five pipeline stages are
+//! additionally aggregated into log2 latency histograms, each keyed twice
+//! — once per [`Priority`] and once per [`CompilerKind`]:
+//!
+//! | stage          | measured where                                      |
+//! |----------------|-----------------------------------------------------|
+//! | `cache_lookup` | result-cache probe inside `submit`                  |
+//! | `parse`        | OpenQASM parse in the front-end's `SubmitQasm` path |
+//! | `queue_wait`   | submission → worker claim                           |
+//! | `compile`      | the `compile_on` call itself                        |
+//! | `end_to_end`   | span creation → terminal fulfilment                 |
+//!
+//! The front-end also records a `delivery` span event (response write on
+//! the wire) on each job's trace; it is span-only, not histogrammed.
+//!
+//! ## Determinism
+//!
+//! Everything here is observation-only. Histograms and spans are written
+//! with relaxed atomics and per-span mutexes that no scheduling decision
+//! ever reads, so enabling telemetry (on by default; see
+//! [`ServiceTelemetry::set_enabled`]) cannot change compiled output — the
+//! `service_equivalence` golden suites run with telemetry live, and the
+//! `telemetry_overhead` bench asserts on-vs-off bit-identity.
+//!
+//! Scheduler-internal phase counters (frontier rebuilds, stall-fallback
+//! entries, scoring wall time) arrive through
+//! [`ScoringTelemetry`] — the side channel
+//! deliberately kept outside the golden-compared `SchedulerStats` — and
+//! are aggregated here per pool.
+
+use crate::job::Priority;
+use crate::metrics::ServiceMetrics;
+use ssync_baselines::CompilerKind;
+use ssync_core::ScoringTelemetry;
+use ssync_telemetry::{
+    HistogramSnapshot, LatencyHistogram, Span, TextExposition, TraceJournal, TraceRecord,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of compilers ([`CompilerKind::ALL`]).
+const KINDS: usize = CompilerKind::ALL.len();
+
+/// Sentinel for "slow-request logging disabled" (the default).
+const SLOW_DISABLED: u64 = u64::MAX;
+
+/// How many recent traces the in-memory journal retains.
+pub const TRACE_JOURNAL_CAPACITY: usize = 256;
+
+/// The five histogrammed pipeline stages (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Result-cache probe during submission.
+    CacheLookup,
+    /// OpenQASM source parse (front-end `SubmitQasm` only).
+    Parse,
+    /// Submission to worker claim.
+    QueueWait,
+    /// The compile itself.
+    Compile,
+    /// Span creation to terminal fulfilment.
+    EndToEnd,
+}
+
+impl Stage {
+    /// Every stage, in exposition order.
+    pub const ALL: [Stage; 5] =
+        [Stage::CacheLookup, Stage::Parse, Stage::QueueWait, Stage::Compile, Stage::EndToEnd];
+
+    /// Stable label used in span events and exposition `stage=` labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::CacheLookup => "cache_lookup",
+            Stage::Parse => "parse",
+            Stage::QueueWait => "queue_wait",
+            Stage::Compile => "compile",
+            Stage::EndToEnd => "end_to_end",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::CacheLookup => 0,
+            Stage::Parse => 1,
+            Stage::QueueWait => 2,
+            Stage::Compile => 3,
+            Stage::EndToEnd => 4,
+        }
+    }
+}
+
+/// Metric-label slug for a compiler kind (the display
+/// [`CompilerKind::label`] has spaces and dots).
+pub fn kind_slug(kind: CompilerKind) -> &'static str {
+    match kind {
+        CompilerKind::Murali => "murali",
+        CompilerKind::Dai => "dai",
+        CompilerKind::SSync => "ssync",
+        CompilerKind::Greedy => "greedy",
+    }
+}
+
+fn kind_index(kind: CompilerKind) -> usize {
+    CompilerKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")
+}
+
+/// One stage's histograms, keyed per priority and per compiler kind.
+struct StageFamily {
+    by_priority: [LatencyHistogram; 3],
+    by_kind: [LatencyHistogram; KINDS],
+}
+
+impl StageFamily {
+    fn new() -> Self {
+        Self {
+            by_priority: std::array::from_fn(|_| LatencyHistogram::new()),
+            by_kind: std::array::from_fn(|_| LatencyHistogram::new()),
+        }
+    }
+
+    fn record_ns(&self, priority: Priority, kind: CompilerKind, ns: u64) {
+        self.by_priority[priority.index()].record_ns(ns);
+        self.by_kind[kind_index(kind)].record_ns(ns);
+    }
+
+    fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            by_priority: std::array::from_fn(|i| self.by_priority[i].snapshot()),
+            by_kind: std::array::from_fn(|i| self.by_kind[i].snapshot()),
+        }
+    }
+}
+
+/// Plain-data snapshot of one stage's histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Histograms indexed by [`Priority::index`].
+    pub by_priority: [HistogramSnapshot; 3],
+    /// Histograms indexed by position in [`CompilerKind::ALL`].
+    pub by_kind: [HistogramSnapshot; KINDS],
+}
+
+impl StageSnapshot {
+    /// All priorities merged into one histogram.
+    pub fn overall(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for h in &self.by_priority {
+            merged.merge(h);
+        }
+        merged
+    }
+}
+
+/// Plain-data snapshot of every histogram and telemetry counter, taken via
+/// [`ServiceTelemetry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    stages: [StageSnapshot; 5],
+    /// Finished request traces (cache hits, coalesced waiters, expired
+    /// deadlines and executed compiles alike).
+    pub traces_recorded: u64,
+    /// Finished traces at or above the slow-request threshold; each one
+    /// emitted a JSONL line on stderr.
+    pub slow_requests: u64,
+    /// Scheduler frontier rebuilds across every compile this pool ran.
+    pub frontier_rebuilds: u64,
+    /// Scheduler stall-fallback entries across every compile.
+    pub stall_fallback_entries: u64,
+    /// Wall time spent in scheduler scoring passes, nanoseconds.
+    pub scoring_time_ns: u64,
+}
+
+impl TelemetrySnapshot {
+    /// One stage's histograms.
+    pub fn stage(&self, stage: Stage) -> &StageSnapshot {
+        &self.stages[stage.index()]
+    }
+}
+
+/// The pool-owned telemetry hub: trace-id allocator, per-stage histogram
+/// families, the recent-trace journal and the slow-request threshold.
+pub struct ServiceTelemetry {
+    enabled: AtomicBool,
+    next_trace_id: AtomicU64,
+    stages: [StageFamily; 5],
+    journal: TraceJournal,
+    slow_threshold_ns: AtomicU64,
+    traces_recorded: AtomicU64,
+    slow_requests: AtomicU64,
+    frontier_rebuilds: AtomicU64,
+    stall_fallback_entries: AtomicU64,
+    scoring_time_ns: AtomicU64,
+}
+
+impl std::fmt::Debug for ServiceTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceTelemetry")
+            .field("traces_recorded", &self.traces_recorded.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceTelemetry {
+    pub(crate) fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            next_trace_id: AtomicU64::new(1),
+            stages: std::array::from_fn(|_| StageFamily::new()),
+            journal: TraceJournal::new(TRACE_JOURNAL_CAPACITY),
+            slow_threshold_ns: AtomicU64::new(SLOW_DISABLED),
+            traces_recorded: AtomicU64::new(0),
+            slow_requests: AtomicU64::new(0),
+            frontier_rebuilds: AtomicU64::new(0),
+            stall_fallback_entries: AtomicU64::new(0),
+            scoring_time_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Turn recording on or off. Tracing is **on by default**; turning it
+    /// off makes every record/finish call a no-op (trace ids are still
+    /// assigned so the wire contract holds). Exists for the
+    /// `telemetry_overhead` bench, which proves compiled output is
+    /// bit-identical either way.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Start a new span under a fresh server-assigned trace id (monotonic,
+    /// never zero — a zero trace id on the wire means "server predates
+    /// tracing").
+    pub fn begin_trace(&self) -> Span {
+        Span::new(self.next_trace_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Record one stage observation into both keyed histograms.
+    pub fn record(&self, stage: Stage, priority: Priority, kind: CompilerKind, dur: Duration) {
+        self.record_ns(stage, priority, kind, dur.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub(crate) fn record_ns(&self, stage: Stage, priority: Priority, kind: CompilerKind, ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.stages[stage.index()].record_ns(priority, kind, ns);
+    }
+
+    /// Append a stage event to `span` unless recording is disabled.
+    pub(crate) fn span_record(&self, span: &Span, stage: &'static str, dur: Duration) {
+        if self.is_enabled() {
+            span.record(stage, dur);
+        }
+    }
+
+    /// Set a span attribute unless recording is disabled.
+    pub(crate) fn span_attr(&self, span: &Span, key: &'static str, value: &'static str) {
+        if self.is_enabled() {
+            span.set_attr(key, value);
+        }
+    }
+
+    /// Set the slow-request threshold; `None` disables the log (default).
+    /// `Some(Duration::ZERO)` logs every request — the smoke tests use it.
+    pub fn set_slow_threshold(&self, threshold: Option<Duration>) {
+        let ns = match threshold {
+            None => SLOW_DISABLED,
+            Some(d) => d.as_nanos().min((u64::MAX - 1) as u128) as u64,
+        };
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The active slow-request threshold in nanoseconds, if enabled.
+    pub fn slow_threshold(&self) -> Option<u64> {
+        match self.slow_threshold_ns.load(Ordering::Relaxed) {
+            SLOW_DISABLED => None,
+            ns => Some(ns),
+        }
+    }
+
+    /// Finish a request's span: fixes its total wall time, records the
+    /// `end_to_end` histograms, retains the trace in the journal, and
+    /// emits a JSONL line on stderr when the request was slow. Idempotent
+    /// on the span's total; callers invoke it exactly once per trace.
+    pub(crate) fn finish_request(&self, span: &Span, priority: Priority, kind: CompilerKind) {
+        let total_ns = span.finish();
+        if !self.is_enabled() {
+            return;
+        }
+        span.record("end_to_end", Duration::from_nanos(total_ns));
+        self.record_ns(Stage::EndToEnd, priority, kind, total_ns);
+        self.journal.push(span.clone());
+        self.traces_recorded.fetch_add(1, Ordering::Relaxed);
+        if total_ns >= self.slow_threshold_ns.load(Ordering::Relaxed) {
+            self.slow_requests.fetch_add(1, Ordering::Relaxed);
+            eprintln!("{}", span.to_jsonl());
+        }
+    }
+
+    /// Fold one compile's scheduler-internal phase counters into the
+    /// pool-wide aggregates.
+    pub(crate) fn note_scheduler_phases(&self, scoring: &ScoringTelemetry) {
+        self.frontier_rebuilds.fetch_add(scoring.frontier_rebuilds, Ordering::Relaxed);
+        self.stall_fallback_entries.fetch_add(scoring.stall_fallback_entries, Ordering::Relaxed);
+        self.scoring_time_ns.fetch_add(scoring.scoring_time_ns, Ordering::Relaxed);
+    }
+
+    /// Finished request traces so far.
+    pub fn traces_recorded(&self) -> u64 {
+        self.traces_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Requests that crossed the slow threshold so far.
+    pub fn slow_requests(&self) -> u64 {
+        self.slow_requests.load(Ordering::Relaxed)
+    }
+
+    /// Recent finished traces, oldest first (bounded ring, capacity
+    /// [`TRACE_JOURNAL_CAPACITY`]).
+    pub fn recent_traces(&self) -> Vec<TraceRecord> {
+        self.journal.recent()
+    }
+
+    /// Snapshot every histogram and counter.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            stages: std::array::from_fn(|i| self.stages[i].snapshot()),
+            traces_recorded: self.traces_recorded.load(Ordering::Relaxed),
+            slow_requests: self.slow_requests.load(Ordering::Relaxed),
+            frontier_rebuilds: self.frontier_rebuilds.load(Ordering::Relaxed),
+            stall_fallback_entries: self.stall_fallback_entries.load(Ordering::Relaxed),
+            scoring_time_ns: self.scoring_time_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Render the service's counters and latency histograms as one
+/// Prometheus-style text-exposition document. The same renderer backs the
+/// wire `GetStats` response, the daemon's `--metrics-text` file and its
+/// drain-time stderr summary, so all three always agree.
+pub fn render_text(metrics: &ServiceMetrics, telemetry: &TelemetrySnapshot) -> String {
+    let mut e = TextExposition::new();
+
+    e.header("ssync_jobs_submitted_total", "counter", "Requests accepted by the pool.");
+    e.value("ssync_jobs_submitted_total", &[], metrics.jobs_submitted);
+    e.header(
+        "ssync_jobs_submitted_by_priority_total",
+        "counter",
+        "Accepted requests per priority level.",
+    );
+    for priority in Priority::ALL {
+        e.value(
+            "ssync_jobs_submitted_by_priority_total",
+            &[("priority", priority.label())],
+            metrics.submitted_by_priority[priority.index()],
+        );
+    }
+    for (name, help, v) in [
+        ("ssync_jobs_completed_total", "Requests resolved.", metrics.jobs_completed),
+        (
+            "ssync_jobs_coalesced_total",
+            "Requests attached to an identical in-flight job.",
+            metrics.jobs_coalesced,
+        ),
+        (
+            "ssync_jobs_near_duplicate_total",
+            "Submissions with an in-flight near-duplicate (same device+circuit, other config).",
+            metrics.jobs_near_duplicate,
+        ),
+        (
+            "ssync_jobs_deadline_expired_total",
+            "Requests expired before a worker claimed them.",
+            metrics.jobs_deadline_expired,
+        ),
+        (
+            "ssync_rejected_overloaded_total",
+            "Requests shed by admission control.",
+            metrics.rejected_overloaded,
+        ),
+        (
+            "ssync_rejected_unauthorized_total",
+            "Connections rejected by the auth check.",
+            metrics.rejected_unauthorized,
+        ),
+        (
+            "ssync_conns_timed_out_total",
+            "Connections closed on read timeout.",
+            metrics.conns_timed_out,
+        ),
+        ("ssync_janitor_gc_runs_total", "Persistent-tier GC runs.", metrics.janitor_gc_runs),
+        (
+            "ssync_candidates_scored_total",
+            "Scheduler candidates scored across executed compiles.",
+            metrics.candidates_scored,
+        ),
+        (
+            "ssync_score_shards_spawned_total",
+            "Scoring shards dispatched.",
+            metrics.score_shards_spawned,
+        ),
+        (
+            "ssync_score_cache_shard_hits_total",
+            "Per-shard readiness-memo hits.",
+            metrics.score_cache_shard_hits,
+        ),
+        ("ssync_cache_hits_total", "Result-cache hits.", metrics.cache.hits),
+        ("ssync_cache_misses_total", "Result-cache misses.", metrics.cache.misses),
+        ("ssync_cache_evictions_total", "Result-cache evictions.", metrics.cache.evictions),
+        (
+            "ssync_cache_persist_hits_total",
+            "Hits served by rebuilding a persisted outcome.",
+            metrics.cache.persist_hits,
+        ),
+        (
+            "ssync_cache_persist_stores_total",
+            "Outcomes written through to the persistent tier.",
+            metrics.cache.persist_stores,
+        ),
+        ("ssync_traces_recorded_total", "Finished request traces.", metrics.traces_recorded),
+        (
+            "ssync_slow_requests_total",
+            "Requests at or above the slow-request threshold.",
+            metrics.slow_requests,
+        ),
+        (
+            "ssync_sched_frontier_rebuilds_total",
+            "Scheduler frontier rebuilds across executed compiles.",
+            telemetry.frontier_rebuilds,
+        ),
+        (
+            "ssync_sched_stall_fallback_entries_total",
+            "Scheduler stall-fallback entries across executed compiles.",
+            telemetry.stall_fallback_entries,
+        ),
+        (
+            "ssync_sched_scoring_time_ns_total",
+            "Wall nanoseconds in scheduler scoring passes.",
+            telemetry.scoring_time_ns,
+        ),
+    ] {
+        e.header(name, "counter", help);
+        e.value(name, &[], v);
+    }
+
+    e.header("ssync_queue_depth", "gauge", "Jobs queued and not yet claimed.");
+    e.value("ssync_queue_depth", &[], metrics.queue_depth as u64);
+    e.header("ssync_cache_entries", "gauge", "In-memory result-cache entries.");
+    e.value("ssync_cache_entries", &[], metrics.cache.entries as u64);
+    e.header("ssync_cache_bytes", "gauge", "Approximate in-memory result-cache bytes.");
+    e.value("ssync_cache_bytes", &[], metrics.cache.bytes as u64);
+    e.header("ssync_uptime_seconds", "gauge", "Wall seconds since service start.");
+    e.value("ssync_uptime_seconds", &[], metrics.uptime.as_secs());
+
+    e.header("ssync_worker_executed_total", "counter", "Compiles executed per worker.");
+    e.header("ssync_worker_stolen_total", "counter", "Stolen jobs per worker.");
+    for (i, w) in metrics.workers.iter().enumerate() {
+        let idx = i.to_string();
+        e.value("ssync_worker_executed_total", &[("worker", &idx)], w.executed);
+        e.value("ssync_worker_stolen_total", &[("worker", &idx)], w.stolen);
+    }
+
+    e.header(
+        "ssync_stage_latency_ns",
+        "histogram",
+        "Per-stage request latency, log2 buckets, nanoseconds.",
+    );
+    for stage in Stage::ALL {
+        let snap = telemetry.stage(stage);
+        for priority in Priority::ALL {
+            let labels = [("stage", stage.label()), ("priority", priority.label())];
+            let h = &snap.by_priority[priority.index()];
+            e.histogram("ssync_stage_latency_ns", &labels, h);
+            e.quantile_gauges("ssync_stage_latency", &labels, h);
+        }
+        for (i, kind) in CompilerKind::ALL.into_iter().enumerate() {
+            let labels = [("stage", stage.label()), ("compiler", kind_slug(kind))];
+            let h = &snap.by_kind[i];
+            e.histogram("ssync_stage_latency_ns", &labels, h);
+            e.quantile_gauges("ssync_stage_latency", &labels, h);
+        }
+    }
+
+    e.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let t = ServiceTelemetry::new();
+        let a = t.begin_trace();
+        let b = t.begin_trace();
+        assert_ne!(a.trace_id(), 0);
+        assert_ne!(b.trace_id(), 0);
+        assert_ne!(a.trace_id(), b.trace_id());
+    }
+
+    #[test]
+    fn finish_request_records_journal_and_histograms() {
+        let t = ServiceTelemetry::new();
+        let span = t.begin_trace();
+        t.finish_request(&span, Priority::High, CompilerKind::SSync);
+        assert_eq!(t.traces_recorded(), 1);
+        assert_eq!(t.slow_requests(), 0, "slow log disabled by default");
+        let snap = t.snapshot();
+        assert_eq!(snap.stage(Stage::EndToEnd).by_priority[Priority::High.index()].count(), 1);
+        assert_eq!(snap.stage(Stage::EndToEnd).overall().count(), 1);
+        let traces = t.recent_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].trace_id, span.trace_id());
+        assert!(traces[0].total_ns > 0);
+    }
+
+    #[test]
+    fn zero_threshold_marks_everything_slow() {
+        let t = ServiceTelemetry::new();
+        t.set_slow_threshold(Some(Duration::ZERO));
+        let span = t.begin_trace();
+        t.finish_request(&span, Priority::Normal, CompilerKind::Greedy);
+        assert_eq!(t.slow_requests(), 1);
+        t.set_slow_threshold(None);
+        let span = t.begin_trace();
+        t.finish_request(&span, Priority::Normal, CompilerKind::Greedy);
+        assert_eq!(t.slow_requests(), 1, "disabled threshold logs nothing");
+    }
+
+    #[test]
+    fn exposition_renders_counters_and_quantiles() {
+        let t = ServiceTelemetry::new();
+        t.record(Stage::QueueWait, Priority::High, CompilerKind::SSync, Duration::from_micros(5));
+        let metrics = ServiceMetrics {
+            jobs_submitted: 3,
+            jobs_completed: 3,
+            jobs_coalesced: 0,
+            jobs_near_duplicate: 0,
+            jobs_deadline_expired: 0,
+            submitted_by_priority: [1, 2, 0],
+            queue_depth: 0,
+            rejected_overloaded: 0,
+            rejected_unauthorized: 0,
+            conns_timed_out: 0,
+            janitor_gc_runs: 0,
+            candidates_scored: 10,
+            score_shards_spawned: 2,
+            score_cache_shard_hits: 1,
+            traces_recorded: 3,
+            slow_requests: 1,
+            cache: Default::default(),
+            workers: vec![Default::default()],
+            uptime: Duration::from_secs(2),
+        };
+        let doc = render_text(&metrics, &t.snapshot());
+        assert!(doc.contains("ssync_jobs_submitted_total 3\n"));
+        assert!(doc.contains("ssync_jobs_submitted_by_priority_total{priority=\"high\"} 1\n"));
+        assert!(doc.contains("ssync_traces_recorded_total 3\n"));
+        assert!(doc.contains("ssync_slow_requests_total 1\n"));
+        assert!(doc.contains("ssync_worker_executed_total{worker=\"0\"} 0\n"));
+        assert!(doc
+            .contains("ssync_stage_latency_p50_ns{stage=\"queue_wait\",priority=\"high\"} 5000\n"));
+        assert!(doc
+            .contains("ssync_stage_latency_ns_count{stage=\"queue_wait\",compiler=\"ssync\"} 1\n"));
+        assert!(doc.contains("ssync_uptime_seconds 2\n"));
+    }
+}

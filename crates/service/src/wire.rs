@@ -35,6 +35,7 @@
 //! | `Poll { job }` | `Pending`, `Outcome`, `CompileFailed` or `Rejected` |
 //! | `Wait { job }` | `Outcome`, `CompileFailed` or `Rejected` (blocks) |
 //! | `Metrics` | `Metrics(ServiceMetrics)` |
+//! | `GetStats` | `StatsText { text }` (v5; Prometheus-style exposition) |
 //! | `Shutdown` | `ShuttingDown`, then the daemon exits |
 //!
 //! ## Version 2
@@ -77,6 +78,24 @@
 //! something a remote client dictates — and it cannot affect compiled
 //! output anyway.
 //!
+//! ## Version 5
+//!
+//! v5 adds the **observability surface**. Three append-only payload
+//! growths plus one new request/response pair, all following the v4
+//! pattern (decoders read appended fields only when payload bytes
+//! remain, so every older payload still decodes):
+//!
+//! * `Submitted` and `QasmSubmitted` each carry the server-assigned
+//!   **trace id** after their existing fields. A zero trace id means
+//!   the peer predates tracing (server-assigned ids start at 1).
+//! * `Metrics` appends `traces_recorded` and `slow_requests` after the
+//!   v4 scoring tail.
+//! * `GetStats` (new request tag) is answered with `StatsText` (new
+//!   response tag): the daemon's full metrics + latency-histogram
+//!   snapshot rendered in Prometheus-style text exposition — the same
+//!   bytes `--metrics-text` writes to disk, for peers that want to
+//!   scrape over the wire instead of through the filesystem.
+//!
 //! Job ids are per-connection and **single-delivery**: the response that
 //! carries a job's terminal result (`Wait`, or a `Poll` that observes
 //! completion) consumes the id, so a long-lived connection doesn't pin
@@ -103,9 +122,11 @@ pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"SSYC");
 /// metrics payload; v3 added the `Hello` auth handshake, the
 /// `Overloaded` compile-error tag and the front-end/janitor metrics
 /// counters; v4 appended the intra-compile scoring counters to
-/// `Metrics`. [`read_frame`] still accepts
-/// [`MIN_WIRE_VERSION`]-tagged frames from older peers.
-pub const WIRE_VERSION: u32 = 4;
+/// `Metrics`; v5 added request tracing (trace ids on `Submitted` /
+/// `QasmSubmitted`, the trace counters on `Metrics`) and the
+/// `GetStats`/`StatsText` text-exposition scrape. [`read_frame`] still
+/// accepts [`MIN_WIRE_VERSION`]-tagged frames from older peers.
+pub const WIRE_VERSION: u32 = 5;
 /// Oldest protocol version [`read_frame`] accepts.
 pub const MIN_WIRE_VERSION: u32 = 1;
 /// Upper bound on a frame payload (a defence against corrupt length
@@ -261,6 +282,10 @@ pub enum Request {
     },
     /// Fetch a metrics snapshot.
     Metrics,
+    /// Fetch the daemon's metrics + latency histograms rendered as
+    /// Prometheus-style text exposition (wire v5); answered with
+    /// `StatsText`.
+    GetStats,
     /// Ask the daemon to exit after responding.
     Shutdown,
 }
@@ -278,6 +303,10 @@ pub enum Response {
     Submitted {
         /// Identifier to pass to `Poll` / `Wait`.
         job: u64,
+        /// Server-assigned trace id for the request's end-to-end trace
+        /// (wire v5). Zero when the daemon predates tracing;
+        /// server-assigned ids start at 1.
+        trace_id: u64,
     },
     /// The polled job has not finished yet.
     Pending,
@@ -305,6 +334,16 @@ pub enum Response {
         job: u64,
         /// What the server-side lowering stripped or counted.
         report: ssync_qasm::ParseReport,
+        /// Server-assigned trace id (wire v5); zero when the daemon
+        /// predates tracing.
+        trace_id: u64,
+    },
+    /// The daemon's metrics + latency histograms rendered as
+    /// Prometheus-style text exposition (wire v5; answers `GetStats`).
+    StatsText {
+        /// The rendered exposition — the same bytes the daemon's
+        /// `--metrics-text` flag writes to disk.
+        text: String,
     },
 }
 
@@ -342,6 +381,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Metrics => w.put_u8(3),
         Request::Shutdown => w.put_u8(4),
+        Request::GetStats => w.put_u8(7),
         Request::Hello { token } => {
             w.put_u8(6);
             w.put_str(token);
@@ -396,6 +436,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
             },
         })),
         6 => Request::Hello { token: r.get_str()? },
+        7 => Request::GetStats,
         tag => return Err(CodecError::BadTag { what: "request", tag }),
     };
     if !r.is_exhausted() {
@@ -437,6 +478,10 @@ fn encode_metrics(w: &mut ByteWriter, m: &ServiceMetrics) {
     w.put_u64(m.candidates_scored);
     w.put_u64(m.score_shards_spawned);
     w.put_u64(m.score_cache_shard_hits);
+    // v5 tail: the request-tracing counters, appended after the v4
+    // scoring counters under the same contract.
+    w.put_u64(m.traces_recorded);
+    w.put_u64(m.slow_requests);
 }
 
 fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> {
@@ -455,6 +500,8 @@ fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> 
         candidates_scored: 0,
         score_shards_spawned: 0,
         score_cache_shard_hits: 0,
+        traces_recorded: 0,
+        slow_requests: 0,
         cache: crate::cache::CacheStats {
             hits: r.get_u64()?,
             misses: r.get_u64()?,
@@ -476,11 +523,17 @@ fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> 
         uptime: Duration::from_nanos(r.get_u64()?),
     };
     // The v4 scoring counters live past the v3 end of the payload; a
-    // shorter (v1–v3) payload simply leaves them zero.
+    // shorter (v1–v3) payload simply leaves them zero. The v5 tracing
+    // counters live past the v4 end under the same contract, so each
+    // tail re-checks exhaustion before reading.
     if !r.is_exhausted() {
         metrics.candidates_scored = r.get_u64()?;
         metrics.score_shards_spawned = r.get_u64()?;
         metrics.score_cache_shard_hits = r.get_u64()?;
+    }
+    if !r.is_exhausted() {
+        metrics.traces_recorded = r.get_u64()?;
+        metrics.slow_requests = r.get_u64()?;
     }
     Ok(metrics)
 }
@@ -489,9 +542,12 @@ fn decode_metrics(r: &mut ByteReader<'_>) -> Result<ServiceMetrics, CodecError> 
 pub fn encode_response(response: &Response) -> Vec<u8> {
     let mut w = ByteWriter::new();
     match response {
-        Response::Submitted { job } => {
+        Response::Submitted { job, trace_id } => {
             w.put_u8(0);
             w.put_u64(*job);
+            // v5 tail: the trace id rides after the v1 payload so a
+            // pre-v5 decoder (which stops at `job`) never sees it.
+            w.put_u64(*trace_id);
         }
         Response::Pending => w.put_u8(1),
         Response::Outcome(outcome) => {
@@ -515,7 +571,7 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.put_u8(8);
             w.put_u32(*version);
         }
-        Response::QasmSubmitted { job, report } => {
+        Response::QasmSubmitted { job, report, trace_id } => {
             w.put_u8(7);
             w.put_u64(*job);
             w.put_usize(report.measurements_stripped);
@@ -523,6 +579,12 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.put_usize(report.conditionals_stripped);
             w.put_usize(report.barriers);
             w.put_usize(report.gates_inlined);
+            // v5 tail: appended after the v2 report fields.
+            w.put_u64(*trace_id);
+        }
+        Response::StatsText { text } => {
+            w.put_u8(9);
+            w.put_str(text);
         }
     }
     w.into_bytes()
@@ -532,7 +594,12 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
 pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
     let mut r = ByteReader::new(payload);
     let response = match r.get_u8()? {
-        0 => Response::Submitted { job: r.get_u64()? },
+        0 => Response::Submitted {
+            job: r.get_u64()?,
+            // A pre-v5 daemon's payload ends at `job`; zero means "the
+            // peer predates tracing" (real ids start at 1).
+            trace_id: if r.is_exhausted() { 0 } else { r.get_u64()? },
+        },
         1 => Response::Pending,
         2 => Response::Outcome(codec::decode_outcome(&mut r)?),
         3 => Response::CompileFailed(codec::decode_compile_error(&mut r)?),
@@ -548,8 +615,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
                 barriers: r.get_usize()?,
                 gates_inlined: r.get_usize()?,
             },
+            trace_id: if r.is_exhausted() { 0 } else { r.get_u64()? },
         },
         8 => Response::Welcome { version: r.get_u32()? },
+        9 => Response::StatsText { text: r.get_str()? },
         tag => return Err(CodecError::BadTag { what: "response", tag }),
     };
     if !r.is_exhausted() {
@@ -708,6 +777,7 @@ mod tests {
             Request::Poll { job: 7 },
             Request::Wait { job: 9 },
             Request::Metrics,
+            Request::GetStats,
             Request::Shutdown,
         ] {
             let bytes = encode_request(&request);
@@ -733,7 +803,9 @@ mod tests {
                 (Request::Hello { token: a }, Request::Hello { token: b }) => assert_eq!(a, b),
                 (Request::Poll { job: a }, Request::Poll { job: b })
                 | (Request::Wait { job: a }, Request::Wait { job: b }) => assert_eq!(a, b),
-                (Request::Metrics, Request::Metrics) | (Request::Shutdown, Request::Shutdown) => {}
+                (Request::Metrics, Request::Metrics)
+                | (Request::GetStats, Request::GetStats)
+                | (Request::Shutdown, Request::Shutdown) => {}
                 other => panic!("variant changed in transit: {other:?}"),
             }
         }
@@ -837,12 +909,57 @@ mod tests {
             barriers: 4,
             gates_inlined: 7,
         };
-        let bytes = encode_response(&Response::QasmSubmitted { job: 11, report });
+        let bytes = encode_response(&Response::QasmSubmitted { job: 11, report, trace_id: 77 });
         match decode_response(&bytes).expect("round-trips") {
-            Response::QasmSubmitted { job, report: decoded } => {
+            Response::QasmSubmitted { job, report: decoded, trace_id } => {
                 assert_eq!(job, 11);
                 assert_eq!(decoded, report);
+                assert_eq!(trace_id, 77);
             }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // A pre-v5 daemon's payload ends at the report fields: dropping
+        // the appended trace id must still decode, with the id zeroed.
+        let truncated = &bytes[..bytes.len() - 8];
+        match decode_response(truncated).expect("v2-length payload decodes") {
+            Response::QasmSubmitted { job, trace_id, .. } => {
+                assert_eq!(job, 11);
+                assert_eq!(trace_id, 0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    /// `Submitted` grew a trace id in v5; a pre-v5 payload (ending at
+    /// `job`) decodes with the id zeroed — the "peer predates tracing"
+    /// sentinel.
+    #[test]
+    fn submitted_responses_round_trip_and_accept_v4_length() {
+        let bytes = encode_response(&Response::Submitted { job: 5, trace_id: 42 });
+        match decode_response(&bytes).expect("round-trips") {
+            Response::Submitted { job, trace_id } => {
+                assert_eq!(job, 5);
+                assert_eq!(trace_id, 42);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let truncated = &bytes[..bytes.len() - 8];
+        match decode_response(truncated).expect("v4-length payload decodes") {
+            Response::Submitted { job, trace_id } => {
+                assert_eq!(job, 5);
+                assert_eq!(trace_id, 0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_text_round_trips() {
+        let text = "# HELP ssync_jobs_submitted …\nssync_jobs_submitted 3\n".to_string();
+        let bytes = encode_response(&Response::StatsText { text: text.clone() });
+        match decode_response(&bytes).expect("round-trips") {
+            Response::StatsText { text: decoded } => assert_eq!(decoded, text),
             other => panic!("wrong variant: {other:?}"),
         }
     }
@@ -864,6 +981,8 @@ mod tests {
             candidates_scored: 4242,
             score_shards_spawned: 99,
             score_cache_shard_hits: 1717,
+            traces_recorded: 88,
+            slow_requests: 6,
             cache: crate::cache::CacheStats {
                 hits: 4,
                 misses: 6,
@@ -886,19 +1005,50 @@ mod tests {
             other => panic!("wrong variant: {other:?}"),
         }
 
-        // A v1–v3 peer's payload ends at `uptime`: dropping the v4 tail
-        // (three appended u64s) must still decode, with the scoring
-        // counters zeroed — the backward-compatibility contract.
-        let truncated = &bytes[..bytes.len() - 24];
+        // A v4 peer's payload ends at the scoring counters: dropping the
+        // v5 tail (two appended u64s) must still decode, with the
+        // tracing counters zeroed but the scoring counters intact.
+        let v4_length = &bytes[..bytes.len() - 16];
+        match decode_response(v4_length).expect("v4-length payload decodes") {
+            Response::Metrics(decoded) => {
+                assert_eq!(decoded.traces_recorded, 0);
+                assert_eq!(decoded.slow_requests, 0);
+                assert_eq!(decoded.candidates_scored, metrics.candidates_scored);
+                assert_eq!(decoded.score_cache_shard_hits, metrics.score_cache_shard_hits);
+                assert_eq!(decoded.uptime, metrics.uptime);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // A v1–v3 peer's payload ends at `uptime`: dropping both tails
+        // (five appended u64s) must still decode, with the scoring AND
+        // tracing counters zeroed — the backward-compatibility contract.
+        let truncated = &bytes[..bytes.len() - 40];
         match decode_response(truncated).expect("v3-length payload decodes") {
             Response::Metrics(decoded) => {
                 assert_eq!(decoded.candidates_scored, 0);
                 assert_eq!(decoded.score_shards_spawned, 0);
                 assert_eq!(decoded.score_cache_shard_hits, 0);
+                assert_eq!(decoded.traces_recorded, 0);
+                assert_eq!(decoded.slow_requests, 0);
                 assert_eq!(decoded.jobs_submitted, metrics.jobs_submitted);
                 assert_eq!(decoded.uptime, metrics.uptime);
             }
             other => panic!("wrong variant: {other:?}"),
+        }
+
+        // Truncation fuzz: cutting the payload at ANY length must either
+        // decode (at a version boundary) or fail cleanly with a codec
+        // error — never panic and never hand back garbage trailing
+        // state. The only valid cut points are the v3, v4 and v5 ends.
+        let valid = [bytes.len(), bytes.len() - 16, bytes.len() - 40];
+        for cut in 0..bytes.len() {
+            let result = decode_response(&bytes[..cut]);
+            if valid.contains(&cut) {
+                assert!(result.is_ok(), "cut {cut} should decode");
+            } else {
+                assert!(result.is_err(), "cut {cut} should be rejected");
+            }
         }
     }
 }

@@ -1,0 +1,177 @@
+//! End-to-end observability smoke test: spawn the real `ssync-serviced`
+//! binary with tracing fully enabled, push a mixed-priority workload
+//! through it, and require non-zero latency histograms on **both** export
+//! surfaces — the wire `GetStats` request and the `--metrics-text` file —
+//! plus a parseable slow-request JSONL stream on stderr. This is the
+//! ISSUE-8 acceptance path, exercised over real pipes and a real second
+//! process.
+
+use ssync_baselines::CompilerKind;
+use ssync_circuit::generators::qft;
+use ssync_core::CompilerConfig;
+use ssync_service::client::ServiceClient;
+use ssync_service::wire::{RemoteQasmRequest, RemoteRequest};
+use ssync_service::Priority;
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+
+const DAEMON: &str = env!("CARGO_BIN_EXE_ssync-serviced");
+
+/// Spawns the daemon in stdio mode with every observability surface on:
+/// `--slow-request-ms 0` logs a JSONL trace for every request, and
+/// `--metrics-text` keeps a scrape file fresh. Stderr is drained by a
+/// thread from the start — the final exposition flush alone can exceed a
+/// pipe buffer, and an undrained pipe would deadlock the daemon's exit.
+fn spawn_observable_daemon(
+    metrics_path: &std::path::Path,
+) -> (Child, ServiceClient, std::thread::JoinHandle<String>) {
+    let mut child = Command::new(DAEMON)
+        .arg("--stdio")
+        .args(["--workers", "2", "--slow-request-ms", "0"])
+        .args(["--metrics-text", metrics_path.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ssync-serviced");
+    let writer = child.stdin.take().expect("piped stdin");
+    let reader = child.stdout.take().expect("piped stdout");
+    let mut stderr = child.stderr.take().expect("piped stderr");
+    let drain = std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = stderr.read_to_string(&mut buf);
+        buf
+    });
+    (child, ServiceClient::over(reader, writer), drain)
+}
+
+/// Reads one sample from a text exposition: the value on the line
+/// `name{labels} value`.
+fn metric(text: &str, name: &str, labels: &str) -> Option<u64> {
+    let needle = format!("{name}{{{labels}}} ");
+    text.lines().find_map(|line| line.strip_prefix(&needle)).map(|v| {
+        v.trim().parse().unwrap_or_else(|_| panic!("unparseable sample for {needle}: {v}"))
+    })
+}
+
+/// Asserts the exposition carries non-zero count, p50 and p99 for
+/// `stage` at every priority — the ISSUE's acceptance bar.
+fn assert_stage_populated(text: &str, stage: &str, surface: &str) {
+    for priority in ["high", "normal", "batch"] {
+        let labels = format!("stage=\"{stage}\",priority=\"{priority}\"");
+        let count = metric(text, "ssync_stage_latency_ns_count", &labels)
+            .unwrap_or_else(|| panic!("{surface}: no count for {labels}"));
+        assert!(count > 0, "{surface}: empty histogram for {labels}");
+        for quantile in ["p50", "p99"] {
+            let value = metric(text, &format!("ssync_stage_latency_{quantile}_ns"), &labels)
+                .unwrap_or_else(|| panic!("{surface}: no {quantile} for {labels}"));
+            assert!(value > 0, "{surface}: zero {quantile} for {labels}");
+        }
+    }
+}
+
+#[test]
+fn daemon_reports_latency_histograms_on_both_surfaces() {
+    let dir = std::env::temp_dir().join(format!("ssync-obs-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let metrics_path = dir.join("metrics.prom");
+    let (mut child, mut client, stderr_drain) = spawn_observable_daemon(&metrics_path);
+
+    // Mixed workload: every (priority × compiler) pair gets a distinct
+    // circuit so nothing is served from cache and every priority's
+    // queue-wait histogram fills; one QASM submission covers the parse
+    // stage. Trace ids must come back non-zero and pairwise distinct.
+    let config = CompilerConfig::default();
+    let mut trace_ids = Vec::new();
+    let mut jobs = Vec::new();
+    for (i, priority) in Priority::ALL.into_iter().enumerate() {
+        for (j, kind) in CompilerKind::ALL.into_iter().enumerate() {
+            let circuit = qft(5 + (i * CompilerKind::ALL.len() + j));
+            let request =
+                RemoteRequest::new("G-2x2", circuit, kind, config).with_priority(priority);
+            let (job, trace_id) = client.submit_traced(&request).expect("submit");
+            assert!(trace_id > 0, "a v5 daemon always assigns a trace id");
+            trace_ids.push(trace_id);
+            jobs.push(job);
+        }
+    }
+    let qasm =
+        RemoteQasmRequest::new("G-2x2", ssync_qasm::export(&qft(4)), CompilerKind::SSync, config);
+    let (qasm_job, _report, qasm_trace) = client.submit_qasm_traced(&qasm).expect("submit qasm");
+    assert!(qasm_trace > 0);
+    trace_ids.push(qasm_trace);
+    jobs.push(qasm_job);
+    let distinct: std::collections::HashSet<u64> = trace_ids.iter().copied().collect();
+    assert_eq!(distinct.len(), trace_ids.len(), "trace ids are pairwise distinct");
+    for job in jobs {
+        client.wait(job).expect("wait").expect("compiles");
+    }
+
+    // Surface 1: the wire `GetStats` request on the live daemon.
+    let stats = client.stats_text().expect("GetStats");
+    assert_stage_populated(&stats, "queue_wait", "GetStats");
+    assert_stage_populated(&stats, "end_to_end", "GetStats");
+    assert!(
+        metric(&stats, "ssync_stage_latency_ns_count", "stage=\"parse\",priority=\"normal\"")
+            .is_some_and(|count| count > 0),
+        "the QASM parse stage is recorded"
+    );
+    // The plain wire metrics carry the v5 counters too.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.traces_recorded, trace_ids.len() as u64);
+    assert_eq!(metrics.slow_requests, trace_ids.len() as u64, "threshold 0 flags everything");
+
+    // The periodic flusher has had ample time by now; the scrape file
+    // exists and is a well-formed exposition mid-flight.
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    let live = std::fs::read_to_string(&metrics_path).expect("live --metrics-text file");
+    assert!(live.contains("ssync_stage_latency_ns"), "live scrape file renders histograms");
+
+    client.shutdown().expect("shutdown");
+    assert!(child.wait().expect("daemon exits").success());
+    let stderr = stderr_drain.join().expect("stderr drained");
+
+    // Surface 2: the final `--metrics-text` flush after drain.
+    let finale = std::fs::read_to_string(&metrics_path).expect("final --metrics-text file");
+    assert_stage_populated(&finale, "queue_wait", "--metrics-text");
+    assert_stage_populated(&finale, "end_to_end", "--metrics-text");
+    assert!(
+        metric(&finale, "ssync_traces_recorded_total", "")
+            .or_else(|| {
+                // unlabelled samples render as `name value`
+                finale.lines().find_map(|line| {
+                    line.strip_prefix("ssync_traces_recorded_total ")
+                        .map(|v| v.trim().parse().unwrap())
+                })
+            })
+            .is_some_and(|v| v >= trace_ids.len() as u64),
+        "the trace counter survives to the final flush"
+    );
+
+    // Surface 3: with `--slow-request-ms 0` every request emits one JSONL
+    // trace line on stderr, parseable and carrying the stages plus the
+    // exact trace ids the client was told.
+    let jsonl: Vec<&str> = stderr.lines().filter(|line| line.starts_with('{')).collect();
+    assert!(
+        jsonl.len() >= trace_ids.len(),
+        "one slow-request line per request, got {} of {}:\n{stderr}",
+        jsonl.len(),
+        trace_ids.len()
+    );
+    for line in &jsonl {
+        assert!(line.starts_with("{\"trace_id\":\""), "line leads with the trace id: {line}");
+        assert!(line.ends_with('}'), "line is a complete object: {line}");
+        assert!(line.contains("\"stages\":["), "line carries the stage timeline: {line}");
+        assert!(line.contains("\"end_to_end\""), "line includes the end-to-end stage: {line}");
+    }
+    for trace_id in &trace_ids {
+        let hex = format!("{trace_id:016x}");
+        assert!(
+            jsonl.iter().any(|line| line.contains(&hex)),
+            "trace {hex} from the Submitted response appears in the slow log"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,265 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! A [`LatencyHistogram`] is a lock-free recorder with one atomic `u64`
+//! counter per power-of-two bucket of nanoseconds. Recording is a single
+//! relaxed `fetch_add` (plus a relaxed `fetch_max` for the exact maximum),
+//! which keeps the hot-path cost of instrumentation in the tens of
+//! nanoseconds. Reading happens through an immutable [`HistogramSnapshot`]
+//! that supports merging (associative and commutative) and nearest-rank
+//! percentile derivation.
+//!
+//! Percentiles are derived from bucket upper bounds, so they are exact to
+//! within one power of two — except for the globally largest sample, which
+//! is tracked exactly and caps every derived percentile. In particular a
+//! single-sample histogram reports that sample exactly at every rank.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets. Bucket `0` holds exact zeros; bucket `i` for
+/// `1 <= i < 63` holds values in `[2^(i-1), 2^i - 1]`; the final bucket
+/// additionally absorbs everything up to `u64::MAX`.
+pub const BUCKETS: usize = 64;
+
+/// Map a nanosecond value to its bucket index.
+#[inline]
+pub fn bucket_index(value_ns: u64) -> usize {
+    (64 - value_ns.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket, in nanoseconds.
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A mergeable, lock-free log2 latency histogram (values in nanoseconds).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a single nanosecond observation.
+    pub fn record_ns(&self, value_ns: u64) {
+        self.buckets[bucket_index(value_ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(value_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(value_ns, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`], saturating at `u64::MAX` nanoseconds.
+    pub fn record(&self, value: Duration) {
+        self.record_ns(value.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Take an immutable snapshot of the current state.
+    ///
+    /// Individual loads are relaxed, so a snapshot taken concurrently with
+    /// writers is not a point-in-time cut — each counter is individually
+    /// valid but the set may straddle in-flight records. That is fine for
+    /// monitoring; tests snapshot quiescent histograms.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data view of a [`LatencyHistogram`], mergeable and queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded nanoseconds (wrapping on overflow).
+    pub sum_ns: u64,
+    /// Largest recorded value, exact.
+    pub max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; BUCKETS], sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |acc, &b| acc.saturating_add(b))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// Fold another snapshot into this one. Merging is associative and
+    /// commutative, so shard-local histograms can be combined in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.sum_ns = self.sum_ns.wrapping_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Nearest-rank percentile. `p` is a fraction in `(0, 1]`; returns the
+    /// upper bound of the bucket holding the rank-th smallest observation,
+    /// capped by the exact maximum. `None` when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b);
+            if seen >= rank {
+                return Some(bucket_upper_bound(i).min(self.max_ns));
+            }
+        }
+        Some(self.max_ns)
+    }
+
+    /// Median (nearest rank), 0 when empty.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50).unwrap_or(0)
+    }
+
+    /// 90th percentile (nearest rank), 0 when empty.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90).unwrap_or(0)
+    }
+
+    /// 99th percentile (nearest rank), 0 when empty.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99).unwrap_or(0)
+    }
+
+    /// Mean in nanoseconds, 0 when empty.
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+        for v in [0u64, 1, 2, 3, 5, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean_ns(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_rank() {
+        let h = LatencyHistogram::new();
+        h.record_ns(12_345);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        for p in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.percentile(p), Some(12_345));
+        }
+        assert_eq!(s.max_ns, 12_345);
+        assert_eq!(s.mean_ns(), 12_345);
+    }
+
+    #[test]
+    fn saturating_bucket_holds_huge_values() {
+        let h = LatencyHistogram::new();
+        h.record_ns(u64::MAX);
+        h.record_ns(u64::MAX - 1);
+        h.record_ns(1u64 << 62);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[BUCKETS - 1], 3);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.percentile(1.0), Some(u64::MAX));
+        assert_eq!(s.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn duration_recording_saturates() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1_000));
+        h.record(Duration::from_secs(u64::MAX)); // > u64::MAX ns
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = {
+            let h = LatencyHistogram::new();
+            for v in [1u64, 5, 100, 10_000] {
+                h.record_ns(v);
+            }
+            h.snapshot()
+        };
+        let b = {
+            let h = LatencyHistogram::new();
+            for v in [0u64, 3, 1 << 40] {
+                h.record_ns(v);
+            }
+            h.snapshot()
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 7);
+    }
+}

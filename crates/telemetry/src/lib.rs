@@ -1,0 +1,29 @@
+//! Std-only observability primitives for the S-SYNC compile service.
+//!
+//! Three small, dependency-free building blocks:
+//!
+//! - [`hist`]: lock-free log2 latency histograms ([`LatencyHistogram`]) with
+//!   mergeable snapshots and nearest-rank percentile derivation.
+//! - [`span`]: per-request trace recorders ([`Span`]) anchored to a
+//!   monotonic clock, a bounded [`TraceJournal`] ring of recent traces, and
+//!   single-line JSON rendering for slow-request logs.
+//! - [`text`]: a minimal Prometheus-style text-exposition writer
+//!   ([`TextExposition`]).
+//!
+//! Everything here is observation-only: recording a latency or appending a
+//! span event never feeds back into scheduling or compilation, so enabling
+//! telemetry cannot change compiled output. The compile-service integration
+//! (stage keying by priority and compiler kind, trace-id assignment, the
+//! wire `GetStats` surface) lives in `ssync-service`; this crate stays
+//! generic so benches and tests can use it standalone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod span;
+pub mod text;
+
+pub use hist::{bucket_index, bucket_upper_bound, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use span::{Span, SpanEvent, TraceJournal, TraceRecord};
+pub use text::TextExposition;

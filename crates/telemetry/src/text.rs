@@ -1,0 +1,192 @@
+//! Prometheus-style text exposition rendering.
+//!
+//! This is a deliberately small, std-only writer for the subset of the
+//! Prometheus text format the service needs: `# HELP`/`# TYPE` headers,
+//! plain `name{labels} value` samples, and cumulative histogram triplets
+//! (`_bucket` with `le` labels, `_sum`, `_count`). Values are integers —
+//! the service reports nanoseconds and counts, never floats — which keeps
+//! rendering allocation-light and bit-stable.
+
+use crate::hist::{bucket_upper_bound, HistogramSnapshot};
+
+/// Incremental builder for a text exposition document.
+#[derive(Debug, Default)]
+pub struct TextExposition {
+    out: String,
+}
+
+impl TextExposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is one of `counter`, `gauge`, `histogram`.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emit one `name{labels} value` sample line.
+    pub fn value(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        self.push_labels(labels, None);
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Emit cumulative `_bucket`/`_sum`/`_count` lines for a histogram.
+    /// Bucket lines stop at the highest non-empty bucket (plus the required
+    /// `+Inf` line) to keep the document compact.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let highest = snap.buckets.iter().rposition(|&b| b > 0).map(|i| i + 1).unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (i, &b) in snap.buckets.iter().enumerate().take(highest) {
+            cumulative = cumulative.saturating_add(b);
+            self.out.push_str(name);
+            self.out.push_str("_bucket");
+            self.push_labels(labels, Some(&bucket_upper_bound(i).to_string()));
+            self.out.push(' ');
+            self.out.push_str(&cumulative.to_string());
+            self.out.push('\n');
+        }
+        self.out.push_str(name);
+        self.out.push_str("_bucket");
+        self.push_labels(labels, Some("+Inf"));
+        self.out.push(' ');
+        self.out.push_str(&snap.count().to_string());
+        self.out.push('\n');
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        self.push_labels(labels, None);
+        self.out.push(' ');
+        self.out.push_str(&snap.sum_ns.to_string());
+        self.out.push('\n');
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        self.push_labels(labels, None);
+        self.out.push(' ');
+        self.out.push_str(&snap.count().to_string());
+        self.out.push('\n');
+    }
+
+    /// Emit derived nearest-rank quantile gauges for a histogram family as
+    /// `{name}_p50_ns` / `_p90_ns` / `_p99_ns` / `_max_ns` sample lines.
+    /// Callers emit the four `# TYPE … gauge` headers once per family.
+    pub fn quantile_gauges(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        for (suffix, v) in [
+            ("_p50_ns", snap.p50()),
+            ("_p90_ns", snap.p90()),
+            ("_p99_ns", snap.p99()),
+            ("_max_ns", snap.max_ns),
+        ] {
+            let full = format!("{name}{suffix}");
+            self.value(&full, labels, v);
+        }
+    }
+
+    fn push_labels(&mut self, labels: &[(&str, &str)], le: Option<&str>) {
+        if labels.is_empty() && le.is_none() {
+            return;
+        }
+        self.out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            crate::span::escape_json_into(v, &mut self.out);
+            self.out.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                self.out.push(',');
+            }
+            self.out.push_str("le=\"");
+            self.out.push_str(le);
+            self.out.push('"');
+        }
+        self.out.push('}');
+    }
+
+    /// Finalise and return the rendered document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    #[test]
+    fn counters_and_labels_render() {
+        let mut e = TextExposition::new();
+        e.header("ssync_jobs_total", "counter", "Jobs accepted.");
+        e.value("ssync_jobs_total", &[], 42);
+        e.value("ssync_jobs_total", &[("priority", "high")], 7);
+        let doc = e.finish();
+        assert!(doc.contains("# HELP ssync_jobs_total Jobs accepted.\n"));
+        assert!(doc.contains("# TYPE ssync_jobs_total counter\n"));
+        assert!(doc.contains("\nssync_jobs_total 42\n"));
+        assert!(doc.contains("ssync_jobs_total{priority=\"high\"} 7\n"));
+    }
+
+    #[test]
+    fn histogram_lines_are_cumulative_and_end_with_inf() {
+        let h = LatencyHistogram::new();
+        h.record_ns(1); // bucket 1
+        h.record_ns(3); // bucket 2
+        h.record_ns(3); // bucket 2
+        let mut e = TextExposition::new();
+        e.histogram("ssync_lat_ns", &[("stage", "compile")], &h.snapshot());
+        let doc = e.finish();
+        assert!(doc.contains("ssync_lat_ns_bucket{stage=\"compile\",le=\"1\"} 1\n"));
+        assert!(doc.contains("ssync_lat_ns_bucket{stage=\"compile\",le=\"3\"} 3\n"));
+        assert!(doc.contains("ssync_lat_ns_bucket{stage=\"compile\",le=\"+Inf\"} 3\n"));
+        assert!(doc.contains("ssync_lat_ns_sum{stage=\"compile\"} 7\n"));
+        assert!(doc.contains("ssync_lat_ns_count{stage=\"compile\"} 3\n"));
+    }
+
+    #[test]
+    fn quantile_gauges_render_all_four() {
+        let h = LatencyHistogram::new();
+        h.record_ns(1000);
+        let mut e = TextExposition::new();
+        e.quantile_gauges("ssync_lat", &[("priority", "batch")], &h.snapshot());
+        let doc = e.finish();
+        for suffix in ["p50", "p90", "p99", "max"] {
+            assert!(
+                doc.contains(&format!("ssync_lat_{suffix}_ns{{priority=\"batch\"}} 1000\n")),
+                "missing {suffix} in: {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_count() {
+        let mut e = TextExposition::new();
+        e.histogram("ssync_lat_ns", &[], &HistogramSnapshot::default());
+        let doc = e.finish();
+        assert!(doc.contains("ssync_lat_ns_bucket{le=\"+Inf\"} 0\n"));
+        assert!(doc.contains("ssync_lat_ns_count 0\n"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the log2 latency histogram: merge associativity and
+//! nearest-rank percentile agreement with a sorted-vector oracle.
+
+use proptest::prelude::*;
+use ssync_telemetry::{bucket_index, HistogramSnapshot, LatencyHistogram};
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &s in samples {
+        h.record_ns(s);
+    }
+    h.snapshot()
+}
+
+/// Nearest-rank percentile from a sorted vector: the ceil(p*n)-th smallest.
+fn oracle_percentile(sorted: &[u64], p: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len() as u64;
+    let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+    Some(sorted[(rank - 1) as usize])
+}
+
+/// Samples spanning every regime: zeros, tiny, mid-range, and values that
+/// land in the saturating top bucket.
+fn sample_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..1,
+            1u64..16,
+            1u64..1_000_000,
+            (0u32..64).prop_map(|s| 1u64 << s),
+            (0u64..2).prop_map(|d| u64::MAX - d),
+        ],
+        0..64,
+    )
+}
+
+/// A fraction in (0, 1] with millipoint resolution.
+fn fraction_strategy() -> impl Strategy<Value = f64> {
+    (1u64..1001).prop_map(|v| v as f64 / 1000.0)
+}
+
+/// Arbitrary u64 stand-in (the vendored proptest has no `any::<u64>()`).
+fn any_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..u64::MAX,
+        (0u64..1).prop_map(|_| u64::MAX),
+        (0u32..64).prop_map(|s| 1u64 << s),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging snapshots is associative and equals the one-shot histogram
+    /// over the concatenated samples.
+    #[test]
+    fn merge_is_associative_and_lossless(
+        a in sample_strategy(),
+        b in sample_strategy(),
+        c in sample_strategy(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    /// Every derived percentile lands in the same log2 bucket as the oracle
+    /// value and never undershoots it; the histogram's max is exact.
+    #[test]
+    fn percentiles_agree_with_sorted_vec_oracle(
+        samples in sample_strategy(),
+        p in fraction_strategy(),
+    ) {
+        let snap = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.max_ns, sorted.last().copied().unwrap_or(0));
+
+        match (snap.percentile(p), oracle_percentile(&sorted, p)) {
+            (None, None) => {} // both empty
+            (Some(h), Some(o)) => {
+                prop_assert!(h >= o, "histogram p{p} = {h} undershoots oracle {o}");
+                prop_assert_eq!(
+                    bucket_index(h), bucket_index(o),
+                    "histogram p{} = {} left the oracle's bucket ({})", p, h, o
+                );
+                prop_assert!(h <= snap.max_ns, "percentile exceeds exact max");
+            }
+            (h, o) => prop_assert!(false, "emptiness disagreement: {:?} vs {:?}", h, o),
+        }
+    }
+
+    /// A single-sample histogram reports that sample exactly at every rank.
+    #[test]
+    fn single_sample_is_exact(v in any_u64(), p in fraction_strategy()) {
+        let snap = snapshot_of(&[v]);
+        prop_assert_eq!(snap.percentile(p), Some(v));
+    }
+}
