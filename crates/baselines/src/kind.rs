@@ -9,7 +9,9 @@
 use crate::greedy::{BaselineStyle, GreedyRouter};
 use ssync_arch::Device;
 use ssync_circuit::{Circuit, Qubit};
-use ssync_core::{CompileError, CompileOutcome, CompileScratch, CompilerConfig, SSyncCompiler};
+use ssync_core::{
+    CompileError, CompileOutcome, CompileScratch, CompilerConfig, PermRouteCompiler, SSyncCompiler,
+};
 
 /// Every compiler the workspace can run against a prepared [`Device`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,12 +25,22 @@ pub enum CompilerKind {
     /// The plain greedy ablation ([`BaselineStyle::Greedy`]): no reserved
     /// routing slots, first-operand movement, DAG-order gate service.
     Greedy,
+    /// Permutation-level routing (`ssync_core::PermRouteCompiler`):
+    /// blocked frontier layers are realised wholesale through a
+    /// sub-quadratic swap schedule with Eq. 2 cost-weighted swap
+    /// selection.
+    PermRoute,
 }
 
 impl CompilerKind {
     /// Every compiler, baselines first.
-    pub const ALL: [CompilerKind; 4] =
-        [CompilerKind::Murali, CompilerKind::Dai, CompilerKind::SSync, CompilerKind::Greedy];
+    pub const ALL: [CompilerKind; 5] = [
+        CompilerKind::Murali,
+        CompilerKind::Dai,
+        CompilerKind::SSync,
+        CompilerKind::Greedy,
+        CompilerKind::PermRoute,
+    ];
 
     /// The three compilers evaluated in the paper's Figs. 8–10, in the
     /// order plotted there.
@@ -42,6 +54,7 @@ impl CompilerKind {
             CompilerKind::Dai => "Dai et al.",
             CompilerKind::SSync => "This Work",
             CompilerKind::Greedy => "Greedy",
+            CompilerKind::PermRoute => "Perm-Route",
         }
     }
 
@@ -104,6 +117,9 @@ impl CompilerKind {
                 .compile_on_with_order(device, circuit, first_use),
             CompilerKind::Greedy => GreedyRouter::new(BaselineStyle::Greedy, *config)
                 .compile_on_with_order(device, circuit, first_use),
+            CompilerKind::PermRoute => {
+                PermRouteCompiler::new(*config).compile_on_with_order(device, circuit, first_use)
+            }
             CompilerKind::SSync => {
                 SSyncCompiler::new(*config).compile_on_with_scratch(device, circuit, scratch)
             }
@@ -150,9 +166,11 @@ mod tests {
     fn paper_subset_keeps_the_figure_order_and_labels() {
         assert_eq!(CompilerKind::PAPER.len(), 3);
         assert_eq!(CompilerKind::PAPER[2].label(), "This Work");
-        assert_eq!(CompilerKind::ALL.len(), 4);
+        assert_eq!(CompilerKind::ALL.len(), 5);
         assert_eq!(CompilerKind::Greedy.label(), "Greedy");
+        assert_eq!(CompilerKind::PermRoute.label(), "Perm-Route");
         assert!(CompilerKind::Murali.uses_first_use_order());
+        assert!(CompilerKind::PermRoute.uses_first_use_order());
         assert!(!CompilerKind::SSync.uses_first_use_order());
     }
 }

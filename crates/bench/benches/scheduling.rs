@@ -3,9 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssync_arch::{Device, QccdTopology, TrapRouter, WeightConfig};
+use ssync_baselines::CompilerKind;
 use ssync_circuit::generators::{qft, random_two_qubit_circuit};
 use ssync_circuit::DependencyDag;
-use ssync_core::{initial, CompilerConfig, SSyncCompiler};
+use ssync_core::{initial, CompilerConfig, SSyncCompiler, SwapScheduleKind};
 use ssync_sim::ExecutionTracer;
 
 fn bench_dag_construction(c: &mut Criterion) {
@@ -46,6 +47,45 @@ fn bench_tracer(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_perm_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perm_route");
+    // Schedule generation + replay alone, per kind, across chain lengths.
+    for schedule in SwapScheduleKind::ALL {
+        for n in [16usize, 64, 128] {
+            let targets: Vec<usize> = (0..n).rev().collect(); // worst-case reversal
+            group.bench_with_input(
+                BenchmarkId::new(schedule.label(), n),
+                &targets,
+                |b, targets| {
+                    b.iter(|| {
+                        let mut scratch = targets.clone();
+                        schedule.permutation_to_swap_schedule(&mut scratch).len()
+                    })
+                },
+            );
+        }
+    }
+    // The full compiler under each schedule kind: the ablation row pair
+    // that lands in BENCH_scheduling.json.
+    group.sample_size(20);
+    let circuit = random_two_qubit_circuit(14, 200, 11);
+    let config = CompilerConfig::default();
+    let device = Device::build(QccdTopology::grid(2, 2, 8), config.weights);
+    for schedule in SwapScheduleKind::ALL {
+        let config = config.with_perm_schedule(schedule);
+        group.bench_function(format!("compile/{}", schedule.label()), |b| {
+            b.iter(|| {
+                CompilerKind::PermRoute
+                    .compile_on(&device, &circuit, &config)
+                    .expect("compiles")
+                    .counts()
+                    .swap_gates
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_router(c: &mut Criterion) {
     let mut group = c.benchmark_group("trap_router");
     for name in ["L-6", "G-3x3", "S-4"] {
@@ -62,6 +102,7 @@ criterion_group!(
     bench_dag_construction,
     bench_initial_mapping,
     bench_tracer,
+    bench_perm_route,
     bench_router
 );
 criterion_main!(benches);

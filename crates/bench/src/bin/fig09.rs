@@ -2,7 +2,7 @@
 //! al. and S-SYNC across the benchmark × topology grid (lower is better).
 
 use ssync_bench::comparison::geometric_mean_ratio;
-use ssync_bench::{comparison_rows, BenchScale, CompilerKind, Table};
+use ssync_bench::{comparison_rows, comparison_table, BenchScale, CompilerKind};
 use ssync_core::CompilerConfig;
 
 fn main() {
@@ -10,28 +10,7 @@ fn main() {
     let rows = comparison_rows(scale, &CompilerConfig::default(), |what| {
         eprintln!("[fig09] compiling {what}");
     });
-    let mut table =
-        Table::new(["Application", "Topology", "Murali et al.", "Dai et al.", "This Work"]);
-    let mut seen = std::collections::BTreeSet::new();
-    for row in &rows {
-        let key = (row.app.clone(), row.topology.clone());
-        if !seen.insert(key.clone()) {
-            continue;
-        }
-        let get = |kind: CompilerKind| {
-            rows.iter()
-                .find(|r| r.compiler == kind && r.app == key.0 && r.topology == key.1)
-                .map(|r| r.swaps.to_string())
-                .unwrap_or_else(|| "-".into())
-        };
-        table.push_row([
-            key.0.clone(),
-            key.1.clone(),
-            get(CompilerKind::Murali),
-            get(CompilerKind::Dai),
-            get(CompilerKind::SSync),
-        ]);
-    }
+    let table = comparison_table(&rows, |r| r.swaps.to_string());
     println!("Fig. 9 — number of inserted SWAP gates (lower is better)\n");
     println!("{table}");
     let vs_murali = geometric_mean_ratio(&rows, CompilerKind::SSync, CompilerKind::Murali, |r| {

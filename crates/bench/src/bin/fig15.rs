@@ -33,7 +33,11 @@ fn main() {
         run_compiler_batch_with_workers(CompilerKind::Murali, &device, &qft_circuits, &config, 1);
     let ssync =
         run_compiler_batch_with_workers(CompilerKind::SSync, &device, &qft_circuits, &config, 1);
-    let mut left = Table::new(["QFT size", "Murali et al. (s)", "This Work (s)"]);
+    let mut left = Table::new([
+        "QFT size".to_string(),
+        format!("{} (s)", CompilerKind::Murali.label()),
+        format!("{} (s)", CompilerKind::SSync.label()),
+    ]);
     for (i, circuit) in qft_circuits.iter().enumerate() {
         let m = murali[i].as_ref().expect("compilation succeeds");
         let s = ssync[i].as_ref().expect("compilation succeeds");

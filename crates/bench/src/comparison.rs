@@ -13,6 +13,7 @@
 
 use crate::apps::{scaled_app, AppKind};
 use crate::harness::{BenchScale, CompilerKind};
+use crate::table::Table;
 use ssync_arch::QccdTopology;
 use ssync_circuit::Circuit;
 use ssync_core::CompilerConfig;
@@ -145,6 +146,43 @@ pub fn comparison_rows(
     rows
 }
 
+/// Builds a Figs. 8–10 panel table from a comparison sweep: one row per
+/// (application, topology) cell in sweep order, one metric column per
+/// compiler in [`CompilerKind::PAPER`] order. Headers come straight from
+/// [`CompilerKind::label`], so adding or reordering kinds can never
+/// silently misalign a figure column against its header — the binaries
+/// only choose the metric.
+pub fn comparison_table(
+    rows: &[ComparisonRow],
+    metric: impl Fn(&ComparisonRow) -> String,
+) -> Table {
+    let compilers = CompilerKind::PAPER;
+    let mut table = Table::new(
+        ["Application", "Topology"]
+            .into_iter()
+            .map(String::from)
+            .chain(compilers.iter().map(|kind| kind.label().to_string())),
+    );
+    let mut seen = std::collections::BTreeSet::new();
+    for row in rows {
+        let key = (row.app.clone(), row.topology.clone());
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let mut cells = vec![key.0.clone(), key.1.clone()];
+        for kind in compilers {
+            cells.push(
+                rows.iter()
+                    .find(|r| r.compiler == kind && r.app == key.0 && r.topology == key.1)
+                    .map(&metric)
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
 /// Geometric-mean ratio of a metric between two compilers over matching
 /// (app, topology) pairs — the "3.69× fewer shuttles on average" style of
 /// summary quoted in the paper.
@@ -200,6 +238,36 @@ mod tests {
         for r in &rows {
             assert!(r.success_rate >= 0.0 && r.success_rate <= 1.0);
         }
+    }
+
+    #[test]
+    fn comparison_table_derives_columns_from_the_kind_enum() {
+        let row = |compiler, shuttles| ComparisonRow {
+            app: "QFT_12".into(),
+            topology: "G-2x2".into(),
+            compiler,
+            shuttles,
+            swaps: 0,
+            success_rate: 1.0,
+            execution_time_us: 1.0,
+            compile_time_s: 0.1,
+        };
+        // Murali's row is deliberately missing: its column must render "-",
+        // never shift another compiler's number under the wrong header.
+        let rows = vec![row(CompilerKind::SSync, 7), row(CompilerKind::Dai, 9)];
+        let table = comparison_table(&rows, |r| r.shuttles.to_string());
+        let rendered = table.render();
+        let header = rendered.lines().next().expect("header line");
+        let mut last = 1;
+        for kind in CompilerKind::PAPER {
+            let at = header.find(kind.label()).expect("every PAPER label is a column");
+            assert!(at > last, "columns follow PAPER order: {}", kind.label());
+            last = at;
+        }
+        assert_eq!(table.len(), 1, "one row per (app, topology) cell");
+        let data = rendered.lines().nth(2).expect("data line");
+        let cells: Vec<&str> = data.split('|').map(str::trim).collect();
+        assert_eq!(&cells[1..6], &["QFT_12", "G-2x2", "-", "9", "7"]);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod qasm_corpus;
 pub mod table;
 
 pub use apps::{fitting_cells, scaled_app, AppKind};
-pub use comparison::{comparison_rows, comparison_targets, ComparisonRow};
+pub use comparison::{comparison_rows, comparison_table, comparison_targets, ComparisonRow};
 pub use harness::{
     run_compiler, run_compiler_batch, run_compiler_batch_with_workers, run_compiler_on, BenchScale,
     CompilerKind,

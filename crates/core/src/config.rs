@@ -1,5 +1,6 @@
 //! Compiler configuration: heuristic hyper-parameters and mapping choices.
 
+use crate::swap_schedule::SwapScheduleKind;
 use serde::{Deserialize, Serialize};
 use ssync_arch::WeightConfig;
 use ssync_sim::{GateImplementation, NoiseModel, OperationTimes};
@@ -86,6 +87,15 @@ pub struct CompilerConfig {
     /// the scheduler is bit-identical at every thread count, which is why
     /// the cache key hash and the wire codec both skip this field.
     pub scoring_threads: usize,
+    /// Swap-schedule implementation used by the permutation-routing
+    /// compiler (`CompilerKind::PermRoute`) to realise a blocked frontier
+    /// layer's permutation wholesale. The default is the sub-quadratic
+    /// production schedule; `BubbleSort` is the exact-oracle reference for
+    /// ablations. Output-affecting (it changes the SWAP-gate stream), so
+    /// the cache key hash includes it — but like `scoring_threads` it
+    /// stays off the wire: it is a local ablation knob, and remote
+    /// submissions always run the production schedule.
+    pub perm_schedule: SwapScheduleKind,
 }
 
 impl Default for CompilerConfig {
@@ -106,6 +116,7 @@ impl Default for CompilerConfig {
             executable_bonus: 2.0,
             batch_workers: 0,
             scoring_threads: 0,
+            perm_schedule: SwapScheduleKind::default(),
         }
     }
 }
@@ -148,6 +159,13 @@ impl CompilerConfig {
     /// is bit-identical at any value.
     pub fn with_scoring_threads(mut self, threads: usize) -> Self {
         self.scoring_threads = threads;
+        self
+    }
+
+    /// Returns a copy with a different permutation-routing swap schedule
+    /// (only `CompilerKind::PermRoute` reads it).
+    pub fn with_perm_schedule(mut self, schedule: SwapScheduleKind) -> Self {
+        self.perm_schedule = schedule;
         self
     }
 }

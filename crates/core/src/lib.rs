@@ -69,7 +69,9 @@ mod idealized;
 pub mod initial;
 pub mod mechanics;
 pub mod par_score;
+mod perm_route;
 mod scheduler;
+mod swap_schedule;
 
 pub use compiler::{CompileOutcome, CompileScratch, SSyncCompiler};
 pub use config::{CacheBounds, CompilerConfig, InitialMapping};
@@ -80,4 +82,6 @@ pub use idealized::IdealizationMode;
 pub use par_score::{
     budget_scoring_threads, resolve_scoring_threads, ScoringTelemetry, SCORE_THREADS_ENV,
 };
+pub use perm_route::{meeting_cost, swap_cost, PermRouteCompiler};
 pub use scheduler::{Scheduler, SchedulerScratch, SchedulerStats};
+pub use swap_schedule::{BubbleSort, RecursiveSplitTwo, SwapSchedule, SwapScheduleKind};

@@ -1,0 +1,656 @@
+//! Permutation-level routing: layer-at-a-time swap/shuttle synthesis.
+//!
+//! Where the greedy baselines and the S-SYNC scheduler insert movement
+//! per-gate, this compiler treats every *blocked frontier layer* as one
+//! rearrangement problem. Frontier gates of a dependency DAG touch
+//! pairwise-disjoint qubits, so the layer defines a target placement
+//! (every pair co-trapped and adjacent); the difference between the
+//! current and target chain orders is a permutation, realised wholesale
+//! by a data-independent [`SwapSchedule`](crate::SwapSchedule) comparator
+//! network instead of one greedy swap at a time.
+//!
+//! Each blocked layer runs three phases:
+//!
+//! 1. **Plan** — every frontier gate picks a meeting trap minimising the
+//!    Eq. 2 cost terms: weighted shuttle distance (router hops ×
+//!    `shuttle_weight`), projected trap occupancy (× `inner_weight`) and
+//!    a full-trap penalty, with planned occupancies threaded through so
+//!    later gates see earlier reservations.
+//! 2. **Shuttle** — gates realise cheapest-first: both operands move to
+//!    the meeting trap through the shared placement
+//!    [`Mechanics`](crate::mechanics::Mechanics) (multi-hop shuttles,
+//!    cascaded space-making).
+//! 3. **Reorder** — per meeting trap, spaces compact to the chain's right
+//!    end, the layer-to-layer permutation (pairs adjacent, bystanders in
+//!    relative order) feeds the configured
+//!    [`SwapScheduleKind`](crate::SwapScheduleKind), and exactly the
+//!    selected comparators are emitted as SWAP gates.
+//!
+//! The comparator schedule is data-independent and every sorting network
+//! leaves the chain in the same target order, so the end-of-layer
+//! placement is bit-identical across schedule kinds — only the SWAP-gate
+//! stream differs. The `perm_route_props` battery pins that equivalence
+//! against the bubble-sort oracle.
+
+use crate::config::CompilerConfig;
+use crate::error::CompileError;
+use crate::mechanics::Mechanics;
+use crate::CompileOutcome;
+use ssync_arch::{Device, Placement, QccdTopology, SlotGraph, TrapId, TrapRouter, WeightConfig};
+use ssync_circuit::{Circuit, DependencyDag, NodeId, Qubit};
+use ssync_sim::{CompiledProgram, ExecutionTracer, ScheduledOp};
+use std::time::Instant;
+
+/// Routing slots kept free per trap by the initial placement when the
+/// device has room (the Dai-style single-slot headroom: enough for an
+/// incoming shuttle without starving capacity).
+const RESERVED_SLOTS: usize = 1;
+
+/// Consecutive blocked-layer rounds that may pass without a single planned
+/// gate becoming co-trapped before the compiler declares a stall.
+const MAX_BARREN_ROUNDS: usize = 32;
+
+/// Weighted cost of one intra-trap SWAP between ions `ion_distance` apart
+/// in a chain of `chain_len` ions (Eq. 2's intra-trap term: longer chains
+/// and wider separations cost more).
+///
+/// Strictly monotone in both `ion_distance` and `chain_len` — pinned by
+/// the cost-monotonicity checks of the permutation-routing battery.
+pub fn swap_cost(weights: WeightConfig, chain_len: usize, ion_distance: usize) -> f64 {
+    weights.inner_weight * ion_distance as f64 * (1.0 + chain_len as f64)
+}
+
+/// Weighted cost of meeting a two-qubit gate in a candidate trap:
+/// `hops_a`/`hops_b` router hops for the two operands (× `shuttle_weight`),
+/// the trap's projected occupancy *after* both arrive (× `inner_weight`),
+/// plus a `shuttle_weight`-sized penalty when the trap would fill
+/// completely (Eq. 2's full-trap `Pen` term).
+///
+/// Strictly monotone in the hop counts and in the projected occupancy.
+pub fn meeting_cost(
+    weights: WeightConfig,
+    hops_a: usize,
+    hops_b: usize,
+    occupancy_after: usize,
+    capacity: usize,
+) -> f64 {
+    let shuttles = weights.shuttle_weight * (hops_a + hops_b) as f64;
+    let congestion = weights.inner_weight * occupancy_after as f64;
+    let full_penalty = if occupancy_after >= capacity { weights.shuttle_weight } else { 0.0 };
+    shuttles + congestion + full_penalty
+}
+
+/// One frontier gate with its chosen meeting trap.
+#[derive(Debug, Clone, Copy)]
+struct PlannedGate {
+    a: Qubit,
+    b: Qubit,
+    trap: TrapId,
+    cost: f64,
+}
+
+/// The permutation-routing compiler (`CompilerKind::PermRoute` in
+/// `ssync-baselines`): blocked frontier layers are realised wholesale via
+/// a sub-quadratic swap schedule with Eq. 2 cost-weighted swap selection.
+#[derive(Debug, Clone)]
+pub struct PermRouteCompiler {
+    config: CompilerConfig,
+}
+
+impl PermRouteCompiler {
+    /// Creates a compiler with the given configuration. The schedule kind
+    /// comes from [`CompilerConfig::perm_schedule`].
+    pub fn new(config: CompilerConfig) -> Self {
+        PermRouteCompiler { config }
+    }
+
+    /// The evaluation configuration (weights, schedule kind, noise).
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// Compiles `circuit` for `topology`, building a throw-away
+    /// [`Device`]; sweeps should build the device once and call
+    /// [`PermRouteCompiler::compile_on`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PermRouteCompiler::compile_on`].
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        topology: &QccdTopology,
+    ) -> Result<CompileOutcome, CompileError> {
+        let device = Device::build(topology.clone(), self.config.weights);
+        self.compile_on(&device, circuit)
+    }
+
+    /// Compiles `circuit` against a prepared, shared `device` artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::DeviceTooSmall`] when the device cannot
+    /// hold every qubit plus a free slot,
+    /// [`CompileError::DisconnectedTopology`] for unreachable traps, and
+    /// [`CompileError::SchedulingStalled`] if layer realisation stops
+    /// making progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was built with different edge weights than this
+    /// compiler's configuration.
+    pub fn compile_on(
+        &self,
+        device: &Device,
+        circuit: &Circuit,
+    ) -> Result<CompileOutcome, CompileError> {
+        self.compile_on_with_order(device, circuit, None)
+    }
+
+    /// [`PermRouteCompiler::compile_on`] with an optionally precomputed
+    /// first-use qubit order ([`Circuit::first_use_order`]); passing
+    /// `None` (or the correct order) is behaviourally identical.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PermRouteCompiler::compile_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was built with different edge weights than this
+    /// compiler's configuration, or if `order` is not a permutation of the
+    /// circuit's qubits.
+    pub fn compile_on_with_order(
+        &self,
+        device: &Device,
+        circuit: &Circuit,
+        order: Option<&[Qubit]>,
+    ) -> Result<CompileOutcome, CompileError> {
+        assert!(
+            device.weights() == self.config.weights,
+            "device was built with different edge weights than the perm-route config"
+        );
+        let topology = device.topology();
+        let slots = topology.total_capacity();
+        if slots < circuit.num_qubits() + 1 {
+            return Err(CompileError::DeviceTooSmall { qubits: circuit.num_qubits(), slots });
+        }
+        if !device.is_connected() {
+            return Err(CompileError::DisconnectedTopology);
+        }
+
+        let start = Instant::now();
+        let graph = device.graph();
+        let router = device.router();
+        let mechanics = Mechanics::new(graph, router);
+        let mut placement = match order {
+            Some(order) => {
+                assert_eq!(order.len(), circuit.num_qubits(), "order must cover every qubit");
+                self.initial_placement_with_order(circuit, graph, order)
+            }
+            None => self.initial_placement_with_order(circuit, graph, &circuit.first_use_order()),
+        };
+        let mut program = CompiledProgram::new(circuit.num_qubits(), topology.num_traps());
+        for gate in circuit.iter() {
+            if !gate.is_two_qubit() {
+                program.push(ScheduledOp::SingleQubitGate { qubit: gate.qubits()[0] });
+            }
+        }
+
+        let mut dag = DependencyDag::from_circuit(circuit);
+        let mut rounds = 0usize;
+        let mut barren_rounds = 0usize;
+        let budget = 10_000 + 100 * dag.len();
+        let mut drain_scratch: Vec<NodeId> = Vec::new();
+        let mut executed: Vec<NodeId> = Vec::new();
+        while !dag.is_complete() {
+            rounds += 1;
+            if rounds > budget {
+                return Err(CompileError::SchedulingStalled { remaining_gates: dag.remaining() });
+            }
+            // Execute everything already co-located.
+            let placement_ref = &placement;
+            dag.drain_executable_into(
+                |gate| {
+                    let Some((a, b)) = gate.two_qubit_pair() else { return false };
+                    match (placement_ref.slot_of(a), placement_ref.slot_of(b)) {
+                        (Some(sa), Some(sb)) => graph.same_trap(sa, sb),
+                        _ => false,
+                    }
+                },
+                &mut drain_scratch,
+                &mut executed,
+            );
+            for id in &executed {
+                let (a, b) = dag.gate(*id).two_qubit_pair().expect("two-qubit gate");
+                mechanics.emit_two_qubit_gate(&placement, &mut program, a, b);
+            }
+            if dag.is_complete() {
+                break;
+            }
+            if !executed.is_empty() {
+                continue;
+            }
+
+            // Every frontier gate is blocked: route the whole layer.
+            let realized = self.route_layer(&mechanics, &mut placement, &mut program, &dag)?;
+            if realized == 0 {
+                barren_rounds += 1;
+                if barren_rounds > MAX_BARREN_ROUNDS {
+                    return Err(CompileError::SchedulingStalled {
+                        remaining_gates: dag.remaining(),
+                    });
+                }
+            } else {
+                barren_rounds = 0;
+            }
+        }
+
+        let compile_time = start.elapsed();
+        let tracer = ExecutionTracer {
+            gate_impl: self.config.gate_impl,
+            op_times: self.config.op_times,
+            noise: self.config.noise,
+        };
+        let report = tracer.evaluate(&program);
+        Ok(CompileOutcome::from_parts(program, report, placement, compile_time))
+    }
+
+    /// Sequential first-use packing with [`RESERVED_SLOTS`] routing slots
+    /// per trap when the device has room (same scheme as the greedy
+    /// engine, so the two strategies differ only in routing).
+    fn initial_placement_with_order(
+        &self,
+        circuit: &Circuit,
+        graph: &SlotGraph,
+        order: &[Qubit],
+    ) -> Placement {
+        let topology = graph.topology();
+        let n = circuit.num_qubits();
+        let mut placement = Placement::new(topology, n);
+
+        let total: usize = topology.total_capacity();
+        let soft_caps: Vec<usize> = topology
+            .traps()
+            .iter()
+            .map(|t| {
+                if total >= n + RESERVED_SLOTS * topology.num_traps() {
+                    t.capacity().saturating_sub(RESERVED_SLOTS)
+                } else {
+                    t.capacity().saturating_sub(1).max(1)
+                }
+            })
+            .collect();
+
+        let mut trap = 0usize;
+        let mut placed_in_trap = 0usize;
+        for &q in order {
+            while trap < topology.num_traps()
+                && (placed_in_trap >= soft_caps[trap]
+                    || placed_in_trap >= topology.traps()[trap].capacity())
+            {
+                trap += 1;
+                placed_in_trap = 0;
+            }
+            let t = if trap < topology.num_traps() {
+                trap
+            } else {
+                (0..topology.num_traps())
+                    .find(|&t| {
+                        placement.trap_occupancy(topology.traps()[t].id())
+                            < topology.traps()[t].capacity()
+                    })
+                    .expect("device has room for every qubit")
+            };
+            let trap_ref = &topology.traps()[t];
+            let slot = trap_ref
+                .slots()
+                .into_iter()
+                .find(|&s| placement.is_space(s))
+                .expect("trap below capacity has a free slot");
+            placement.place(q, slot);
+            if t == trap {
+                placed_in_trap += 1;
+            }
+        }
+        placement
+    }
+
+    /// Routes one blocked frontier layer: plan meeting traps, shuttle the
+    /// operands in (cheapest plan first), then realise the intra-trap
+    /// permutation per meeting trap through the configured swap schedule.
+    /// Returns the number of planned gates whose operands ended the round
+    /// co-trapped.
+    fn route_layer(
+        &self,
+        mechanics: &Mechanics<'_>,
+        placement: &mut Placement,
+        program: &mut CompiledProgram,
+        dag: &DependencyDag,
+    ) -> Result<usize, CompileError> {
+        let graph = mechanics.graph();
+        let router = mechanics.router();
+        let topology = graph.topology();
+
+        // Frontier gates touch pairwise-disjoint qubits; collect them in
+        // frontier order (deterministic) and protect all of them from
+        // space-making evictions while the layer is in flight.
+        let layer: Vec<(NodeId, Qubit, Qubit)> = dag
+            .frontier()
+            .iter()
+            .filter_map(|&id| dag.gate(id).two_qubit_pair().map(|(a, b)| (id, a, b)))
+            .collect();
+        let protect: Vec<Qubit> = layer.iter().flat_map(|&(_, a, b)| [a, b]).collect();
+
+        let mut plan = self.plan_layer(&layer, placement, router, topology)?;
+        // Cost-weighted selection order: realise the cheapest rearrangement
+        // first so expensive moves see the freshest occupancy. Ties break
+        // on frontier position via the stable sort.
+        plan.sort_by(|x, y| x.cost.total_cmp(&y.cost));
+
+        let mut realized = 0usize;
+        for gate in &plan {
+            if self.shuttle_pair_to(mechanics, placement, program, gate, &protect)
+                && placement.trap_of(gate.a) == placement.trap_of(gate.b)
+            {
+                realized += 1;
+            }
+        }
+
+        // Wholesale intra-trap reorder per meeting trap, ascending trap id.
+        let mut traps: Vec<TrapId> = plan
+            .iter()
+            .filter(|g| {
+                placement.trap_of(g.a).is_some() && placement.trap_of(g.a) == placement.trap_of(g.b)
+            })
+            .map(|g| placement.trap_of(g.a).expect("checked placed"))
+            .collect();
+        traps.sort_by_key(|t| t.index());
+        traps.dedup();
+        for trap in traps {
+            let pairs: Vec<(Qubit, Qubit)> = plan
+                .iter()
+                .filter(|g| {
+                    placement.trap_of(g.a) == Some(trap) && placement.trap_of(g.b) == Some(trap)
+                })
+                .map(|g| (g.a, g.b))
+                .collect();
+            self.reorder_trap(mechanics, placement, program, trap, &pairs);
+        }
+        Ok(realized)
+    }
+
+    /// Phase 1: pick a meeting trap per frontier gate by minimum
+    /// [`meeting_cost`], threading planned occupancies so later gates see
+    /// earlier reservations. Gates whose operands already share a trap
+    /// cannot appear here (the drain loop would have executed them).
+    fn plan_layer(
+        &self,
+        layer: &[(NodeId, Qubit, Qubit)],
+        placement: &Placement,
+        router: &TrapRouter,
+        topology: &QccdTopology,
+    ) -> Result<Vec<PlannedGate>, CompileError> {
+        let weights = self.config.weights;
+        let mut planned_occ: Vec<usize> =
+            topology.traps().iter().map(|t| placement.trap_occupancy(t.id())).collect();
+        let mut plan = Vec::with_capacity(layer.len());
+        for &(_, a, b) in layer {
+            let ta = placement.trap_of(a).expect("frontier qubit placed");
+            let tb = placement.trap_of(b).expect("frontier qubit placed");
+            // The pair leaves its current traps before entering the
+            // meeting trap, so release both reservations first.
+            planned_occ[ta.index()] -= 1;
+            planned_occ[tb.index()] -= 1;
+
+            let cost_of = |t: &ssync_arch::Trap| {
+                let idx = t.id().index();
+                let arrivals =
+                    usize::from(t.id() != ta) + usize::from(t.id() != tb) + planned_occ[idx];
+                // Shuttle + occupancy terms of Eq. 2, plus the expected
+                // intra-trap SWAP that places the pair adjacent — priced by
+                // the chain length the trap will have once both arrive.
+                meeting_cost(
+                    weights,
+                    router.hops(ta, t.id()),
+                    router.hops(tb, t.id()),
+                    arrivals,
+                    t.capacity(),
+                ) + swap_cost(weights, arrivals, 1)
+            };
+            // First pass: traps that can hold the pair within planned
+            // capacity. Fallback: any trap physically large enough —
+            // space-making during realisation creates the room.
+            let feasible = topology
+                .traps()
+                .iter()
+                .filter(|t| {
+                    let idx = t.id().index();
+                    let arrivals =
+                        usize::from(t.id() != ta) + usize::from(t.id() != tb) + planned_occ[idx];
+                    arrivals <= t.capacity()
+                })
+                .min_by(|x, y| {
+                    cost_of(x).total_cmp(&cost_of(y)).then(x.id().index().cmp(&y.id().index()))
+                });
+            let chosen = match feasible {
+                Some(t) => t,
+                None => topology
+                    .traps()
+                    .iter()
+                    .filter(|t| t.capacity() >= 2)
+                    .min_by(|x, y| {
+                        cost_of(x).total_cmp(&cost_of(y)).then(x.id().index().cmp(&y.id().index()))
+                    })
+                    .ok_or(CompileError::SchedulingStalled { remaining_gates: layer.len() })?,
+            };
+            let cost = cost_of(chosen);
+            planned_occ[chosen.id().index()] += 2;
+            plan.push(PlannedGate { a, b, trap: chosen.id(), cost });
+        }
+        Ok(plan)
+    }
+
+    /// Phase 2: move both operands of `gate` into its meeting trap,
+    /// making space ahead of each move. Returns `false` if either move
+    /// failed (the gate is re-planned next round).
+    fn shuttle_pair_to(
+        &self,
+        mechanics: &Mechanics<'_>,
+        placement: &mut Placement,
+        program: &mut CompiledProgram,
+        gate: &PlannedGate,
+        protect: &[Qubit],
+    ) -> bool {
+        for q in [gate.a, gate.b] {
+            if placement.trap_of(q) == Some(gate.trap) {
+                continue;
+            }
+            if placement.trap_free_slots(gate.trap) == 0
+                && !mechanics.make_space(placement, program, gate.trap, 1, protect)
+            {
+                return false;
+            }
+            if !mechanics.move_qubit_to_trap(placement, program, q, gate.trap) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Phase 3: compact the trap's spaces to the right end, derive the
+    /// layer-to-layer permutation (pairs adjacent at the earlier operand's
+    /// rank, bystanders in relative order) and emit exactly the selected
+    /// comparators of the configured swap schedule as SWAP gates.
+    fn reorder_trap(
+        &self,
+        mechanics: &Mechanics<'_>,
+        placement: &mut Placement,
+        program: &mut CompiledProgram,
+        trap: TrapId,
+        pairs: &[(Qubit, Qubit)],
+    ) {
+        let graph = mechanics.graph();
+        let topology = graph.topology();
+        let trap_ref = topology.trap(trap);
+        let occ = placement.trap_occupancy(trap);
+        if occ < 2 {
+            return;
+        }
+
+        // Compact: walk left to right, pulling each next ion into the
+        // lowest open position so positions 0..occ hold the chain order.
+        for target_pos in 0..occ {
+            let slot = trap_ref.slot_at(target_pos);
+            if placement.is_space(slot) {
+                let src = (target_pos + 1..trap_ref.capacity())
+                    .find(|&p| placement.occupant(trap_ref.slot_at(p)).is_some())
+                    .expect("occupancy guarantees an ion to the right");
+                placement.swap_slots(trap_ref.slot_at(src), slot);
+                program.push(ScheduledOp::IonReorder { trap, steps: src - target_pos });
+            }
+        }
+
+        // Current chain order and ranks.
+        let chain: Vec<Qubit> =
+            (0..occ).map(|p| placement.occupant(trap_ref.slot_at(p)).expect("compacted")).collect();
+        let rank_of = |q: Qubit| chain.iter().position(|&c| c == q).expect("qubit in trap");
+
+        // Target order: each pair becomes one unit anchored at its earlier
+        // operand's rank (operands ordered by rank, so the pair crosses no
+        // further than it must); bystanders are single units at their own
+        // rank. Units concatenate in anchor order.
+        let mut units: Vec<(usize, Vec<Qubit>)> = Vec::new();
+        let mut in_pair = vec![false; occ];
+        for &(a, b) in pairs {
+            let (ra, rb) = (rank_of(a), rank_of(b));
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            in_pair[lo] = true;
+            in_pair[hi] = true;
+            units.push((lo, vec![chain[lo], chain[hi]]));
+        }
+        for (rank, &q) in chain.iter().enumerate() {
+            if !in_pair[rank] {
+                units.push((rank, vec![q]));
+            }
+        }
+        units.sort_by_key(|&(anchor, _)| anchor);
+        let target: Vec<Qubit> = units.into_iter().flat_map(|(_, qs)| qs).collect();
+
+        // permutation[rank] = target index of the ion currently at `rank`.
+        let mut permutation: Vec<usize> = vec![0; occ];
+        for (target_idx, &q) in target.iter().enumerate() {
+            permutation[rank_of(q)] = target_idx;
+        }
+
+        let schedule = self.config.perm_schedule.permutation_to_swap_schedule(&mut permutation);
+        for (selected, i, j) in schedule {
+            if !selected {
+                continue;
+            }
+            let (si, sj) = (trap_ref.slot_at(i), trap_ref.slot_at(j));
+            let a = placement.occupant(si).expect("compacted prefix stays occupied");
+            let b = placement.occupant(sj).expect("compacted prefix stays occupied");
+            program.push(ScheduledOp::SwapGate { a, b, trap, chain_len: occ, ion_distance: j - i });
+            placement.swap_slots(si, sj);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swap_schedule::SwapScheduleKind;
+    use ssync_circuit::generators::{qft, random_two_qubit_circuit};
+
+    #[test]
+    fn schedules_every_gate_and_validates() {
+        let circuit = qft(14);
+        let topo = QccdTopology::grid(2, 2, 6);
+        for kind in SwapScheduleKind::ALL {
+            let config = CompilerConfig::default().with_perm_schedule(kind);
+            let outcome = PermRouteCompiler::new(config).compile(&circuit, &topo).unwrap();
+            assert_eq!(
+                outcome.counts().two_qubit_gates,
+                circuit.two_qubit_gate_count(),
+                "{kind:?}"
+            );
+            outcome.final_placement().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn schedule_kinds_agree_on_everything_but_the_swap_stream() {
+        let circuit = random_two_qubit_circuit(12, 60, 3);
+        let topo = QccdTopology::grid(2, 2, 5);
+        let config = CompilerConfig::default();
+        let device = Device::build(topo, config.weights);
+        let bubble =
+            PermRouteCompiler::new(config.with_perm_schedule(SwapScheduleKind::BubbleSort))
+                .compile_on(&device, &circuit)
+                .unwrap();
+        let recursive =
+            PermRouteCompiler::new(config.with_perm_schedule(SwapScheduleKind::RecursiveSplitTwo))
+                .compile_on(&device, &circuit)
+                .unwrap();
+        assert_eq!(bubble.final_placement(), recursive.final_placement());
+        let strip = |ops: &[ScheduledOp]| -> Vec<ScheduledOp> {
+            ops.iter().filter(|op| !matches!(op, ScheduledOp::SwapGate { .. })).copied().collect()
+        };
+        assert_eq!(strip(bubble.program().ops()), strip(recursive.program().ops()));
+        assert_eq!(bubble.counts().shuttles, recursive.counts().shuttles);
+    }
+
+    #[test]
+    fn precomputed_order_matches_internal_sort() {
+        let circuit = qft(14);
+        let config = CompilerConfig::default();
+        let device = Device::build(QccdTopology::grid(2, 2, 6), config.weights);
+        let order = circuit.first_use_order();
+        let compiler = PermRouteCompiler::new(config);
+        let plain = compiler.compile_on(&device, &circuit).unwrap();
+        let cached = compiler.compile_on_with_order(&device, &circuit, Some(&order)).unwrap();
+        assert_eq!(plain.program().ops(), cached.program().ops());
+        assert_eq!(plain.final_placement(), cached.final_placement());
+    }
+
+    #[test]
+    fn compiles_on_a_tight_device() {
+        // 15 qubits into 16 slots: one global space, every layer relies on
+        // cascaded space-making.
+        let circuit = random_two_qubit_circuit(15, 80, 11);
+        let topo = QccdTopology::grid(2, 2, 4);
+        let outcome =
+            PermRouteCompiler::new(CompilerConfig::default()).compile(&circuit, &topo).unwrap();
+        assert_eq!(outcome.counts().two_qubit_gates, circuit.two_qubit_gate_count());
+        outcome.final_placement().validate().unwrap();
+    }
+
+    #[test]
+    fn too_small_device_is_rejected() {
+        let circuit = qft(12);
+        let err = PermRouteCompiler::new(CompilerConfig::default())
+            .compile(&circuit, &QccdTopology::linear(2, 6))
+            .unwrap_err();
+        assert!(matches!(err, CompileError::DeviceTooSmall { .. }));
+    }
+
+    #[test]
+    fn swap_cost_is_monotone() {
+        let w = WeightConfig::default();
+        assert!(swap_cost(w, 8, 2) > swap_cost(w, 8, 1));
+        assert!(swap_cost(w, 9, 2) > swap_cost(w, 8, 2));
+    }
+
+    #[test]
+    fn meeting_cost_is_monotone_and_penalises_full_traps() {
+        let w = WeightConfig::default();
+        assert!(meeting_cost(w, 2, 1, 4, 8) > meeting_cost(w, 1, 1, 4, 8));
+        assert!(meeting_cost(w, 1, 2, 4, 8) > meeting_cost(w, 1, 1, 4, 8));
+        assert!(meeting_cost(w, 1, 1, 5, 8) > meeting_cost(w, 1, 1, 4, 8));
+        assert!(
+            meeting_cost(w, 1, 1, 8, 8) - meeting_cost(w, 1, 1, 7, 8)
+                > meeting_cost(w, 1, 1, 7, 8) - meeting_cost(w, 1, 1, 6, 8)
+        );
+    }
+}

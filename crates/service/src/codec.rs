@@ -216,6 +216,7 @@ pub fn compiler_kind_tag(kind: CompilerKind) -> u8 {
         CompilerKind::Dai => 1,
         CompilerKind::SSync => 2,
         CompilerKind::Greedy => 3,
+        CompilerKind::PermRoute => 4,
     }
 }
 
@@ -226,6 +227,7 @@ pub fn compiler_kind_from_tag(tag: u8) -> Result<CompilerKind, CodecError> {
         1 => CompilerKind::Dai,
         2 => CompilerKind::SSync,
         3 => CompilerKind::Greedy,
+        4 => CompilerKind::PermRoute,
         tag => return Err(CodecError::BadTag { what: "compiler kind", tag }),
     })
 }
@@ -414,6 +416,12 @@ pub fn decode_config(r: &mut ByteReader<'_>) -> Result<CompilerConfig, CodecErro
         // client must not be able to dictate server thread usage. Decoded
         // configs land on "auto" and the executing pool pins the budget.
         scoring_threads: 0,
+        // Also off the wire, but for a different reason: the bubble-sort
+        // oracle exists for local ablation and testing only, so remote
+        // submissions always run the production sub-quadratic schedule.
+        // Unlike scoring_threads this knob IS output-affecting, which is
+        // why `config_hash` includes it while the wire codec does not.
+        perm_schedule: ssync_core::SwapScheduleKind::default(),
     })
 }
 
@@ -748,6 +756,40 @@ mod tests {
             let decoded = decode_compile_error(&mut ByteReader::new(&bytes)).expect("round-trips");
             assert_eq!(format!("{err}"), format!("{decoded}"));
         }
+    }
+
+    #[test]
+    fn compiler_kind_tags_are_stable_and_round_trip() {
+        use ssync_baselines::CompilerKind;
+        // Wire tags are append-only: existing values may never change.
+        assert_eq!(compiler_kind_tag(CompilerKind::Murali), 0);
+        assert_eq!(compiler_kind_tag(CompilerKind::Dai), 1);
+        assert_eq!(compiler_kind_tag(CompilerKind::SSync), 2);
+        assert_eq!(compiler_kind_tag(CompilerKind::Greedy), 3);
+        assert_eq!(compiler_kind_tag(CompilerKind::PermRoute), 4);
+        for kind in CompilerKind::ALL {
+            assert_eq!(compiler_kind_from_tag(compiler_kind_tag(kind)).unwrap(), kind);
+        }
+        assert!(matches!(
+            compiler_kind_from_tag(CompilerKind::ALL.len() as u8),
+            Err(CodecError::BadTag { what: "compiler kind", .. })
+        ));
+    }
+
+    #[test]
+    fn perm_schedule_stays_off_the_wire() {
+        // The bubble-sort oracle is a local ablation knob: encoding a
+        // config that selects it and decoding lands on the production
+        // schedule, with every transported field intact.
+        let config = CompilerConfig::default()
+            .with_perm_schedule(ssync_core::SwapScheduleKind::BubbleSort)
+            .with_decay(0.0123);
+        let mut w = ByteWriter::new();
+        encode_config(&mut w, &config);
+        let bytes = w.into_bytes();
+        let decoded = decode_config(&mut ByteReader::new(&bytes)).expect("round-trips");
+        assert_eq!(decoded.perm_schedule, ssync_core::SwapScheduleKind::RecursiveSplitTwo);
+        assert_eq!(decoded.decay_delta, config.decay_delta);
     }
 
     #[test]

@@ -75,6 +75,10 @@ pub fn config_hash(config: &CompilerConfig) -> u64 {
     h.write_f64(config.noise.recooling_factor);
     h.write_usize(config.max_stall_iterations);
     h.write_f64(config.executable_bonus);
+    // Output-affecting for CompilerKind::PermRoute (it selects the SWAP
+    // schedule realising each blocked layer), so it must split the cache
+    // even though the wire codec never transports it.
+    h.write_str(config.perm_schedule.label());
     h.finish()
 }
 
@@ -110,6 +114,12 @@ mod tests {
             config_hash(&base.with_initial_mapping(InitialMapping::Sta))
         );
         assert_ne!(config_hash(&base), config_hash(&base.with_weight_ratio(100.0)));
+        // The perm-route schedule changes the emitted SWAP stream, so it
+        // must split the cache.
+        assert_ne!(
+            config_hash(&base),
+            config_hash(&base.with_perm_schedule(ssync_core::SwapScheduleKind::BubbleSort))
+        );
         // Neither parallelism knob can change compiled output, so
         // neither may split the cache.
         assert_eq!(config_hash(&base), config_hash(&base.with_batch_workers(7)));

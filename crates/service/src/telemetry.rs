@@ -104,6 +104,7 @@ pub fn kind_slug(kind: CompilerKind) -> &'static str {
         CompilerKind::Dai => "dai",
         CompilerKind::SSync => "ssync",
         CompilerKind::Greedy => "greedy",
+        CompilerKind::PermRoute => "perm_route",
     }
 }
 

@@ -3,7 +3,7 @@
 //!
 //! Shared helpers used across the integration-test files live here.
 
-use ssync_arch::QccdTopology;
+use ssync_arch::{QccdTopology, TrapId};
 use ssync_circuit::Circuit;
 use ssync_core::CompileOutcome;
 use ssync_sim::ScheduledOp;
@@ -73,4 +73,47 @@ pub fn check_program_invariants(
     assert!((0.0..=1.0).contains(&report.success_rate));
     assert!(report.total_time_us >= 0.0);
     outcome.final_placement().validate().expect("final placement is consistent");
+}
+
+/// Replays a compiled program *backwards* from the final placement at trap
+/// granularity and asserts every entangling operation was physically
+/// possible: both operands of each two-qubit gate and each SWAP shared the
+/// op's trap at execution time, and every shuttle moved a qubit that was
+/// actually in its source trap. Shared by every `CompilerKind` golden run
+/// (a compiler that forges a placement or emits a gate across traps fails
+/// here, whatever its op counts look like).
+pub fn check_placement_replay(circuit: &Circuit, outcome: &CompileOutcome) {
+    let final_placement = outcome.final_placement();
+    let mut trap_of: Vec<Option<TrapId>> = (0..circuit.num_qubits())
+        .map(|q| final_placement.trap_of(ssync_circuit::Qubit(q as u32)))
+        .collect();
+    for (pos, op) in outcome.program().ops().iter().enumerate().rev() {
+        match *op {
+            ScheduledOp::TwoQubitGate { a, b, trap, .. }
+            | ScheduledOp::SwapGate { a, b, trap, .. } => {
+                assert_eq!(
+                    trap_of[a.index()],
+                    Some(trap),
+                    "op {pos}: {a} was not in {trap} when the gate executed"
+                );
+                assert_eq!(
+                    trap_of[b.index()],
+                    Some(trap),
+                    "op {pos}: {b} was not in {trap} when the gate executed"
+                );
+            }
+            ScheduledOp::Shuttle { qubit, from_trap, to_trap, .. } => {
+                assert_eq!(
+                    trap_of[qubit.index()],
+                    Some(to_trap),
+                    "op {pos}: shuttle destination disagrees with later history"
+                );
+                trap_of[qubit.index()] = Some(from_trap);
+            }
+            ScheduledOp::SingleQubitGate { .. } | ScheduledOp::IonReorder { .. } => {}
+        }
+    }
+    for (q, trap) in trap_of.iter().enumerate() {
+        assert!(trap.is_some(), "qubit {q} has no initial trap after replay");
+    }
 }

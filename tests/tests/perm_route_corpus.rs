@@ -1,0 +1,80 @@
+//! Golden corpus runs for the permutation-routing compiler.
+//!
+//! Every checked-in `workloads/` circuit that fits must compile under
+//! `CompilerKind::PermRoute` on the tight corpus devices — the
+//! `grid(2, 2, 4)` cell the determinism suite routes on and the bench
+//! corpus's `tiny-G-2x2c4` — with *valid* placements: the backward
+//! placement-replay checker proves every gate's qubits were co-trapped at
+//! execution time. The same replay runs over every existing kind, so the
+//! checker itself is pinned against four independent compilers.
+
+use ssync_arch::{Device, QccdTopology};
+use ssync_baselines::CompilerKind;
+use ssync_bench::qasm_corpus::{corpus_dir, corpus_topologies, load_corpus, CorpusEntry};
+use ssync_core::{CompilerConfig, SwapScheduleKind};
+use ssync_integration::{check_placement_replay, check_program_invariants};
+
+fn corpus() -> Vec<CorpusEntry> {
+    load_corpus(&corpus_dir()).expect("workloads/ corpus checked in")
+}
+
+fn tight_devices() -> Vec<(String, QccdTopology)> {
+    let mut devices = vec![("grid-2x2c4".to_string(), QccdTopology::grid(2, 2, 4))];
+    devices.extend(
+        corpus_topologies()
+            .into_iter()
+            .filter(|(name, _)| *name == "tiny-G-2x2c4")
+            .map(|(name, topo)| (name.to_string(), topo)),
+    );
+    assert_eq!(devices.len(), 2, "the bench corpus must keep its tiny cell");
+    devices
+}
+
+/// Every fitting corpus circuit compiles under PermRoute (both schedule
+/// kinds) on both tight devices, with program invariants and the
+/// placement replay green.
+#[test]
+fn corpus_compiles_under_perm_route_on_tight_devices() {
+    let mut compiled = 0usize;
+    for (device_name, topo) in tight_devices() {
+        let config = CompilerConfig::default();
+        let device = Device::build(topo.clone(), config.weights);
+        for entry in corpus() {
+            if entry.circuit.num_qubits() + 1 > topo.total_capacity() {
+                continue;
+            }
+            for schedule in SwapScheduleKind::ALL {
+                let config = config.with_perm_schedule(schedule);
+                let outcome = CompilerKind::PermRoute
+                    .compile_on(&device, &entry.circuit, &config)
+                    .unwrap_or_else(|e| {
+                        panic!("{} fails on {device_name} under {schedule:?}: {e}", entry.name)
+                    });
+                check_program_invariants(&entry.circuit, &topo, &outcome);
+                check_placement_replay(&entry.circuit, &outcome);
+                compiled += 1;
+            }
+        }
+    }
+    assert!(compiled >= 10, "corpus golden lost its teeth: only {compiled} compiles ran");
+}
+
+/// The replay checker is shared with the existing kinds: every compiler's
+/// corpus output satisfies the same physical-validity contract.
+#[test]
+fn every_kind_passes_the_placement_replay_on_the_corpus_cell() {
+    let topo = QccdTopology::grid(2, 2, 4);
+    let config = CompilerConfig::default();
+    let device = Device::build(topo.clone(), config.weights);
+    for entry in corpus() {
+        if entry.circuit.num_qubits() + 1 > topo.total_capacity() {
+            continue;
+        }
+        for kind in CompilerKind::ALL {
+            let outcome = kind
+                .compile_on(&device, &entry.circuit, &config)
+                .unwrap_or_else(|e| panic!("{} fails under {kind:?}: {e}", entry.name));
+            check_placement_replay(&entry.circuit, &outcome);
+        }
+    }
+}
