@@ -453,6 +453,68 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the compile flight recorder: QFT-24 through every compiler
+/// with `CompilerConfig::flight_recorder` on versus off. Before anything
+/// is timed, one run of each mode is compared outcome-by-outcome for
+/// **every** [`CompilerKind`]: the recorder observes without steering, so
+/// a single differing op, placement entry or scheduler stat is a bug, not
+/// a regression. The two groups land side by side in
+/// `BENCH_scheduling.json`; the recorded overhead bound is
+/// `recorder_on / recorder_off`.
+fn bench_flight_recorder(c: &mut Criterion) {
+    let topo = QccdTopology::grid(2, 2, 10);
+    let base = CompilerConfig::default();
+    let circuit = scaled_app(AppKind::Qft, 24);
+
+    // Bit-identity gate, outside the timed region.
+    for kind in CompilerKind::ALL {
+        let plain = run_compiler(kind, &circuit, &topo, &base).expect("compiles");
+        let recorded = run_compiler(kind, &circuit, &topo, &base.with_flight_recorder(true))
+            .expect("compiles");
+        assert_eq!(
+            plain.program().ops(),
+            recorded.program().ops(),
+            "{kind:?}: recording changed compiled ops"
+        );
+        assert_eq!(
+            plain.final_placement(),
+            recorded.final_placement(),
+            "{kind:?}: recording changed placement"
+        );
+        assert_eq!(
+            plain.scheduler_stats(),
+            recorded.scheduler_stats(),
+            "{kind:?}: recording changed scheduler stats"
+        );
+        assert!(plain.flight_recording().is_none(), "{kind:?}: off means off");
+        if matches!(kind, CompilerKind::SSync | CompilerKind::PermRoute) {
+            let recording = recorded.flight_recording().expect("instrumented compiler records");
+            assert!(!recording.events.is_empty(), "{kind:?}: recording captured events");
+        }
+    }
+
+    let mut group = c.benchmark_group("flight_recorder");
+    group.sample_size(10);
+    for (label, config) in
+        [("recorder_off", base), ("recorder_on", base.with_flight_recorder(true))]
+    {
+        group.bench_function(BenchmarkId::new(label, "qft/24"), |b| {
+            b.iter(|| {
+                CompilerKind::ALL
+                    .into_iter()
+                    .map(|kind| {
+                        run_compiler(kind, &circuit, &topo, &config)
+                            .expect("compiles")
+                            .counts()
+                            .shuttles
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compile_time,
@@ -463,6 +525,7 @@ criterion_group!(
     bench_device_build,
     bench_service_throughput,
     bench_cache_eviction,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_flight_recorder
 );
 criterion_main!(benches);

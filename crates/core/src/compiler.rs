@@ -10,7 +10,9 @@ use crate::scheduler::{Scheduler, SchedulerScratch, SchedulerStats};
 use ssync_arch::{Device, Placement, QccdTopology, TrapRouter};
 use ssync_circuit::Circuit;
 use ssync_sim::{CompiledProgram, ExecutionReport, ExecutionTracer, OpCounts};
+use ssync_telemetry::FlightRecording;
 use std::borrow::Borrow;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Reusable per-worker compile state: the scheduler's working memory,
@@ -32,6 +34,7 @@ pub struct CompileOutcome {
     final_placement: Placement,
     scheduler_stats: SchedulerStats,
     scoring_telemetry: ScoringTelemetry,
+    flight_recording: Option<Arc<FlightRecording>>,
     compile_time: Duration,
 }
 
@@ -51,6 +54,7 @@ impl CompileOutcome {
             final_placement,
             scheduler_stats: SchedulerStats::default(),
             scoring_telemetry: ScoringTelemetry::default(),
+            flight_recording: None,
             compile_time,
         }
     }
@@ -71,9 +75,20 @@ impl CompileOutcome {
             report,
             final_placement,
             scheduler_stats,
+            // Recordings (like scoring telemetry) describe work performed,
+            // not the result, so rebuilt outcomes never carry one.
+            flight_recording: None,
             scoring_telemetry: ScoringTelemetry::default(),
             compile_time,
         }
+    }
+
+    /// Returns this outcome with a compile flight recording attached
+    /// (builder-style; used by compilers whose scheduling loop recorded
+    /// decision events).
+    pub fn with_flight_recording(mut self, recording: Option<Arc<FlightRecording>>) -> Self {
+        self.flight_recording = recording;
+        self
     }
 
     /// The hardware-compatible operation stream.
@@ -107,6 +122,16 @@ impl CompileOutcome {
     /// not the result, so they are deliberately not persisted).
     pub fn scoring_telemetry(&self) -> ScoringTelemetry {
         self.scoring_telemetry
+    }
+
+    /// The compile flight recording, when `CompilerConfig::flight_recorder`
+    /// was on for this compile. Like [`CompileOutcome::scoring_telemetry`]
+    /// it describes the scheduling run, not the result: cache hits and
+    /// codec-rebuilt outcomes return `None`, and event content may differ
+    /// between scoring backends even though compiled output is
+    /// bit-identical.
+    pub fn flight_recording(&self) -> Option<&Arc<FlightRecording>> {
+        self.flight_recording.as_ref()
     }
 
     /// Wall-clock compilation time (the Fig. 15 quantity).
@@ -285,6 +310,7 @@ impl SSyncCompiler {
         let result = scheduler.run(circuit, placement);
         let scheduler_stats = scheduler.stats();
         let scoring_telemetry = scheduler.scoring_telemetry();
+        let flight_recording = scheduler.take_recording().map(Arc::new);
         scratch.scheduler = scheduler.into_scratch();
         let (program, final_placement) = result?;
         let compile_time = start.elapsed();
@@ -295,6 +321,7 @@ impl SSyncCompiler {
             final_placement,
             scheduler_stats,
             scoring_telemetry,
+            flight_recording,
             compile_time,
         })
     }

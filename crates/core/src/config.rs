@@ -96,6 +96,16 @@ pub struct CompilerConfig {
     /// stays off the wire: it is a local ablation knob, and remote
     /// submissions always run the production schedule.
     pub perm_schedule: SwapScheduleKind,
+    /// Enables the compile flight recorder: a bounded, preallocated ring
+    /// of scheduler decision events (layers, winning candidates, stalls,
+    /// shuttles, swap schedules) carried on the `CompileOutcome` next to —
+    /// never inside — the golden-compared stats. Observation-only by
+    /// contract: compiled output is bit-identical on or off (the
+    /// `telemetry_overhead` bench enforces this), so like
+    /// `scoring_threads` the flag is excluded from the cache key hash and
+    /// never crosses the wire; the service pins it server-side from
+    /// `--flight-recorder` / `SSYNC_FLIGHT_RECORDER`.
+    pub flight_recorder: bool,
 }
 
 impl Default for CompilerConfig {
@@ -117,6 +127,7 @@ impl Default for CompilerConfig {
             batch_workers: 0,
             scoring_threads: 0,
             perm_schedule: SwapScheduleKind::default(),
+            flight_recorder: false,
         }
     }
 }
@@ -166,6 +177,13 @@ impl CompilerConfig {
     /// (only `CompilerKind::PermRoute` reads it).
     pub fn with_perm_schedule(mut self, schedule: SwapScheduleKind) -> Self {
         self.perm_schedule = schedule;
+        self
+    }
+
+    /// Returns a copy with the compile flight recorder enabled or
+    /// disabled. Output is bit-identical either way.
+    pub fn with_flight_recorder(mut self, enabled: bool) -> Self {
+        self.flight_recorder = enabled;
         self
     }
 }

@@ -39,6 +39,8 @@ use crate::CompileOutcome;
 use ssync_arch::{Device, Placement, QccdTopology, SlotGraph, TrapId, TrapRouter, WeightConfig};
 use ssync_circuit::{Circuit, DependencyDag, NodeId, Qubit};
 use ssync_sim::{CompiledProgram, ExecutionTracer, ScheduledOp};
+use ssync_telemetry::{FlightEvent, FlightRecorder, SWAP_SCHEDULE_BUBBLE, SWAP_SCHEDULE_RECURSIVE};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Routing slots kept free per trap by the initial placement when the
@@ -198,6 +200,7 @@ impl PermRouteCompiler {
         }
 
         let mut dag = DependencyDag::from_circuit(circuit);
+        let mut recorder = self.config.flight_recorder.then(FlightRecorder::with_default_capacity);
         let mut rounds = 0usize;
         let mut barren_rounds = 0usize;
         let budget = 10_000 + 100 * dag.len();
@@ -233,7 +236,26 @@ impl PermRouteCompiler {
             }
 
             // Every frontier gate is blocked: route the whole layer.
-            let realized = self.route_layer(&mechanics, &mut placement, &mut program, &dag)?;
+            if let Some(rec) = recorder.as_mut() {
+                rec.record(FlightEvent::LayerOpened {
+                    layer: rounds as u64,
+                    ready_gates: dag.frontier().len() as u64,
+                });
+            }
+            let realized = self.route_layer(
+                &mechanics,
+                &mut placement,
+                &mut program,
+                &dag,
+                rounds as u64,
+                recorder.as_mut(),
+            )?;
+            if let Some(rec) = recorder.as_mut() {
+                rec.record(FlightEvent::LayerClosed {
+                    layer: rounds as u64,
+                    executed: realized as u64,
+                });
+            }
             if realized == 0 {
                 barren_rounds += 1;
                 if barren_rounds > MAX_BARREN_ROUNDS {
@@ -253,7 +275,8 @@ impl PermRouteCompiler {
             noise: self.config.noise,
         };
         let report = tracer.evaluate(&program);
-        Ok(CompileOutcome::from_parts(program, report, placement, compile_time))
+        Ok(CompileOutcome::from_parts(program, report, placement, compile_time)
+            .with_flight_recording(recorder.map(|r| Arc::new(r.into_recording()))))
     }
 
     /// Sequential first-use packing with [`RESERVED_SLOTS`] routing slots
@@ -327,6 +350,8 @@ impl PermRouteCompiler {
         placement: &mut Placement,
         program: &mut CompiledProgram,
         dag: &DependencyDag,
+        round: u64,
+        mut recorder: Option<&mut FlightRecorder>,
     ) -> Result<usize, CompileError> {
         let graph = mechanics.graph();
         let router = mechanics.router();
@@ -350,10 +375,35 @@ impl PermRouteCompiler {
 
         let mut realized = 0usize;
         for gate in &plan {
+            // Source trap captured before the move so the shuttle event can
+            // name it; the lookup only happens when the recorder is live.
+            let from_trap = if recorder.is_some() { placement.trap_of(gate.a) } else { None };
             if self.shuttle_pair_to(mechanics, placement, program, gate, &protect)
                 && placement.trap_of(gate.a) == placement.trap_of(gate.b)
             {
                 realized += 1;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.record(FlightEvent::CandidateChosen {
+                        layer: round,
+                        candidate: gate.trap.index() as u64,
+                        score_bits: gate.cost.to_bits(),
+                        // The layer planner keeps only the winning meeting
+                        // trap per gate, so no runner-up margin exists.
+                        margin_bits: f64::NAN.to_bits(),
+                    });
+                    if let Some(src) = from_trap {
+                        if src != gate.trap {
+                            rec.record(FlightEvent::Shuttle {
+                                qubit: u64::from(gate.a.0),
+                                from_trap: src.index() as u64,
+                                to_trap: gate.trap.index() as u64,
+                                junctions: router.hops(src, gate.trap) as u64,
+                                source_chain_len: placement.trap_occupancy(src) as u64,
+                                dest_chain_len: placement.trap_occupancy(gate.trap) as u64,
+                            });
+                        }
+                    }
+                }
             }
         }
 
@@ -375,7 +425,7 @@ impl PermRouteCompiler {
                 })
                 .map(|g| (g.a, g.b))
                 .collect();
-            self.reorder_trap(mechanics, placement, program, trap, &pairs);
+            self.reorder_trap(mechanics, placement, program, trap, &pairs, recorder.as_deref_mut());
         }
         Ok(realized)
     }
@@ -489,6 +539,7 @@ impl PermRouteCompiler {
         program: &mut CompiledProgram,
         trap: TrapId,
         pairs: &[(Qubit, Qubit)],
+        recorder: Option<&mut FlightRecorder>,
     ) {
         let graph = mechanics.graph();
         let topology = graph.topology();
@@ -544,15 +595,29 @@ impl PermRouteCompiler {
         }
 
         let schedule = self.config.perm_schedule.permutation_to_swap_schedule(&mut permutation);
+        let emitted = schedule.len() as u64;
+        let mut selected_count = 0u64;
         for (selected, i, j) in schedule {
             if !selected {
                 continue;
             }
+            selected_count += 1;
             let (si, sj) = (trap_ref.slot_at(i), trap_ref.slot_at(j));
             let a = placement.occupant(si).expect("compacted prefix stays occupied");
             let b = placement.occupant(sj).expect("compacted prefix stays occupied");
             program.push(ScheduledOp::SwapGate { a, b, trap, chain_len: occ, ion_distance: j - i });
             placement.swap_slots(si, sj);
+        }
+        if let Some(rec) = recorder {
+            rec.record(FlightEvent::SwapSchedule {
+                trap: trap.index() as u64,
+                kind: match self.config.perm_schedule {
+                    crate::SwapScheduleKind::BubbleSort => SWAP_SCHEDULE_BUBBLE,
+                    crate::SwapScheduleKind::RecursiveSplitTwo => SWAP_SCHEDULE_RECURSIVE,
+                },
+                emitted,
+                selected: selected_count,
+            });
         }
     }
 }
@@ -633,6 +698,40 @@ mod tests {
             .compile(&circuit, &QccdTopology::linear(2, 6))
             .unwrap_err();
         assert!(matches!(err, CompileError::DeviceTooSmall { .. }));
+    }
+
+    #[test]
+    fn flight_recorder_is_observation_only() {
+        let circuit = random_two_qubit_circuit(12, 60, 7);
+        let topo = QccdTopology::grid(2, 2, 5);
+        let config = CompilerConfig::default();
+        let device = Device::build(topo, config.weights);
+        let plain = PermRouteCompiler::new(config).compile_on(&device, &circuit).unwrap();
+        let recorded = PermRouteCompiler::new(config.with_flight_recorder(true))
+            .compile_on(&device, &circuit)
+            .unwrap();
+
+        // Bit-identical output: the recorder observes, it never steers.
+        assert_eq!(plain.program().ops(), recorded.program().ops());
+        assert_eq!(plain.final_placement(), recorded.final_placement());
+
+        assert!(plain.flight_recording().is_none(), "recorder off must not record");
+        let recording = recorded.flight_recording().expect("recorder on must record");
+        assert!(!recording.events.is_empty());
+        let mut layers = 0usize;
+        let mut schedules = 0usize;
+        for event in &recording.events {
+            match event {
+                FlightEvent::LayerOpened { .. } => layers += 1,
+                FlightEvent::SwapSchedule { emitted, selected, .. } => {
+                    schedules += 1;
+                    assert!(selected <= emitted, "cannot select more comparators than emitted");
+                }
+                _ => {}
+            }
+        }
+        assert!(layers > 0, "blocked layers must log LayerOpened events");
+        assert!(schedules > 0, "trap reorders must log SwapSchedule events");
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::par_score::{
 use ssync_arch::{Device, DistanceMatrix, Placement, SlotGraph, SlotId, TrapId, TrapRouter};
 use ssync_circuit::{Circuit, DependencyDag, Gate, LookaheadScratch, NodeId};
 use ssync_sim::{CompiledProgram, ScheduledOp};
+use ssync_telemetry::{FlightEvent, FlightRecorder, FlightRecording};
 use std::collections::{HashSet, VecDeque};
 use std::time::Instant;
 
@@ -154,6 +155,12 @@ pub struct Scheduler<'a> {
     trap_edges: &'a [Vec<u32>],
     /// Reusable working memory (cleared, never reallocated, per iteration).
     scratch: SchedulerScratch,
+    /// The compile flight recorder, present while
+    /// [`CompilerConfig::flight_recorder`] is on for the current run.
+    /// Observation-only: nothing in the scheduling loop ever reads it, so
+    /// output is bit-identical with or without it.
+    /// [`Scheduler::run_reference`] never records.
+    recorder: Option<FlightRecorder>,
 }
 
 impl<'a> Scheduler<'a> {
@@ -201,6 +208,7 @@ impl<'a> Scheduler<'a> {
             dist: device.distance_matrix(),
             trap_edges: device.trap_edge_index(),
             scratch,
+            recorder: None,
         }
     }
 
@@ -223,6 +231,15 @@ impl<'a> Scheduler<'a> {
     /// [`Scheduler::run_reference`] reports zeros.
     pub fn scoring_telemetry(&self) -> ScoringTelemetry {
         self.telemetry
+    }
+
+    /// Takes the flight recording of the last [`Scheduler::run`], if
+    /// [`CompilerConfig::flight_recorder`] was on. Like the scoring
+    /// telemetry, events describe the scoring backend's work (serial and
+    /// parallel runs record different candidate margins) while the
+    /// compiled output stays bit-identical either way.
+    pub fn take_recording(&mut self) -> Option<FlightRecording> {
+        self.recorder.take().map(FlightRecorder::into_recording)
     }
 
     /// The precomputed all-pairs slot distance matrix.
@@ -272,6 +289,7 @@ impl<'a> Scheduler<'a> {
     ) -> Result<(CompiledProgram, Placement), CompileError> {
         self.stats = SchedulerStats::default();
         self.telemetry = ScoringTelemetry::default();
+        self.recorder = self.config.flight_recorder.then(FlightRecorder::with_default_capacity);
         let mut program =
             CompiledProgram::new(circuit.num_qubits(), self.graph.topology().num_traps());
         for gate in circuit.iter() {
@@ -305,6 +323,12 @@ impl<'a> Scheduler<'a> {
             // Step 4-10: execute every frontier gate whose qubits share a trap.
             let executed = self.execute_ready(&mut dag, &mut placement, &mut program, &mechanics);
             if executed > 0 {
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(FlightEvent::LayerClosed {
+                        layer: self.stats.iterations as u64,
+                        executed: executed as u64,
+                    });
+                }
                 stall = 0;
                 gate_lists_stale = true;
                 continue;
@@ -317,6 +341,12 @@ impl<'a> Scheduler<'a> {
             if gate_lists_stale {
                 self.rebuild_gate_lists(&dag);
                 gate_lists_stale = false;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(FlightEvent::LayerOpened {
+                        layer: self.stats.iterations as u64,
+                        ready_gates: self.scratch.frontier.len() as u64,
+                    });
+                }
             }
             self.collect_relevant_traps(&placement);
             self.collect_candidates(&placement, Some(&recent));
@@ -346,6 +376,10 @@ impl<'a> Scheduler<'a> {
                 );
                 let pass_started = Instant::now();
                 self.scratch.shard.begin_pass();
+                // The runner-up score is tracked only while the recorder is
+                // on (it feeds the CandidateChosen margin and nothing else).
+                let track_margin = self.recorder.is_some();
+                let mut second: Option<f64> = None;
                 let mut best: Option<(f64, usize)> = None;
                 for (i, swap) in self.scratch.candidates.iter().enumerate() {
                     let score = scorer.score_swap_sharded(
@@ -355,16 +389,43 @@ impl<'a> Scheduler<'a> {
                         swap,
                     );
                     if better_candidate(score, i, best) {
+                        if track_margin {
+                            second = best.map(|(s, _)| s);
+                        }
                         best = Some((score, i));
+                    } else if track_margin {
+                        second = Some(match second {
+                            Some(s2) if s2.total_cmp(&score).is_le() => s2,
+                            _ => score,
+                        });
                     }
                 }
                 self.telemetry.candidates_scored += self.scratch.candidates.len() as u64;
                 self.telemetry.score_shards_spawned += 1;
                 self.telemetry.score_cache_shard_hits += self.scratch.shard.take_hits();
                 self.telemetry.scoring_time_ns += pass_started.elapsed().as_nanos() as u64;
-                if let Some((_, idx)) = best {
+                if let Some((score, idx)) = best {
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(FlightEvent::CandidateChosen {
+                            layer: self.stats.iterations as u64,
+                            candidate: idx as u64,
+                            score_bits: score.to_bits(),
+                            margin_bits: second
+                                .map(|s| (s - score).to_bits())
+                                .unwrap_or_else(|| f64::NAN.to_bits()),
+                        });
+                    }
                     let swap = self.scratch.candidates[idx];
-                    self.apply_swap(&swap, &mut placement, &mut program, &mut decay, &mechanics);
+                    let mut rec = self.recorder.take();
+                    self.apply_swap(
+                        &swap,
+                        &mut placement,
+                        &mut program,
+                        &mut decay,
+                        &mechanics,
+                        rec.as_mut(),
+                    );
+                    self.recorder = rec;
                     bump_swap_epochs(&mut cache, self.graph, &swap);
                     recent.push((swap.a, swap.b));
                     self.stats.heuristic_swaps += 1;
@@ -380,6 +441,12 @@ impl<'a> Scheduler<'a> {
                 // readiness memo (gates routing through a shared entry
                 // port reuse its readiness scan).
                 self.telemetry.stall_fallback_entries += 1;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(FlightEvent::StallFallback {
+                        layer: self.stats.iterations as u64,
+                        remaining: dag.remaining() as u64,
+                    });
+                }
                 let pass_started = Instant::now();
                 self.scratch.shard.begin_pass();
                 let mut best_gate: Option<(f64, usize)> = None;
@@ -443,6 +510,7 @@ impl<'a> Scheduler<'a> {
     ) -> Result<(CompiledProgram, Placement), CompileError> {
         self.stats = SchedulerStats::default();
         self.telemetry = ScoringTelemetry::default();
+        self.recorder = self.config.flight_recorder.then(FlightRecorder::with_default_capacity);
         let mut program =
             CompiledProgram::new(circuit.num_qubits(), self.graph.topology().num_traps());
         for gate in circuit.iter() {
@@ -491,6 +559,12 @@ impl<'a> Scheduler<'a> {
                 let executed =
                     self.execute_ready(&mut dag, &mut placement, &mut program, &mechanics);
                 if executed > 0 {
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(FlightEvent::LayerClosed {
+                            layer: self.stats.iterations as u64,
+                            executed: executed as u64,
+                        });
+                    }
                     stall = 0;
                     gate_lists_stale = true;
                     continue;
@@ -502,6 +576,12 @@ impl<'a> Scheduler<'a> {
                 if gate_lists_stale {
                     self.rebuild_gate_lists(&dag);
                     gate_lists_stale = false;
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(FlightEvent::LayerOpened {
+                            layer: self.stats.iterations as u64,
+                            ready_gates: self.scratch.frontier.len() as u64,
+                        });
+                    }
                 }
                 self.collect_relevant_traps(&placement);
                 self.collect_candidates(&placement, Some(&recent));
@@ -565,15 +645,28 @@ impl<'a> Scheduler<'a> {
                         best
                     };
                     self.telemetry.scoring_time_ns += pass_started.elapsed().as_nanos() as u64;
-                    if let Some((_, idx)) = best {
+                    if let Some((score, idx)) = best {
+                        if let Some(rec) = self.recorder.as_mut() {
+                            // The crew merge returns only the winner, so
+                            // parallel runs record no runner-up margin.
+                            rec.record(FlightEvent::CandidateChosen {
+                                layer: self.stats.iterations as u64,
+                                candidate: idx as u64,
+                                score_bits: score.to_bits(),
+                                margin_bits: f64::NAN.to_bits(),
+                            });
+                        }
                         let swap = self.scratch.candidates[idx];
+                        let mut rec = self.recorder.take();
                         self.apply_swap(
                             &swap,
                             &mut placement,
                             &mut program,
                             &mut decay,
                             &mechanics,
+                            rec.as_mut(),
                         );
+                        self.recorder = rec;
                         bump_swap_epochs(&mut cache, self.graph, &swap);
                         recent.push((swap.a, swap.b));
                         self.stats.heuristic_swaps += 1;
@@ -587,6 +680,12 @@ impl<'a> Scheduler<'a> {
                     // Stall-fallback: score the frontier gates, sharded
                     // the same way as the candidate pass.
                     self.telemetry.stall_fallback_entries += 1;
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(FlightEvent::StallFallback {
+                            layer: self.stats.iterations as u64,
+                            remaining: dag.remaining() as u64,
+                        });
+                    }
                     let n = self.scratch.frontier.len();
                     self.telemetry.candidates_scored += n as u64;
                     let pass_started = Instant::now();
@@ -795,6 +894,10 @@ impl<'a> Scheduler<'a> {
     ) -> Result<(CompiledProgram, Placement), CompileError> {
         self.stats = SchedulerStats::default();
         self.telemetry = ScoringTelemetry::default();
+        // The reference transcription never records — drop any recording
+        // left over from a previous `run` so `take_recording` can't serve
+        // a stale stream.
+        self.recorder = None;
         let mut program =
             CompiledProgram::new(circuit.num_qubits(), self.graph.topology().num_traps());
         for gate in circuit.iter() {
@@ -857,7 +960,14 @@ impl<'a> Scheduler<'a> {
                     }
                 }
                 if let Some((_, swap, _)) = best {
-                    self.apply_swap(&swap, &mut placement, &mut program, &mut decay, &mechanics);
+                    self.apply_swap(
+                        &swap,
+                        &mut placement,
+                        &mut program,
+                        &mut decay,
+                        &mechanics,
+                        None,
+                    );
                     recent_swaps.push_back((swap.a, swap.b));
                     while recent_swaps.len() > RECENT_CAP {
                         recent_swaps.pop_front();
@@ -1026,7 +1136,9 @@ impl<'a> Scheduler<'a> {
 
     /// Applies a chosen generic swap: mutates the placement, emits the
     /// corresponding hardware operation and marks the moved qubits in the
-    /// decay tracker.
+    /// decay tracker. `recorder` (taken out of `self` by the caller to
+    /// sidestep the shared borrow — `run_reference` always passes `None`)
+    /// logs executed shuttles.
     fn apply_swap(
         &self,
         swap: &GenericSwap,
@@ -1034,6 +1146,7 @@ impl<'a> Scheduler<'a> {
         program: &mut CompiledProgram,
         decay: &mut DecayTracker,
         mechanics: &Mechanics<'_>,
+        recorder: Option<&mut FlightRecorder>,
     ) {
         for q in swap.moved_qubits(placement) {
             decay.mark(q);
@@ -1069,6 +1182,16 @@ impl<'a> Scheduler<'a> {
                 let source_chain_len = placement.trap_occupancy(from_trap);
                 let dest_chain_len = placement.trap_occupancy(to_trap) + 1;
                 placement.swap_slots(from_slot, to_slot);
+                if let Some(rec) = recorder {
+                    rec.record(FlightEvent::Shuttle {
+                        qubit: qubit.0 as u64,
+                        from_trap: from_trap.index() as u64,
+                        to_trap: to_trap.index() as u64,
+                        junctions: junctions as u64,
+                        source_chain_len: source_chain_len as u64,
+                        dest_chain_len: dest_chain_len as u64,
+                    });
+                }
                 program.push(ScheduledOp::Shuttle {
                     qubit,
                     from_trap,
@@ -1236,6 +1359,37 @@ mod tests {
             assert_eq!(fast_stats, slow_stats, "{}", topo.name());
             assert_eq!(fast_placement, slow_placement, "{}", topo.name());
         }
+    }
+
+    #[test]
+    fn flight_recorder_is_observation_only() {
+        let circuit = qft(12);
+        let topo = QccdTopology::grid(2, 2, 5);
+        let config = CompilerConfig::default();
+        let recording_config = config.with_flight_recorder(true);
+        let device = Device::build(topo, config.weights);
+        let placement = initial::build_placement(&circuit, &device, &config);
+
+        let mut plain = Scheduler::new(&device, &config);
+        let (base_program, base_placement) = plain.run(&circuit, placement.clone()).unwrap();
+        let base_stats = plain.stats();
+        assert!(plain.take_recording().is_none(), "recorder off records nothing");
+
+        let mut recording = Scheduler::new(&device, &recording_config);
+        let (rec_program, rec_placement) = recording.run(&circuit, placement.clone()).unwrap();
+        assert_eq!(base_program.ops(), rec_program.ops(), "recorder changed compiled output");
+        assert_eq!(base_placement, rec_placement);
+        assert_eq!(base_stats, recording.stats());
+        let stream = recording.take_recording().expect("recorder on yields a recording");
+        assert!(!stream.events.is_empty());
+        assert!(stream.events.iter().any(|e| matches!(e, FlightEvent::CandidateChosen { .. })));
+        assert!(stream.events.iter().any(|e| matches!(e, FlightEvent::LayerClosed { .. })));
+        assert!(recording.take_recording().is_none(), "take_recording drains");
+
+        // run_reference never records, even with the flag on.
+        let (ref_program, _) = recording.run_reference(&circuit, placement).unwrap();
+        assert_eq!(base_program.ops(), ref_program.ops());
+        assert!(recording.take_recording().is_none());
     }
 
     #[test]

@@ -64,6 +64,24 @@
 //!   snapshot to `PATH` in Prometheus-style text exposition every
 //!   ~500 ms (atomically, via rename), and once more after drain. The
 //!   same bytes answer the wire `GetStats` request.
+//! * `--flight-recorder` — record every compile's scheduler decision
+//!   stream (layer openings, winning candidates, shuttles, SWAP
+//!   schedules) into a bounded per-request ring, fetchable over the wire
+//!   via `GetTrace` (default: the `SSYNC_FLIGHT_RECORDER` environment
+//!   variable, else off). Recording never changes compiled output — the
+//!   bit-identity is bench-asserted — and costs one fixed buffer per
+//!   in-flight compile plus one per journaled trace.
+//! * `--trace-journal-cap N` — how many recent traces (and their flight
+//!   recordings) the journal retains for `GetTrace` (default: the
+//!   `SSYNC_TRACE_JOURNAL_CAP` environment variable, else 256).
+//! * `--slo-ms-high N` / `--slo-ms-normal N` / `--slo-ms-batch N` —
+//!   per-priority end-to-end latency SLO targets in milliseconds
+//!   (defaults 250 / 1000 / 5000). A background ticker samples the
+//!   latency histograms every ~500 ms into rolling 1-minute and
+//!   10-minute windows; the scrape surfaces export
+//!   `ssync_slo_target_ms` and `ssync_slo_burn_ppm` (the fraction of
+//!   requests over target, in parts per million) per priority and
+//!   window.
 //!
 //! The daemon exits on a `Shutdown` request, or on EOF in stdio mode. A
 //! `Shutdown` on the TCP transport *drains*: the listener stops
@@ -73,7 +91,7 @@
 //! ends.
 
 use ssync_core::CacheBounds;
-use ssync_service::{front, render_text, CompileService, FrontConfig};
+use ssync_service::{front, render_text, CompileService, FrontConfig, Priority, SLO_TICK_INTERVAL};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -99,6 +117,9 @@ struct Options {
     port_file: Option<std::path::PathBuf>,
     slow_request_ms: Option<u64>,
     metrics_text: Option<std::path::PathBuf>,
+    flight_recorder: Option<bool>,
+    trace_journal_cap: Option<usize>,
+    slo_ms: [Option<u64>; 3],
 }
 
 fn usage() -> &'static str {
@@ -109,7 +130,9 @@ fn usage() -> &'static str {
      [--janitor-interval-secs N] [--auth-token SECRET] [--idle-timeout-secs N] \
      [--frame-budget-secs N] [--max-inflight-per-conn N] \
      [--max-inflight-per-tenant N] [--queue-watermark N] [--retry-after-ms N] \
-     [--port-file PATH] [--slow-request-ms N] [--metrics-text PATH]"
+     [--port-file PATH] [--slow-request-ms N] [--metrics-text PATH] \
+     [--flight-recorder] [--trace-journal-cap N] \
+     [--slo-ms-high N] [--slo-ms-normal N] [--slo-ms-batch N]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -134,6 +157,9 @@ fn parse_args() -> Result<Options, String> {
         port_file: None,
         slow_request_ms: None,
         metrics_text: None,
+        flight_recorder: None,
+        trace_journal_cap: None,
+        slo_ms: [None; 3],
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -218,6 +244,25 @@ fn parse_args() -> Result<Options, String> {
                     Some(parse_u64("--slow-request-ms", value("--slow-request-ms")?)?);
             }
             "--metrics-text" => options.metrics_text = Some(value("--metrics-text")?.into()),
+            // Presence enables; absent defers to SSYNC_FLIGHT_RECORDER
+            // (the builder reads the environment when the knob is unset).
+            "--flight-recorder" => options.flight_recorder = Some(true),
+            "--trace-journal-cap" => {
+                options.trace_journal_cap =
+                    Some(parse_u64("--trace-journal-cap", value("--trace-journal-cap")?)? as usize);
+            }
+            "--slo-ms-high" => {
+                options.slo_ms[Priority::High.index()] =
+                    Some(parse_u64("--slo-ms-high", value("--slo-ms-high")?)?);
+            }
+            "--slo-ms-normal" => {
+                options.slo_ms[Priority::Normal.index()] =
+                    Some(parse_u64("--slo-ms-normal", value("--slo-ms-normal")?)?);
+            }
+            "--slo-ms-batch" => {
+                options.slo_ms[Priority::Batch.index()] =
+                    Some(parse_u64("--slo-ms-batch", value("--slo-ms-batch")?)?);
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -259,6 +304,12 @@ fn main() -> ExitCode {
         .workers(options.workers)
         .scoring_threads(options.score_threads)
         .cache_bounds(options.bounds);
+    if let Some(enabled) = options.flight_recorder {
+        builder = builder.flight_recorder(enabled);
+    }
+    if let Some(cap) = options.trace_journal_cap {
+        builder = builder.trace_journal_cap(cap);
+    }
     if let Some(dir) = &options.cache_dir {
         builder = builder.persist_dir(dir);
     }
@@ -270,6 +321,22 @@ fn main() -> ExitCode {
     }
     let service = Arc::new(builder.build());
     service.telemetry().set_slow_threshold(options.slow_request_ms.map(Duration::from_millis));
+    for priority in Priority::ALL {
+        if let Some(ms) = options.slo_ms[priority.index()] {
+            service.telemetry().set_slo_target(priority, Duration::from_millis(ms));
+        }
+    }
+    {
+        // The SLO ticker: samples the end-to-end histograms into the
+        // rolling burn-rate windows. Detached like the metrics flusher —
+        // it dies with the process, and a tick on a drained service is a
+        // cheap no-op.
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(SLO_TICK_INTERVAL);
+            service.telemetry().slo_tick();
+        });
+    }
     let _janitor =
         options.janitor_interval_secs.map(|secs| service.spawn_janitor(Duration::from_secs(secs)));
     if let Some(path) = &options.metrics_text {
@@ -284,13 +351,14 @@ fn main() -> ExitCode {
         });
     }
     eprintln!(
-        "[ssync-serviced] serving with {} workers x {} scoring threads (cache: {:?}, persist: {:?}, janitor: {:?}, auth: {})",
+        "[ssync-serviced] serving with {} workers x {} scoring threads (cache: {:?}, persist: {:?}, janitor: {:?}, auth: {}, flight recorder: {})",
         service.workers(),
         service.scoring_threads(),
         service.cache().config().bounds,
         options.cache_dir,
         options.janitor_interval_secs,
         if options.auth_token.is_some() { "token" } else { "open" },
+        if service.flight_recorder_enabled() { "on" } else { "off" },
     );
     let result = if options.stdio {
         front::serve_stdio(&service)

@@ -536,6 +536,27 @@ impl ServiceClient {
         }
     }
 
+    /// Fetches one trace from the daemon's journal by the id
+    /// [`submit_traced`](ServiceClient::submit_traced) returned (wire
+    /// v6). The first string is the trace's span + stages + attributes
+    /// in the slow-request-log JSONL schema; the second is the flight-
+    /// recorder event stream (header line plus one JSON object per
+    /// event), empty when the daemon compiled with the recorder off.
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec failures, [`ClientError::Rejected`] when the
+    /// journal no longer holds the id; a pre-v6 daemon answers the
+    /// unknown tag with a codec error, which surfaces here.
+    pub fn get_trace(&mut self, trace_id: u64) -> Result<(String, String), ClientError> {
+        match self.round_trip(&Request::GetTrace { trace_id })? {
+            Response::TraceDetail { span_jsonl, recorder_jsonl, .. } => {
+                Ok((span_jsonl, recorder_jsonl))
+            }
+            _ => Err(ClientError::UnexpectedResponse("get_trace expected TraceDetail")),
+        }
+    }
+
     /// Asks the daemon to exit (acknowledged before it does).
     ///
     /// # Errors

@@ -422,6 +422,12 @@ pub fn decode_config(r: &mut ByteReader<'_>) -> Result<CompilerConfig, CodecErro
         // Unlike scoring_threads this knob IS output-affecting, which is
         // why `config_hash` includes it while the wire codec does not.
         perm_schedule: ssync_core::SwapScheduleKind::default(),
+        // Off the wire like scoring_threads: the flight recorder is a
+        // server-side observability decision (it never changes compiled
+        // output), so remote submissions cannot switch it on or off.
+        // Decoded configs land on "off" and the executing pool pins the
+        // operator's choice.
+        flight_recorder: false,
     })
 }
 
@@ -789,6 +795,20 @@ mod tests {
         let bytes = w.into_bytes();
         let decoded = decode_config(&mut ByteReader::new(&bytes)).expect("round-trips");
         assert_eq!(decoded.perm_schedule, ssync_core::SwapScheduleKind::RecursiveSplitTwo);
+        assert_eq!(decoded.decay_delta, config.decay_delta);
+    }
+
+    #[test]
+    fn flight_recorder_stays_off_the_wire() {
+        // The recorder is a server-side observability switch: encoding a
+        // config with it enabled and decoding lands back on "off", with
+        // every transported field intact.
+        let config = CompilerConfig::default().with_flight_recorder(true).with_decay(0.0123);
+        let mut w = ByteWriter::new();
+        encode_config(&mut w, &config);
+        let bytes = w.into_bytes();
+        let decoded = decode_config(&mut ByteReader::new(&bytes)).expect("round-trips");
+        assert!(!decoded.flight_recorder);
         assert_eq!(decoded.decay_delta, config.decay_delta);
     }
 

@@ -377,6 +377,32 @@ impl Session {
                 },
                 Control::Continue,
             ),
+            Request::GetTrace { trace_id } => {
+                // The journal is a bounded ring, so "unknown" covers both
+                // never-assigned ids and traces old enough to have been
+                // evicted — the reason says which bound applies.
+                match service.telemetry().trace_detail(trace_id) {
+                    Some((record, recording)) => (
+                        Response::TraceDetail {
+                            trace_id,
+                            span_jsonl: record.to_jsonl(),
+                            recorder_jsonl: recording
+                                .map(|r| r.to_jsonl_lines())
+                                .unwrap_or_default(),
+                        },
+                        Control::Continue,
+                    ),
+                    None => (
+                        Response::Rejected {
+                            reason: format!(
+                                "trace {trace_id} is not in the journal (never assigned, or \
+                                 evicted by the journal cap)"
+                            ),
+                        },
+                        Control::Continue,
+                    ),
+                }
+            }
             Request::Shutdown => {
                 // Flip to draining *before* the acknowledgement is
                 // written: a peer that has seen `ShuttingDown` must never
@@ -932,6 +958,66 @@ mod tests {
             responses[2]
         );
         assert_eq!(service.metrics().rejected_overloaded, 2);
+    }
+
+    /// The v6 trace fetch: a session submits, waits, then pulls the
+    /// request's trace back over the wire. With the flight recorder on,
+    /// the detail carries the recorder's event stream; an unknown id is
+    /// `Rejected`.
+    #[test]
+    fn get_trace_returns_span_and_recorder_stream() {
+        let service =
+            crate::pool::CompileService::builder().workers(1).flight_recorder(true).build();
+        let config = CompilerConfig::default();
+        let responses = converse(
+            &service,
+            &Gate::new(FrontConfig::default()),
+            &[
+                Request::Submit(Box::new(RemoteRequest::new(
+                    "G-2x2",
+                    qft(10),
+                    CompilerKind::SSync,
+                    config,
+                ))),
+                Request::Wait { job: 0 },
+            ],
+        );
+        let Response::Submitted { job: 0, trace_id } = responses[0] else {
+            panic!("expected Submitted, got {:?}", responses[0]);
+        };
+        assert!(trace_id >= 1, "server-assigned trace ids start at 1");
+        assert!(matches!(&responses[1], Response::Outcome(_)));
+
+        // Fetch the trace in a second session: the journal is service
+        // state, not connection state.
+        let responses = converse(
+            &service,
+            &Gate::new(FrontConfig::default()),
+            &[Request::GetTrace { trace_id }, Request::GetTrace { trace_id: 0 }],
+        );
+        let Response::TraceDetail { trace_id: got, span_jsonl, recorder_jsonl } = &responses[0]
+        else {
+            panic!("expected TraceDetail, got {:?}", responses[0]);
+        };
+        assert_eq!(*got, trace_id);
+        assert!(
+            span_jsonl.contains(&format!("{trace_id:016x}")),
+            "span JSONL names the trace: {span_jsonl}"
+        );
+        assert!(span_jsonl.contains("end_to_end"), "span carries stage timings: {span_jsonl}");
+        assert!(
+            span_jsonl.contains("candidates_scored"),
+            "span carries the scoring attributes: {span_jsonl}"
+        );
+        assert!(!recorder_jsonl.is_empty(), "the recorder stream travels");
+        assert!(
+            recorder_jsonl.lines().count() > 1,
+            "header plus at least one event: {recorder_jsonl}"
+        );
+        let Response::Rejected { reason } = &responses[1] else {
+            panic!("unknown trace must be rejected, got {:?}", responses[1]);
+        };
+        assert!(reason.contains("journal"), "{reason}");
     }
 
     /// A draining gate refuses new work with a permanent `Rejected` (not

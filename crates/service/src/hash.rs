@@ -49,7 +49,10 @@ pub fn device_fingerprint(device: &Device) -> u64 {
 /// determinism tests enforce that), so two configs differing only in
 /// parallelism share cache entries. The exclusion is also what lets the
 /// service pool pin its budgeted `scoring_threads` into a job's config
-/// *after* the cache key was computed.
+/// *after* the cache key was computed. `flight_recorder` is excluded for
+/// the same reason: the recorder observes without steering (compiled
+/// output is bit-identical on or off), so enabling it must not cold the
+/// cache.
 pub fn config_hash(config: &CompilerConfig) -> u64 {
     let mut h = StableHasher::new();
     write_weights(&mut h, config.weights);
@@ -124,6 +127,9 @@ mod tests {
         // neither may split the cache.
         assert_eq!(config_hash(&base), config_hash(&base.with_batch_workers(7)));
         assert_eq!(config_hash(&base), config_hash(&base.with_scoring_threads(7)));
+        // The flight recorder observes without steering (compiled output is
+        // bit-identical on or off), so it must not split the cache either.
+        assert_eq!(config_hash(&base), config_hash(&base.with_flight_recorder(true)));
     }
 
     #[test]

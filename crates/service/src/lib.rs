@@ -79,4 +79,7 @@ pub use job::{CompileRequest, JobHandle, JobResult, Priority, TenantId};
 pub use metrics::{ServiceMetrics, WorkerMetrics};
 pub use pool::{CompileService, CompileServiceBuilder, Janitor};
 pub use registry::{DeviceRegistry, RegisteredDevice};
-pub use telemetry::{render_text, ServiceTelemetry, Stage, StageSnapshot, TelemetrySnapshot};
+pub use telemetry::{
+    render_text, ServiceTelemetry, Stage, StageSnapshot, TelemetrySnapshot, SLO_TICK_INTERVAL,
+    SLO_WINDOWS,
+};

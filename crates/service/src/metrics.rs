@@ -16,7 +16,7 @@ pub struct WorkerMetrics {
 /// A point-in-time snapshot of the service's health, taken via
 /// [`crate::CompileService::metrics`]. Counters are monotonic except
 /// `queue_depth`, which is the instantaneous backlog.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ServiceMetrics {
     /// Requests accepted (whether served from cache, coalesced or queued).
     pub jobs_submitted: u64,

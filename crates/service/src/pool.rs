@@ -102,7 +102,7 @@ use crate::hash::config_hash;
 use crate::job::{CompileRequest, JobHandle, JobResult, JobState, Priority, TenantId};
 use crate::metrics::{ServiceMetrics, WorkerMetrics};
 use crate::registry::DeviceRegistry;
-use crate::telemetry::{kind_slug, ServiceTelemetry, Stage};
+use crate::telemetry::{kind_slug, ServiceTelemetry, Stage, TRACE_JOURNAL_CAPACITY};
 use ssync_circuit::{Circuit, Qubit};
 use ssync_core::{
     batch, budget_scoring_threads, resolve_scoring_threads, CacheBounds, CompileError,
@@ -277,6 +277,11 @@ struct Shared {
     /// `SSYNC_SCORE_THREADS` → 1) budgeted against the pool size so
     /// `workers × scoring_threads` never oversubscribes the host.
     scoring_threads: usize,
+    /// Whether executed compiles carry a flight recorder. Pinned into the
+    /// job's config at execution time — after the cache key is computed —
+    /// exactly like `scoring_threads`, because the recorder observes
+    /// without changing compiled output.
+    flight_recorder: bool,
     /// High-priority jobs currently in the injector. Incremented *before*
     /// the push (same never-ahead rule as `SleepState::queued`),
     /// decremented on a successful High pop. Lets workers with affine
@@ -393,6 +398,11 @@ pub struct CompileServiceBuilder {
     persist_dir: Option<std::path::PathBuf>,
     persist_max_bytes: Option<u64>,
     persist_max_age: Option<std::time::Duration>,
+    /// `None` = never configured → `SSYNC_TRACE_JOURNAL_CAP`, then
+    /// [`TRACE_JOURNAL_CAPACITY`].
+    trace_journal_cap: Option<usize>,
+    /// `None` = never configured → `SSYNC_FLIGHT_RECORDER`, then off.
+    flight_recorder: Option<bool>,
 }
 
 impl CompileServiceBuilder {
@@ -451,6 +461,30 @@ impl CompileServiceBuilder {
         self
     }
 
+    /// Sets how many recent traces the in-memory journal retains; `0` is
+    /// clamped to 1. When never called, [`CompileServiceBuilder::build`]
+    /// falls back to the `SSYNC_TRACE_JOURNAL_CAP` environment variable,
+    /// then [`TRACE_JOURNAL_CAPACITY`]. The cap bounds how far back
+    /// `GetTrace` can reach — and, because each journal slot keeps its
+    /// compile's flight recording alive, how much recorder memory a busy
+    /// daemon retains.
+    pub fn trace_journal_cap(mut self, cap: usize) -> Self {
+        self.trace_journal_cap = Some(cap);
+        self
+    }
+
+    /// Enables (or explicitly disables) the compile flight recorder:
+    /// every executed compile fills a bounded in-memory event ring that is
+    /// retained alongside the trace and served by `GetTrace`. When never
+    /// called, [`CompileServiceBuilder::build`] falls back to the
+    /// `SSYNC_FLIGHT_RECORDER` environment variable (`1`/`true` = on),
+    /// then off. The recorder is observation-only: compiled output is
+    /// bit-identical either way and the knob never splits the cache.
+    pub fn flight_recorder(mut self, enabled: bool) -> Self {
+        self.flight_recorder = Some(enabled);
+        self
+    }
+
     /// Replaces the whole cache configuration (bounds count as explicitly
     /// configured, so the environment fallback is disabled).
     pub fn cache_config(mut self, config: CacheConfig) -> Self {
@@ -470,6 +504,8 @@ impl CompileServiceBuilder {
             persist_dir,
             persist_max_bytes,
             persist_max_age,
+            trace_journal_cap,
+            flight_recorder,
         } = self;
         let cache = CacheConfig {
             bounds: bounds.unwrap_or_else(CacheBounds::from_env),
@@ -478,7 +514,22 @@ impl CompileServiceBuilder {
             persist_max_age,
         }
         .persist_gc_from_env();
-        CompileService::start(batch::resolve_workers(workers), cache, scoring_threads)
+        let journal_cap = trace_journal_cap
+            .or_else(|| std::env::var("SSYNC_TRACE_JOURNAL_CAP").ok()?.parse().ok())
+            .unwrap_or(TRACE_JOURNAL_CAPACITY);
+        let flight_recorder = flight_recorder
+            .or_else(|| {
+                let v = std::env::var("SSYNC_FLIGHT_RECORDER").ok()?;
+                Some(v == "1" || v.eq_ignore_ascii_case("true"))
+            })
+            .unwrap_or(false);
+        CompileService::start(
+            batch::resolve_workers(workers),
+            cache,
+            scoring_threads,
+            journal_cap,
+            flight_recorder,
+        )
     }
 }
 
@@ -527,16 +578,23 @@ impl CompileService {
     /// at least 1), ignoring the environment — the constructor for tests
     /// pinning worker-count independence. The cache is unbounded.
     pub fn with_workers(workers: usize) -> Self {
-        Self::start(workers, CacheConfig::default(), 0)
+        Self::start(workers, CacheConfig::default(), 0, TRACE_JOURNAL_CAPACITY, false)
     }
 
-    fn start(workers: usize, cache: CacheConfig, scoring_threads: usize) -> Self {
+    fn start(
+        workers: usize,
+        cache: CacheConfig,
+        scoring_threads: usize,
+        journal_cap: usize,
+        flight_recorder: bool,
+    ) -> Self {
         let workers = workers.max(1);
         let scoring_threads =
             budget_scoring_threads(resolve_scoring_threads(scoring_threads), workers);
         let shared = Arc::new(Shared {
             injector: Mutex::new(Injector::default()),
             scoring_threads,
+            flight_recorder,
             high_pending: AtomicUsize::new(0),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             sleep: Mutex::new(SleepState::default()),
@@ -559,7 +617,7 @@ impl CompileService {
             score_cache_shard_hits: AtomicU64::new(0),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-            telemetry: ServiceTelemetry::new(),
+            telemetry: ServiceTelemetry::with_journal_cap(journal_cap),
         });
         let handles = (0..workers)
             .map(|me| {
@@ -603,6 +661,12 @@ impl CompileService {
     /// is invisible to caching and to compiled output.
     pub fn scoring_threads(&self) -> usize {
         self.shared.scoring_threads
+    }
+
+    /// Whether executed compiles carry a flight recorder (see
+    /// [`CompileServiceBuilder::flight_recorder`]).
+    pub fn flight_recorder_enabled(&self) -> bool {
+        self.shared.flight_recorder
     }
 
     /// Jobs currently published to some queue and not yet claimed by a
@@ -1016,8 +1080,8 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
         }
         None => {
             let compile_started = Instant::now();
-            let result = run_compile(&request, &prep, shared.scoring_threads, scratch)
-                .unwrap_or_else(|panic_message| {
+            let result =
+                run_compile(&request, &prep, shared, scratch).unwrap_or_else(|panic_message| {
                     // A panicking compile must not take the worker (and
                     // every queued tenant behind it) down; surface it on
                     // the one affected handle and drop the
@@ -1039,6 +1103,15 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
         shared.score_shards_spawned.fetch_add(scoring.score_shards_spawned, Ordering::Relaxed);
         shared.score_cache_shard_hits.fetch_add(scoring.score_cache_shard_hits, Ordering::Relaxed);
         shared.telemetry.note_scheduler_phases(&scoring);
+        // Per-request scoring work as span attributes, so the slow-request
+        // JSONL and GetTrace show what this compile cost — not just the
+        // pool-wide aggregates.
+        let t = &shared.telemetry;
+        t.span_attr(&span, "candidates_scored", scoring.candidates_scored.to_string());
+        t.span_attr(&span, "score_shards_spawned", scoring.score_shards_spawned.to_string());
+        t.span_attr(&span, "score_cache_shard_hits", scoring.score_cache_shard_hits.to_string());
+        t.span_attr(&span, "frontier_rebuilds", scoring.frontier_rebuilds.to_string());
+        t.span_attr(&span, "stall_fallback_entries", scoring.stall_fallback_entries.to_string());
         // Insert into the cache *before* retiring the pending entry:
         // identical submissions racing this completion find the job in at
         // least one of the two, so nothing recompiles.
@@ -1071,27 +1144,32 @@ fn execute(shared: &Shared, me: usize, job: Job, scratch: &mut CompileScratch) {
         (Err(_), true) => "compile_failed",
     };
     shared.telemetry.span_attr(&span, "outcome", outcome_label);
-    shared.telemetry.finish_request(&span, priority, kind);
+    let recording = result.as_ref().ok().and_then(|outcome| outcome.flight_recording().cloned());
+    shared.telemetry.finish_request_with(&span, priority, kind, recording);
     shared.completed.fetch_add(attached.load(Ordering::Relaxed), Ordering::Relaxed);
     state.fulfil(result);
 }
 
 /// Runs one compile, catching panics; `Err` carries the panic message.
-/// The pool's budgeted `scoring_threads` is pinned into the config here —
-/// *after* the cache key was computed from the request's own config — so
-/// the server-side thread budget never leaks into cache identity, and a
-/// remote client's config can never dictate server thread usage.
+/// The pool's budgeted `scoring_threads` and its `flight_recorder` switch
+/// are pinned into the config here — *after* the cache key was computed
+/// from the request's own config — so neither server-side decision leaks
+/// into cache identity, and a remote client's config can dictate neither
+/// server thread usage nor recorder memory.
 fn run_compile(
     request: &CompileRequest,
     prep: &CircuitPrep,
-    scoring_threads: usize,
+    shared: &Shared,
     scratch: &mut CompileScratch,
 ) -> Result<JobResult, String> {
     let first_use = request
         .compiler
         .uses_first_use_order()
         .then(|| prep.first_use.get_or_init(|| request.circuit.first_use_order()).as_slice());
-    let config = request.config.with_scoring_threads(scoring_threads);
+    let config = request
+        .config
+        .with_scoring_threads(shared.scoring_threads)
+        .with_flight_recorder(shared.flight_recorder);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         request
             .compiler
@@ -1159,6 +1237,41 @@ mod tests {
         assert_eq!(metrics.jobs_executed(), 1, "second request must not recompile");
         assert_eq!(metrics.jobs_submitted, 2);
         assert_eq!(metrics.jobs_completed, 2);
+    }
+
+    #[test]
+    fn flight_recordings_ride_the_trace_journal() {
+        let service = CompileService::builder()
+            .workers(1)
+            .flight_recorder(true)
+            .trace_journal_cap(8)
+            .cache_bounds(CacheBounds::with_max_entries(16))
+            .build();
+        assert!(service.flight_recorder_enabled());
+        let config = CompilerConfig::default();
+        let circuit = Arc::new(qft(10));
+        let (handle, span) =
+            service.submit_traced(request(&service, &circuit, CompilerKind::SSync, &config));
+        let outcome = handle.wait().expect("compiles");
+        assert!(outcome.flight_recording().is_some(), "executed compile carries its recording");
+        let (record, recording) =
+            service.telemetry().trace_detail(span.trace_id()).expect("trace journaled");
+        assert_eq!(record.trace_id, span.trace_id());
+        let recording = recording.expect("recorder on retains the event stream");
+        assert!(!recording.events.is_empty());
+        // The request's scoring work rides the span as attributes.
+        assert!(record.attrs.iter().any(|(k, _)| *k == "candidates_scored"));
+
+        // Recorder off (the default): same compile, no recording anywhere.
+        let plain = CompileService::with_workers(1);
+        assert!(!plain.flight_recorder_enabled());
+        let (handle, span) =
+            plain.submit_traced(request(&plain, &circuit, CompilerKind::SSync, &config));
+        let bare = handle.wait().expect("compiles");
+        assert!(bare.flight_recording().is_none());
+        assert_eq!(outcome.program().ops(), bare.program().ops(), "recorder never steers");
+        let (_, recording) = plain.telemetry().trace_detail(span.trace_id()).expect("journaled");
+        assert!(recording.is_none());
     }
 
     #[test]

@@ -40,9 +40,11 @@ use crate::metrics::ServiceMetrics;
 use ssync_baselines::CompilerKind;
 use ssync_core::ScoringTelemetry;
 use ssync_telemetry::{
-    HistogramSnapshot, LatencyHistogram, Span, TextExposition, TraceJournal, TraceRecord,
+    BurnWindow, FlightRecording, HistogramSnapshot, LatencyHistogram, Span, TextExposition,
+    TraceJournal, TraceRecord,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Number of compilers ([`CompilerKind::ALL`]).
@@ -51,8 +53,30 @@ const KINDS: usize = CompilerKind::ALL.len();
 /// Sentinel for "slow-request logging disabled" (the default).
 const SLOW_DISABLED: u64 = u64::MAX;
 
-/// How many recent traces the in-memory journal retains.
+/// How many recent traces the in-memory journal retains by default; the
+/// daemon's `--trace-journal-cap` flag (env `SSYNC_TRACE_JOURNAL_CAP`)
+/// overrides it per pool.
 pub const TRACE_JOURNAL_CAPACITY: usize = 256;
+
+/// How often the SLO ticker samples the end-to-end histograms into the
+/// burn-rate windows. The window capacities below assume this cadence.
+pub const SLO_TICK_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Burn-window spans exposed on the scrape surfaces, shortest first.
+pub const SLO_WINDOWS: [(&str, Duration); 2] =
+    [("1m", Duration::from_secs(60)), ("10m", Duration::from_secs(600))];
+
+/// Default SLO latency targets in milliseconds, indexed by
+/// [`Priority::index`] (High, Normal, Batch). The daemon's
+/// `--slo-ms-high` / `--slo-ms-normal` / `--slo-ms-batch` flags override
+/// them.
+pub const DEFAULT_SLO_MS: [u64; 3] = [250, 1_000, 5_000];
+
+/// Readings a burn window must hold to span `window` at the tick cadence:
+/// one reading per tick plus the baseline reading at the far edge.
+fn window_capacity(window: Duration) -> usize {
+    (window.as_millis() / SLO_TICK_INTERVAL.as_millis()) as usize + 1
+}
 
 /// The five histogrammed pipeline stages (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +155,11 @@ impl StageFamily {
         self.by_kind[kind_index(kind)].record_ns(ns);
     }
 
+    fn record_ns_with_exemplar(&self, priority: Priority, kind: CompilerKind, ns: u64, trace: u64) {
+        self.by_priority[priority.index()].record_ns_with_exemplar(ns, trace);
+        self.by_kind[kind_index(kind)].record_ns_with_exemplar(ns, trace);
+    }
+
     fn snapshot(&self) -> StageSnapshot {
         StageSnapshot {
             by_priority: std::array::from_fn(|i| self.by_priority[i].snapshot()),
@@ -176,6 +205,12 @@ pub struct TelemetrySnapshot {
     pub stall_fallback_entries: u64,
     /// Wall time spent in scheduler scoring passes, nanoseconds.
     pub scoring_time_ns: u64,
+    /// Per-priority SLO latency targets, nanoseconds
+    /// (indexed by [`Priority::index`]).
+    pub slo_target_ns: [u64; 3],
+    /// Per-priority burn rates over [`SLO_WINDOWS`]: parts-per-million of
+    /// traffic over target, `None` while a window lacks readings.
+    pub slo_burn_ppm: [[Option<u64>; 2]; 3],
 }
 
 impl TelemetrySnapshot {
@@ -198,6 +233,8 @@ pub struct ServiceTelemetry {
     frontier_rebuilds: AtomicU64,
     stall_fallback_entries: AtomicU64,
     scoring_time_ns: AtomicU64,
+    slo_target_ns: [AtomicU64; 3],
+    slo_windows: Mutex<[[BurnWindow; 2]; 3]>,
 }
 
 impl std::fmt::Debug for ServiceTelemetry {
@@ -209,18 +246,29 @@ impl std::fmt::Debug for ServiceTelemetry {
 }
 
 impl ServiceTelemetry {
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
+        Self::with_journal_cap(TRACE_JOURNAL_CAPACITY)
+    }
+
+    pub(crate) fn with_journal_cap(journal_cap: usize) -> Self {
         Self {
             enabled: AtomicBool::new(true),
             next_trace_id: AtomicU64::new(1),
             stages: std::array::from_fn(|_| StageFamily::new()),
-            journal: TraceJournal::new(TRACE_JOURNAL_CAPACITY),
+            journal: TraceJournal::new(journal_cap.max(1)),
             slow_threshold_ns: AtomicU64::new(SLOW_DISABLED),
             traces_recorded: AtomicU64::new(0),
             slow_requests: AtomicU64::new(0),
             frontier_rebuilds: AtomicU64::new(0),
             stall_fallback_entries: AtomicU64::new(0),
             scoring_time_ns: AtomicU64::new(0),
+            slo_target_ns: std::array::from_fn(|i| {
+                AtomicU64::new(DEFAULT_SLO_MS[i].saturating_mul(1_000_000))
+            }),
+            slo_windows: Mutex::new(std::array::from_fn(|_| {
+                std::array::from_fn(|w| BurnWindow::new(window_capacity(SLO_WINDOWS[w].1)))
+            })),
         }
     }
 
@@ -265,7 +313,7 @@ impl ServiceTelemetry {
     }
 
     /// Set a span attribute unless recording is disabled.
-    pub(crate) fn span_attr(&self, span: &Span, key: &'static str, value: &'static str) {
+    pub(crate) fn span_attr(&self, span: &Span, key: &'static str, value: impl Into<String>) {
         if self.is_enabled() {
             span.set_attr(key, value);
         }
@@ -294,13 +342,33 @@ impl ServiceTelemetry {
     /// emits a JSONL line on stderr when the request was slow. Idempotent
     /// on the span's total; callers invoke it exactly once per trace.
     pub(crate) fn finish_request(&self, span: &Span, priority: Priority, kind: CompilerKind) {
+        self.finish_request_with(span, priority, kind, None);
+    }
+
+    /// [`ServiceTelemetry::finish_request`] that additionally retains the
+    /// compile's flight recording alongside the trace in the journal, so a
+    /// later `GetTrace` can replay the scheduler's decisions. The
+    /// end-to-end histograms are stamped with the trace id as a bucket
+    /// exemplar either way.
+    pub(crate) fn finish_request_with(
+        &self,
+        span: &Span,
+        priority: Priority,
+        kind: CompilerKind,
+        recording: Option<Arc<FlightRecording>>,
+    ) {
         let total_ns = span.finish();
         if !self.is_enabled() {
             return;
         }
         span.record("end_to_end", Duration::from_nanos(total_ns));
-        self.record_ns(Stage::EndToEnd, priority, kind, total_ns);
-        self.journal.push(span.clone());
+        self.stages[Stage::EndToEnd.index()].record_ns_with_exemplar(
+            priority,
+            kind,
+            total_ns,
+            span.trace_id(),
+        );
+        self.journal.push_with_recording(span.clone(), recording);
         self.traces_recorded.fetch_add(1, Ordering::Relaxed);
         if total_ns >= self.slow_threshold_ns.load(Ordering::Relaxed) {
             self.slow_requests.fetch_add(1, Ordering::Relaxed);
@@ -326,10 +394,59 @@ impl ServiceTelemetry {
         self.slow_requests.load(Ordering::Relaxed)
     }
 
-    /// Recent finished traces, oldest first (bounded ring, capacity
-    /// [`TRACE_JOURNAL_CAPACITY`]).
+    /// Recent finished traces, oldest first (bounded ring, default
+    /// capacity [`TRACE_JOURNAL_CAPACITY`]).
     pub fn recent_traces(&self) -> Vec<TraceRecord> {
         self.journal.recent()
+    }
+
+    /// Look up one journaled trace by id: the span record plus the flight
+    /// recording the compile left behind (if the recorder was on and the
+    /// trace ran a compile). `None` once the journal ring has evicted it.
+    pub fn trace_detail(
+        &self,
+        trace_id: u64,
+    ) -> Option<(TraceRecord, Option<Arc<FlightRecording>>)> {
+        self.journal.find(trace_id)
+    }
+
+    /// Set one priority's SLO latency target.
+    pub fn set_slo_target(&self, priority: Priority, target: Duration) {
+        let ns = target.as_nanos().min(u64::MAX as u128) as u64;
+        self.slo_target_ns[priority.index()].store(ns, Ordering::Relaxed);
+    }
+
+    /// One priority's SLO latency target in nanoseconds.
+    pub fn slo_target_ns(&self, priority: Priority) -> u64 {
+        self.slo_target_ns[priority.index()].load(Ordering::Relaxed)
+    }
+
+    /// Sample the end-to-end histograms into every burn window. The
+    /// daemon's SLO ticker calls this each [`SLO_TICK_INTERVAL`]; the
+    /// windows then expose "fraction of requests over target" deltas over
+    /// [`SLO_WINDOWS`]. Bad counts are bucket-granular
+    /// ([`HistogramSnapshot::count_over`]), a deliberate
+    /// under-approximation that never cries wolf.
+    pub fn slo_tick(&self) {
+        let mut windows = self.slo_windows.lock().expect("slo windows poisoned");
+        for priority in Priority::ALL {
+            let target = self.slo_target_ns[priority.index()].load(Ordering::Relaxed);
+            let snap =
+                self.stages[Stage::EndToEnd.index()].by_priority[priority.index()].snapshot();
+            let total = snap.count();
+            let bad = snap.count_over(target);
+            for window in &mut windows[priority.index()] {
+                window.push(total, bad);
+            }
+        }
+    }
+
+    /// Current burn rates: `[priority][window]` parts-per-million of
+    /// traffic over target, `None` until a window holds two readings with
+    /// traffic between them.
+    pub fn slo_burn_ppm(&self) -> [[Option<u64>; 2]; 3] {
+        let windows = self.slo_windows.lock().expect("slo windows poisoned");
+        std::array::from_fn(|p| std::array::from_fn(|w| windows[p][w].burn_ppm()))
     }
 
     /// Snapshot every histogram and counter.
@@ -341,6 +458,8 @@ impl ServiceTelemetry {
             frontier_rebuilds: self.frontier_rebuilds.load(Ordering::Relaxed),
             stall_fallback_entries: self.stall_fallback_entries.load(Ordering::Relaxed),
             scoring_time_ns: self.scoring_time_ns.load(Ordering::Relaxed),
+            slo_target_ns: std::array::from_fn(|i| self.slo_target_ns[i].load(Ordering::Relaxed)),
+            slo_burn_ppm: self.slo_burn_ppm(),
         }
     }
 }
@@ -462,6 +581,31 @@ pub fn render_text(metrics: &ServiceMetrics, telemetry: &TelemetrySnapshot) -> S
     e.header("ssync_uptime_seconds", "gauge", "Wall seconds since service start.");
     e.value("ssync_uptime_seconds", &[], metrics.uptime.as_secs());
 
+    e.header("ssync_slo_target_ms", "gauge", "Per-priority SLO latency target, milliseconds.");
+    for priority in Priority::ALL {
+        e.value(
+            "ssync_slo_target_ms",
+            &[("priority", priority.label())],
+            telemetry.slo_target_ns[priority.index()] / 1_000_000,
+        );
+    }
+    e.header(
+        "ssync_slo_burn_ppm",
+        "gauge",
+        "Fraction of requests over their SLO target across the window, parts per million.",
+    );
+    for priority in Priority::ALL {
+        for (w, (window_label, _)) in SLO_WINDOWS.iter().enumerate() {
+            if let Some(ppm) = telemetry.slo_burn_ppm[priority.index()][w] {
+                e.value(
+                    "ssync_slo_burn_ppm",
+                    &[("priority", priority.label()), ("window", window_label)],
+                    ppm,
+                );
+            }
+        }
+    }
+
     e.header("ssync_worker_executed_total", "counter", "Compiles executed per worker.");
     e.header("ssync_worker_stolen_total", "counter", "Stolen jobs per worker.");
     for (i, w) in metrics.workers.iter().enumerate() {
@@ -525,6 +669,41 @@ mod tests {
     }
 
     #[test]
+    fn journal_cap_is_configurable_and_trace_detail_resolves() {
+        let t = ServiceTelemetry::with_journal_cap(2);
+        let spans: Vec<Span> = (0..3).map(|_| t.begin_trace()).collect();
+        for s in &spans {
+            t.finish_request_with(s, Priority::Normal, CompilerKind::SSync, None);
+        }
+        assert!(t.trace_detail(spans[0].trace_id()).is_none(), "cap 2 evicts the oldest");
+        let (record, recording) = t.trace_detail(spans[2].trace_id()).expect("retained");
+        assert_eq!(record.trace_id, spans[2].trace_id());
+        assert!(recording.is_none(), "no compile ran, so no flight recording");
+        // The end-to-end histograms carry the trace id as a bucket exemplar.
+        let snap = t.snapshot();
+        let hist = &snap.stage(Stage::EndToEnd).by_priority[Priority::Normal.index()];
+        assert!(hist.exemplars.iter().any(|&e| e == spans[2].trace_id()));
+    }
+
+    #[test]
+    fn slo_burn_windows_track_over_target_traffic() {
+        let t = ServiceTelemetry::new();
+        t.set_slo_target(Priority::High, Duration::from_nanos(1_000));
+        assert_eq!(t.slo_burn_ppm()[Priority::High.index()], [None, None], "no readings yet");
+        t.slo_tick(); // baseline reading
+        for _ in 0..3 {
+            t.record_ns(Stage::EndToEnd, Priority::High, CompilerKind::SSync, 10);
+        }
+        t.record_ns(Stage::EndToEnd, Priority::High, CompilerKind::SSync, 1 << 20);
+        t.slo_tick();
+        let burn = t.slo_burn_ppm()[Priority::High.index()];
+        assert_eq!(burn[0], Some(250_000), "1 of 4 requests burned budget over the short window");
+        assert_eq!(burn[1], Some(250_000), "long window saw the same delta");
+        // Other priorities saw no traffic: burn stays undefined, not zero.
+        assert_eq!(t.slo_burn_ppm()[Priority::Batch.index()], [None, None]);
+    }
+
+    #[test]
     fn zero_threshold_marks_everything_slow() {
         let t = ServiceTelemetry::new();
         t.set_slow_threshold(Some(Duration::ZERO));
@@ -573,5 +752,21 @@ mod tests {
         assert!(doc
             .contains("ssync_stage_latency_ns_count{stage=\"queue_wait\",compiler=\"ssync\"} 1\n"));
         assert!(doc.contains("ssync_uptime_seconds 2\n"));
+        assert!(doc.contains("ssync_slo_target_ms{priority=\"high\"} 250\n"));
+        assert!(doc.contains("ssync_slo_target_ms{priority=\"batch\"} 5000\n"));
+        assert!(!doc.contains("ssync_slo_burn_ppm{"), "no readings yet, so no burn series");
+    }
+
+    #[test]
+    fn exposition_renders_burn_gauges_once_windows_have_readings() {
+        let t = ServiceTelemetry::new();
+        t.set_slo_target(Priority::Normal, Duration::from_nanos(1_000));
+        t.slo_tick();
+        t.record_ns(Stage::EndToEnd, Priority::Normal, CompilerKind::SSync, 1 << 20);
+        t.slo_tick();
+        let metrics = ServiceMetrics { workers: vec![], ..Default::default() };
+        let doc = render_text(&metrics, &t.snapshot());
+        assert!(doc.contains("ssync_slo_burn_ppm{priority=\"normal\",window=\"1m\"} 1000000\n"));
+        assert!(doc.contains("ssync_slo_burn_ppm{priority=\"normal\",window=\"10m\"} 1000000\n"));
     }
 }

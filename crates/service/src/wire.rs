@@ -36,6 +36,7 @@
 //! | `Wait { job }` | `Outcome`, `CompileFailed` or `Rejected` (blocks) |
 //! | `Metrics` | `Metrics(ServiceMetrics)` |
 //! | `GetStats` | `StatsText { text }` (v5; Prometheus-style exposition) |
+//! | `GetTrace { trace_id }` | `TraceDetail` or `Rejected` (v6) |
 //! | `Shutdown` | `ShuttingDown`, then the daemon exits |
 //!
 //! ## Version 2
@@ -96,6 +97,23 @@
 //!   bytes `--metrics-text` writes to disk, for peers that want to
 //!   scrape over the wire instead of through the filesystem.
 //!
+//! ## Version 6
+//!
+//! v6 adds **wire-fetchable traces**: `GetTrace { trace_id }` (new
+//! request tag) is answered with `TraceDetail` (new response tag)
+//! carrying the trace's span rendered to the slow-request-log JSONL
+//! schema plus — when the daemon ran with the flight recorder on — the
+//! request's flight-recorder event stream, one JSON object per line.
+//! An id the daemon's trace journal no longer holds (evicted, or never
+//! assigned) comes back as `Rejected`. Both payloads are plain strings,
+//! so the trace schema can grow without another wire bump. Every v1–v5
+//! tag and payload encoding is unchanged, and the
+//! `CompilerConfig::flight_recorder` flag deliberately stays **off the
+//! wire** like `scoring_threads`: recording is a server-side
+//! observability decision (`--flight-recorder` /
+//! `SSYNC_FLIGHT_RECORDER`), never something a remote client dictates —
+//! and it cannot affect compiled output anyway.
+//!
 //! Job ids are per-connection and **single-delivery**: the response that
 //! carries a job's terminal result (`Wait`, or a `Poll` that observes
 //! completion) consumes the id, so a long-lived connection doesn't pin
@@ -124,9 +142,10 @@ pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"SSYC");
 /// counters; v4 appended the intra-compile scoring counters to
 /// `Metrics`; v5 added request tracing (trace ids on `Submitted` /
 /// `QasmSubmitted`, the trace counters on `Metrics`) and the
-/// `GetStats`/`StatsText` text-exposition scrape. [`read_frame`] still
-/// accepts [`MIN_WIRE_VERSION`]-tagged frames from older peers.
-pub const WIRE_VERSION: u32 = 5;
+/// `GetStats`/`StatsText` text-exposition scrape; v6 added the
+/// `GetTrace`/`TraceDetail` flight-recorder trace fetch. [`read_frame`]
+/// still accepts [`MIN_WIRE_VERSION`]-tagged frames from older peers.
+pub const WIRE_VERSION: u32 = 6;
 /// Oldest protocol version [`read_frame`] accepts.
 pub const MIN_WIRE_VERSION: u32 = 1;
 /// Upper bound on a frame payload (a defence against corrupt length
@@ -286,6 +305,13 @@ pub enum Request {
     /// Prometheus-style text exposition (wire v5); answered with
     /// `StatsText`.
     GetStats,
+    /// Fetch one trace from the daemon's journal by the id `Submitted` /
+    /// `QasmSubmitted` returned (wire v6); answered with `TraceDetail`,
+    /// or `Rejected` when the journal no longer holds the id.
+    GetTrace {
+        /// The server-assigned trace id to look up.
+        trace_id: u64,
+    },
     /// Ask the daemon to exit after responding.
     Shutdown,
 }
@@ -345,6 +371,20 @@ pub enum Response {
         /// `--metrics-text` flag writes to disk.
         text: String,
     },
+    /// One trace from the daemon's journal (wire v6; answers
+    /// `GetTrace`). Both fields are rendered text so the trace schema
+    /// can grow without a wire bump.
+    TraceDetail {
+        /// The id that was looked up.
+        trace_id: u64,
+        /// The trace's span + stage timings + attributes in the
+        /// slow-request-log JSONL schema (one line).
+        span_jsonl: String,
+        /// The request's flight-recorder stream — a header line plus one
+        /// JSON object per recorded event, newline-separated. Empty when
+        /// the daemon compiled the request with the recorder off.
+        recorder_jsonl: String,
+    },
 }
 
 fn priority_tag(p: Priority) -> u8 {
@@ -382,6 +422,10 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         Request::Metrics => w.put_u8(3),
         Request::Shutdown => w.put_u8(4),
         Request::GetStats => w.put_u8(7),
+        Request::GetTrace { trace_id } => {
+            w.put_u8(8);
+            w.put_u64(*trace_id);
+        }
         Request::Hello { token } => {
             w.put_u8(6);
             w.put_str(token);
@@ -437,6 +481,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
         })),
         6 => Request::Hello { token: r.get_str()? },
         7 => Request::GetStats,
+        8 => Request::GetTrace { trace_id: r.get_u64()? },
         tag => return Err(CodecError::BadTag { what: "request", tag }),
     };
     if !r.is_exhausted() {
@@ -586,6 +631,12 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.put_u8(9);
             w.put_str(text);
         }
+        Response::TraceDetail { trace_id, span_jsonl, recorder_jsonl } => {
+            w.put_u8(10);
+            w.put_u64(*trace_id);
+            w.put_str(span_jsonl);
+            w.put_str(recorder_jsonl);
+        }
     }
     w.into_bytes()
 }
@@ -619,6 +670,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
         },
         8 => Response::Welcome { version: r.get_u32()? },
         9 => Response::StatsText { text: r.get_str()? },
+        10 => Response::TraceDetail {
+            trace_id: r.get_u64()?,
+            span_jsonl: r.get_str()?,
+            recorder_jsonl: r.get_str()?,
+        },
         tag => return Err(CodecError::BadTag { what: "response", tag }),
     };
     if !r.is_exhausted() {
@@ -778,6 +834,7 @@ mod tests {
             Request::Wait { job: 9 },
             Request::Metrics,
             Request::GetStats,
+            Request::GetTrace { trace_id: 41 },
             Request::Shutdown,
         ] {
             let bytes = encode_request(&request);
@@ -802,7 +859,10 @@ mod tests {
                 }
                 (Request::Hello { token: a }, Request::Hello { token: b }) => assert_eq!(a, b),
                 (Request::Poll { job: a }, Request::Poll { job: b })
-                | (Request::Wait { job: a }, Request::Wait { job: b }) => assert_eq!(a, b),
+                | (Request::Wait { job: a }, Request::Wait { job: b })
+                | (Request::GetTrace { trace_id: a }, Request::GetTrace { trace_id: b }) => {
+                    assert_eq!(a, b)
+                }
                 (Request::Metrics, Request::Metrics)
                 | (Request::GetStats, Request::GetStats)
                 | (Request::Shutdown, Request::Shutdown) => {}
@@ -962,6 +1022,76 @@ mod tests {
             Response::StatsText { text: decoded } => assert_eq!(decoded, text),
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    /// Frames stamped with every protocol version back to v1 are
+    /// accepted: the v6 tag set is a strict superset of each
+    /// predecessor's, so a v6 daemon understands every older peer.
+    #[test]
+    fn all_supported_versions_are_accepted() {
+        let payload = encode_request(&Request::GetTrace { trace_id: 12 });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("write");
+        for version in MIN_WIRE_VERSION..=WIRE_VERSION {
+            let mut stamped = buf.clone();
+            stamped[4..8].copy_from_slice(&version.to_le_bytes());
+            let read = read_frame(&mut std::io::Cursor::new(&stamped)).expect("supported version");
+            assert_eq!(read, Some(payload.clone()), "version {version}");
+        }
+    }
+
+    /// `TraceDetail` round-trips, and — the v6 truncation-fuzz contract —
+    /// cutting its payload at ANY interior length fails cleanly with a
+    /// codec error: the new tag never panics and never decodes garbage.
+    #[test]
+    fn trace_detail_round_trips_and_rejects_every_truncation() {
+        let span_jsonl = r#"{"trace_id":"000000000000002a","total_us":1234}"#.to_string();
+        let recorder_jsonl =
+            "{\"events\":2}\n{\"event\":\"layer_opened\",\"layer\":0}\n".to_string();
+        let response = Response::TraceDetail {
+            trace_id: 42,
+            span_jsonl: span_jsonl.clone(),
+            recorder_jsonl: recorder_jsonl.clone(),
+        };
+        let bytes = encode_response(&response);
+        match decode_response(&bytes).expect("round-trips") {
+            Response::TraceDetail { trace_id, span_jsonl: s, recorder_jsonl: r } => {
+                assert_eq!(trace_id, 42);
+                assert_eq!(s, span_jsonl);
+                assert_eq!(r, recorder_jsonl);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Unlike `Metrics` (which has version-boundary cut points), a
+        // `TraceDetail` payload has no valid prefix: every cut must be
+        // rejected, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_response(&bytes[..cut]).is_err(), "cut {cut} should be rejected");
+        }
+        // A recorder-off daemon sends the stream empty, not absent.
+        let off = encode_response(&Response::TraceDetail {
+            trace_id: 7,
+            span_jsonl: span_jsonl.clone(),
+            recorder_jsonl: String::new(),
+        });
+        match decode_response(&off).expect("empty stream decodes") {
+            Response::TraceDetail { recorder_jsonl, .. } => assert!(recorder_jsonl.is_empty()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    /// Same fuzz for the new request tag: `GetTrace` is a tag byte plus
+    /// a u64, and every shorter prefix errors cleanly.
+    #[test]
+    fn get_trace_requests_reject_every_truncation() {
+        let bytes = encode_request(&Request::GetTrace { trace_id: u64::MAX });
+        for cut in 0..bytes.len() {
+            assert!(decode_request(&bytes[..cut]).is_err(), "cut {cut} should be rejected");
+        }
+        // ... and trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_request(&padded).is_err());
     }
 
     #[test]

@@ -175,3 +175,158 @@ fn daemon_reports_latency_histograms_on_both_surfaces() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The ISSUE-10 acceptance path: a TCP daemon with the flight recorder
+/// on serves `GetTrace` for a compiled request (span JSONL + non-empty
+/// recorder event stream), the scrape surfaces carry histogram bucket
+/// exemplars whose trace ids resolve back through `GetTrace`, the SLO
+/// target/burn-rate gauges are exported, and the slow-request JSONL
+/// stream carries the scoring attributes.
+#[test]
+fn tcp_daemon_serves_flight_recorder_traces_exemplars_and_slo_gauges() {
+    let dir = std::env::temp_dir().join(format!("ssync-obs-tcp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let metrics_path = dir.join("metrics.prom");
+    let port_file = dir.join("port");
+    let mut child = Command::new(DAEMON)
+        .args(["--tcp", "127.0.0.1:0"])
+        .args(["--port-file", port_file.to_str().unwrap()])
+        .args(["--workers", "2", "--slow-request-ms", "0"])
+        .args(["--metrics-text", metrics_path.to_str().unwrap()])
+        .args(["--flight-recorder", "--trace-journal-cap", "64"])
+        .args(["--slo-ms-high", "250", "--slo-ms-normal", "1000", "--slo-ms-batch", "5000"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ssync-serviced");
+    let mut stderr = child.stderr.take().expect("piped stderr");
+    let drain = std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = stderr.read_to_string(&mut buf);
+        buf
+    });
+    // The daemon publishes its OS-assigned port via --port-file.
+    let addr = {
+        let mut waited = 0u64;
+        loop {
+            match std::fs::read_to_string(&port_file) {
+                Ok(text) if text.ends_with('\n') => break text.trim().to_string(),
+                _ => {
+                    assert!(waited < 10_000, "daemon never published its port");
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    waited += 50;
+                }
+            }
+        }
+    };
+    let mut client = ServiceClient::connect_tcp(&addr, None).expect("connect");
+
+    // First traffic burst, then a pause long enough for an SLO tick to
+    // land a baseline reading, then a second burst — the burn-rate
+    // windows need a non-zero count delta between two ticks before the
+    // gauges render.
+    let config = CompilerConfig::default();
+    let mut trace_ids = Vec::new();
+    for (i, priority) in Priority::ALL.into_iter().enumerate() {
+        let request = RemoteRequest::new("G-2x2", qft(6 + i), CompilerKind::SSync, config)
+            .with_priority(priority);
+        let (job, trace_id) = client.submit_traced(&request).expect("submit");
+        assert!(trace_id > 0);
+        client.wait(job).expect("wait").expect("compiles");
+        trace_ids.push(trace_id);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    let late = RemoteRequest::new("G-2x2", qft(11), CompilerKind::SSync, config)
+        .with_priority(Priority::Normal);
+    let (late_job, late_trace) = client.submit_traced(&late).expect("submit");
+    client.wait(late_job).expect("wait").expect("compiles");
+    trace_ids.push(late_trace);
+    std::thread::sleep(std::time::Duration::from_millis(700));
+
+    // GetTrace round-trips a recorded trace over TCP: the span JSONL
+    // names the trace and carries the scoring attributes, and the
+    // flight-recorder stream is non-empty (header + events).
+    for &trace_id in &trace_ids {
+        let (span_jsonl, recorder_jsonl) = client.get_trace(trace_id).expect("GetTrace");
+        assert!(
+            span_jsonl.contains(&format!("{trace_id:016x}")),
+            "span names its trace: {span_jsonl}"
+        );
+        assert!(
+            span_jsonl.contains("candidates_scored"),
+            "span carries the scoring attributes: {span_jsonl}"
+        );
+        assert!(!recorder_jsonl.is_empty(), "recorder stream travels for trace {trace_id}");
+        assert!(
+            recorder_jsonl.lines().count() > 1,
+            "header plus at least one event: {recorder_jsonl}"
+        );
+    }
+    // An unknown id is a clean rejection, not a dead connection.
+    assert!(matches!(
+        client.get_trace(u64::MAX),
+        Err(ssync_service::client::ClientError::Rejected(_))
+    ));
+
+    // The SLO gauges are on the wire scrape: the configured targets, and
+    // (after two ticks bracketed the traffic) the burn-rate gauges.
+    let stats = client.stats_text().expect("GetStats");
+    for (priority, target) in [("high", 250), ("normal", 1000), ("batch", 5000)] {
+        assert_eq!(
+            metric(&stats, "ssync_slo_target_ms", &format!("priority=\"{priority}\"")),
+            Some(target),
+            "SLO target gauge for {priority}"
+        );
+    }
+    assert!(
+        stats.contains("ssync_slo_burn_ppm{priority=\"normal\",window=\"1m\"}"),
+        "burn-rate gauge renders once windows have readings:\n{stats}"
+    );
+
+    // Histogram exemplars: at least one bucket on the wire scrape names
+    // a trace id, and that id resolves back through GetTrace. The scrape
+    // file (refreshed every ~500 ms) carries the same exemplars.
+    let exemplar_ids = |text: &str| -> Vec<u64> {
+        text.match_indices("trace_id=\"")
+            .filter_map(|(at, needle)| {
+                let hex = &text[at + needle.len()..at + needle.len() + 16];
+                u64::from_str_radix(hex, 16).ok()
+            })
+            .collect()
+    };
+    let on_wire = exemplar_ids(&stats);
+    assert!(!on_wire.is_empty(), "GetStats carries bucket exemplars:\n{stats}");
+    let file = std::fs::read_to_string(&metrics_path).expect("live --metrics-text file");
+    let on_file = exemplar_ids(&file);
+    assert!(!on_file.is_empty(), "the scrape file carries bucket exemplars:\n{file}");
+    let resolved = on_file
+        .iter()
+        .filter(|&&id| {
+            client
+                .get_trace(id)
+                .map(|(span, _)| span.contains(&format!("{id:016x}")))
+                .unwrap_or(false)
+        })
+        .count();
+    assert!(resolved > 0, "a scrape-file exemplar resolves via GetTrace: {on_file:?}");
+    assert!(
+        on_file.iter().any(|id| trace_ids.contains(id)),
+        "a scrape-file exemplar names one of this session's traces: {on_file:?} vs {trace_ids:?}"
+    );
+
+    client.shutdown().expect("shutdown");
+    assert!(child.wait().expect("daemon exits").success());
+    let stderr = drain.join().expect("stderr drained");
+
+    // The slow-request JSONL stream carries the scoring attributes.
+    let jsonl: Vec<&str> = stderr.lines().filter(|line| line.starts_with('{')).collect();
+    assert!(jsonl.len() >= trace_ids.len(), "one slow line per request:\n{stderr}");
+    assert!(
+        jsonl.iter().any(|line| line.contains("\"candidates_scored\":")),
+        "slow lines carry the scoring attributes:\n{stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

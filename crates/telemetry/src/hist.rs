@@ -38,9 +38,16 @@ pub fn bucket_upper_bound(index: usize) -> u64 {
 }
 
 /// A mergeable, lock-free log2 latency histogram (values in nanoseconds).
+///
+/// Each bucket additionally retains one **exemplar**: the trace id of the
+/// most recent observation that landed in it (0 when the bucket has never
+/// seen a traced observation). Exemplars turn "what is my p99?" into
+/// "fetch *this* trace": the text exposition renders them as
+/// OpenMetrics-style `# {trace_id="..."}` suffixes on bucket lines.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    exemplars: [AtomicU64; BUCKETS],
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
 }
@@ -56,6 +63,7 @@ impl LatencyHistogram {
     pub fn new() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
         }
@@ -66,6 +74,18 @@ impl LatencyHistogram {
         self.buckets[bucket_index(value_ns)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(value_ns, Ordering::Relaxed);
         self.max_ns.fetch_max(value_ns, Ordering::Relaxed);
+    }
+
+    /// Record an observation and stamp its trace id as the bucket's
+    /// exemplar. Trace ids are process-monotonic and never zero, so
+    /// `fetch_max` keeps the most recent traced observation per bucket
+    /// without a compare-and-swap loop; a zero id records the latency but
+    /// leaves the exemplar untouched.
+    pub fn record_ns_with_exemplar(&self, value_ns: u64, trace_id: u64) {
+        self.record_ns(value_ns);
+        if trace_id != 0 {
+            self.exemplars[bucket_index(value_ns)].fetch_max(trace_id, Ordering::Relaxed);
+        }
     }
 
     /// Record a [`Duration`], saturating at `u64::MAX` nanoseconds.
@@ -82,6 +102,7 @@ impl LatencyHistogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            exemplars: std::array::from_fn(|i| self.exemplars[i].load(Ordering::Relaxed)),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
             max_ns: self.max_ns.load(Ordering::Relaxed),
         }
@@ -93,6 +114,8 @@ impl LatencyHistogram {
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts (see [`bucket_index`]).
     pub buckets: [u64; BUCKETS],
+    /// Per-bucket exemplar trace ids (0 = no traced observation yet).
+    pub exemplars: [u64; BUCKETS],
     /// Sum of all recorded nanoseconds (wrapping on overflow).
     pub sum_ns: u64,
     /// Largest recorded value, exact.
@@ -101,7 +124,7 @@ pub struct HistogramSnapshot {
 
 impl Default for HistogramSnapshot {
     fn default() -> Self {
-        Self { buckets: [0; BUCKETS], sum_ns: 0, max_ns: 0 }
+        Self { buckets: [0; BUCKETS], exemplars: [0; BUCKETS], sum_ns: 0, max_ns: 0 }
     }
 }
 
@@ -122,8 +145,24 @@ impl HistogramSnapshot {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine = mine.saturating_add(*theirs);
         }
+        // Trace ids are process-monotonic, so `max` keeps the most recent
+        // exemplar per bucket — commutative and associative like the counts.
+        for (mine, theirs) in self.exemplars.iter_mut().zip(other.exemplars.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
         self.sum_ns = self.sum_ns.wrapping_add(other.sum_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of observations in buckets *strictly above* the one holding
+    /// `threshold_ns` — i.e. observations guaranteed to exceed the
+    /// threshold. Bucket-granular and therefore conservative: values that
+    /// exceeded the threshold but share its bucket are not counted. Used
+    /// for SLO burn accounting, where a stable under-approximation beats a
+    /// noisy exact count.
+    pub fn count_over(&self, threshold_ns: u64) -> u64 {
+        let cutoff = bucket_index(threshold_ns);
+        self.buckets[cutoff + 1..].iter().fold(0u64, |acc, &b| acc.saturating_add(b))
     }
 
     /// Nearest-rank percentile. `p` is a fraction in `(0, 1]`; returns the
@@ -237,6 +276,36 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count(), 2);
         assert_eq!(s.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn exemplars_track_most_recent_trace_per_bucket() {
+        let h = LatencyHistogram::new();
+        h.record_ns(100); // no exemplar
+        h.record_ns_with_exemplar(100, 7);
+        h.record_ns_with_exemplar(120, 9); // same bucket, newer trace wins
+        h.record_ns_with_exemplar(1, 3);
+        h.record_ns_with_exemplar(5000, 0); // zero id never stamps
+        let s = h.snapshot();
+        assert_eq!(s.exemplars[bucket_index(100)], 9);
+        assert_eq!(s.exemplars[bucket_index(1)], 3);
+        assert_eq!(s.exemplars[bucket_index(5000)], 0);
+        assert_eq!(s.count(), 5, "exemplar recording still counts the latency");
+    }
+
+    #[test]
+    fn count_over_is_bucket_granular_and_conservative() {
+        let h = LatencyHistogram::new();
+        h.record_ns(100); // bucket 7 (64..127)
+        h.record_ns(120); // bucket 7 too
+        h.record_ns(500); // bucket 9
+        h.record_ns(5000); // bucket 13
+        let s = h.snapshot();
+        // Threshold 110 shares bucket 7 with the 120 sample: only the two
+        // strictly-higher buckets count.
+        assert_eq!(s.count_over(110), 2);
+        assert_eq!(s.count_over(0), 4);
+        assert_eq!(s.count_over(u64::MAX), 0);
     }
 
     #[test]

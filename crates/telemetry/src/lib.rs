@@ -1,14 +1,19 @@
 //! Std-only observability primitives for the S-SYNC compile service.
 //!
-//! Three small, dependency-free building blocks:
+//! Five small, dependency-free building blocks:
 //!
 //! - [`hist`]: lock-free log2 latency histograms ([`LatencyHistogram`]) with
-//!   mergeable snapshots and nearest-rank percentile derivation.
+//!   mergeable snapshots, per-bucket exemplar trace ids, and nearest-rank
+//!   percentile derivation.
 //! - [`span`]: per-request trace recorders ([`Span`]) anchored to a
 //!   monotonic clock, a bounded [`TraceJournal`] ring of recent traces, and
 //!   single-line JSON rendering for slow-request logs.
 //! - [`text`]: a minimal Prometheus-style text-exposition writer
 //!   ([`TextExposition`]).
+//! - [`recorder`]: the compile flight recorder ([`FlightRecorder`]) — a
+//!   bounded, preallocated ring of fixed-size scheduler decision events.
+//! - [`window`]: rolling [`BurnWindow`]s of cumulative counter readings for
+//!   SLO burn-rate gauges.
 //!
 //! Everything here is observation-only: recording a latency or appending a
 //! span event never feeds back into scheduling or compilation, so enabling
@@ -21,9 +26,16 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod recorder;
 pub mod span;
 pub mod text;
+pub mod window;
 
 pub use hist::{bucket_index, bucket_upper_bound, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use recorder::{
+    FlightEvent, FlightRecorder, FlightRecording, DEFAULT_RECORDER_CAPACITY, SWAP_SCHEDULE_BUBBLE,
+    SWAP_SCHEDULE_RECURSIVE,
+};
 pub use span::{Span, SpanEvent, TraceJournal, TraceRecord};
 pub use text::TextExposition;
+pub use window::BurnWindow;

@@ -202,11 +202,15 @@ pub fn escape_json_into(s: &str, out: &mut String) {
 }
 
 /// Bounded ring of recent spans. Pushing beyond capacity evicts the oldest
-/// entry; readers get plain-data [`TraceRecord`]s.
+/// entry; readers get plain-data [`TraceRecord`]s. Each entry may carry a
+/// compile [`FlightRecording`](crate::recorder::FlightRecording) alongside
+/// the span — the journal is what keeps the recorder buffer alive after a
+/// request finishes, so `GetTrace` can serve the decision stream for as
+/// long as the span itself is retained.
 #[derive(Debug)]
 pub struct TraceJournal {
     capacity: usize,
-    ring: Mutex<VecDeque<Span>>,
+    ring: Mutex<VecDeque<(Span, Option<Arc<crate::recorder::FlightRecording>>)>>,
 }
 
 impl TraceJournal {
@@ -215,13 +219,24 @@ impl TraceJournal {
         Self { capacity: capacity.max(1), ring: Mutex::new(VecDeque::new()) }
     }
 
-    /// Append a span, evicting the oldest if the ring is full.
+    /// Append a span with no flight recording attached.
     pub fn push(&self, span: Span) {
+        self.push_with_recording(span, None);
+    }
+
+    /// Append a span together with its compile flight recording (if the
+    /// request recorded one), evicting the oldest entry if the ring is
+    /// full.
+    pub fn push_with_recording(
+        &self,
+        span: Span,
+        recording: Option<Arc<crate::recorder::FlightRecording>>,
+    ) {
         let mut ring = self.ring.lock().expect("trace journal poisoned");
         if ring.len() == self.capacity {
             ring.pop_front();
         }
-        ring.push_back(span);
+        ring.push_back((span, recording));
     }
 
     /// Number of retained spans.
@@ -237,7 +252,22 @@ impl TraceJournal {
     /// Snapshot of retained spans, oldest first.
     pub fn recent(&self) -> Vec<TraceRecord> {
         let ring = self.ring.lock().expect("trace journal poisoned");
-        ring.iter().map(Span::to_record).collect()
+        ring.iter().map(|(span, _)| span.to_record()).collect()
+    }
+
+    /// Look up a retained trace by id, returning its record and attached
+    /// flight recording. Scans newest-first so a recycled id (impossible
+    /// in practice — ids are process-monotonic) would resolve to the most
+    /// recent occurrence.
+    pub fn find(
+        &self,
+        trace_id: u64,
+    ) -> Option<(TraceRecord, Option<Arc<crate::recorder::FlightRecording>>)> {
+        let ring = self.ring.lock().expect("trace journal poisoned");
+        ring.iter()
+            .rev()
+            .find(|(span, _)| span.trace_id() == trace_id)
+            .map(|(span, recording)| (span.to_record(), recording.clone()))
     }
 }
 
@@ -298,5 +328,23 @@ mod tests {
         span.record("delivery", Duration::from_nanos(5));
         let recent = journal.recent();
         assert_eq!(recent[0].events.len(), 1, "journal holds the live span");
+    }
+
+    #[test]
+    fn journal_finds_traces_and_keeps_recordings_alive() {
+        use crate::recorder::{FlightEvent, FlightRecorder};
+        let journal = TraceJournal::new(2);
+        let mut rec = FlightRecorder::new(4);
+        rec.record(FlightEvent::LayerOpened { layer: 1, ready_gates: 2 });
+        journal.push_with_recording(Span::new(1), Some(Arc::new(rec.into_recording())));
+        journal.push(Span::new(2));
+        let (record, recording) = journal.find(1).expect("trace 1 retained");
+        assert_eq!(record.trace_id, 1);
+        assert_eq!(recording.expect("recording attached").events.len(), 1);
+        let (_, none) = journal.find(2).expect("trace 2 retained");
+        assert!(none.is_none(), "no recording was attached to trace 2");
+        assert!(journal.find(99).is_none());
+        journal.push(Span::new(3)); // evicts trace 1 and its recording
+        assert!(journal.find(1).is_none());
     }
 }

@@ -46,7 +46,9 @@ impl TextExposition {
 
     /// Emit cumulative `_bucket`/`_sum`/`_count` lines for a histogram.
     /// Bucket lines stop at the highest non-empty bucket (plus the required
-    /// `+Inf` line) to keep the document compact.
+    /// `+Inf` line) to keep the document compact. A bucket that carries an
+    /// exemplar trace id gets an OpenMetrics-style ` # {trace_id="..."}`
+    /// suffix naming the most recent trace that landed in it.
     pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
         let highest = snap.buckets.iter().rposition(|&b| b > 0).map(|i| i + 1).unwrap_or(0);
         let mut cumulative = 0u64;
@@ -57,6 +59,12 @@ impl TextExposition {
             self.push_labels(labels, Some(&bucket_upper_bound(i).to_string()));
             self.out.push(' ');
             self.out.push_str(&cumulative.to_string());
+            let exemplar = snap.exemplars[i];
+            if exemplar != 0 {
+                self.out.push_str(" # {trace_id=\"");
+                self.out.push_str(&format!("{exemplar:016x}"));
+                self.out.push_str("\"}");
+            }
             self.out.push('\n');
         }
         self.out.push_str(name);
@@ -164,6 +172,21 @@ mod tests {
         assert!(doc.contains("ssync_lat_ns_bucket{stage=\"compile\",le=\"+Inf\"} 3\n"));
         assert!(doc.contains("ssync_lat_ns_sum{stage=\"compile\"} 7\n"));
         assert!(doc.contains("ssync_lat_ns_count{stage=\"compile\"} 3\n"));
+    }
+
+    #[test]
+    fn bucket_lines_carry_exemplar_suffixes() {
+        let h = LatencyHistogram::new();
+        h.record_ns(1); // bucket 1, no exemplar
+        h.record_ns_with_exemplar(3, 0xbeef); // bucket 2
+        let mut e = TextExposition::new();
+        e.histogram("ssync_lat_ns", &[("stage", "end_to_end")], &h.snapshot());
+        let doc = e.finish();
+        assert!(doc.contains("ssync_lat_ns_bucket{stage=\"end_to_end\",le=\"1\"} 1\n"));
+        assert!(doc.contains(
+            "ssync_lat_ns_bucket{stage=\"end_to_end\",le=\"3\"} 2 # {trace_id=\"000000000000beef\"}\n"
+        ));
+        assert!(!doc.contains("le=\"+Inf\"} 2 #"), "the +Inf line stays exemplar-free: {doc}");
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Rolling windows over cumulative counter readings, used for SLO
+//! **burn-rate** gauges: "over the last minute, what fraction of
+//! serviced requests blew their latency budget?"
+//!
+//! A [`BurnWindow`] holds a bounded ring of `(total, bad)` cumulative
+//! readings sampled at a fixed cadence (the serviced SLO ticker pushes
+//! one reading per tick). The burn rate over the window is the delta
+//! between the oldest retained reading and the newest:
+//! `(bad_new − bad_old) / (total_new − total_old)`, reported in parts
+//! per million so the scrape surface stays integer-only. Two windows at
+//! different capacities (e.g. 1 min and 10 min of 500 ms ticks) give the
+//! classic fast-burn / slow-burn alerting pair.
+//!
+//! Counters are cumulative and monotone non-decreasing by contract;
+//! deltas are computed with saturating subtraction so a reset (e.g. a
+//! reconfigured SLO target clearing the windows) can never underflow.
+
+use std::collections::VecDeque;
+
+/// A bounded ring of cumulative `(total, bad)` readings with a
+/// windowed burn-rate query. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct BurnWindow {
+    capacity: usize,
+    readings: VecDeque<(u64, u64)>,
+}
+
+impl BurnWindow {
+    /// A window retaining at most `capacity` readings (at least 2 —
+    /// a burn rate needs a delta).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        BurnWindow { capacity, readings: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Appends one cumulative reading, evicting the oldest beyond
+    /// capacity.
+    pub fn push(&mut self, total: u64, bad: u64) {
+        if self.readings.len() == self.capacity {
+            self.readings.pop_front();
+        }
+        self.readings.push_back((total, bad));
+    }
+
+    /// Readings currently retained.
+    pub fn len(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// `true` when no readings have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// The maximum number of readings retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all readings (used when the SLO target changes — old
+    /// readings were judged against the old budget).
+    pub fn reset(&mut self) {
+        self.readings.clear();
+    }
+
+    /// The fraction of requests over budget across the window, in parts
+    /// per million. `None` until two readings exist or while the window
+    /// saw no traffic (zero total delta) — a gauge that would otherwise
+    /// be 0/0.
+    pub fn burn_ppm(&self) -> Option<u64> {
+        let (oldest_total, oldest_bad) = *self.readings.front()?;
+        let (newest_total, newest_bad) = *self.readings.back()?;
+        let total = newest_total.saturating_sub(oldest_total);
+        if total == 0 {
+            return None;
+        }
+        let bad = newest_bad.saturating_sub(oldest_bad).min(total);
+        Some(bad.saturating_mul(1_000_000) / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_readings_and_traffic() {
+        let mut w = BurnWindow::new(4);
+        assert_eq!(w.burn_ppm(), None);
+        w.push(10, 1);
+        assert_eq!(w.burn_ppm(), None, "single reading has no delta");
+        w.push(10, 1);
+        assert_eq!(w.burn_ppm(), None, "zero total delta is no traffic");
+        w.push(20, 6);
+        assert_eq!(w.burn_ppm(), Some(500_000), "5 bad of 10 new requests");
+    }
+
+    #[test]
+    fn window_slides_and_forgets_old_burn() {
+        let mut w = BurnWindow::new(3);
+        w.push(0, 0);
+        w.push(100, 100); // a terrible tick: 100% burn
+        w.push(200, 100);
+        assert_eq!(w.burn_ppm(), Some(500_000));
+        w.push(300, 100); // the terrible tick's left edge ages out
+        assert_eq!(w.burn_ppm(), Some(0), "window now spans only clean ticks");
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut w = BurnWindow::new(4);
+        w.push(0, 0);
+        w.push(50, 25);
+        assert!(w.burn_ppm().is_some());
+        w.reset();
+        assert!(w.is_empty());
+        assert_eq!(w.burn_ppm(), None);
+    }
+
+    #[test]
+    fn capacity_floor_is_two() {
+        let w = BurnWindow::new(0);
+        assert_eq!(w.capacity(), 2);
+    }
+
+    #[test]
+    fn bad_delta_is_clamped_to_total_delta() {
+        let mut w = BurnWindow::new(4);
+        // A pathological sequence (bad grew faster than total) must not
+        // report more than 100%.
+        w.push(10, 0);
+        w.push(12, 5);
+        assert_eq!(w.burn_ppm(), Some(1_000_000));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the SLO burn-rate window: the ring's windowed delta
+//! math must agree with a brute-force oracle that replays the full pushed
+//! sequence and recomputes the burn rate from the retained suffix.
+
+use proptest::prelude::*;
+use ssync_telemetry::BurnWindow;
+
+/// Brute-force oracle: given every reading ever pushed and the window
+/// capacity, recompute the burn rate from the retained suffix directly.
+fn oracle_burn_ppm(readings: &[(u64, u64)], capacity: usize) -> Option<u64> {
+    let capacity = capacity.max(2);
+    let start = readings.len().saturating_sub(capacity);
+    let window = &readings[start..];
+    let (oldest_total, oldest_bad) = *window.first()?;
+    let (newest_total, newest_bad) = *window.last()?;
+    let total = newest_total.saturating_sub(oldest_total);
+    if total == 0 {
+        return None;
+    }
+    let bad = newest_bad.saturating_sub(oldest_bad).min(total);
+    Some(bad.saturating_mul(1_000_000) / total)
+}
+
+/// Monotone cumulative `(total, bad)` sequences with `bad <= total`, the
+/// shape the SLO ticker actually produces.
+fn cumulative_readings() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..50, 0u64..50), 0..40).prop_map(|deltas| {
+        let mut total = 0u64;
+        let mut bad = 0u64;
+        deltas
+            .into_iter()
+            .map(|(dt, db)| {
+                total += dt;
+                bad += db.min(dt); // bad requests are a subset of requests
+                (total, bad)
+            })
+            .collect()
+    })
+}
+
+/// Arbitrary (possibly non-monotone) sequences: saturating deltas must
+/// never panic or report over 100%.
+fn arbitrary_readings() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ring agrees with the brute-force oracle for every prefix of a
+    /// well-formed cumulative sequence, at any capacity.
+    #[test]
+    fn window_matches_brute_force_oracle(
+        readings in cumulative_readings(),
+        capacity in 0usize..12,
+    ) {
+        let mut window = BurnWindow::new(capacity);
+        for (i, &(total, bad)) in readings.iter().enumerate() {
+            window.push(total, bad);
+            prop_assert_eq!(
+                window.burn_ppm(),
+                oracle_burn_ppm(&readings[..=i], capacity),
+                "diverged after reading {} of {:?} at capacity {}",
+                i, &readings, capacity
+            );
+        }
+    }
+
+    /// Whatever garbage is pushed, the gauge stays within [0, 1e6] ppm and
+    /// never panics.
+    #[test]
+    fn burn_is_always_a_valid_fraction(
+        readings in arbitrary_readings(),
+        capacity in 0usize..12,
+    ) {
+        let mut window = BurnWindow::new(capacity);
+        for &(total, bad) in &readings {
+            window.push(total, bad);
+            if let Some(ppm) = window.burn_ppm() {
+                prop_assert!(ppm <= 1_000_000, "burn {ppm} ppm exceeds 100%");
+            }
+        }
+        prop_assert!(window.len() <= window.capacity());
+    }
+
+    /// Zero traffic across the window (flat totals) reports no burn rather
+    /// than a divide-by-zero or a spurious 0.
+    #[test]
+    fn flat_totals_report_none(total in 0u64..1000, bad in 0u64..1000, n in 2usize..8) {
+        let mut window = BurnWindow::new(8);
+        for _ in 0..n {
+            window.push(total, bad.min(total));
+        }
+        prop_assert_eq!(window.burn_ppm(), None);
+    }
+}
